@@ -1,0 +1,71 @@
+// Figure 1: policy + query evaluation time per batch for DataLawyer vs.
+// NoOpt, policy P6, query W1 (the fastest query), users 0 and 1.
+//
+// The paper's result: NoOpt's per-query time grows continuously with the
+// usage log while DataLawyer's stabilizes after an initial ramp-up.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace datalawyer {
+namespace bench {
+namespace {
+
+constexpr int kBatches = 30;
+constexpr int kQueriesPerBatch = 120;
+
+void RunSide(const char* label, DataLawyerOptions options, int64_t uid,
+             std::vector<double>* batch_ms) {
+  Database db;
+  Status st = LoadMimicData(&db, BenchConfig());
+  if (!st.ok()) std::abort();
+  auto dl = MakeSystem(&db, options);
+  if (!dl->AddPolicy("p6", PaperPolicies::P6()).ok()) std::abort();
+
+  for (int batch = 0; batch < kBatches; ++batch) {
+    double total = 0;
+    for (int q = 0; q < kQueriesPerBatch; ++q) {
+      ExecutionStats stats = RunOne(dl.get(), PaperQueries::W1(), uid);
+      total += stats.total_ms();
+    }
+    batch_ms->push_back(total / kQueriesPerBatch);
+  }
+  std::fprintf(stderr, "[fig1] finished %s uid=%lld\n", label,
+               (long long)uid);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace datalawyer
+
+int main() {
+  using namespace datalawyer;
+  using namespace datalawyer::bench;
+
+  std::printf(
+      "Figure 1: avg policy+query time (ms) per batch of %d W1 queries, "
+      "policy P6\n",
+      kQueriesPerBatch);
+  std::printf("%-6s %-14s %-14s %-18s %-18s\n", "batch", "NoOpt,uid=0",
+              "NoOpt,uid=1", "DataLawyer,uid=0", "DataLawyer,uid=1");
+
+  std::vector<double> noopt0, noopt1, dl0, dl1;
+  RunSide("NoOpt", DataLawyerOptions::NoOpt(), 0, &noopt0);
+  RunSide("NoOpt", DataLawyerOptions::NoOpt(), 1, &noopt1);
+  RunSide("DataLawyer", DataLawyerOptions::AllOptimizations(), 0, &dl0);
+  RunSide("DataLawyer", DataLawyerOptions::AllOptimizations(), 1, &dl1);
+
+  for (int b = 0; b < kBatches; ++b) {
+    std::printf("%-6d %-14.3f %-14.3f %-18.3f %-18.3f\n", b + 1, noopt0[b],
+                noopt1[b], dl0[b], dl1[b]);
+  }
+
+  double noopt_growth = noopt1.back() / noopt1.front();
+  double dl_growth = dl1.back() / (dl1[kBatches / 2]);
+  std::printf(
+      "\nNoOpt uid=1 grew %.1fx from first to last batch; DataLawyer's "
+      "last batch is %.2fx its mid-run batch (flat).\n",
+      noopt_growth, dl_growth);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 2 (a,b,c): per-policy time breakdown (query execution / usage
+// tracking / policy evaluation / log compaction) for all six policies.
+//
+//   (a) query W4, uid=0  — interleaved evaluation prunes everything early
+//   (b) query W4, uid=1  — policies must be evaluated in full
+//   (c) query W2, uid=1  — a short, interactive query
+//
+// For NoOpt the overhead grows with the log, so we report the 1st and the
+// N-th query; for DataLawyer we report the steady state (mean of the second
+// half of the run).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace datalawyer {
+namespace bench {
+namespace {
+
+struct Breakdown {
+  double query_ms = 0, track_ms = 0, eval_ms = 0, compact_ms = 0;
+  double total() const { return query_ms + track_ms + eval_ms + compact_ms; }
+};
+
+Breakdown FromStats(const ExecutionStats& s) {
+  return Breakdown{s.query_exec_ms, s.log_gen_ms, s.policy_eval_ms,
+                   s.compaction_ms()};
+}
+
+void RunPanel(const char* title, const std::string& query, int64_t uid,
+              int n_queries) {
+  std::printf("\n--- %s (%d queries per cell) ---\n", title, n_queries);
+  std::printf("%-8s %-10s %9s %9s %9s %9s %9s\n", "policy", "system", "query",
+              "track", "eval", "compact", "total");
+
+  for (int p = 1; p <= 6; ++p) {
+    // NoOpt: first and last query.
+    {
+      Database db;
+      if (!LoadMimicData(&db, BenchConfig()).ok()) std::abort();
+      auto noopt = MakeSystem(&db, DataLawyerOptions::NoOpt());
+      if (!noopt->AddPolicy("p", PolicyByIndex(p)).ok()) std::abort();
+      Breakdown first, last;
+      for (int q = 0; q < n_queries; ++q) {
+        ExecutionStats stats = RunOne(noopt.get(), query, uid);
+        if (q == 0) first = FromStats(stats);
+        if (q == n_queries - 1) last = FromStats(stats);
+      }
+      std::printf("P%-7d %-10s %9.2f %9.2f %9.2f %9.2f %9.2f\n", p,
+                  "NoOpt#1", first.query_ms, first.track_ms, first.eval_ms,
+                  first.compact_ms, first.total());
+      std::printf("P%-7d NoOpt#%-4d %9.2f %9.2f %9.2f %9.2f %9.2f\n", p,
+                  n_queries, last.query_ms, last.track_ms, last.eval_ms,
+                  last.compact_ms, last.total());
+    }
+    // DataLawyer: steady state.
+    {
+      Database db;
+      if (!LoadMimicData(&db, BenchConfig()).ok()) std::abort();
+      auto dl = MakeSystem(&db, DataLawyerOptions::AllOptimizations());
+      if (!dl->AddPolicy("p", PolicyByIndex(p)).ok()) std::abort();
+      std::vector<ExecutionStats> tail;
+      for (int q = 0; q < n_queries; ++q) {
+        ExecutionStats stats = RunOne(dl.get(), query, uid);
+        if (q >= n_queries / 2) tail.push_back(stats);
+      }
+      SeriesStats s = Summarize(tail);
+      std::printf("P%-7d %-10s %9.2f %9.2f %9.2f %9.2f %9.2f\n", p,
+                  "DataLawyer", s.mean_query_ms, s.mean_loggen_ms,
+                  s.mean_eval_ms, s.mean_compact_ms, s.mean_total_ms);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace datalawyer
+
+int main() {
+  using namespace datalawyer;
+  using namespace datalawyer::bench;
+  std::printf("Figure 2: policy + query time breakdown (ms)\n");
+  RunPanel("(a) W4, uid=0", PaperQueries::W4(), 0, 10);
+  RunPanel("(b) W4, uid=1", PaperQueries::W4(), 1, 10);
+  RunPanel("(c) W2, uid=1", PaperQueries::W2(), 1, 120);
+  return 0;
+}

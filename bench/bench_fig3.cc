@@ -1,0 +1,51 @@
+// Figure 3: the cost of the three log-compaction phases (mark / delete /
+// insert) for the time-dependent policies P1, P5, P6 over queries W1..W4
+// (uid=1), plus compaction's share of the total policy-checking + query
+// time. Time-independent policies (P2, P3, P4) need no log pruning and are
+// therefore absent, as in the paper.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace datalawyer;
+  using namespace datalawyer::bench;
+
+  constexpr int kQueries = 30;
+  std::printf(
+      "Figure 3: log compaction phase times (ms), steady-state mean over "
+      "%d queries, uid=1\n",
+      kQueries);
+  std::printf("%-8s %9s %9s %9s %12s\n", "config", "mark", "delete", "insert",
+              "pct_of_total");
+
+  for (int p : {1, 5, 6}) {
+    for (int w = 1; w <= 4; ++w) {
+      Database db;
+      if (!LoadMimicData(&db, BenchConfig()).ok()) std::abort();
+      auto dl = MakeSystem(&db, DataLawyerOptions::AllOptimizations());
+      if (!dl->AddPolicy("p", PolicyByIndex(p)).ok()) std::abort();
+
+      double mark = 0, del = 0, ins = 0, total = 0;
+      int counted = 0;
+      for (int q = 0; q < kQueries; ++q) {
+        ExecutionStats stats = RunOne(dl.get(), QueryByIndex(w), 1);
+        if (q < kQueries / 2) continue;  // warm-up to steady state
+        mark += stats.compact_mark_ms;
+        del += stats.compact_delete_ms;
+        ins += stats.compact_insert_ms;
+        total += stats.total_ms();
+        ++counted;
+      }
+      mark /= counted;
+      del /= counted;
+      ins /= counted;
+      total /= counted;
+      double pct = total > 0 ? 100.0 * (mark + del + ins) / total : 0;
+      std::printf("P%d.W%-5d %9.3f %9.3f %9.3f %11.1f%%\n", p, w, mark, del,
+                  ins, pct);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Substrate micro-benchmarks (google-benchmark): parser, binder, joins,
+// aggregation, lineage-capture overhead, witness-query evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "exec/engine.h"
+#include "sql/parser.h"
+
+namespace datalawyer {
+namespace {
+
+const MimicConfig& MicroConfig() {
+  static const MimicConfig* config = [] {
+    auto* c = new MimicConfig();
+    c->num_patients = 5000;
+    c->num_chartevents = 50000;
+    return c;
+  }();
+  return *config;
+}
+
+Database& SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    if (!LoadMimicData(d, MicroConfig()).ok()) std::abort();
+    return d;
+  }();
+  return *db;
+}
+
+void BM_ParseW4(benchmark::State& state) {
+  std::string sql = PaperQueries::W4();
+  for (auto _ : state) {
+    auto result = Parser::Parse(sql);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ParseW4);
+
+void BM_ParsePolicyP5(benchmark::State& state) {
+  std::string sql = PaperPolicies::P5();
+  for (auto _ : state) {
+    auto result = Parser::Parse(sql);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ParsePolicyP5);
+
+void BM_PointLookupIndexed(benchmark::State& state) {
+  Engine engine(&SharedDb());
+  for (auto _ : state) {
+    auto result = engine.ExecuteSql(PaperQueries::W1());
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PointLookupIndexed);
+
+void BM_HashJoinAggregate(benchmark::State& state) {
+  Engine engine(&SharedDb());
+  std::string sql =
+      "SELECT c.subject_id, COUNT(*) FROM chartevents c, d_patients p "
+      "WHERE p.subject_id = c.subject_id AND c.itemid = 211 "
+      "GROUP BY c.subject_id HAVING COUNT(*) > 2";
+  for (auto _ : state) {
+    auto result = engine.ExecuteSql(sql);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_HashJoinAggregate);
+
+void BM_LineageOverhead(benchmark::State& state) {
+  Engine engine(&SharedDb());
+  ExecOptions options;
+  options.capture_lineage = state.range(0) != 0;
+  std::string sql =
+      "SELECT c.subject_id, COUNT(*) FROM chartevents c, d_patients p "
+      "WHERE p.subject_id = c.subject_id AND c.itemid = 211 "
+      "GROUP BY c.subject_id";
+  for (auto _ : state) {
+    auto result = engine.ExecuteSql(sql, options);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LineageOverhead)->Arg(0)->Arg(1);
+
+void BM_FullPolicyCheckW1(benchmark::State& state) {
+  Database db;
+  if (!LoadMimicData(&db, MicroConfig()).ok()) std::abort();
+  auto dl = bench::MakeSystem(&db, DataLawyerOptions::AllOptimizations());
+  if (!dl->AddPolicy("p6", PaperPolicies::P6()).ok()) std::abort();
+  QueryContext ctx;
+  ctx.uid = 1;
+  for (auto _ : state) {
+    auto result = dl->Execute(PaperQueries::W1(), ctx);
+    if (!result.ok()) state.SkipWithError("rejected");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullPolicyCheckW1);
+
+}  // namespace
+}  // namespace datalawyer
+
+BENCHMARK_MAIN();

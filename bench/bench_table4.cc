@@ -1,0 +1,64 @@
+// Table 4: policy + query evaluation time for the time-independent policies
+// P2, P3, P4 on query W3, with and without the time-independent
+// optimization (all other optimizations enabled in both cases), after
+// executing 1, 5, 10, 15, 20 queries.
+//
+// The paper's result: with the optimization the time stays flat; without it
+// the log grows (compaction cannot prune aggregate policies that lack time
+// windows) and P3/P4 degrade with the query count.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace datalawyer;
+  using namespace datalawyer::bench;
+
+  const int kCounts[] = {1, 5, 10, 15, 20};
+  std::printf(
+      "Table 4: policy+query time (ms) for W3 at increasing query counts\n");
+  std::printf("%-6s", "count");
+  for (int p : {2, 3, 4}) {
+    std::printf(" %7s P%d %7s P%d-noti", "", p, "", p);
+  }
+  std::printf("\n");
+
+  // results[policy][variant][checkpoint]
+  double results[3][2][5] = {};
+  int pi = 0;
+  for (int p : {2, 3, 4}) {
+    for (int variant = 0; variant < 2; ++variant) {
+      DataLawyerOptions options = DataLawyerOptions::AllOptimizations();
+      options.enable_time_independent = (variant == 0);
+      Database db;
+      if (!LoadMimicData(&db, BenchConfig()).ok()) std::abort();
+      auto dl = MakeSystem(&db, options);
+      if (!dl->AddPolicy("p", PolicyByIndex(p)).ok()) std::abort();
+
+      int count = 0;
+      for (int c = 0; c < 5; ++c) {
+        while (count < kCounts[c]) {
+          ExecutionStats stats = RunOne(dl.get(), PaperQueries::W3(), 1);
+          ++count;
+          if (count == kCounts[c]) {
+            results[pi][variant][c] = stats.total_ms();
+          }
+        }
+      }
+    }
+    ++pi;
+  }
+
+  for (int c = 0; c < 5; ++c) {
+    std::printf("%-6d", kCounts[c]);
+    for (int i = 0; i < 3; ++i) {
+      std::printf(" %10.1f %14.1f", results[i][0][c], results[i][1][c]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nColumns: Pn = with time-independent optimization, Pn-noti = "
+      "without (all other optimizations on).\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#ifndef DATALAWYER_BENCH_HARNESS_H_
+#define DATALAWYER_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/datalawyer.h"
+#include "workload/mimic.h"
+#include "workload/paper_policies.h"
+#include "workload/paper_queries.h"
+
+namespace datalawyer {
+namespace bench {
+
+/// Dataset size used by all experiment harnesses. Large enough that the
+/// W1..W4 cost spectrum spans ~0.2ms to ~100ms, small enough that every
+/// bench binary finishes in tens of seconds.
+inline MimicConfig BenchConfig() {
+  MimicConfig config;
+  config.num_patients = 33000;
+  config.num_chartevents = 400000;
+  return config;
+}
+
+/// Clock ticks advanced per query; windows in Table 2 are expressed in the
+/// same unit (the paper's milliseconds).
+inline constexpr int64_t kClockStep = 10;
+
+inline std::unique_ptr<DataLawyer> MakeSystem(Database* db,
+                                              DataLawyerOptions options) {
+  return std::make_unique<DataLawyer>(db, UsageLog::WithStandardGenerators(),
+                                      std::make_unique<ManualClock>(0,
+                                                                    kClockStep),
+                                      options);
+}
+
+/// Runs `sql` once as `uid`, asserting policy compliance; returns the
+/// per-query stats.
+inline ExecutionStats RunOne(DataLawyer* dl, const std::string& sql,
+                             int64_t uid) {
+  QueryContext ctx;
+  ctx.uid = uid;
+  auto result = dl->Execute(sql, ctx);
+  if (!result.ok() && !result.status().IsPolicyViolation()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return dl->last_stats();
+}
+
+struct SeriesStats {
+  double mean_total_ms = 0;
+  double mean_query_ms = 0;
+  double mean_loggen_ms = 0;
+  double mean_eval_ms = 0;
+  double mean_compact_ms = 0;
+};
+
+inline SeriesStats Summarize(const std::vector<ExecutionStats>& stats) {
+  SeriesStats out;
+  if (stats.empty()) return out;
+  for (const ExecutionStats& s : stats) {
+    out.mean_total_ms += s.total_ms();
+    out.mean_query_ms += s.query_exec_ms;
+    out.mean_loggen_ms += s.log_gen_ms;
+    out.mean_eval_ms += s.policy_eval_ms;
+    out.mean_compact_ms += s.compaction_ms();
+  }
+  double n = double(stats.size());
+  out.mean_total_ms /= n;
+  out.mean_query_ms /= n;
+  out.mean_loggen_ms /= n;
+  out.mean_eval_ms /= n;
+  out.mean_compact_ms /= n;
+  return out;
+}
+
+/// Policy SQL for Table 2's P1..P6 by 1-based index.
+inline std::string PolicyByIndex(int index) {
+  switch (index) {
+    case 1:
+      return PaperPolicies::P1();
+    case 2:
+      return PaperPolicies::P2();
+    case 3:
+      return PaperPolicies::P3();
+    case 4:
+      return PaperPolicies::P4();
+    case 5:
+      return PaperPolicies::P5();
+    default:
+      return PaperPolicies::P6();
+  }
+}
+
+/// Query SQL for Table 3's W1..W4 by 1-based index.
+inline std::string QueryByIndex(int index) {
+  switch (index) {
+    case 1:
+      return PaperQueries::W1();
+    case 2:
+      return PaperQueries::W2();
+    case 3:
+      return PaperQueries::W3();
+    default:
+      return PaperQueries::W4();
+  }
+}
+
+}  // namespace bench
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_BENCH_HARNESS_H_

@@ -1,0 +1,166 @@
+// Data-marketplace scenario: the Table 1 vendor clauses, enforced over a
+// composite database holding feeds from several (synthetic) providers —
+// map tiles ("navteq"), business ratings ("yelp"), and a social firehose
+// ("twitter"). Demonstrates:
+//
+//   P1  (Navteq): no overlaying map data with any other dataset
+//   P4  (Twitter): rate limiting — 5 firehose queries per window
+//   P7  (Yelp): ratings must not be blended into aggregates with other
+//       providers, but plain joins/unions are fine
+//
+//   $ ./build/examples/data_market
+
+#include <cstdio>
+#include <random>
+
+#include "core/datalawyer.h"
+
+using namespace datalawyer;
+
+namespace {
+
+Status LoadVendorFeeds(Database* db) {
+  std::mt19937_64 rng(7);
+  DL_ASSIGN_OR_RETURN(
+      Table * navteq,
+      db->CreateTable("navteq_roads",
+                      TableSchema()
+                          .AddColumn("road_id", ValueType::kInt64)
+                          .AddColumn("city", ValueType::kString)
+                          .AddColumn("length_km", ValueType::kDouble)));
+  DL_ASSIGN_OR_RETURN(
+      Table * yelp,
+      db->CreateTable("yelp_ratings",
+                      TableSchema()
+                          .AddColumn("business_id", ValueType::kInt64)
+                          .AddColumn("city", ValueType::kString)
+                          .AddColumn("stars", ValueType::kDouble)
+                          .AddColumn("review_count", ValueType::kInt64)));
+  DL_ASSIGN_OR_RETURN(
+      Table * twitter,
+      db->CreateTable("twitter_posts",
+                      TableSchema()
+                          .AddColumn("post_id", ValueType::kInt64)
+                          .AddColumn("city", ValueType::kString)
+                          .AddColumn("sentiment", ValueType::kDouble)));
+  DL_ASSIGN_OR_RETURN(
+      Table * internal,
+      db->CreateTable("internal_stores",
+                      TableSchema()
+                          .AddColumn("store_id", ValueType::kInt64)
+                          .AddColumn("city", ValueType::kString)
+                          .AddColumn("revenue", ValueType::kDouble)));
+
+  const char* kCities[] = {"seattle", "portland", "boise", "spokane"};
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int64_t i = 0; i < 400; ++i) {
+    DL_RETURN_NOT_OK(navteq
+                         ->Append(Row{Value(i), Value(kCities[rng() % 4]),
+                                      Value(unit(rng) * 12)})
+                         .status());
+    DL_RETURN_NOT_OK(yelp
+                         ->Append(Row{Value(i), Value(kCities[rng() % 4]),
+                                      Value(1.0 + unit(rng) * 4),
+                                      Value(int64_t(rng() % 900))})
+                         .status());
+    DL_RETURN_NOT_OK(twitter
+                         ->Append(Row{Value(i), Value(kCities[rng() % 4]),
+                                      Value(unit(rng) * 2 - 1)})
+                         .status());
+  }
+  for (int64_t i = 0; i < 40; ++i) {
+    DL_RETURN_NOT_OK(internal
+                         ->Append(Row{Value(i), Value(kCities[rng() % 4]),
+                                      Value(unit(rng) * 1e6)})
+                         .status());
+  }
+  return Status::OK();
+}
+
+void Run(DataLawyer* dl, const char* label, const std::string& sql) {
+  QueryContext analyst;
+  analyst.uid = 42;
+  auto result = dl->Execute(sql, analyst);
+  if (result.ok()) {
+    std::printf("ALLOWED   %-28s (%zu rows)\n", label, result->NumRows());
+  } else {
+    std::printf("REJECTED  %-28s %s\n", label,
+                result.status().message().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  if (!LoadVendorFeeds(&db).ok()) {
+    std::printf("failed to load vendor feeds\n");
+    return 1;
+  }
+
+  DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                std::make_unique<ManualClock>(0, 10), {});
+
+  // -- Navteq: "Overlaying Navteq data with any other data is prohibited".
+  Status st = dl.AddPolicy("navteq-no-overlay", R"sql(
+    SELECT DISTINCT 'Navteq terms: no overlaying navteq_roads with other data'
+    FROM schema s1, schema s2
+    WHERE s1.ts = s2.ts AND s1.irid = 'navteq_roads'
+      AND s2.irid != 'navteq_roads'
+  )sql");
+
+  // -- Twitter: "350 requests per hour" scaled down to 5 queries per 200
+  //    ticks for the demo.
+  if (st.ok()) {
+    st = dl.AddPolicy("twitter-rate-limit", R"sql(
+      SELECT DISTINCT 'Twitter terms: firehose rate limit exceeded'
+      FROM users u, schema s, clock c
+      WHERE u.ts = s.ts AND s.irid = 'twitter_posts'
+        AND u.ts > c.ts - 200
+      HAVING COUNT(DISTINCT u.ts) > 5
+    )sql");
+  }
+
+  // -- Yelp: "Don't aggregate or blend our star ratings with other
+  //    providers" — an *aggregated* output column derived from
+  //    yelp_ratings while another provider contributes is a violation;
+  //    plain joins are fine (agg = FALSE rows are exempt).
+  if (st.ok()) {
+    st = dl.AddPolicy("yelp-no-blending", R"sql(
+      SELECT DISTINCT 'Yelp terms: ratings may not be blended into aggregates with other providers'
+      FROM schema s1, schema s2
+      WHERE s1.ts = s2.ts AND s1.irid = 'yelp_ratings' AND s1.agg = TRUE
+        AND s2.irid != 'yelp_ratings' AND s2.irid != 'internal_stores'
+    )sql");
+  }
+  if (!st.ok()) {
+    std::printf("policy registration failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== marketplace feeds under vendor terms of use ===\n\n");
+
+  Run(&dl, "navteq alone",
+      "SELECT city, SUM(length_km) FROM navteq_roads GROUP BY city");
+  Run(&dl, "navteq x internal (P1)",
+      "SELECT n.city, n.length_km, i.revenue FROM navteq_roads n, "
+      "internal_stores i WHERE n.city = i.city");
+  Run(&dl, "yelp join twitter (ok)",
+      "SELECT y.city, y.stars, t.sentiment FROM yelp_ratings y, "
+      "twitter_posts t WHERE y.city = t.city AND y.business_id = t.post_id");
+  Run(&dl, "yelp blended agg (P7)",
+      "SELECT y.city, AVG(y.stars + t.sentiment) FROM yelp_ratings y, "
+      "twitter_posts t WHERE y.city = t.city AND y.business_id = t.post_id "
+      "GROUP BY y.city");
+  Run(&dl, "yelp agg with internal (ok)",
+      "SELECT y.city, AVG(y.stars), SUM(i.revenue) FROM yelp_ratings y, "
+      "internal_stores i WHERE y.city = i.city GROUP BY y.city");
+
+  std::printf("\n-- Twitter rate limit: 5 queries per window --\n");
+  for (int i = 0; i < 7; ++i) {
+    Run(&dl, "firehose pull",
+        "SELECT city, COUNT(*) FROM twitter_posts WHERE sentiment > 0 "
+        "GROUP BY city");
+  }
+  return 0;
+}

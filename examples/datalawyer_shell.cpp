@@ -1,0 +1,204 @@
+// Interactive DataLawyer shell: SQL at the prompt, policies and usage-log
+// inspection via meta-commands. Reads stdin, so it also works scripted:
+//
+//   $ ./build/examples/datalawyer_shell            # starts with MIMIC data
+//   dl> \policy p6 SELECT DISTINCT 'too hot' FROM ...
+//   dl> \user 1
+//   dl> SELECT * FROM d_patients WHERE subject_id = 186
+//   dl> \log SELECT COUNT(*) FROM provenance
+//   dl> \quit
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/datalawyer.h"
+#include "storage/persistence.h"
+#include "workload/mimic.h"
+#include "workload/paper_policies.h"
+
+using namespace datalawyer;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(R"(Commands:
+  <sql>                   run a SQL statement through policy enforcement
+  \policy <name> <sql>    register a policy (SQL over the usage log)
+  \guard <name> <sql>     attach an approximate guard to policy <name>
+  \check <sql>            dry run: would this query be admitted?
+  \policies               list active policies with their analysis
+  \drop <name>            remove a policy
+  \user <uid>             switch the current user (default 0)
+  \log <sql>              read-only query over database + usage log + clock
+  \explain <sql>          show the execution plan for a SELECT
+  \stats                  phase breakdown of the last query
+  \paper                  load the paper's six Table 2 policies
+  \save <dir> / \load <dir>   snapshot / restore the database and usage log
+  \help                   this text
+  \quit                   exit
+)");
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fms", ms);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  MimicConfig config;
+  config.num_patients = 2000;
+  config.num_chartevents = 30000;
+  if (argc > 1) {
+    if (!LoadDatabase(&db, argv[1]).ok()) {
+      std::printf("could not load database from %s\n", argv[1]);
+      return 1;
+    }
+    std::printf("loaded database from %s\n", argv[1]);
+  } else if (!LoadMimicData(&db, config).ok()) {
+    return 1;
+  }
+
+  DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                std::make_unique<ManualClock>(0, 10), {});
+  QueryContext ctx;
+  ctx.uid = 0;
+  std::map<std::string, std::string> policy_sql;  // for \guard re-registration
+
+  bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf("DataLawyer shell — \\help for commands\n");
+  }
+
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("dl[uid=%lld]> ", (long long)ctx.uid);
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+
+    if (line[0] == '\\') {
+      std::istringstream in(line.substr(1));
+      std::string cmd;
+      in >> cmd;
+      std::string rest;
+      std::getline(in, rest);
+      while (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+
+      if (cmd == "quit" || cmd == "q") break;
+      if (cmd == "help") {
+        PrintHelp();
+      } else if (cmd == "user") {
+        ctx.uid = std::strtoll(rest.c_str(), nullptr, 10);
+      } else if (cmd == "policy") {
+        size_t space = rest.find(' ');
+        if (space == std::string::npos) {
+          std::printf("usage: \\policy <name> <sql>\n");
+          continue;
+        }
+        std::string name = rest.substr(0, space);
+        std::string sql = rest.substr(space + 1);
+        Status st = dl.AddPolicy(name, sql);
+        if (st.ok()) policy_sql[name] = sql;
+        std::printf("%s\n", st.ok() ? "registered" : st.ToString().c_str());
+      } else if (cmd == "guard") {
+        size_t space = rest.find(' ');
+        if (space == std::string::npos) {
+          std::printf("usage: \guard <name> <sql>\n");
+          continue;
+        }
+        std::string name = rest.substr(0, space);
+        auto it = policy_sql.find(name);
+        if (it == policy_sql.end()) {
+          std::printf("register %s with \policy first\n", name.c_str());
+          continue;
+        }
+        Status st = dl.RemovePolicy(name);
+        if (st.ok()) {
+          st = dl.AddPolicyWithGuard(name, it->second, rest.substr(space + 1));
+        }
+        std::printf("%s\n", st.ok() ? "guarded" : st.ToString().c_str());
+      } else if (cmd == "check") {
+        Status st = dl.WouldAllow(rest, ctx);
+        if (st.ok()) {
+          std::printf("would be ADMITTED\n");
+        } else if (st.IsPolicyViolation()) {
+          std::printf("would be REJECTED: %s\n", st.message().c_str());
+        } else {
+          std::printf("error: %s\n", st.ToString().c_str());
+        }
+      } else if (cmd == "drop") {
+        Status st = dl.RemovePolicy(rest);
+        if (st.ok()) policy_sql.erase(rest);
+        std::printf("%s\n", st.ok() ? "removed" : st.ToString().c_str());
+      } else if (cmd == "policies") {
+        if (!dl.Prepare().ok()) {
+          std::printf("prepare failed\n");
+          continue;
+        }
+        for (const Policy& p : dl.active_policies()) {
+          std::printf("%-24s monotone=%d time-independent=%d logs={",
+                      p.name.c_str(), p.monotone, p.time_independent);
+          for (size_t i = 0; i < p.log_relations.size(); ++i) {
+            std::printf("%s%s", i ? "," : "", p.log_relations[i].c_str());
+          }
+          std::printf("}\n");
+        }
+      } else if (cmd == "explain") {
+        auto plan = dl.engine()->ExplainSql(rest);
+        std::printf("%s", plan.ok() ? plan->c_str()
+                                    : (plan.status().ToString() + "\n").c_str());
+      } else if (cmd == "log") {
+        auto result = dl.QueryUsageLog(rest);
+        std::printf("%s\n", result.ok() ? result->ToString().c_str()
+                                        : result.status().ToString().c_str());
+      } else if (cmd == "stats") {
+        const ExecutionStats& s = dl.last_stats();
+        std::printf("query %s | log-gen %s | policy-eval %s | compaction %s"
+                    " | policies evaluated %zu, pruned %zu\n",
+                    FormatMs(s.query_exec_ms).c_str(),
+                    FormatMs(s.log_gen_ms).c_str(),
+                    FormatMs(s.policy_eval_ms).c_str(),
+                    FormatMs(s.compaction_ms()).c_str(),
+                    s.policies_evaluated, s.policies_pruned_early);
+      } else if (cmd == "paper") {
+        for (const auto& [name, sql] : PaperPolicies::All()) {
+          Status st = dl.AddPolicy(name, sql);
+          if (!st.ok()) std::printf("%s: %s\n", name.c_str(),
+                                    st.ToString().c_str());
+        }
+        std::printf("Table 2 policies loaded\n");
+      } else if (cmd == "save") {
+        Status st = SaveDatabase(db, rest);
+        if (st.ok()) st = dl.usage_log()->SaveTo(rest);
+        std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+      } else if (cmd == "load") {
+        std::printf("restart the shell with the directory as argv[1]\n");
+      } else {
+        std::printf("unknown command \\%s (try \\help)\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    auto result = dl.Execute(line, ctx);
+    if (result.ok()) {
+      std::printf("%s\n", result->ToString().c_str());
+    } else if (result.status().IsPolicyViolation()) {
+      std::printf("REJECTED: %s\n", result.status().message().c_str());
+      for (const ViolationReport& report : dl.last_violations()) {
+        std::printf("  policy %s\n", report.policy_name.c_str());
+      }
+    } else {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

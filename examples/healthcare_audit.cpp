@@ -1,0 +1,109 @@
+// Healthcare audit scenario: the paper's own evaluation setting. A
+// MIMIC-like ICU database is governed by the six policies of Table 2; a
+// research assistant (uid 1, in the restricted group) and a staff scientist
+// (uid 0) run the W1..W4 analysis queries, plus a few queries that trip the
+// policies.
+//
+//   $ ./build/examples/healthcare_audit
+
+#include <cstdio>
+
+#include "core/datalawyer.h"
+#include "workload/mimic.h"
+#include "workload/paper_policies.h"
+#include "workload/paper_queries.h"
+
+using namespace datalawyer;
+
+namespace {
+
+void Run(DataLawyer* dl, const char* who, int64_t uid, const char* label,
+         const std::string& sql) {
+  QueryContext ctx;
+  ctx.uid = uid;
+  auto result = dl->Execute(sql, ctx);
+  const ExecutionStats& stats = dl->last_stats();
+  if (result.ok()) {
+    std::printf("%-8s %-22s ALLOWED   %4zu rows   query %6.1fms  "
+                "policy-check %6.1fms\n",
+                who, label, result->NumRows(), stats.query_exec_ms,
+                stats.overhead_ms());
+  } else {
+    std::printf("%-8s %-22s REJECTED  %s\n", who, label,
+                result.status().message().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  MimicConfig config;
+  config.num_patients = 5000;
+  config.num_chartevents = 90000;
+  if (!LoadMimicData(&db, config).ok()) {
+    std::printf("failed to generate dataset\n");
+    return 1;
+  }
+
+  DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                std::make_unique<ManualClock>(0, 10), {});
+
+  // The six Table 2 policies; P3's cap at 1000 output tuples and P5's at
+  // 2500 distinct patients so the example can demonstrate rejections.
+  if (!dl.AddPolicy("p1", PaperPolicies::P1()).ok() ||
+      !dl.AddPolicy("p2", PaperPolicies::P2()).ok() ||
+      !dl.AddPolicy("p3", PaperPolicies::P3(1, 1000)).ok() ||
+      !dl.AddPolicy("p4", PaperPolicies::P4()).ok() ||
+      !dl.AddPolicy("p5", PaperPolicies::P5(1, 3000, 2500)).ok() ||
+      !dl.AddPolicy("p6", PaperPolicies::P6()).ok()) {
+    std::printf("failed to register policies\n");
+    return 1;
+  }
+
+  std::printf("=== ICU database under the Table 2 policies ===\n\n");
+
+  // The paper's workload, for both users.
+  for (auto& [name, sql] : PaperQueries::All()) {
+    Run(&dl, "staff", 0, name.c_str(), sql);
+    Run(&dl, "intern", 1, name.c_str(), sql);
+  }
+
+  std::printf("\n--- queries that violate the terms of use ---\n");
+
+  // P2: the intern joins order data with patient demographics.
+  Run(&dl, "intern", 1, "orders x patients",
+      "SELECT o.medication, p.sex FROM poe_order o, d_patients p "
+      "WHERE o.subject_id = p.subject_id");
+
+  // P3: a bulk export of the patient table (more than 200 tuples out).
+  Run(&dl, "intern", 1, "bulk export",
+      "SELECT * FROM d_patients");
+
+  // P4: a low-support aggregate over chartevents (re-identification risk:
+  // output tuples derived from <= 3 readings).
+  Run(&dl, "intern", 1, "low-support groups",
+      "SELECT c.subject_id, COUNT(*) FROM chartevents c "
+      "WHERE c.itemid = 212 AND c.subject_id < 40 "
+      "GROUP BY c.subject_id HAVING COUNT(*) <= 2");
+
+  // The same joins are fine for staff (uid 0): the policies bind uid 1.
+  Run(&dl, "staff", 0, "orders x patients",
+      "SELECT o.medication, p.sex FROM poe_order o, d_patients p "
+      "WHERE o.subject_id = p.subject_id");
+
+  std::printf("\n--- P5: aggregate usage cap across queries ---\n");
+  // Successive cohort sweeps accumulate distinct d_patients tuples in the
+  // 3000-tick window; the third sweep pushes past the 2500-tuple cap and
+  // is rejected even though each sweep alone is harmless.
+  for (int lo = 0; lo < 3000; lo += 1000) {
+    char sql[512];
+    std::snprintf(sql, sizeof(sql),
+                  "SELECT p.sex, COUNT(*) FROM d_patients p, chartevents c "
+                  "WHERE p.subject_id = c.subject_id AND c.subject_id >= %d "
+                  "AND c.subject_id < %d AND c.itemid = 211 GROUP BY p.sex",
+                  lo, lo + 1000);
+    Run(&dl, "intern", 1, "cohort sweep", sql);
+  }
+  return 0;
+}

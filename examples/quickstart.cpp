@@ -1,0 +1,71 @@
+// Quickstart: create a database, attach DataLawyer, register a policy, and
+// watch a violating query get rejected.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/datalawyer.h"
+
+using namespace datalawyer;
+
+int main() {
+  // 1. A small product database.
+  Database db;
+  Engine setup(&db);
+  auto loaded = setup.ExecuteScript(R"sql(
+    CREATE TABLE listings (id INT, city TEXT, price DOUBLE);
+    INSERT INTO listings VALUES
+      (1, 'seattle', 420000.0), (2, 'seattle', 710000.0),
+      (3, 'portland', 350000.0), (4, 'portland', 525000.0),
+      (5, 'boise', 289000.0);
+    CREATE TABLE competitor_data (city TEXT, avg_price DOUBLE);
+    INSERT INTO competitor_data VALUES
+      ('seattle', 565000.0), ('portland', 437500.0);
+  )sql");
+  if (!loaded.ok()) {
+    std::printf("setup failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. DataLawyer wraps the database. The defaults give you the standard
+  //    usage log (Users, Schema, Provenance) and all optimizations.
+  DataLawyer dl(&db);
+
+  // 3. A data-use policy, stated as SQL over the usage log: the `listings`
+  //    feed's terms of use prohibit joining it with competitor data
+  //    (Table 1's P1, the Navteq clause).
+  Status added = dl.AddPolicy("no-overlay", R"sql(
+    SELECT DISTINCT 'terms of use: listings may not be joined with other data'
+    FROM schema s1, schema s2
+    WHERE s1.ts = s2.ts
+      AND s1.irid = 'listings' AND s2.irid != 'listings'
+  )sql");
+  if (!added.ok()) {
+    std::printf("policy rejected: %s\n", added.ToString().c_str());
+    return 1;
+  }
+
+  QueryContext alice;
+  alice.uid = 1;
+
+  // 4. Compliant query: runs normally.
+  auto ok = dl.Execute(
+      "SELECT city, COUNT(*) AS n, AVG(price) FROM listings GROUP BY city",
+      alice);
+  std::printf("-- compliant query --\n%s\n\n",
+              ok.ok() ? ok->ToString().c_str() : ok.status().ToString().c_str());
+
+  // 5. Violating query: rejected before execution, with the policy message.
+  auto bad = dl.Execute(
+      "SELECT l.city, l.price, c.avg_price FROM listings l, "
+      "competitor_data c WHERE l.city = c.city",
+      alice);
+  std::printf("-- violating query --\n");
+  if (bad.ok()) {
+    std::printf("unexpectedly allowed!\n");
+    return 1;
+  }
+  std::printf("rejected: %s\n", bad.status().ToString().c_str());
+  return 0;
+}

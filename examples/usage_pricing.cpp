@@ -1,0 +1,126 @@
+// Usage-based data pricing (§2): "DataLawyer can be used to compute the
+// price of the data dynamically, e.g., based on how the data was used
+// during the last billing period."
+//
+// A vendor sells a stock-quotes feed priced per tuple actually consumed
+// (Factual-style usage pricing). The usage log's Provenance relation is the
+// metering record: at the end of the billing period the vendor queries it
+// to produce per-user invoices. A policy simultaneously enforces the plan's
+// quota.
+//
+//   $ ./build/examples/usage_pricing
+
+#include <cstdio>
+#include <random>
+
+#include "core/datalawyer.h"
+
+using namespace datalawyer;
+
+namespace {
+
+Status LoadQuotes(Database* db) {
+  std::mt19937_64 rng(11);
+  DL_ASSIGN_OR_RETURN(
+      Table * quotes,
+      db->CreateTable("quotes", TableSchema()
+                                    .AddColumn("quote_id", ValueType::kInt64)
+                                    .AddColumn("symbol", ValueType::kString)
+                                    .AddColumn("day", ValueType::kInt64)
+                                    .AddColumn("price", ValueType::kDouble)));
+  const char* kSymbols[] = {"aaa", "bbb", "ccc", "ddd", "eee"};
+  std::uniform_real_distribution<double> px(5.0, 500.0);
+  int64_t id = 0;
+  for (int day = 0; day < 250; ++day) {
+    for (const char* symbol : kSymbols) {
+      DL_RETURN_NOT_OK(
+          quotes->Append(Row{Value(id++), Value(symbol), Value(int64_t(day)),
+                             Value(px(rng))})
+              .status());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  if (!LoadQuotes(&db).ok()) {
+    std::printf("failed to load quotes\n");
+    return 1;
+  }
+
+  DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                std::make_unique<ManualClock>(0, 1), {});
+
+  // Plan quota: at most 600 quote tuples consumed per user per billing
+  // window of 1000 ticks — the free tier (Table 1's P3, the MS Translator
+  // clause, made per-customer).
+  Status st = dl.AddPolicy("free-tier-quota", R"sql(
+    SELECT DISTINCT 'free tier exhausted: more than 600 quote-tuples this period'
+    FROM users u, provenance p, clock c
+    WHERE u.ts = p.ts AND p.irid = 'quotes' AND p.ts > c.ts - 1000
+    GROUP BY u.uid
+    HAVING COUNT(p.itid) > 600
+  )sql");
+  if (!st.ok()) {
+    std::printf("policy failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Three customers consume different slices of the feed.
+  struct Usage {
+    int64_t uid;
+    const char* sql;
+    int repeats;
+  };
+  const Usage kWorkload[] = {
+      {101, "SELECT * FROM quotes WHERE symbol = 'aaa' AND day < 30", 4},
+      {102, "SELECT symbol, AVG(price) FROM quotes WHERE day < 100 "
+            "GROUP BY symbol", 2},  // second run exceeds the quota
+      {103, "SELECT * FROM quotes WHERE quote_id = 7", 25},
+  };
+
+  for (const Usage& usage : kWorkload) {
+    QueryContext ctx;
+    ctx.uid = usage.uid;
+    for (int i = 0; i < usage.repeats; ++i) {
+      auto result = dl.Execute(usage.sql, ctx);
+      if (!result.ok()) {
+        std::printf("uid %lld rejected: %s\n", (long long)usage.uid,
+                    result.status().message().c_str());
+      }
+    }
+  }
+
+  // ---- end of billing period: meter from the usage log ----
+  std::printf("=== invoice (price: $0.02 per quote-tuple consumed) ===\n");
+  auto bill = dl.QueryUsageLog(R"sql(
+    SELECT u.uid, COUNT(p.itid) AS tuples_used,
+           COUNT(p.itid) * 0.02 AS amount_usd
+    FROM users u, provenance p
+    WHERE u.ts = p.ts AND p.irid = 'quotes'
+    GROUP BY u.uid
+    ORDER BY uid
+  )sql");
+  if (!bill.ok()) {
+    std::printf("metering failed: %s\n", bill.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", bill->ToString().c_str());
+
+  // Context-sensitive pricing (Factual prices ad usage differently from app
+  // usage): aggregate consumption is billed at a discounted analytic rate.
+  auto discounted = dl.QueryUsageLog(R"sql(
+    SELECT s.irid, COUNT(s.ocid) AS aggregated_columns
+    FROM schema s
+    WHERE s.agg = TRUE AND s.irid = 'quotes'
+    GROUP BY s.irid
+  )sql");
+  if (discounted.ok() && !discounted->empty()) {
+    std::printf("analytic-rate usage detected:\n%s\n",
+                discounted->ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,320 @@
+#include "analysis/binder.h"
+
+#include "common/strings.h"
+
+namespace datalawyer {
+
+int BoundQuery::FindRelation(const std::string& name) const {
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (EqualsIgnoreCase(relations[i].binding_name, name)) return int(i);
+  }
+  return -1;
+}
+
+Result<std::unique_ptr<BoundQuery>> Binder::Bind(const SelectStmt& stmt) {
+  DL_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, BindOne(stmt));
+  if (stmt.union_next) {
+    DL_ASSIGN_OR_RETURN(bq->union_next, Bind(*stmt.union_next));
+    if (bq->union_next->output_columns.size() != bq->output_columns.size()) {
+      return Status::InvalidArgument(
+          "UNION members have different arities (" +
+          std::to_string(bq->output_columns.size()) + " vs " +
+          std::to_string(bq->union_next->output_columns.size()) + ")");
+    }
+  }
+  return bq;
+}
+
+Result<std::unique_ptr<BoundQuery>> Binder::BindOne(const SelectStmt& stmt) {
+  auto bq = std::make_unique<BoundQuery>();
+  bq->stmt = &stmt;
+
+  // FROM items and slot layout.
+  for (const TableRef& ref : stmt.from) {
+    DL_RETURN_NOT_OK(BindFromItem(ref, bq.get()));
+  }
+  bq->slot_offsets.resize(bq->relations.size());
+  size_t offset = 0;
+  for (size_t i = 0; i < bq->relations.size(); ++i) {
+    bq->slot_offsets[i] = offset;
+    offset += bq->relations[i].schema.NumColumns();
+  }
+  bq->total_slots = offset;
+
+  // Clause expressions.
+  for (const SelectItem& item : stmt.items) {
+    DL_RETURN_NOT_OK(BindExpr(*item.expr, bq.get(), /*allow_aggregates=*/true));
+  }
+  for (const ExprPtr& e : stmt.distinct_on) {
+    DL_RETURN_NOT_OK(BindExpr(*e, bq.get(), /*allow_aggregates=*/false));
+  }
+  if (stmt.where) {
+    if (ContainsAggregate(*stmt.where)) {
+      return Status::InvalidArgument("aggregates are not allowed in WHERE");
+    }
+    DL_RETURN_NOT_OK(BindExpr(*stmt.where, bq.get(), false));
+  }
+  for (const ExprPtr& e : stmt.group_by) {
+    if (ContainsAggregate(*e)) {
+      return Status::InvalidArgument("aggregates are not allowed in GROUP BY");
+    }
+    DL_RETURN_NOT_OK(BindExpr(*e, bq.get(), false));
+  }
+  if (stmt.having) {
+    DL_RETURN_NOT_OK(BindExpr(*stmt.having, bq.get(), true));
+  }
+  for (const OrderByItem& o : stmt.order_by) {
+    // ORDER BY may name an output alias instead of an input column; such
+    // refs are resolved by the executor against the output schema, so a
+    // failed input binding here is tolerated for bare column refs.
+    if (o.expr->kind() == ExprKind::kColumnRef &&
+        static_cast<const ColumnRefExpr&>(*o.expr).qualifier.empty()) {
+      Status st = BindExpr(*o.expr, bq.get(), true);
+      (void)st;  // executor falls back to output-column lookup
+    } else {
+      DL_RETURN_NOT_OK(BindExpr(*o.expr, bq.get(), true));
+    }
+  }
+
+  bq->has_aggregates = !bq->aggregates.empty();
+  bq->is_grouped = !stmt.group_by.empty() || bq->has_aggregates;
+
+  if (!stmt.distinct_on.empty() && bq->is_grouped) {
+    return Status::Unsupported("DISTINCT ON cannot be combined with grouping");
+  }
+
+  DL_RETURN_NOT_OK(BuildOutputColumns(stmt, bq.get()));
+  return bq;
+}
+
+Status Binder::BindFromItem(const TableRef& ref, BoundQuery* bq) {
+  BoundRelation rel;
+  rel.binding_name = ToLower(ref.BindingName());
+  if (bq->FindRelation(rel.binding_name) >= 0) {
+    return Status::InvalidArgument("duplicate FROM alias: " +
+                                   rel.binding_name);
+  }
+  if (ref.IsSubquery()) {
+    Binder sub_binder(catalog_);
+    DL_ASSIGN_OR_RETURN(rel.subquery, sub_binder.Bind(*ref.subquery));
+    rel.schema = rel.subquery->output_schema;
+  } else {
+    const RelationData* data = catalog_->Find(ref.table_name);
+    if (data == nullptr) {
+      return Status::NotFound("no such table: " + ref.table_name);
+    }
+    rel.table_name = ToLower(ref.table_name);
+    rel.relation = data;
+    rel.schema = data->schema();
+  }
+  bq->relations.push_back(std::move(rel));
+  return Status::OK();
+}
+
+Status Binder::BindExpr(const Expr& expr, BoundQuery* bq,
+                        bool allow_aggregates) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return Status::OK();
+    case ExprKind::kColumnRef:
+      return ResolveColumnRef(static_cast<const ColumnRefExpr&>(expr), bq);
+    case ExprKind::kStar:
+      // Bare stars are only meaningful in select lists / COUNT(*); they are
+      // expanded by BuildOutputColumns and counted whole by COUNT(*).
+      return Status::OK();
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      DL_RETURN_NOT_OK(BindExpr(*b.lhs, bq, allow_aggregates));
+      return BindExpr(*b.rhs, bq, allow_aggregates);
+    }
+    case ExprKind::kUnary:
+      return BindExpr(*static_cast<const UnaryExpr&>(expr).operand, bq,
+                      allow_aggregates);
+    case ExprKind::kIsNull:
+      return BindExpr(*static_cast<const IsNullExpr&>(expr).operand, bq,
+                      allow_aggregates);
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      DL_RETURN_NOT_OK(BindExpr(*in.operand, bq, allow_aggregates));
+      for (const ExprPtr& item : in.items) {
+        DL_RETURN_NOT_OK(BindExpr(*item, bq, allow_aggregates));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kLike:
+      return BindExpr(*static_cast<const LikeExpr&>(expr).operand, bq,
+                      allow_aggregates);
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCallExpr&>(expr);
+      if (f.IsAggregate()) {
+        if (!allow_aggregates) {
+          return Status::InvalidArgument("aggregate not allowed here: " +
+                                         f.ToString());
+        }
+        bq->aggregates.push_back(&f);
+        // Aggregate arguments see the input row; nested aggregates are
+        // rejected.
+        for (const ExprPtr& arg : f.args) {
+          if (ContainsAggregate(*arg)) {
+            return Status::InvalidArgument("nested aggregate: " +
+                                           f.ToString());
+          }
+          DL_RETURN_NOT_OK(BindExpr(*arg, bq, false));
+        }
+        return Status::OK();
+      }
+      // Scalar functions.
+      if (f.name == "lower" || f.name == "upper" || f.name == "length" ||
+          f.name == "abs") {
+        if (f.star || f.args.size() != 1) {
+          return Status::InvalidArgument(f.name +
+                                         " takes exactly one argument");
+        }
+        return BindExpr(*f.args[0], bq, allow_aggregates);
+      }
+      return Status::Unsupported("unknown function: " + f.name);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Status Binder::ResolveColumnRef(const ColumnRefExpr& ref, BoundQuery* bq) {
+  if (!ref.qualifier.empty()) {
+    int rel_idx = bq->FindRelation(ref.qualifier);
+    if (rel_idx < 0) {
+      return Status::NotFound("unknown table alias: " + ref.qualifier);
+    }
+    const BoundRelation& rel = bq->relations[rel_idx];
+    auto col = rel.schema.FindColumn(ref.column);
+    if (!col.has_value()) {
+      return Status::NotFound("no column " + ref.column + " in " +
+                              rel.binding_name);
+    }
+    bq->column_slots[&ref] = bq->slot_offsets[rel_idx] + *col;
+    return Status::OK();
+  }
+
+  // Unqualified: must match exactly one column across all FROM items.
+  int found_rel = -1;
+  size_t found_col = 0;
+  for (size_t i = 0; i < bq->relations.size(); ++i) {
+    auto col = bq->relations[i].schema.FindColumn(ref.column);
+    if (col.has_value()) {
+      if (found_rel >= 0) {
+        return Status::InvalidArgument("ambiguous column: " + ref.column);
+      }
+      found_rel = int(i);
+      found_col = *col;
+    }
+  }
+  if (found_rel < 0) {
+    return Status::NotFound("no such column: " + ref.column);
+  }
+  bq->column_slots[&ref] = bq->slot_offsets[found_rel] + found_col;
+  return Status::OK();
+}
+
+Status Binder::BuildOutputColumns(const SelectStmt& stmt, BoundQuery* bq) {
+  int anon_counter = 0;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->kind() == ExprKind::kStar) {
+      const auto& star = static_cast<const StarExpr&>(*item.expr);
+      bool matched = false;
+      for (size_t i = 0; i < bq->relations.size(); ++i) {
+        const BoundRelation& rel = bq->relations[i];
+        if (!star.qualifier.empty() &&
+            !EqualsIgnoreCase(star.qualifier, rel.binding_name)) {
+          continue;
+        }
+        matched = true;
+        for (size_t c = 0; c < rel.schema.NumColumns(); ++c) {
+          OutputColumn out;
+          out.name = rel.schema.column(c).name;
+          out.type = rel.schema.column(c).type;
+          out.expr = nullptr;
+          out.slot = bq->slot_offsets[i] + c;
+          bq->output_columns.push_back(std::move(out));
+        }
+      }
+      if (!matched) {
+        return Status::NotFound("unknown table alias in star: " +
+                                star.qualifier);
+      }
+      continue;
+    }
+
+    OutputColumn out;
+    out.expr = item.expr.get();
+    if (!item.alias.empty()) {
+      out.name = ToLower(item.alias);
+    } else if (item.expr->kind() == ExprKind::kColumnRef) {
+      out.name = ToLower(static_cast<const ColumnRefExpr&>(*item.expr).column);
+    } else {
+      out.name = "col" + std::to_string(anon_counter++);
+    }
+    out.type = InferType(*item.expr, *bq);
+    bq->output_columns.push_back(std::move(out));
+  }
+
+  std::vector<ColumnDef> defs;
+  defs.reserve(bq->output_columns.size());
+  for (const OutputColumn& c : bq->output_columns) {
+    defs.push_back(ColumnDef{c.name, c.type});
+  }
+  bq->output_schema = TableSchema(std::move(defs));
+  return Status::OK();
+}
+
+ValueType Binder::InferType(const Expr& expr, const BoundQuery& bq) const {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value.type();
+    case ExprKind::kColumnRef: {
+      auto it = bq.column_slots.find(&expr);
+      if (it == bq.column_slots.end()) return ValueType::kNull;
+      size_t slot = it->second;
+      for (size_t i = 0; i < bq.relations.size(); ++i) {
+        size_t lo = bq.slot_offsets[i];
+        size_t hi = lo + bq.relations[i].schema.NumColumns();
+        if (slot >= lo && slot < hi) {
+          return bq.relations[i].schema.column(slot - lo).type;
+        }
+      }
+      return ValueType::kNull;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      if (b.op == "and" || b.op == "or" || b.op == "=" || b.op == "!=" ||
+          b.op == "<" || b.op == "<=" || b.op == ">" || b.op == ">=") {
+        return ValueType::kBool;
+      }
+      ValueType lt = InferType(*b.lhs, bq), rt = InferType(*b.rhs, bq);
+      if (lt == ValueType::kDouble || rt == ValueType::kDouble) {
+        return ValueType::kDouble;
+      }
+      return ValueType::kInt64;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(expr);
+      if (u.op == "not") return ValueType::kBool;
+      return InferType(*u.operand, bq);
+    }
+    case ExprKind::kIsNull:
+    case ExprKind::kInList:
+    case ExprKind::kLike:
+      return ValueType::kBool;
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCallExpr&>(expr);
+      if (f.name == "count" || f.name == "length") return ValueType::kInt64;
+      if (f.name == "avg") return ValueType::kDouble;
+      if (f.name == "lower" || f.name == "upper") return ValueType::kString;
+      if (!f.args.empty()) return InferType(*f.args[0], bq);
+      return ValueType::kNull;
+    }
+    case ExprKind::kStar:
+      return ValueType::kNull;
+  }
+  return ValueType::kNull;
+}
+
+}  // namespace datalawyer

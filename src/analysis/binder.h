@@ -1,0 +1,42 @@
+#ifndef DATALAWYER_ANALYSIS_BINDER_H_
+#define DATALAWYER_ANALYSIS_BINDER_H_
+
+#include <memory>
+
+#include "analysis/bound_query.h"
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/catalog_view.h"
+
+namespace datalawyer {
+
+/// Resolves names in a SELECT against a catalog and produces a BoundQuery.
+///
+/// Checks performed:
+///  * every base table exists; duplicate binding names are rejected
+///  * every column reference resolves, unambiguously when unqualified
+///  * aggregates do not appear in WHERE or GROUP BY
+///  * UNION members have matching arity
+class Binder {
+ public:
+  explicit Binder(const CatalogView* catalog) : catalog_(catalog) {}
+
+  /// Binds `stmt` (and its UNION chain). The statement must outlive the
+  /// returned BoundQuery.
+  Result<std::unique_ptr<BoundQuery>> Bind(const SelectStmt& stmt);
+
+ private:
+  Result<std::unique_ptr<BoundQuery>> BindOne(const SelectStmt& stmt);
+  Status BindFromItem(const TableRef& ref, BoundQuery* bq);
+  Status BindExpr(const Expr& expr, BoundQuery* bq, bool allow_aggregates);
+  Status ResolveColumnRef(const ColumnRefExpr& ref, BoundQuery* bq);
+  Status BuildOutputColumns(const SelectStmt& stmt, BoundQuery* bq);
+  /// Infers the value type of a bound expression.
+  ValueType InferType(const Expr& expr, const BoundQuery& bq) const;
+
+  const CatalogView* catalog_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_ANALYSIS_BINDER_H_

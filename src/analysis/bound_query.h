@@ -1,0 +1,70 @@
+#ifndef DATALAWYER_ANALYSIS_BOUND_QUERY_H_
+#define DATALAWYER_ANALYSIS_BOUND_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace datalawyer {
+
+struct BoundQuery;
+
+/// One resolved FROM item.
+struct BoundRelation {
+  std::string binding_name;  ///< alias in scope (lowercase)
+  std::string table_name;    ///< base table name; empty for subqueries
+  const RelationData* relation = nullptr;  ///< set for base tables
+  std::unique_ptr<BoundQuery> subquery;    ///< set for subqueries
+  TableSchema schema;  ///< visible schema of this FROM item
+};
+
+/// One column of the query's output.
+struct OutputColumn {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  /// The select-item expression this column projects; nullptr when the
+  /// column came from a `*` / `t.*` expansion, in which case `slot` holds
+  /// the input slot to copy.
+  const Expr* expr = nullptr;
+  size_t slot = 0;
+};
+
+/// Result of binding one SELECT (per UNION member): resolved FROM items,
+/// a flat slot layout for the joined row (relation i occupies
+/// [slot_offsets[i], slot_offsets[i] + relations[i].schema.NumColumns())),
+/// slot assignments for every column reference, the aggregate calls, and
+/// the output schema.
+struct BoundQuery {
+  const SelectStmt* stmt = nullptr;  ///< not owned; must outlive the binding
+
+  std::vector<BoundRelation> relations;
+  std::vector<size_t> slot_offsets;
+  size_t total_slots = 0;
+
+  /// ColumnRefExpr* → flat slot in the joined row. Keyed by node pointer:
+  /// a BoundQuery is only valid for the exact AST it was built from.
+  std::unordered_map<const Expr*, size_t> column_slots;
+
+  /// Distinct aggregate call sites in select items / HAVING / ORDER BY.
+  std::vector<const FuncCallExpr*> aggregates;
+
+  std::vector<OutputColumn> output_columns;
+  TableSchema output_schema;
+
+  bool has_aggregates = false;
+  /// True if the query groups (explicit GROUP BY, or a global aggregate).
+  bool is_grouped = false;
+
+  std::unique_ptr<BoundQuery> union_next;
+
+  /// Index of the FROM item binding `name`, or -1.
+  int FindRelation(const std::string& name) const;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_ANALYSIS_BOUND_QUERY_H_

@@ -1,0 +1,104 @@
+#include "analysis/join_graph.h"
+
+#include "common/strings.h"
+
+namespace datalawyer {
+
+namespace {
+
+/// Extracts (qualifier, column) if `e` is a column reference.
+bool AsQualifiedColumn(const Expr& e, QualifiedColumn* out) {
+  if (e.kind() != ExprKind::kColumnRef) return false;
+  const auto& c = static_cast<const ColumnRefExpr&>(e);
+  out->qualifier = ToLower(c.qualifier);
+  out->column = ToLower(c.column);
+  return true;
+}
+
+}  // namespace
+
+JoinGraph JoinGraph::Build(const SelectStmt& stmt) {
+  JoinGraph graph;
+  if (!stmt.where) return graph;
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(*stmt.where);
+  for (const ExprPtr& conj : conjuncts) {
+    if (conj->kind() != ExprKind::kBinary) continue;
+    const auto& b = static_cast<const BinaryExpr&>(*conj);
+    if (b.op != "=") continue;
+    QualifiedColumn lhs, rhs;
+    if (!AsQualifiedColumn(*b.lhs, &lhs) || !AsQualifiedColumn(*b.rhs, &rhs)) {
+      continue;
+    }
+    int li = graph.InternId(lhs);
+    if (li < 0) {
+      graph.columns_.push_back(lhs);
+      graph.parent_.push_back(int(graph.parent_.size()));
+      li = int(graph.columns_.size()) - 1;
+    }
+    int ri = graph.InternId(rhs);
+    if (ri < 0) {
+      graph.columns_.push_back(rhs);
+      graph.parent_.push_back(int(graph.parent_.size()));
+      ri = int(graph.columns_.size()) - 1;
+    }
+    graph.Union(li, ri);
+  }
+  return graph;
+}
+
+int JoinGraph::InternId(const QualifiedColumn& col) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == col) return int(i);
+  }
+  return -1;
+}
+
+int JoinGraph::Find(int i) const {
+  while (parent_[i] != i) {
+    parent_[i] = parent_[parent_[i]];
+    i = parent_[i];
+  }
+  return i;
+}
+
+void JoinGraph::Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+bool JoinGraph::SameClass(const QualifiedColumn& a,
+                          const QualifiedColumn& b) const {
+  if (a == b) return true;
+  int ai = InternId(a), bi = InternId(b);
+  if (ai < 0 || bi < 0) return false;
+  return Find(ai) == Find(bi);
+}
+
+std::vector<QualifiedColumn> JoinGraph::ClassMembers(
+    const QualifiedColumn& col) const {
+  std::vector<QualifiedColumn> out;
+  int id = InternId(col);
+  if (id < 0) return out;
+  int root = Find(id);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (Find(int(i)) == root) out.push_back(columns_[i]);
+  }
+  return out;
+}
+
+std::vector<std::vector<QualifiedColumn>> JoinGraph::Classes() const {
+  std::vector<std::vector<QualifiedColumn>> out;
+  std::vector<int> roots;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    int root = Find(int(i));
+    size_t idx = 0;
+    for (; idx < roots.size(); ++idx) {
+      if (roots[idx] == root) break;
+    }
+    if (idx == roots.size()) {
+      roots.push_back(root);
+      out.emplace_back();
+    }
+    out[idx].push_back(columns_[i]);
+  }
+  return out;
+}
+
+}  // namespace datalawyer

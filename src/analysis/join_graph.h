@@ -1,0 +1,56 @@
+#ifndef DATALAWYER_ANALYSIS_JOIN_GRAPH_H_
+#define DATALAWYER_ANALYSIS_JOIN_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace datalawyer {
+
+/// A column identified by its FROM-item alias (both lowercase).
+struct QualifiedColumn {
+  std::string qualifier;
+  std::string column;
+
+  bool operator==(const QualifiedColumn& other) const {
+    return qualifier == other.qualifier && column == other.column;
+  }
+};
+
+/// Equivalence classes of columns connected by `a.x = b.y` conjuncts in a
+/// query's WHERE clause (transitively closed via union-find).
+///
+/// Used by:
+///  * §4.1.1 time-independence — "all timestamp attributes from all
+///    relations are joined" means all log relations' ts columns share a class
+///  * §4.1.2 witnesses — a log relation's *neighborhood* N(Ri) is the set of
+///    log relations whose ts is in the same class as Ri.ts.
+class JoinGraph {
+ public:
+  /// Analyzes the WHERE clause of `stmt` (top level only; subqueries get
+  /// their own graphs).
+  static JoinGraph Build(const SelectStmt& stmt);
+
+  /// True if both columns appear in some equi-join chain together.
+  bool SameClass(const QualifiedColumn& a, const QualifiedColumn& b) const;
+
+  /// All members of the class containing `col` (including `col` itself if
+  /// it participates in any equi-join); empty if it does not.
+  std::vector<QualifiedColumn> ClassMembers(const QualifiedColumn& col) const;
+
+  /// The distinct equivalence classes (each with >= 2 members).
+  std::vector<std::vector<QualifiedColumn>> Classes() const;
+
+ private:
+  int Find(int i) const;
+  void Union(int a, int b);
+  int InternId(const QualifiedColumn& col) const;
+
+  std::vector<QualifiedColumn> columns_;
+  mutable std::vector<int> parent_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_ANALYSIS_JOIN_GRAPH_H_

@@ -1,0 +1,166 @@
+#include "analysis/schema_lineage.h"
+
+#include <set>
+
+namespace datalawyer {
+
+namespace {
+
+struct BaseColumn {
+  std::string irid;
+  std::string icid;
+  bool agg;
+};
+
+void CollectExprBase(const BoundQuery& bq, const Expr& expr, bool agg_context,
+                     std::vector<BaseColumn>* out);
+
+/// Resolves a flat slot of `bq` to base-table columns, looking through
+/// subquery FROM items.
+void CollectSlotBase(const BoundQuery& bq, size_t slot, bool agg_context,
+                     std::vector<BaseColumn>* out) {
+  for (size_t i = 0; i < bq.relations.size(); ++i) {
+    size_t lo = bq.slot_offsets[i];
+    size_t hi = lo + bq.relations[i].schema.NumColumns();
+    if (slot < lo || slot >= hi) continue;
+    const BoundRelation& rel = bq.relations[i];
+    size_t col = slot - lo;
+    if (rel.relation != nullptr) {
+      out->push_back(BaseColumn{rel.table_name, rel.schema.column(col).name,
+                                agg_context});
+      return;
+    }
+    // Subquery: follow the corresponding output column of the inner query
+    // (and, for UNION chains, of every member).
+    for (const BoundQuery* member = rel.subquery.get(); member != nullptr;
+         member = member->union_next.get()) {
+      if (col >= member->output_columns.size()) break;
+      const OutputColumn& inner = member->output_columns[col];
+      if (inner.expr != nullptr) {
+        CollectExprBase(*member, *inner.expr, agg_context, out);
+      } else {
+        CollectSlotBase(*member, inner.slot, agg_context, out);
+      }
+    }
+    return;
+  }
+}
+
+/// Names of every base table reachable under `bq`'s FROM items.
+void CollectBaseRelations(const BoundQuery& bq, std::set<std::string>* out) {
+  for (const BoundQuery* member = &bq; member != nullptr;
+       member = member->union_next.get()) {
+    for (const BoundRelation& rel : member->relations) {
+      if (rel.relation != nullptr) {
+        out->insert(rel.table_name);
+      } else if (rel.subquery) {
+        CollectBaseRelations(*rel.subquery, out);
+      }
+    }
+  }
+}
+
+void CollectExprBase(const BoundQuery& bq, const Expr& expr, bool agg_context,
+                     std::vector<BaseColumn>* out) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kColumnRef: {
+      auto it = bq.column_slots.find(&expr);
+      if (it == bq.column_slots.end()) return;
+      CollectSlotBase(bq, it->second, agg_context, out);
+      return;
+    }
+    case ExprKind::kStar: {
+      // Appears inside COUNT(*): derived from every FROM relation.
+      std::set<std::string> rels;
+      CollectBaseRelations(bq, &rels);
+      for (const std::string& r : rels) {
+        out->push_back(BaseColumn{r, "", agg_context});
+      }
+      return;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      CollectExprBase(bq, *b.lhs, agg_context, out);
+      CollectExprBase(bq, *b.rhs, agg_context, out);
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectExprBase(bq, *static_cast<const UnaryExpr&>(expr).operand,
+                      agg_context, out);
+      return;
+    case ExprKind::kIsNull:
+      CollectExprBase(bq, *static_cast<const IsNullExpr&>(expr).operand,
+                      agg_context, out);
+      return;
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      CollectExprBase(bq, *in.operand, agg_context, out);
+      for (const ExprPtr& item : in.items) {
+        CollectExprBase(bq, *item, agg_context, out);
+      }
+      return;
+    }
+    case ExprKind::kLike:
+      CollectExprBase(bq, *static_cast<const LikeExpr&>(expr).operand,
+                      agg_context, out);
+      return;
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCallExpr&>(expr);
+      bool inner_agg = agg_context || f.IsAggregate();
+      if (f.star) {
+        StarExpr star;
+        CollectExprBase(bq, star, inner_agg, out);
+      }
+      for (const ExprPtr& arg : f.args) {
+        CollectExprBase(bq, *arg, inner_agg, out);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SchemaLogRow> ComputeSchemaLineage(const BoundQuery& bq) {
+  std::vector<SchemaLogRow> rows;
+  // (ocid, irid, icid, agg) dedup across UNION members.
+  std::set<std::tuple<std::string, std::string, std::string, bool>> seen;
+
+  for (const BoundQuery* member = &bq; member != nullptr;
+       member = member->union_next.get()) {
+    for (size_t i = 0; i < member->output_columns.size(); ++i) {
+      // Output column names come from the first UNION member.
+      const std::string& ocid = bq.output_columns[i].name;
+      const OutputColumn& col = member->output_columns[i];
+      std::vector<BaseColumn> bases;
+      if (col.expr != nullptr) {
+        CollectExprBase(*member, *col.expr, /*agg_context=*/false, &bases);
+      } else {
+        CollectSlotBase(*member, col.slot, /*agg_context=*/false, &bases);
+      }
+      for (const BaseColumn& base : bases) {
+        auto key = std::make_tuple(ocid, base.irid, base.icid, base.agg);
+        if (seen.insert(key).second) {
+          rows.push_back(SchemaLogRow{ocid, base.irid, base.icid, base.agg});
+        }
+      }
+    }
+  }
+
+  // Marker rows for relations that never reach the output (join/filter
+  // partners) so join-prohibition policies can still see them.
+  std::set<std::string> all_relations;
+  CollectBaseRelations(bq, &all_relations);
+  std::set<std::string> derived;
+  for (const SchemaLogRow& r : rows) derived.insert(r.irid);
+  for (const std::string& rel : all_relations) {
+    if (!derived.count(rel)) {
+      rows.push_back(SchemaLogRow{"", rel, "", false});
+    }
+  }
+  return rows;
+}
+
+}  // namespace datalawyer

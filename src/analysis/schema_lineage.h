@@ -1,0 +1,34 @@
+#ifndef DATALAWYER_ANALYSIS_SCHEMA_LINEAGE_H_
+#define DATALAWYER_ANALYSIS_SCHEMA_LINEAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/bound_query.h"
+
+namespace datalawyer {
+
+/// One row of the paper's Schema usage log (§3.2, minus the ts column):
+/// "the answer ... contains a column ocid, which stores a value derived from
+/// the input column icid from the input relation irid; agg indicates whether
+/// an aggregate was used."
+struct SchemaLogRow {
+  std::string ocid;
+  std::string irid;
+  std::string icid;
+  bool agg = false;
+};
+
+/// Static analysis behind the fSchema log-generating function: derives, for
+/// every output column of the (bound) query, the base-table columns it is
+/// computed from, looking through subqueries and UNION members.
+///
+/// Extension beyond the paper's example: a FROM relation none of whose
+/// columns reach the output (e.g. it is only used as a filter/join partner)
+/// still yields one marker row (ocid='', icid='') so that join-prohibition
+/// policies like P1/P2 observe every relation the query touched.
+std::vector<SchemaLogRow> ComputeSchemaLineage(const BoundQuery& bq);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_ANALYSIS_SCHEMA_LINEAGE_H_

@@ -1,0 +1,26 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace datalawyer {
+
+namespace {
+int64_t WallMillis() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+SystemClock::SystemClock() : last_(WallMillis()) {}
+
+int64_t SystemClock::Now() const { return WallMillis(); }
+
+int64_t SystemClock::Tick() {
+  int64_t t = WallMillis();
+  if (t <= last_) t = last_ + 1;
+  last_ = t;
+  return t;
+}
+
+}  // namespace datalawyer

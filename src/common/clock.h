@@ -1,0 +1,63 @@
+#ifndef DATALAWYER_COMMON_CLOCK_H_
+#define DATALAWYER_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace datalawyer {
+
+/// The paper assumes "an integer clock with sufficient granularity that each
+/// query has a unique ts attribute" (§3.1). Clock abstracts where those
+/// integers come from so experiments are deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current timestamp. Does not advance the clock.
+  virtual int64_t Now() const = 0;
+
+  /// Returns a fresh, strictly increasing timestamp for the next query.
+  virtual int64_t Tick() = 0;
+};
+
+/// Deterministic clock advanced by a fixed inter-arrival step per query.
+/// Used by all tests and benchmarks: sliding-window policies (P1, P5, P6)
+/// become exactly reproducible.
+class ManualClock : public Clock {
+ public:
+  /// Starts at `start`; each Tick() advances by `step` (>= 1) and returns
+  /// the new time.
+  explicit ManualClock(int64_t start = 0, int64_t step = 1)
+      : now_(start), step_(step < 1 ? 1 : step) {}
+
+  int64_t Now() const override { return now_; }
+  int64_t Tick() override {
+    now_ += step_;
+    return now_;
+  }
+
+  void set_step(int64_t step) { step_ = step < 1 ? 1 : step; }
+  /// Jumps the clock forward to `t` (no-op if `t` is in the past).
+  void AdvanceTo(int64_t t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  int64_t now_;
+  int64_t step_;
+};
+
+/// Wall-clock milliseconds since the UNIX epoch; uniqueness of successive
+/// Tick() values is enforced by bumping collisions by 1ms.
+class SystemClock : public Clock {
+ public:
+  SystemClock();
+  int64_t Now() const override;
+  int64_t Tick() override;
+
+ private:
+  mutable int64_t last_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_COMMON_CLOCK_H_

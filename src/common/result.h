@@ -1,0 +1,75 @@
+#ifndef DATALAWYER_COMMON_RESULT_H_
+#define DATALAWYER_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace datalawyer {
+
+/// Value-or-error carrier, mirroring arrow::Result<T>.
+///
+/// A Result is either a T (status().ok()) or a non-OK Status. Constructing a
+/// Result from an OK Status is a programming error and is downgraded to an
+/// Internal error rather than asserting, so release builds stay safe.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace datalawyer
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs` (which may be a declaration).
+#define DL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define DL_CONCAT_IMPL(a, b) a##b
+#define DL_CONCAT(a, b) DL_CONCAT_IMPL(a, b)
+
+#define DL_ASSIGN_OR_RETURN(lhs, expr) \
+  DL_ASSIGN_OR_RETURN_IMPL(DL_CONCAT(_dl_result_, __LINE__), lhs, expr)
+
+#endif  // DATALAWYER_COMMON_RESULT_H_

@@ -1,0 +1,84 @@
+#ifndef DATALAWYER_COMMON_STATUS_H_
+#define DATALAWYER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace datalawyer {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad SQL, bad schema, ...).
+  kNotFound,          ///< Named entity (table, column, policy) does not exist.
+  kAlreadyExists,     ///< Attempt to create an entity that already exists.
+  kTypeError,         ///< Expression or value type mismatch.
+  kPolicyViolation,   ///< A data-use policy rejected the query.
+  kUnsupported,       ///< Valid SQL outside the supported fragment.
+  kInternal,          ///< Invariant breakage inside the engine.
+};
+
+/// Returns a short human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style error carrier. The library never throws; every
+/// fallible operation returns a Status (or Result<T>, see result.h).
+///
+/// A Status is cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status PolicyViolation(std::string msg) {
+    return Status(StatusCode::kPolicyViolation, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsPolicyViolation() const {
+    return code_ == StatusCode::kPolicyViolation;
+  }
+
+  /// "<CodeName>: <message>", or "OK".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace datalawyer
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status or Result<T> (Result is implicitly constructible from Status).
+#define DL_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::datalawyer::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#endif  // DATALAWYER_COMMON_STATUS_H_

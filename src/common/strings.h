@@ -1,0 +1,22 @@
+#ifndef DATALAWYER_COMMON_STRINGS_H_
+#define DATALAWYER_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace datalawyer {
+
+/// ASCII-lowercases a copy of `s`. SQL identifiers and keywords are
+/// case-insensitive throughout the engine.
+std::string ToLower(const std::string& s);
+
+/// Case-insensitive ASCII string equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_COMMON_STRINGS_H_

@@ -1,0 +1,198 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace datalawyer {
+
+namespace {
+
+/// Rank used by the cross-type total order.
+int TypeRank(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+ValueType Value::type() const {
+  if (is_null()) return ValueType::kNull;
+  if (is_int64()) return ValueType::kInt64;
+  if (is_double()) return ValueType::kDouble;
+  if (is_string()) return ValueType::kString;
+  return ValueType::kBool;
+}
+
+bool Value::operator<(const Value& other) const {
+  int lr = TypeRank(*this), rr = TypeRank(other);
+  if (lr != rr) return lr < rr;
+  switch (lr) {
+    case 0:
+      return false;  // NULL == NULL
+    case 1:
+      return AsBool() < other.AsBool();
+    case 2: {
+      // Mixed int/double compare numerically; same-type compares exactly.
+      if (is_int64() && other.is_int64()) return AsInt64() < other.AsInt64();
+      return ToDouble() < other.ToDouble();
+    }
+    default:
+      return AsString() < other.AsString();
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return std::hash<bool>()(AsBool()) ^ 0x5bul;
+    case ValueType::kInt64: {
+      // Hash integral doubles and int64 alike.
+      return std::hash<double>()(double(AsInt64()));
+    }
+    case ValueType::kDouble:
+      return std::hash<double>()(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+Result<Value> Value::Compare(const Value& lhs, const std::string& op,
+                             const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+
+  int cmp = 0;
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    if (lhs.is_int64() && rhs.is_int64()) {
+      int64_t a = lhs.AsInt64(), b = rhs.AsInt64();
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else {
+      double a = lhs.ToDouble(), b = rhs.ToDouble();
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    }
+  } else if (lhs.is_string() && rhs.is_string()) {
+    cmp = lhs.AsString().compare(rhs.AsString());
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  } else if (lhs.is_bool() && rhs.is_bool()) {
+    cmp = int(lhs.AsBool()) - int(rhs.AsBool());
+  } else {
+    return Status::TypeError("cannot compare " +
+                             std::string(ValueTypeToString(lhs.type())) +
+                             " with " + ValueTypeToString(rhs.type()));
+  }
+
+  if (op == "=") return Value(cmp == 0);
+  if (op == "!=" || op == "<>") return Value(cmp != 0);
+  if (op == "<") return Value(cmp < 0);
+  if (op == "<=") return Value(cmp <= 0);
+  if (op == ">") return Value(cmp > 0);
+  if (op == ">=") return Value(cmp >= 0);
+  return Status::InvalidArgument("unknown comparison operator: " + op);
+}
+
+Result<Value> Value::Arithmetic(const Value& lhs, const std::string& op,
+                                const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  if (!lhs.is_numeric() || !rhs.is_numeric()) {
+    return Status::TypeError("arithmetic requires numeric operands, got " +
+                             std::string(ValueTypeToString(lhs.type())) +
+                             " and " + ValueTypeToString(rhs.type()));
+  }
+
+  if (lhs.is_int64() && rhs.is_int64()) {
+    int64_t a = lhs.AsInt64(), b = rhs.AsInt64();
+    if (op == "+") return Value(a + b);
+    if (op == "-") return Value(a - b);
+    if (op == "*") return Value(a * b);
+    if (op == "/") {
+      if (b == 0) return Status::InvalidArgument("division by zero");
+      return Value(a / b);
+    }
+    if (op == "%") {
+      if (b == 0) return Status::InvalidArgument("modulo by zero");
+      return Value(a % b);
+    }
+  } else {
+    double a = lhs.ToDouble(), b = rhs.ToDouble();
+    if (op == "+") return Value(a + b);
+    if (op == "-") return Value(a - b);
+    if (op == "*") return Value(a * b);
+    if (op == "/") {
+      if (b == 0.0) return Status::InvalidArgument("division by zero");
+      return Value(a / b);
+    }
+    if (op == "%") {
+      if (b == 0.0) return Status::InvalidArgument("modulo by zero");
+      return Value(std::fmod(a, b));
+    }
+  }
+  return Status::InvalidArgument("unknown arithmetic operator: " + op);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+    case ValueType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+  }
+  return "?";
+}
+
+size_t RowHash::operator()(const Row& row) const {
+  size_t h = 0x345678;
+  for (const Value& v : row) {
+    h = h * 1000003 ^ v.Hash();
+  }
+  return h;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,775 @@
+#include "core/datalawyer.h"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "analysis/binder.h"
+#include "exec/executor.h"
+#include "policy/partial_policy.h"
+#include "policy/policy_analyzer.h"
+#include "policy/unification.h"
+#include "sql/parser.h"
+
+namespace datalawyer {
+
+namespace {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+SteadyTime Now() { return std::chrono::steady_clock::now(); }
+
+double MsSince(SteadyTime start) {
+  return std::chrono::duration<double, std::milli>(Now() - start).count();
+}
+
+void BusyWaitMicros(int us) {
+  if (us <= 0) return;
+  auto start = Now();
+  while (std::chrono::duration_cast<std::chrono::microseconds>(Now() - start)
+             .count() < us) {
+  }
+}
+
+/// True if every UNION member groups explicitly — the condition under which
+/// a non-monotone policy can still be pruned by an (aggregate-free) partial
+/// policy: no joined rows means no groups means no output.
+bool AllMembersGrouped(const SelectStmt& stmt) {
+  for (const SelectStmt* member = &stmt; member != nullptr;
+       member = member->union_next.get()) {
+    if (member->group_by.empty()) return false;
+  }
+  return true;
+}
+
+void StripHaving(SelectStmt* stmt) {
+  for (SelectStmt* member = stmt; member != nullptr;
+       member = member->union_next.get()) {
+    member->having = nullptr;
+  }
+}
+
+}  // namespace
+
+/// Per-policy precomputation from the offline phase.
+struct DataLawyer::PreparedPolicy {
+  size_t policy_index = 0;  ///< into active_
+
+  /// Can interleaved evaluation dismiss this policy from a partial result?
+  bool prunable = false;
+
+  /// §4.3 improved partial policies are sound for this policy: monotone and
+  /// every pair of its log relations equi-joins on ts.
+  bool improved_ok = false;
+
+  /// prefix_touches_log[k]: the k-relation partial actually references at
+  /// least one generated log relation (a prerequisite for the
+  /// increment-dependence reasoning).
+  std::vector<bool> prefix_touches_log;
+
+  /// partials[k] is π_S for S = the first k generated log relations;
+  /// nullptr when S covers the policy (evaluate the full statement).
+  std::vector<std::unique_ptr<SelectStmt>> partials;
+  /// True when the first k relations cover the policy's footprint.
+  std::vector<bool> covered;
+
+  /// Approximate guard support: the guard's log footprint, and per-prefix
+  /// coverage (guard_covered[k] — the guard can run after k generations).
+  std::vector<std::string> guard_relations;
+  std::vector<bool> guard_covered;
+
+  WitnessSet witnesses;
+};
+
+DataLawyer::DataLawyer(Database* db, std::unique_ptr<UsageLog> log,
+                       std::unique_ptr<Clock> clock, DataLawyerOptions options)
+    : db_(db),
+      log_(log != nullptr ? std::move(log)
+                          : UsageLog::WithStandardGenerators()),
+      clock_(clock != nullptr ? std::move(clock)
+                              : std::make_unique<ManualClock>()),
+      options_(options),
+      engine_(db) {}
+
+DataLawyer::~DataLawyer() {
+  if (pending_compaction_.valid()) pending_compaction_.wait();
+}
+
+void DataLawyer::set_options(DataLawyerOptions options) {
+  options_ = options;
+  prepared_valid_ = false;
+}
+
+Status DataLawyer::AddPolicy(const std::string& name, const std::string& sql,
+                             int64_t active_from) {
+  for (const Policy& p : source_policies_) {
+    if (p.name == name) {
+      return Status::AlreadyExists("policy already registered: " + name);
+    }
+  }
+  DL_ASSIGN_OR_RETURN(Policy policy, Policy::Parse(name, sql));
+
+  // Validate that the policy binds against database + log + clock.
+  UsageLog::PolicyCatalog catalog =
+      log_->MakeCatalog(engine_.db_catalog(), clock_->Now());
+  Binder binder(catalog.view());
+  DL_RETURN_NOT_OK(binder.Bind(*policy.stmt).status());
+
+  // Footnote 7: the policy's history starts now; earlier log entries can
+  // never trip it (unless the caller restores an older registration time).
+  policy.active_from = active_from >= 0 ? active_from : clock_->Now();
+
+  source_policies_.push_back(std::move(policy));
+  prepared_valid_ = false;
+  return Status::OK();
+}
+
+Status DataLawyer::AddPolicyWithGuard(const std::string& name,
+                                      const std::string& sql,
+                                      const std::string& guard_sql) {
+  DL_RETURN_NOT_OK(AddPolicy(name, sql));
+  Policy& policy = source_policies_.back();
+  auto guard = Parser::ParseSelect(guard_sql);
+  if (!guard.ok()) {
+    source_policies_.pop_back();
+    return guard.status();
+  }
+  // The guard must bind against the same catalog as the policy.
+  UsageLog::PolicyCatalog catalog =
+      log_->MakeCatalog(engine_.db_catalog(), clock_->Now());
+  Binder binder(catalog.view());
+  Status bound = binder.Bind(**guard).status();
+  if (!bound.ok()) {
+    source_policies_.pop_back();
+    return bound;
+  }
+  policy.guard = std::move(guard).value();
+  policy.guard_sql = guard_sql;
+  prepared_valid_ = false;
+  return Status::OK();
+}
+
+Status DataLawyer::RemovePolicy(const std::string& name) {
+  for (size_t i = 0; i < source_policies_.size(); ++i) {
+    if (source_policies_[i].name == name) {
+      source_policies_.erase(source_policies_.begin() + i);
+      prepared_valid_ = false;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such policy: " + name);
+}
+
+const CatalogView* DataLawyer::policy_base_catalog() const {
+  return constants_catalog_ != nullptr
+             ? static_cast<const CatalogView*>(constants_catalog_.get())
+             : engine_.db_catalog();
+}
+
+Status DataLawyer::Prepare() {
+  active_.clear();
+  prepared_.clear();
+  constants_.clear();
+  constants_catalog_.reset();
+  mentioned_logs_.clear();
+  skip_retention_.clear();
+
+  // Footnote 7: restrict each policy's history to its registration time.
+  std::vector<Policy> sources;
+  for (const Policy& p : source_policies_) {
+    Policy clone = p.Clone();
+    if (clone.active_from > 0) {
+      clone.stmt = RestrictHistory(*clone.stmt, *log_, clone.active_from);
+      clone.sql = clone.stmt->ToString();
+    }
+    sources.push_back(std::move(clone));
+  }
+
+  // ---- unification (§4.2.2) ----
+  if (options_.enable_unification) {
+    DL_ASSIGN_OR_RETURN(UnificationResult unified, UnifyPolicies(sources));
+    active_ = std::move(unified.policies);
+    constants_ = std::move(unified.constants);
+  } else {
+    for (Policy& p : sources) active_.push_back(std::move(p));
+  }
+  if (!constants_.empty()) {
+    constants_catalog_ =
+        std::make_unique<OverlayCatalog>(engine_.db_catalog());
+    for (const auto& [name, table] : constants_) {
+      constants_catalog_->Add(name, table.get());
+    }
+  }
+
+  // ---- analysis and π_ind rewrites (§4.1.1) ----
+  PolicyAnalyzer analyzer(log_.get());
+  for (Policy& policy : active_) {
+    DL_RETURN_NOT_OK(analyzer.Analyze(&policy));
+    if (!options_.enable_time_independent) {
+      policy.time_independent = false;
+      policy.rewritten = nullptr;
+    }
+    if (policy.guard != nullptr) {
+      // The precise policy may only run after its guard's logs exist too.
+      for (const std::string& rel : CollectLogRelations(*policy.guard, *log_)) {
+        bool present = false;
+        for (const std::string& have : policy.log_relations) {
+          if (have == rel) present = true;
+        }
+        if (!present) policy.log_relations.push_back(rel);
+      }
+    }
+    for (const std::string& rel : policy.log_relations) {
+      mentioned_logs_.insert(rel);
+    }
+  }
+
+  // Relations needed only by time-independent policies never persist
+  // (the implementation note in §5.3).
+  for (const std::string& rel : log_->RelationNamesInOrder()) {
+    bool mentioned = mentioned_logs_.count(rel) > 0;
+    bool only_time_independent = mentioned;
+    for (const Policy& policy : active_) {
+      for (const std::string& r : policy.log_relations) {
+        if (r == rel && !policy.time_independent) only_time_independent = false;
+      }
+    }
+    bool skip = mentioned && only_time_independent;
+    log_->SetPersisted(rel, !skip);
+    if (skip) skip_retention_.insert(rel);
+  }
+
+  // ---- per-policy witness sets and partial-policy caches ----
+  std::vector<std::string> order;
+  for (const std::string& rel : log_->RelationNamesInOrder()) {
+    if (mentioned_logs_.count(rel)) order.push_back(rel);
+  }
+
+  WitnessBuilder witness_builder(log_.get());
+  for (size_t i = 0; i < active_.size(); ++i) {
+    Policy& policy = active_[i];
+    PreparedPolicy prep;
+    prep.policy_index = i;
+    prep.prunable = policy.monotone || AllMembersGrouped(*policy.stmt);
+    prep.improved_ok =
+        policy.monotone && TimestampsAllJoined(policy.effective(), *log_);
+    if (policy.guard != nullptr) {
+      prep.guard_relations = CollectLogRelations(*policy.guard, *log_);
+    }
+
+    if (options_.enable_log_compaction) {
+      DL_ASSIGN_OR_RETURN(prep.witnesses,
+                          witness_builder.Build(policy.effective()));
+    }
+
+    if (options_.strategy == EvalStrategy::kInterleaved && prep.prunable) {
+      std::set<std::string> available;
+      for (size_t k = 0; k <= order.size(); ++k) {
+        if (k > 0) available.insert(order[k - 1]);
+        bool covered = true;
+        for (const std::string& rel : policy.log_relations) {
+          if (!available.count(rel)) covered = false;
+        }
+        prep.covered.push_back(covered);
+        bool touches = false;
+        for (const std::string& rel : policy.log_relations) {
+          if (available.count(rel)) touches = true;
+        }
+        prep.prefix_touches_log.push_back(touches);
+        if (policy.guard != nullptr) {
+          bool guard_ok = true;
+          for (const std::string& rel : prep.guard_relations) {
+            if (!available.count(rel)) guard_ok = false;
+          }
+          prep.guard_covered.push_back(guard_ok);
+        }
+        if (covered) {
+          prep.partials.push_back(nullptr);  // evaluate the full policy
+        } else {
+          auto partial =
+              BuildPartialPolicy(policy.effective(), *log_, available);
+          if (!policy.monotone) StripHaving(partial.get());
+          prep.partials.push_back(std::move(partial));
+        }
+      }
+    }
+    prepared_.push_back(std::move(prep));
+  }
+
+  prepared_valid_ = true;
+  return Status::OK();
+}
+
+Result<QueryResult> DataLawyer::Execute(const std::string& sql,
+                                        const QueryContext& context) {
+  if (!prepared_valid_) {
+    DL_RETURN_NOT_OK(Prepare());
+  }
+  DL_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  if (stmt.kind != StatementKind::kSelect) {
+    // DDL/DML bypasses policy checking (policies govern reads, §3).
+    return engine_.ExecuteStatement(stmt);
+  }
+  int64_t ts = clock_->Tick();
+  stats_ = ExecutionStats{};
+  stats_.ts = ts;
+  return ExecuteChecked(*stmt.select, context, ts);
+}
+
+Status DataLawyer::Flush() {
+  if (pending_compaction_.valid()) {
+    Result<CompactionStats> result = pending_compaction_.get();
+    DL_RETURN_NOT_OK(result.status());
+    last_compaction_stats_ = *result;
+  }
+  return Status::OK();
+}
+
+Status DataLawyer::WouldAllow(const std::string& sql,
+                              const QueryContext& context) {
+  if (!prepared_valid_) {
+    DL_RETURN_NOT_OK(Prepare());
+  }
+  DL_RETURN_NOT_OK(Flush());
+  DL_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::OK();  // DDL/DML bypasses policies
+  }
+  // Probe at the next timestamp without consuming it.
+  int64_t ts = clock_->Now() + 1;
+  stats_ = ExecutionStats{};
+  stats_.ts = ts;
+
+  // Reuse the checked path with compaction, commit and execution
+  // suppressed; all staged increments are discarded afterwards.
+  probe_mode_ = true;
+  Result<QueryResult> result = ExecuteChecked(*stmt.select, context, ts);
+  probe_mode_ = false;
+  log_->DiscardStaged();
+  return result.status();
+}
+
+Result<QueryResult> DataLawyer::QueryUsageLog(const std::string& sql) {
+  DL_RETURN_NOT_OK(Flush());
+  DL_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("QueryUsageLog only accepts SELECT");
+  }
+  UsageLog::PolicyCatalog catalog =
+      log_->MakeCatalog(policy_base_catalog(), clock_->Now());
+  Executor executor(catalog.view());
+  return executor.Execute(*stmt.select);
+}
+
+Result<std::vector<std::string>> DataLawyer::EvaluatePolicyStmt(
+    const SelectStmt& stmt, const CatalogView* catalog,
+    bool check_increment_dependence, bool* depends_on_increment) {
+  BusyWaitMicros(options_.per_call_overhead_us);
+  ++stats_.policies_evaluated;
+
+  ExecOptions exec_options;
+  exec_options.capture_lineage = check_increment_dependence;
+  Executor executor(catalog, exec_options);
+  DL_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(stmt));
+
+  if (check_increment_dependence && depends_on_increment != nullptr) {
+    *depends_on_increment = false;
+    for (const LineageSet& lineage : result.lineage) {
+      for (const LineageEntry& entry : lineage) {
+        if (log_->IsLogRelation(result.base_relations[entry.rel]) &&
+            ConcatRelation::IsFromSecond(entry.row_id)) {
+          *depends_on_increment = true;
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> messages;
+  for (const Row& row : result.rows) {
+    if (row.empty()) continue;
+    std::string msg = row[0].is_string() ? row[0].AsString()
+                                         : row[0].ToString();
+    bool seen = false;
+    for (const std::string& m : messages) {
+      if (m == msg) seen = true;
+    }
+    if (!seen) messages.push_back(std::move(msg));
+    if (messages.size() >= 8) break;  // cap the report
+  }
+  if (messages.empty() && !result.rows.empty()) {
+    messages.push_back("policy violated");
+  }
+  return messages;
+}
+
+Status DataLawyer::GenerateLog(const std::string& relation, int64_t ts,
+                               const GenerationInput& input) {
+  if (log_->IsGenerated(relation)) return Status::OK();
+  auto t0 = Now();
+  DL_ASSIGN_OR_RETURN(size_t staged, log_->EnsureGenerated(relation, ts, input));
+  stats_.log_gen_ms += MsSince(t0);
+  ++stats_.logs_generated;
+  stats_.log_rows_staged += staged;
+  return Status::OK();
+}
+
+Result<bool> DataLawyer::IncrementProvablyDispensable(const std::string& name,
+                                                      int64_t ts) {
+  // Available = everything generated so far.
+  std::set<std::string> available;
+  for (const std::string& rel : log_->RelationNamesInOrder()) {
+    if (log_->IsGenerated(rel)) available.insert(rel);
+  }
+
+  UsageLog::PolicyCatalog catalog =
+      log_->MakeCatalog(policy_base_catalog(), ts);
+  TableSchema now_schema;
+  now_schema.AddColumn("ts", ValueType::kInt64);
+  OwnedRelation now_rel(std::move(now_schema), {{Value(ts)}});
+  catalog.catalog->Add(WitnessBuilder::NowRelationName(), &now_rel);
+
+  for (const PreparedPolicy& prep : prepared_) {
+    auto it = prep.witnesses.per_relation.find(name);
+    if (it == prep.witnesses.per_relation.end()) continue;
+    if (it->second.full_fallback) return false;
+    for (const auto& query : it->second.queries) {
+      std::unique_ptr<SelectStmt> partial =
+          BuildPartialPolicy(*query, *log_, available);
+      Executor executor(catalog.view());
+      DL_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(*partial));
+      if (!result.empty()) return false;
+    }
+  }
+  return true;
+}
+
+Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
+                                               const QueryContext& context,
+                                               int64_t ts) {
+  // A pending background compaction owns the log tables; wait it out.
+  DL_RETURN_NOT_OK(Flush());
+
+  // Bind the user query against the database (needed by f_Schema and to
+  // surface SQL errors before any policy work).
+  Binder binder(engine_.db_catalog());
+  DL_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(stmt));
+
+  GenerationInput input;
+  input.query = &stmt;
+  input.bound = bound.get();
+  input.db_catalog = engine_.db_catalog();
+  input.context = &context;
+
+  UsageLog::PolicyCatalog catalog =
+      log_->MakeCatalog(policy_base_catalog(), ts);
+
+  std::vector<std::string> violations;
+  last_violations_.clear();
+  auto attribute = [&](const Policy& policy,
+                       const std::vector<std::string>& messages) {
+    last_violations_.push_back(
+        ViolationReport{policy.name, policy.sql, messages});
+  };
+  auto reject = [&]() -> Status {
+    log_->DiscardStaged();
+    stats_.rejected = true;
+    stats_.violations = violations;
+    std::string message;
+    for (const std::string& v : violations) {
+      if (!message.empty()) message += "; ";
+      message += v;
+    }
+    return Status::PolicyViolation(message);
+  };
+
+  // Generation order restricted to mentioned logs (Algorithm 1, opt. 1).
+  std::vector<std::string> order;
+  for (const std::string& rel : log_->RelationNamesInOrder()) {
+    if (mentioned_logs_.count(rel)) order.push_back(rel);
+  }
+
+  if (options_.strategy == EvalStrategy::kInterleaved) {
+    // ---- §4.4 step 1: interleaved evaluation of prunable policies ----
+    std::vector<const PreparedPolicy*> remaining;
+    std::vector<const PreparedPolicy*> full_only;
+    for (const PreparedPolicy& prep : prepared_) {
+      (prep.prunable ? remaining : full_only).push_back(&prep);
+    }
+    // Guarded policies whose guard already flagged them as suspicious.
+    std::set<const PreparedPolicy*> guard_cleared;
+
+    for (size_t k = 0; k <= order.size() && !remaining.empty(); ++k) {
+      if (k > 0) {
+        DL_RETURN_NOT_OK(GenerateLog(order[k - 1], ts, input));
+      }
+      std::vector<const PreparedPolicy*> next;
+      for (const PreparedPolicy* prep : remaining) {
+        const Policy& policy = active_[prep->policy_index];
+
+        // Approximate guard (§6): once its logs exist, an empty guard
+        // answer dismisses the policy without the precise check.
+        if (policy.guard != nullptr && !guard_cleared.count(prep) &&
+            prep->guard_covered[k]) {
+          auto t0 = Now();
+          DL_ASSIGN_OR_RETURN(std::vector<std::string> guard_messages,
+                              EvaluatePolicyStmt(*policy.guard,
+                                                 catalog.view(), false,
+                                                 nullptr));
+          stats_.policy_eval_ms += MsSince(t0);
+          if (guard_messages.empty()) {
+            ++stats_.policies_pruned_early;
+            continue;  // guard proves satisfaction
+          }
+          guard_cleared.insert(prep);  // suspicious: precise check required
+        }
+
+        const SelectStmt* to_eval = prep->covered[k]
+                                        ? &policy.effective()
+                                        : prep->partials[k].get();
+        auto t0 = Now();
+        bool depends = true;
+        bool check_dep = options_.enable_improved_partial &&
+                         !prep->covered[k] && prep->improved_ok &&
+                         prep->prefix_touches_log[k];
+        DL_ASSIGN_OR_RETURN(
+            std::vector<std::string> messages,
+            EvaluatePolicyStmt(*to_eval, catalog.view(), check_dep, &depends));
+        stats_.policy_eval_ms += MsSince(t0);
+        if (prep->covered[k]) {
+          if (!messages.empty()) {
+            attribute(policy, messages);
+            violations = std::move(messages);
+            return reject();
+          }
+          // Fully satisfied: dismissed.
+        } else if (messages.empty()) {
+          ++stats_.policies_pruned_early;  // partial proved satisfaction
+        } else if (check_dep && !depends) {
+          // §4.3 improved partial policies: held in the past, and nothing
+          // from the current increment contributes.
+          ++stats_.policies_pruned_early;
+        } else {
+          next.push_back(prep);
+        }
+      }
+      remaining = std::move(next);
+    }
+
+    // ---- §4.4 step 2: the non-prunable (non-monotone) policies ----
+    for (const PreparedPolicy* prep : full_only) {
+      const Policy& policy = active_[prep->policy_index];
+      if (policy.guard != nullptr) {
+        for (const std::string& rel : prep->guard_relations) {
+          DL_RETURN_NOT_OK(GenerateLog(rel, ts, input));
+        }
+        auto t0 = Now();
+        DL_ASSIGN_OR_RETURN(std::vector<std::string> guard_messages,
+                            EvaluatePolicyStmt(*policy.guard, catalog.view(),
+                                               false, nullptr));
+        stats_.policy_eval_ms += MsSince(t0);
+        if (guard_messages.empty()) {
+          ++stats_.policies_pruned_early;
+          continue;
+        }
+      }
+      for (const std::string& rel : policy.log_relations) {
+        DL_RETURN_NOT_OK(GenerateLog(rel, ts, input));
+      }
+      auto t0 = Now();
+      DL_ASSIGN_OR_RETURN(
+          std::vector<std::string> messages,
+          EvaluatePolicyStmt(policy.effective(), catalog.view(), false,
+                             nullptr));
+      stats_.policy_eval_ms += MsSince(t0);
+      if (!messages.empty()) {
+        attribute(policy, messages);
+        violations = std::move(messages);
+        return reject();
+      }
+    }
+  } else {
+    // ---- serial / union strategies ----
+    // Generate the logs needed upfront — except those needed only by the
+    // precise halves of guarded policies, which are deferred until their
+    // guard fires.
+    {
+      std::set<std::string> upfront;
+      for (size_t i = 0; i < active_.size(); ++i) {
+        const Policy& policy = active_[i];
+        if (policy.guard == nullptr) {
+          for (const std::string& rel : policy.log_relations) {
+            upfront.insert(rel);
+          }
+        } else {
+          for (const std::string& rel : prepared_[i].guard_relations) {
+            upfront.insert(rel);
+          }
+        }
+      }
+      for (const std::string& rel : order) {
+        if (upfront.count(rel)) {
+          DL_RETURN_NOT_OK(GenerateLog(rel, ts, input));
+        }
+      }
+    }
+    // Evaluates one policy fully (guard first when present); true means a
+    // violation was found and attributed.
+    auto evaluate_fully = [&](const Policy& policy) -> Result<bool> {
+      if (policy.guard != nullptr) {
+        auto t0 = Now();
+        DL_ASSIGN_OR_RETURN(std::vector<std::string> guard_messages,
+                            EvaluatePolicyStmt(*policy.guard, catalog.view(),
+                                               false, nullptr));
+        stats_.policy_eval_ms += MsSince(t0);
+        if (guard_messages.empty()) {
+          ++stats_.policies_pruned_early;
+          return false;
+        }
+        // Suspicious: materialize the precise policy's remaining logs.
+        for (const std::string& rel : policy.log_relations) {
+          DL_RETURN_NOT_OK(GenerateLog(rel, ts, input));
+        }
+      }
+      auto t0 = Now();
+      DL_ASSIGN_OR_RETURN(
+          std::vector<std::string> messages,
+          EvaluatePolicyStmt(policy.effective(), catalog.view(), false,
+                             nullptr));
+      stats_.policy_eval_ms += MsSince(t0);
+      if (!messages.empty()) {
+        attribute(policy, messages);
+        violations = std::move(messages);
+        return true;
+      }
+      return false;
+    };
+
+    bool unionable = options_.strategy == EvalStrategy::kUnion;
+    std::vector<const Policy*> union_set;
+    std::vector<const Policy*> separate;
+    for (const Policy& policy : active_) {
+      bool fits = policy.guard == nullptr &&
+                  policy.effective().items.size() == 1 &&
+                  policy.effective().items[0].expr->kind() != ExprKind::kStar;
+      (fits ? union_set : separate).push_back(&policy);
+    }
+
+    if (unionable && union_set.size() > 1) {
+      // Algorithm 1 line 1: π_union = π_1 ∪ ... ∪ π_k.
+      std::unique_ptr<SelectStmt> combined;
+      SelectStmt* tail = nullptr;
+      for (const Policy* policy : union_set) {
+        std::unique_ptr<SelectStmt> clone = policy->effective().Clone();
+        if (combined == nullptr) {
+          combined = std::move(clone);
+          tail = combined.get();
+        } else {
+          tail->union_all = true;  // dedup is unnecessary for a violation test
+          tail->union_next = std::move(clone);
+        }
+        while (tail->union_next != nullptr) tail = tail->union_next.get();
+      }
+      auto t0 = Now();
+      DL_ASSIGN_OR_RETURN(
+          std::vector<std::string> messages,
+          EvaluatePolicyStmt(*combined, catalog.view(), false, nullptr));
+      stats_.policy_eval_ms += MsSince(t0);
+      if (!messages.empty()) {
+        // Re-evaluate individually to attribute the violation (§6
+        // debugging); the extra cost is paid only on rejection.
+        for (const Policy* policy : union_set) {
+          auto re = EvaluatePolicyStmt(policy->effective(), catalog.view(),
+                                       false, nullptr);
+          if (re.ok() && !re->empty()) attribute(*policy, *re);
+        }
+        violations = std::move(messages);
+        return reject();
+      }
+      for (const Policy* policy : separate) {
+        DL_ASSIGN_OR_RETURN(bool violated, evaluate_fully(*policy));
+        if (violated) return reject();
+      }
+    } else {
+      for (const Policy& policy : active_) {
+        DL_ASSIGN_OR_RETURN(bool violated, evaluate_fully(policy));
+        if (violated) return reject();
+      }
+    }
+  }
+
+  // Dry run (WouldAllow): all policies passed; do not touch the log or run
+  // the query.
+  if (probe_mode_) {
+    return QueryResult{};
+  }
+
+  // ---- §4.4 step 3: log compaction (+ preemptive generation skipping) ----
+  if (options_.enable_log_compaction) {
+    for (const std::string& rel : order) {
+      if (log_->IsGenerated(rel)) continue;
+      if (options_.enable_preemptive_compaction) {
+        DL_ASSIGN_OR_RETURN(bool dispensable,
+                            IncrementProvablyDispensable(rel, ts));
+        if (dispensable) {
+          ++stats_.logs_skipped_preemptively;
+          continue;
+        }
+      }
+      DL_RETURN_NOT_OK(GenerateLog(rel, ts, input));
+    }
+
+    // §5.2: eager pruning after every query is not necessary; with a
+    // compaction period > 1 the increment is flushed unpruned and the
+    // witness queries run every period-th query.
+    ++queries_since_compaction_;
+    if (queries_since_compaction_ < options_.compaction_period) {
+      auto t0 = Now();
+      stats_.log_rows_flushed = log_->CommitStaged();
+      stats_.compact_insert_ms = MsSince(t0);
+    } else if (options_.async_compaction) {
+      // §5.1: return the result before compaction finishes. The worker owns
+      // the log tables until the next Execute/Flush waits on it.
+      queries_since_compaction_ = 0;
+      pending_compaction_ = std::async(
+          std::launch::async,
+          [this, ts]() -> Result<CompactionStats> {
+            std::vector<const WitnessSet*> witnesses;
+            for (const PreparedPolicy& prep : prepared_) {
+              witnesses.push_back(&prep.witnesses);
+            }
+            LogCompactor compactor(log_.get());
+            return compactor.CompactAndFlush(witnesses, policy_base_catalog(),
+                                             ts, skip_retention_);
+          });
+    } else {
+      queries_since_compaction_ = 0;
+      std::vector<const WitnessSet*> witnesses;
+      for (const PreparedPolicy& prep : prepared_) {
+        witnesses.push_back(&prep.witnesses);
+      }
+      LogCompactor compactor(log_.get());
+      DL_ASSIGN_OR_RETURN(CompactionStats cstats,
+                          compactor.CompactAndFlush(witnesses,
+                                                    policy_base_catalog(), ts,
+                                                    skip_retention_));
+      last_compaction_stats_ = cstats;
+      stats_.compact_mark_ms = cstats.mark_ms;
+      stats_.compact_delete_ms = cstats.delete_ms;
+      stats_.compact_insert_ms = cstats.insert_ms;
+      stats_.log_rows_deleted = cstats.rows_deleted;
+      stats_.log_rows_flushed = cstats.rows_inserted;
+    }
+  } else {
+    // ---- §4.4 step 4 without compaction: flush the full increment ----
+    auto t0 = Now();
+    stats_.log_rows_flushed = log_->CommitStaged();
+    stats_.compact_insert_ms = MsSince(t0);
+  }
+
+  // ---- execute the user's query ----
+  auto t0 = Now();
+  Result<QueryResult> result = engine_.ExecuteSelect(stmt);
+  stats_.query_exec_ms = MsSince(t0);
+  return result;
+}
+
+}  // namespace datalawyer

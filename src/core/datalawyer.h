@@ -1,0 +1,184 @@
+#ifndef DATALAWYER_CORE_DATALAWYER_H_
+#define DATALAWYER_CORE_DATALAWYER_H_
+
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "exec/engine.h"
+#include "log/usage_log.h"
+#include "policy/log_compactor.h"
+#include "policy/policy.h"
+#include "policy/witness.h"
+#include "storage/database.h"
+
+namespace datalawyer {
+
+/// Structured account of why a query was rejected (§6's debugging
+/// direction): which policy fired, its SQL, and the error messages its
+/// evaluation produced.
+struct ViolationReport {
+  std::string policy_name;
+  std::string policy_sql;
+  std::vector<std::string> messages;
+};
+
+/// The DataLawyer middleware: users submit ordinary SQL; before a query
+/// runs, the usage-log increments are derived and every active policy is
+/// checked; a violating query is rejected with the policy's error message,
+/// otherwise the log is committed and the query executes (Eq. 1, §3.3).
+///
+/// Typical use:
+///
+///   Database db;                         // load/create data
+///   DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+///                 std::make_unique<ManualClock>(), {});
+///   dl.AddPolicy("p5b", "SELECT DISTINCT 'P5b violated' FROM ...");
+///   auto result = dl.Execute("SELECT * FROM patients", {.uid = 7});
+///   if (result.status().IsPolicyViolation()) { /* rejected */ }
+class DataLawyer {
+ public:
+  /// `db` must outlive the middleware. `clock` defaults to a ManualClock
+  /// stepping 1 per query; `log` defaults to the standard three relations.
+  DataLawyer(Database* db, std::unique_ptr<UsageLog> log = nullptr,
+             std::unique_ptr<Clock> clock = nullptr,
+             DataLawyerOptions options = {});
+  ~DataLawyer();
+
+  DataLawyer(const DataLawyer&) = delete;
+  DataLawyer& operator=(const DataLawyer&) = delete;
+
+  /// Registers a policy; it takes effect immediately. The SQL must be a
+  /// SELECT whose first output column is the violation message.
+  ///
+  /// Footnote 7: log history before the registration time can never trip a
+  /// policy. `active_from` = -1 stamps the current clock; pass an earlier
+  /// timestamp (e.g. 0) when re-registering a pre-existing policy after a
+  /// restart so the restored history still counts.
+  Status AddPolicy(const std::string& name, const std::string& sql,
+                   int64_t active_from = -1);
+
+  /// Registers a policy with an approximate *guard* (§6 future work): a
+  /// cheaper over-approximation evaluated first — if the guard returns the
+  /// empty set the policy is proven satisfied and the precise check is
+  /// skipped. The caller must guarantee containment (policy non-empty ⇒
+  /// guard non-empty); DataLawyer cannot verify it.
+  Status AddPolicyWithGuard(const std::string& name, const std::string& sql,
+                            const std::string& guard_sql);
+  Status RemovePolicy(const std::string& name);
+  size_t NumPolicies() const { return source_policies_.size(); }
+
+  /// Runs the offline phase (§4.4): unification, per-policy analysis and
+  /// rewrites, witness precomputation, partial-policy caches. Called
+  /// automatically on the first Execute after a policy change.
+  Status Prepare();
+
+  /// Checks all policies, then executes `sql` (Eq. 1). Returns the query
+  /// result, or a kPolicyViolation status carrying the error message(s).
+  /// Non-SELECT statements (DDL/DML) bypass policy checking.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const QueryContext& context);
+
+  /// Dry run (the demo UI's "would this be allowed?" probe, [44]): checks
+  /// every policy as Execute would, but never runs the query, never commits
+  /// log increments, and does not advance the clock. OK = would be
+  /// admitted; kPolicyViolation = would be rejected (last_violations() is
+  /// populated); other codes = the SQL itself is invalid.
+  Status WouldAllow(const std::string& sql, const QueryContext& context);
+
+  /// Runs a read-only SELECT over the database *plus* the usage log and
+  /// Clock — the view policies see. Does not tick the clock, generate log
+  /// entries, or check policies. Intended for auditing and usage-based
+  /// pricing (§2): e.g. "how many provenance tuples did user 7 consume
+  /// this billing period".
+  Result<QueryResult> QueryUsageLog(const std::string& sql);
+
+  /// Phase timings of the most recent Execute call.
+  const ExecutionStats& last_stats() const { return stats_; }
+
+  /// Per-policy detail behind the most recent rejection; empty when the
+  /// last query was admitted.
+  const std::vector<ViolationReport>& last_violations() const {
+    return last_violations_;
+  }
+
+  /// Blocks until any background compaction has finished (async_compaction
+  /// mode). Call before inspecting the usage log from outside.
+  Status Flush();
+
+  /// Phase stats of the most recently *completed* compaction — with
+  /// async_compaction on, the per-query ExecutionStats cannot include it.
+  const CompactionStats& last_compaction_stats() const {
+    return last_compaction_stats_;
+  }
+
+  /// The active (post-unification) policies. Valid after Prepare().
+  const std::vector<Policy>& active_policies() const { return active_; }
+
+  UsageLog* usage_log() { return log_.get(); }
+  Clock* clock() { return clock_.get(); }
+  Engine* engine() { return &engine_; }
+  const DataLawyerOptions& options() const { return options_; }
+  void set_options(DataLawyerOptions options);
+
+ private:
+  struct PreparedPolicy;
+
+  Result<QueryResult> ExecuteChecked(const SelectStmt& stmt,
+                                     const QueryContext& context, int64_t ts);
+  /// Evaluates one policy statement over `catalog`, applying the simulated
+  /// per-call overhead; returns violation messages (empty = satisfied).
+  Result<std::vector<std::string>> EvaluatePolicyStmt(
+      const SelectStmt& stmt, const CatalogView* catalog,
+      bool check_increment_dependence, bool* depends_on_increment);
+  Status GenerateLog(const std::string& relation, int64_t ts,
+                     const GenerationInput& input);
+  /// §4.3 preemptive compaction: true if relation `name`'s increment can be
+  /// proven dispensable without generating it.
+  Result<bool> IncrementProvablyDispensable(const std::string& name,
+                                            int64_t ts);
+
+  const CatalogView* policy_base_catalog() const;
+
+  Database* db_;
+  std::unique_ptr<UsageLog> log_;
+  std::unique_ptr<Clock> clock_;
+  DataLawyerOptions options_;
+  Engine engine_;
+
+  /// Policies as registered by the user.
+  std::vector<Policy> source_policies_;
+
+  /// Active set after the offline phase (unified where possible).
+  std::vector<Policy> active_;
+  std::vector<PreparedPolicy> prepared_;
+  /// Constants tables synthesized by unification.
+  std::vector<std::pair<std::string, std::unique_ptr<Table>>> constants_;
+  std::unique_ptr<OverlayCatalog> constants_catalog_;
+  /// Union of active policies' log footprints.
+  std::set<std::string> mentioned_logs_;
+  /// Log relations persisted only on behalf of time-dependent policies.
+  std::set<std::string> skip_retention_;
+  bool prepared_valid_ = false;
+
+  ExecutionStats stats_;
+  std::vector<ViolationReport> last_violations_;
+  int64_t queries_since_compaction_ = 0;
+
+  /// True while WouldAllow probes: suppresses commit/compaction/execution.
+  bool probe_mode_ = false;
+
+  /// Outstanding background compaction (async_compaction mode).
+  std::future<Result<CompactionStats>> pending_compaction_;
+  CompactionStats last_compaction_stats_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_CORE_DATALAWYER_H_

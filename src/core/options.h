@@ -1,0 +1,75 @@
+#ifndef DATALAWYER_CORE_OPTIONS_H_
+#define DATALAWYER_CORE_OPTIONS_H_
+
+namespace datalawyer {
+
+/// How the active policy set is evaluated per query (compared in Fig. 5).
+enum class EvalStrategy {
+  /// Algorithm 3: lazy log generation with partial-policy early pruning.
+  kInterleaved,
+  /// One policy statement at a time.
+  kSerial,
+  /// All policies concatenated into a single UNION statement (Alg. 1 line 1).
+  kUnion,
+};
+
+/// Optimization toggles. The defaults are "all optimizations on"
+/// (DataLawyer); `NoOpt()` is the paper's baseline of Algorithm 1.
+struct DataLawyerOptions {
+  /// §4.1.2 + §4.4 step 3: witness-based log compaction after each query.
+  bool enable_log_compaction = true;
+
+  /// §4.1.1: rewrite time-independent policies to check only the current
+  /// increment and never persist their logs.
+  bool enable_time_independent = true;
+
+  /// §4.2.2: merge same-structure policies over a Constants table.
+  bool enable_unification = true;
+
+  /// §4.3: skip generating logs whose witness is provably empty.
+  bool enable_preemptive_compaction = true;
+
+  /// §4.3 "improved partial policies": also dismiss a non-empty partial
+  /// policy whose output does not depend on the current increment.
+  bool enable_improved_partial = false;
+
+  EvalStrategy strategy = EvalStrategy::kInterleaved;
+
+  /// Simulated per-policy-statement dispatch cost in microseconds (the
+  /// paper's JDBC round-trips, visible in Fig. 5). 0 = off.
+  int per_call_overhead_us = 0;
+
+  /// Compact the log every N successful queries instead of after each one
+  /// (§5.2: "DataLawyer could compact the log less frequently or whenever
+  /// the system has idle resources"). Between compactions, surviving
+  /// increments are appended without pruning. Must be >= 1.
+  int compaction_period = 1;
+
+  /// Run log compaction on a background thread after the query result is
+  /// returned (§5.1: "in multi-threaded systems, one can return the result
+  /// of the query to the user before log compaction finishes"). The next
+  /// Execute (or QueryUsageLog/Flush) waits for the pending compaction, so
+  /// verdicts are unchanged; only user-visible latency drops.
+  bool async_compaction = false;
+
+  /// The paper's baseline: no compaction, no rewrites, no unification; all
+  /// policies unioned and evaluated in full (but with Algorithm 1's two
+  /// built-in optimizations: only mentioned logs are generated, and
+  /// increments stay in memory until all policies pass).
+  static DataLawyerOptions NoOpt() {
+    DataLawyerOptions options;
+    options.enable_log_compaction = false;
+    options.enable_time_independent = false;
+    options.enable_unification = false;
+    options.enable_preemptive_compaction = false;
+    options.enable_improved_partial = false;
+    options.strategy = EvalStrategy::kUnion;
+    return options;
+  }
+
+  static DataLawyerOptions AllOptimizations() { return DataLawyerOptions{}; }
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_CORE_OPTIONS_H_

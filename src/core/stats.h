@@ -1,0 +1,47 @@
+#ifndef DATALAWYER_CORE_STATS_H_
+#define DATALAWYER_CORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace datalawyer {
+
+/// Per-query phase breakdown — the quantities plotted in the paper's
+/// evaluation (query time, usage tracking, policy evaluation, and the three
+/// log-compaction phases of Fig. 3).
+struct ExecutionStats {
+  int64_t ts = 0;
+
+  double query_exec_ms = 0;    ///< running the user's query
+  double log_gen_ms = 0;       ///< log-generating functions (usage tracking)
+  double policy_eval_ms = 0;   ///< evaluating (partial and full) policies
+  double compact_mark_ms = 0;  ///< witness queries + marking
+  double compact_delete_ms = 0;
+  double compact_insert_ms = 0;
+
+  size_t policies_evaluated = 0;  ///< policy/partial-policy statements run
+  size_t policies_pruned_early = 0;
+  size_t logs_generated = 0;      ///< log relations whose f_i actually ran
+  size_t logs_skipped_preemptively = 0;
+  size_t log_rows_staged = 0;
+  size_t log_rows_flushed = 0;
+  size_t log_rows_deleted = 0;
+
+  bool rejected = false;
+  std::vector<std::string> violations;  ///< error messages (1st column values)
+
+  /// Everything except the user's query: the policy-checking overhead.
+  double overhead_ms() const {
+    return log_gen_ms + policy_eval_ms + compact_mark_ms + compact_delete_ms +
+           compact_insert_ms;
+  }
+  double total_ms() const { return query_exec_ms + overhead_ms(); }
+  double compaction_ms() const {
+    return compact_mark_ms + compact_delete_ms + compact_insert_ms;
+  }
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_CORE_STATS_H_

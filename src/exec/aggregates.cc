@@ -1,0 +1,54 @@
+#include "exec/aggregates.h"
+
+namespace datalawyer {
+
+Status AggregateAccumulator::Add(const Value& v) {
+  if (v.is_null()) return Status::OK();  // SQL: NULLs do not aggregate
+
+  if (spec_->distinct) {
+    if (!distinct_.insert(v).second) return Status::OK();
+  }
+
+  ++count_;
+  const std::string& name = spec_->name;
+  if (name == "sum" || name == "avg") {
+    if (!v.is_numeric()) {
+      return Status::TypeError(name + " over non-numeric value " +
+                               v.ToString());
+    }
+    if (v.is_double()) {
+      saw_double_ = true;
+      sum_double_ += v.AsDouble();
+    } else {
+      sum_int_ += v.AsInt64();
+      sum_double_ += double(v.AsInt64());
+    }
+  } else if (name == "min" || name == "max") {
+    if (!saw_any_) {
+      min_ = v;
+      max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (max_ < v) max_ = v;
+    }
+  }
+  saw_any_ = true;
+  return Status::OK();
+}
+
+Result<Value> AggregateAccumulator::Finish() const {
+  const std::string& name = spec_->name;
+  if (name == "count") return Value(count_);
+  if (!saw_any_) return Value::Null();
+  if (name == "sum") {
+    return saw_double_ ? Value(sum_double_) : Value(sum_int_);
+  }
+  if (name == "avg") {
+    return Value(sum_double_ / double(count_));
+  }
+  if (name == "min") return min_;
+  if (name == "max") return max_;
+  return Status::Unsupported("unknown aggregate: " + name);
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,48 @@
+#ifndef DATALAWYER_EXEC_AGGREGATES_H_
+#define DATALAWYER_EXEC_AGGREGATES_H_
+
+#include <unordered_set>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace datalawyer {
+
+/// Streaming accumulator for one aggregate call site over one group.
+/// Supports COUNT(*) / COUNT(x) / COUNT(DISTINCT x) / SUM / AVG / MIN / MAX
+/// (DISTINCT variants for all). SQL NULL handling: NULL inputs are skipped
+/// (except COUNT(*)); empty-group SUM/AVG/MIN/MAX yield NULL, COUNT yields 0.
+class AggregateAccumulator {
+ public:
+  /// `spec` must outlive the accumulator.
+  explicit AggregateAccumulator(const FuncCallExpr* spec) : spec_(spec) {}
+
+  /// Adds one input value (the evaluated argument). Not for COUNT(*).
+  Status Add(const Value& v);
+
+  /// Adds one row for COUNT(*).
+  void AddStarRow() { ++count_; }
+
+  /// Final value of the aggregate.
+  Result<Value> Finish() const;
+
+ private:
+  struct ValueHashFn {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+
+  const FuncCallExpr* spec_;
+  int64_t count_ = 0;
+  double sum_double_ = 0.0;
+  int64_t sum_int_ = 0;
+  bool saw_double_ = false;
+  bool saw_any_ = false;
+  Value min_;
+  Value max_;
+  std::unordered_set<Value, ValueHashFn> distinct_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_EXEC_AGGREGATES_H_

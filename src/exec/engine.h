@@ -1,0 +1,55 @@
+#ifndef DATALAWYER_EXEC_ENGINE_H_
+#define DATALAWYER_EXEC_ENGINE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "sql/ast.h"
+#include "storage/catalog_view.h"
+#include "storage/database.h"
+
+namespace datalawyer {
+
+/// SQL entry point over a Database: parse → bind → execute for SELECT, plus
+/// CREATE TABLE / INSERT / DELETE / DROP TABLE. DataLawyer's middleware sits
+/// in front of this class (src/core) and policy evaluation runs through it
+/// with an OverlayCatalog exposing the usage log.
+class Engine {
+ public:
+  /// `db` must outlive the engine.
+  explicit Engine(Database* db) : db_(db), db_catalog_(db) {}
+
+  /// Runs one statement of any kind. DDL/DML return an empty result.
+  Result<QueryResult> ExecuteSql(const std::string& sql,
+                                 ExecOptions options = {});
+
+  /// Runs a ';'-separated script; returns the result of the last statement.
+  Result<QueryResult> ExecuteScript(const std::string& sql);
+
+  /// Plan description for a SELECT (see Executor::Explain).
+  Result<std::string> ExplainSql(const std::string& sql);
+
+  /// Runs a SELECT, optionally against an extended catalog (nullptr = the
+  /// database only).
+  Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
+                                    const CatalogView* catalog = nullptr,
+                                    ExecOptions options = {});
+
+  Result<QueryResult> ExecuteStatement(const Statement& stmt,
+                                       ExecOptions options = {});
+
+  Database* db() { return db_; }
+  const CatalogView* db_catalog() const { return &db_catalog_; }
+
+ private:
+  Status ExecuteInsert(const InsertStmt& stmt);
+  Status ExecuteDelete(const DeleteStmt& stmt);
+
+  Database* db_;
+  DatabaseCatalog db_catalog_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_EXEC_ENGINE_H_

@@ -1,0 +1,82 @@
+#ifndef DATALAWYER_EXEC_EXECUTOR_H_
+#define DATALAWYER_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/bound_query.h"
+#include "common/result.h"
+#include "exec/query_result.h"
+#include "storage/catalog_view.h"
+
+namespace datalawyer {
+
+/// Execution knobs.
+struct ExecOptions {
+  /// Track, for every output row, the set of contributing base-table tuples
+  /// (the paper's lineage provenance). Costs roughly another pass over the
+  /// data — deliberately mirroring the cost of provenance generation in the
+  /// paper's fProvenance.
+  bool capture_lineage = false;
+};
+
+/// Materialized (operator-at-a-time) executor for bound SELECT statements.
+///
+/// Join processing follows FROM order: relations are folded left-to-right,
+/// using a hash equi-join whenever a WHERE conjunct equates an
+/// already-joined expression with one over the incoming relation, and a
+/// filtered nested-loop otherwise. Single-relation conjuncts are pushed
+/// down to the scans.
+class Executor {
+ public:
+  /// `catalog` must outlive the executor.
+  explicit Executor(const CatalogView* catalog, ExecOptions options = {})
+      : catalog_(catalog), options_(options) {}
+
+  /// Binds and executes (including any UNION chain).
+  Result<QueryResult> Execute(const SelectStmt& stmt);
+
+  /// Renders the execution decisions for `stmt` without running it: per
+  /// relation the scan mode (index probe vs. full scan) and pushed-down
+  /// predicates, per join the algorithm (hash vs. nested loop) with its
+  /// keys, then the grouping / distinct / order stages.
+  Result<std::string> Explain(const SelectStmt& stmt);
+
+  /// Executes an already-bound query.
+  Result<QueryResult> ExecuteBound(const BoundQuery& bq);
+
+ private:
+  /// Joined-but-not-yet-projected rows, laid out by the binder's slots.
+  struct Intermediate {
+    std::vector<Row> rows;
+    std::vector<LineageSet> lineage;  ///< parallel to rows when capturing
+  };
+
+  Result<QueryResult> ExecuteMember(const BoundQuery& bq);
+  Result<Intermediate> BuildJoin(const BoundQuery& bq);
+  Result<Intermediate> ScanRelation(const BoundQuery& bq, size_t rel_idx,
+                                    const std::vector<const Expr*>& pushdown);
+  Result<Intermediate> JoinStep(const BoundQuery& bq, Intermediate left,
+                                size_t rel_idx, Intermediate right,
+                                const std::vector<const Expr*>& equi,
+                                const std::vector<const Expr*>& residual);
+  Result<QueryResult> ProjectUngrouped(const BoundQuery& bq,
+                                       Intermediate input);
+  Result<QueryResult> ProjectGrouped(const BoundQuery& bq, Intermediate input);
+  Status ApplyDistinct(QueryResult* result);
+  Status ApplyOrderAndLimit(const BoundQuery& bq, QueryResult* result);
+
+  /// Index into base_relations_ for `name`, interning it if new.
+  uint32_t InternRelation(const std::string& name);
+
+  const CatalogView* catalog_;
+  ExecOptions options_;
+  std::vector<std::string> base_relations_;
+};
+
+/// Sorts and deduplicates a lineage set in place.
+void NormalizeLineage(LineageSet* lineage);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_EXEC_EXECUTOR_H_

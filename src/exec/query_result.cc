@@ -1,0 +1,30 @@
+#include "exec/query_result.h"
+
+#include <sstream>
+
+namespace datalawyer {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    if (i > 0) os << " | ";
+    os << schema.column(i).name;
+  }
+  os << "\n";
+  size_t shown = 0;
+  for (const Row& row : rows) {
+    if (shown++ >= max_rows) {
+      os << "... (" << (rows.size() - max_rows) << " more rows)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << " | ";
+      os << row[i].ToString();
+    }
+    os << "\n";
+  }
+  os << "(" << rows.size() << " rows)";
+  return os.str();
+}
+
+}  // namespace datalawyer

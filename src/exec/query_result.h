@@ -1,0 +1,51 @@
+#ifndef DATALAWYER_EXEC_QUERY_RESULT_H_
+#define DATALAWYER_EXEC_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace datalawyer {
+
+/// One contributing input tuple: `rel` indexes QueryResult::base_relations,
+/// `row_id` is the stable row id within that base relation.
+struct LineageEntry {
+  uint32_t rel = 0;
+  int64_t row_id = 0;
+
+  bool operator==(const LineageEntry& other) const {
+    return rel == other.rel && row_id == other.row_id;
+  }
+  bool operator<(const LineageEntry& other) const {
+    return rel != other.rel ? rel < other.rel : row_id < other.row_id;
+  }
+};
+
+/// Set of contributing input tuples (lineage, [43] in the paper); sorted and
+/// deduplicated when exposed in a QueryResult.
+using LineageSet = std::vector<LineageEntry>;
+
+/// Result of executing a SELECT. When lineage capture was requested,
+/// `lineage[i]` lists the base-table tuples contributing to `rows[i]` — the
+/// paper's "set of contributing tuples provenance, also called lineage".
+struct QueryResult {
+  TableSchema schema;
+  std::vector<Row> rows;
+
+  bool has_lineage = false;
+  std::vector<LineageSet> lineage;          ///< parallel to rows if captured
+  std::vector<std::string> base_relations;  ///< names for LineageEntry::rel
+
+  size_t NumRows() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// Multi-line human-readable rendering (for examples/debugging).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_EXEC_QUERY_RESULT_H_

@@ -1,0 +1,24 @@
+#ifndef DATALAWYER_LOG_QUERY_CONTEXT_H_
+#define DATALAWYER_LOG_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/value.h"
+
+namespace datalawyer {
+
+/// Who is asking, and any extra features custom log-generating functions
+/// want to record (§6: device type, system load, ...).
+struct QueryContext {
+  int64_t uid = 0;
+
+  /// Free-form side channel for extension log generators, e.g.
+  /// extras["device"] = "mobile" or extras["system_load"] = 0.93.
+  std::map<std::string, Value> extras;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_LOG_QUERY_CONTEXT_H_

@@ -1,0 +1,33 @@
+#ifndef DATALAWYER_POLICY_CALIBRATION_H_
+#define DATALAWYER_POLICY_CALIBRATION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/engine.h"
+#include "log/usage_log.h"
+
+namespace datalawyer {
+
+/// Measured mean generation cost per log relation, ascending.
+struct CalibrationResult {
+  std::vector<std::pair<std::string, double>> costs_ms;
+};
+
+/// The paper picks interleaved evaluation's log-generation order
+/// "experimentally, offline, by optimizing over an existing log" (§4.2.1).
+/// This routine is that offline step: it runs every registered
+/// log-generating function against a sample workload, measures the mean
+/// cost, installs the measured order into `log` (UsageLog::SetCostRank),
+/// and returns the measurements. Nothing is persisted — all staged
+/// increments are discarded.
+Result<CalibrationResult> CalibrateGenerationOrder(
+    UsageLog* log, Engine* engine,
+    const std::vector<std::string>& sample_queries,
+    const QueryContext& context);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_POLICY_CALIBRATION_H_

@@ -1,0 +1,36 @@
+#ifndef DATALAWYER_POLICY_PARTIAL_POLICY_H_
+#define DATALAWYER_POLICY_PARTIAL_POLICY_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "log/usage_log.h"
+#include "sql/ast.h"
+
+namespace datalawyer {
+
+/// Builds the partial policy π_S of §4.2.1: `stmt` with every reference to a
+/// log relation outside `available` removed — FROM items, the WHERE
+/// conjuncts, GROUP BY / DISTINCT ON keys and select items that mention
+/// them, and the HAVING clause if it does.
+///
+/// For a monotone policy π, π ⇒ π_S (Lemma 4.4): if π_S returns the empty
+/// set, π is satisfied and can be dismissed without generating the missing
+/// logs. The same superset property makes the rewrite usable for partial
+/// *witness* queries (preemptive log compaction, §4.3).
+///
+/// Conservative rules keep the implication sound in corner cases:
+///  * a FROM subquery referencing any unavailable log relation is dropped
+///    whole;
+///  * when anything was dropped, clauses containing *unqualified* column
+///    references (unattributable without binding) are dropped as well —
+///    dropping restrictions only enlarges the result.
+std::unique_ptr<SelectStmt> BuildPartialPolicy(
+    const SelectStmt& stmt, const UsageLog& log,
+    const std::set<std::string>& available);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_POLICY_PARTIAL_POLICY_H_

@@ -1,0 +1,34 @@
+#include "policy/policy.h"
+
+#include "sql/parser.h"
+
+namespace datalawyer {
+
+Policy Policy::Clone() const {
+  Policy out;
+  out.name = name;
+  out.sql = sql;
+  out.stmt = stmt != nullptr ? stmt->Clone() : nullptr;
+  out.log_relations = log_relations;
+  out.monotone = monotone;
+  out.time_independent = time_independent;
+  out.references_clock = references_clock;
+  out.active_from = active_from;
+  out.rewritten = rewritten != nullptr ? rewritten->Clone() : nullptr;
+  out.guard = guard != nullptr ? guard->Clone() : nullptr;
+  out.guard_sql = guard_sql;
+  return out;
+}
+
+Result<Policy> Policy::Parse(const std::string& name, const std::string& sql) {
+  Policy policy;
+  policy.name = name;
+  policy.sql = sql;
+  DL_ASSIGN_OR_RETURN(policy.stmt, Parser::ParseSelect(sql));
+  if (policy.stmt->items.empty()) {
+    return Status::InvalidArgument("policy must select an error message");
+  }
+  return policy;
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,73 @@
+#ifndef DATALAWYER_POLICY_POLICY_H_
+#define DATALAWYER_POLICY_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace datalawyer {
+
+/// One data-use policy π (§3.1): a SELECT whose non-empty answer signals a
+/// violation; the first output column is the error message shown to the
+/// user. Analysis fields are filled in by PolicyAnalyzer.
+struct Policy {
+  std::string name;
+  std::string sql;
+  std::unique_ptr<SelectStmt> stmt;
+
+  // ----- facts derived by PolicyAnalyzer -----
+
+  /// Log relations referenced anywhere in the policy (lowercase, deduped),
+  /// in the usage log's generation order.
+  std::vector<std::string> log_relations;
+
+  /// §4.2.1: true for SPJU policies whose HAVING conditions are all of the
+  /// monotone form COUNT([DISTINCT] x) > / >= k. Monotone policies can be
+  /// dismissed early by partial evaluation.
+  bool monotone = false;
+
+  /// §4.1.1: true if the policy can be checked on the log increment alone.
+  bool time_independent = false;
+
+  /// True if the policy references the Clock relation.
+  bool references_clock = false;
+
+  /// Timestamp the policy was registered at. Footnote 7: "If a new policy
+  /// is added at time t, DataLawyer restricts its history to start at time
+  /// t" — the analyzer adds `ts > active_from` guards for every log alias
+  /// when this is > 0, so pre-registration history can never trip it.
+  int64_t active_from = 0;
+
+  /// π_ind — the time-independent rewrite (ts pinned to the current clock);
+  /// null unless time_independent.
+  std::unique_ptr<SelectStmt> rewritten;
+
+  /// Optional approximate guard (§6 future work): a cheaper query with
+  /// guard ⊇ policy — an empty guard answer proves the policy satisfied,
+  /// a non-empty one triggers the precise check. Soundness (the ⊇
+  /// containment) is the author's responsibility.
+  std::unique_ptr<SelectStmt> guard;
+  std::string guard_sql;
+
+  /// The statement DataLawyer actually evaluates.
+  const SelectStmt& effective() const {
+    return rewritten != nullptr ? *rewritten : *stmt;
+  }
+
+  Policy() = default;
+  Policy(Policy&&) = default;
+  Policy& operator=(Policy&&) = default;
+
+  /// Deep copy (analysis fields included).
+  Policy Clone() const;
+
+  /// Parses `sql` into a policy named `name` (analysis not yet run).
+  static Result<Policy> Parse(const std::string& name, const std::string& sql);
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_POLICY_POLICY_H_

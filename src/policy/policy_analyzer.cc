@@ -1,0 +1,284 @@
+#include "policy/policy_analyzer.h"
+
+#include <set>
+
+#include "analysis/join_graph.h"
+#include "common/strings.h"
+
+namespace datalawyer {
+
+std::vector<std::pair<std::string, std::string>> LogAliasesOf(
+    const SelectStmt& stmt, const UsageLog& log) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const TableRef& ref : stmt.from) {
+    if (!ref.IsSubquery() && log.IsLogRelation(ref.table_name)) {
+      out.emplace_back(ToLower(ref.BindingName()), ToLower(ref.table_name));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void CollectLogRelationsInto(const SelectStmt& stmt, const UsageLog& log,
+                             std::set<std::string>* out) {
+  for (const SelectStmt* member = &stmt; member != nullptr;
+       member = member->union_next.get()) {
+    for (const TableRef& ref : member->from) {
+      if (ref.IsSubquery()) {
+        CollectLogRelationsInto(*ref.subquery, log, out);
+      } else if (log.IsLogRelation(ref.table_name)) {
+        out->insert(ToLower(ref.table_name));
+      }
+    }
+  }
+}
+
+bool ReferencesClock(const SelectStmt& stmt) {
+  for (const SelectStmt* member = &stmt; member != nullptr;
+       member = member->union_next.get()) {
+    for (const TableRef& ref : member->from) {
+      if (ref.IsSubquery()) {
+        if (ReferencesClock(*ref.subquery)) return true;
+      } else if (EqualsIgnoreCase(ref.table_name,
+                                  UsageLog::ClockRelationName())) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// True if `e` is COUNT([DISTINCT] ...) — the aggregate whose growth is
+/// monotone under log extension.
+bool IsCountAggregate(const Expr& e) {
+  return e.kind() == ExprKind::kFuncCall &&
+         static_cast<const FuncCallExpr&>(e).IsAggregate() &&
+         static_cast<const FuncCallExpr&>(e).name == "count";
+}
+
+}  // namespace
+
+std::vector<std::string> CollectLogRelations(const SelectStmt& stmt,
+                                             const UsageLog& log) {
+  std::set<std::string> set;
+  CollectLogRelationsInto(stmt, log, &set);
+  std::vector<std::string> ordered;
+  for (const std::string& name : log.RelationNamesInOrder()) {
+    if (set.count(name)) ordered.push_back(name);
+  }
+  return ordered;
+}
+
+std::unique_ptr<SelectStmt> RestrictHistory(const SelectStmt& stmt,
+                                            const UsageLog& log,
+                                            int64_t active_from) {
+  std::unique_ptr<SelectStmt> out = stmt.Clone();
+  for (SelectStmt* member = out.get(); member != nullptr;
+       member = member->union_next.get()) {
+    for (TableRef& ref : member->from) {
+      if (ref.IsSubquery()) {
+        ref.subquery = RestrictHistory(*ref.subquery, log, active_from);
+      }
+    }
+    std::vector<ExprPtr> guards;
+    for (const auto& [alias, _] : LogAliasesOf(*member, log)) {
+      guards.push_back(std::make_unique<BinaryExpr>(
+          ">", std::make_unique<ColumnRefExpr>(alias, "ts"),
+          std::make_unique<LiteralExpr>(Value(active_from))));
+    }
+    if (guards.empty()) continue;
+    if (member->where != nullptr) guards.push_back(std::move(member->where));
+    member->where = AndTogether(std::move(guards));
+  }
+  return out;
+}
+
+bool TimestampsAllJoined(const SelectStmt& stmt, const UsageLog& log) {
+  for (const SelectStmt* member = &stmt; member != nullptr;
+       member = member->union_next.get()) {
+    for (const TableRef& ref : member->from) {
+      if (ref.IsSubquery() &&
+          !CollectLogRelations(*ref.subquery, log).empty()) {
+        return false;  // conservative: log access hidden inside a subquery
+      }
+    }
+    std::vector<std::pair<std::string, std::string>> log_aliases =
+        LogAliasesOf(*member, log);
+    if (log_aliases.size() < 2) continue;
+    JoinGraph graph = JoinGraph::Build(*member);
+    QualifiedColumn first_ts{log_aliases[0].first, "ts"};
+    for (size_t i = 1; i < log_aliases.size(); ++i) {
+      if (!graph.SameClass(first_ts,
+                           QualifiedColumn{log_aliases[i].first, "ts"})) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Status PolicyAnalyzer::Analyze(Policy* policy) const {
+  const SelectStmt& stmt = *policy->stmt;
+  policy->log_relations = CollectLogRelations(stmt, *log_);
+  policy->references_clock = ReferencesClock(stmt);
+
+  policy->monotone = true;
+  policy->time_independent = true;
+  for (const SelectStmt* member = &stmt; member != nullptr;
+       member = member->union_next.get()) {
+    policy->monotone = policy->monotone && MemberMonotone(*member);
+    policy->time_independent =
+        policy->time_independent && MemberTimeIndependent(*member);
+  }
+
+  if (policy->time_independent && !policy->log_relations.empty()) {
+    policy->rewritten = BuildTimeIndependentRewrite(stmt);
+  } else {
+    policy->rewritten = nullptr;
+  }
+  return Status::OK();
+}
+
+bool PolicyAnalyzer::MemberTimeIndependent(const SelectStmt& stmt) const {
+  // All FROM subqueries must themselves qualify.
+  for (const TableRef& ref : stmt.from) {
+    if (ref.IsSubquery()) {
+      for (const SelectStmt* member = ref.subquery.get(); member != nullptr;
+           member = member->union_next.get()) {
+        if (!MemberTimeIndependent(*member)) return false;
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> log_aliases =
+      LogAliasesOf(stmt, *log_);
+  if (log_aliases.empty()) return true;  // nothing in the log to look back at
+
+  JoinGraph graph = JoinGraph::Build(stmt);
+
+  // (a) all log relations' ts attributes are pairwise joined.
+  QualifiedColumn first_ts{log_aliases[0].first, "ts"};
+  for (size_t i = 1; i < log_aliases.size(); ++i) {
+    QualifiedColumn ts{log_aliases[i].first, "ts"};
+    if (!graph.SameClass(first_ts, ts)) return false;
+  }
+
+  // (b) if the member aggregates, the GROUP BY must include the timestamp
+  // (any column in the ts equivalence class).
+  bool has_agg = false;
+  for (const SelectItem& item : stmt.items) {
+    if (ContainsAggregate(*item.expr)) has_agg = true;
+  }
+  if (stmt.having != nullptr && ContainsAggregate(*stmt.having)) {
+    has_agg = true;
+  }
+  if (!has_agg) return true;
+
+  for (const ExprPtr& e : stmt.group_by) {
+    if (e->kind() != ExprKind::kColumnRef) continue;
+    const auto& ref = static_cast<const ColumnRefExpr&>(*e);
+    QualifiedColumn col{ToLower(ref.qualifier), ToLower(ref.column)};
+    for (const auto& [alias, _] : log_aliases) {
+      QualifiedColumn ts{alias, "ts"};
+      if (col == ts || graph.SameClass(col, ts)) return true;
+    }
+  }
+  return false;
+}
+
+bool PolicyAnalyzer::MemberMonotone(const SelectStmt& stmt) const {
+  // FROM subqueries must be monotone too.
+  for (const TableRef& ref : stmt.from) {
+    if (ref.IsSubquery()) {
+      for (const SelectStmt* member = ref.subquery.get(); member != nullptr;
+           member = member->union_next.get()) {
+        if (!MemberMonotone(*member)) return false;
+      }
+    }
+  }
+
+  // Aggregates in the select list of a Boolean policy play no role in its
+  // truth; WHERE is a selection and never breaks monotonicity. Only HAVING
+  // can: every aggregate comparison must be COUNT(...) > k or COUNT(...)>=k
+  // with a constant threshold (§4.2.1).
+  if (stmt.having == nullptr) return true;
+  for (const ExprPtr& conj : SplitConjuncts(*stmt.having)) {
+    if (!ContainsAggregate(*conj)) continue;  // selection on group columns
+    if (conj->kind() != ExprKind::kBinary) return false;
+    const auto& b = static_cast<const BinaryExpr&>(*conj);
+    const Expr* agg_side = nullptr;
+    const Expr* threshold = nullptr;
+    std::string op = b.op;
+    if (IsCountAggregate(*b.lhs)) {
+      agg_side = b.lhs.get();
+      threshold = b.rhs.get();
+    } else if (IsCountAggregate(*b.rhs)) {
+      agg_side = b.rhs.get();
+      threshold = b.lhs.get();
+      // Flip: k < COUNT(...) is COUNT(...) > k.
+      if (op == "<") {
+        op = ">";
+      } else if (op == "<=") {
+        op = ">=";
+      } else if (op == ">") {
+        op = "<";
+      } else if (op == ">=") {
+        op = "<=";
+      }
+    } else {
+      return false;
+    }
+    (void)agg_side;
+    if (op != ">" && op != ">=") return false;
+    if (threshold->kind() != ExprKind::kLiteral) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<SelectStmt> PolicyAnalyzer::BuildTimeIndependentRewrite(
+    const SelectStmt& stmt) const {
+  std::unique_ptr<SelectStmt> out = stmt.Clone();
+  for (SelectStmt* member = out.get(); member != nullptr;
+       member = member->union_next.get()) {
+    // Rewrite subqueries first.
+    for (TableRef& ref : member->from) {
+      if (ref.IsSubquery()) {
+        ref.subquery = BuildTimeIndependentRewrite(*ref.subquery);
+      }
+    }
+    std::vector<std::pair<std::string, std::string>> log_aliases =
+        LogAliasesOf(*member, *log_);
+    if (log_aliases.empty()) continue;
+
+    // Fresh alias for the injected Clock item.
+    std::string clock_alias = "dl_ti_clock";
+    int suffix = 0;
+    auto taken = [&](const std::string& name) {
+      for (const TableRef& ref : member->from) {
+        if (EqualsIgnoreCase(ref.BindingName(), name)) return true;
+      }
+      return false;
+    };
+    while (taken(clock_alias)) {
+      clock_alias = "dl_ti_clock" + std::to_string(suffix++);
+    }
+
+    TableRef clock_ref;
+    clock_ref.table_name = UsageLog::ClockRelationName();
+    clock_ref.alias = clock_alias;
+    member->from.push_back(std::move(clock_ref));
+
+    std::vector<ExprPtr> conjuncts;
+    if (member->where != nullptr) conjuncts.push_back(std::move(member->where));
+    for (const auto& [alias, _] : log_aliases) {
+      conjuncts.push_back(std::make_unique<BinaryExpr>(
+          "=", std::make_unique<ColumnRefExpr>(alias, "ts"),
+          std::make_unique<ColumnRefExpr>(clock_alias, "ts")));
+    }
+    member->where = AndTogether(std::move(conjuncts));
+  }
+  return out;
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,64 @@
+#ifndef DATALAWYER_POLICY_POLICY_ANALYZER_H_
+#define DATALAWYER_POLICY_POLICY_ANALYZER_H_
+
+#include "common/result.h"
+#include "log/usage_log.h"
+#include "policy/policy.h"
+
+namespace datalawyer {
+
+/// Static analysis over policies: log-relation footprint, monotonicity
+/// (§4.2.1), time-independence and the π_ind rewrite (§4.1.1).
+class PolicyAnalyzer {
+ public:
+  /// `log` identifies which FROM relations are usage-log relations.
+  explicit PolicyAnalyzer(const UsageLog* log) : log_(log) {}
+
+  /// Fills in the analysis fields of `policy`.
+  Status Analyze(Policy* policy) const;
+
+ private:
+  /// True if the member (and its FROM subqueries) satisfies the §4.1.1
+  /// syntactic criterion: (a) the ts attributes of all referenced log
+  /// relations are pairwise equi-joined; (b) every aggregate groups by a
+  /// column in the ts join class.
+  bool MemberTimeIndependent(const SelectStmt& stmt) const;
+
+  /// §4.2.1: SPJU with only COUNT(...) > / >= k HAVING conjuncts.
+  bool MemberMonotone(const SelectStmt& stmt) const;
+
+  /// Builds π_ind: adds a Clock FROM item and pins every log relation's ts
+  /// to the current time.
+  std::unique_ptr<SelectStmt> BuildTimeIndependentRewrite(
+      const SelectStmt& stmt) const;
+
+  const UsageLog* log_;
+};
+
+/// Collects log relation aliases of `stmt`'s FROM items: pairs of
+/// (binding alias, log relation name), top level only.
+std::vector<std::pair<std::string, std::string>> LogAliasesOf(
+    const SelectStmt& stmt, const UsageLog& log);
+
+/// Collects the distinct log relation names referenced anywhere in the
+/// statement (including subqueries and UNION members).
+std::vector<std::string> CollectLogRelations(const SelectStmt& stmt,
+                                             const UsageLog& log);
+
+/// Footnote 7's history restriction: clones `stmt` with an added conjunct
+/// `<alias>.ts > active_from` for every top-level log relation alias in
+/// every UNION member (and recursively inside FROM subqueries). Returns the
+/// original clone unchanged when there is nothing to guard.
+std::unique_ptr<SelectStmt> RestrictHistory(const SelectStmt& stmt,
+                                            const UsageLog& log,
+                                            int64_t active_from);
+
+/// §4.3 precondition ("policies where all log-generating functions join on
+/// the timestamp"): in every UNION member, the ts attributes of all top-level
+/// log relations share one equi-join class, and no FROM subquery touches the
+/// log. Required by the improved-partial-policies optimization.
+bool TimestampsAllJoined(const SelectStmt& stmt, const UsageLog& log);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_POLICY_POLICY_ANALYZER_H_

@@ -1,0 +1,141 @@
+#include "policy/templates.h"
+
+namespace datalawyer {
+
+namespace {
+
+std::string N(int64_t v) { return std::to_string(v); }
+
+/// "AND u.uid = <uid>" when scoped, with the users join already in place.
+std::string UidFilter(const std::optional<int64_t>& uid) {
+  return uid.has_value() ? " AND u.uid = " + N(*uid) : "";
+}
+
+/// Literal list "'a', 'b'" → "s.irid != 'a' AND s.irid != 'b'".
+std::string ExcludeList(const std::string& alias,
+                        const std::string& protected_relation,
+                        const std::vector<std::string>& allowed) {
+  std::string out =
+      alias + ".irid != '" + protected_relation + "'";
+  for (const std::string& partner : allowed) {
+    out += " AND " + alias + ".irid != '" + partner + "'";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PolicyTemplates::JoinProhibition(
+    const std::string& dataset, const std::vector<std::string>& allowed,
+    std::optional<int64_t> uid) {
+  std::string sql =
+      "SELECT DISTINCT 'terms of use: " + dataset +
+      " may not be combined with other datasets' AS errormessage "
+      "FROM schema s1, schema s2";
+  if (uid.has_value()) sql += ", users u";
+  sql += " WHERE s1.ts = s2.ts AND s1.irid = '" + dataset + "' AND " +
+         ExcludeList("s2", dataset, allowed);
+  if (uid.has_value()) {
+    sql += " AND u.ts = s1.ts" + UidFilter(uid);
+  }
+  return sql;
+}
+
+std::string PolicyTemplates::RateLimit(int64_t window, int64_t max_queries,
+                                       std::optional<int64_t> uid,
+                                       const std::string& relation) {
+  std::string sql =
+      "SELECT DISTINCT 'terms of use: rate limit of " + N(max_queries) +
+      " queries per " + N(window) + " exceeded' AS errormessage "
+      "FROM users u";
+  if (!relation.empty()) sql += ", schema s";
+  sql += ", clock c WHERE u.ts > c.ts - " + N(window);
+  if (!relation.empty()) {
+    sql += " AND u.ts = s.ts AND s.irid = '" + relation + "'";
+  }
+  sql += UidFilter(uid);
+  sql += " HAVING COUNT(DISTINCT u.ts) > " + N(max_queries);
+  return sql;
+}
+
+std::string PolicyTemplates::OutputRowCap(const std::string& relation,
+                                          int64_t max_rows,
+                                          std::optional<int64_t> uid) {
+  std::string sql = "SELECT DISTINCT 'terms of use: a query may return at "
+                    "most " + N(max_rows) + " tuples of " + relation +
+                    "' AS errormessage FROM provenance p";
+  if (uid.has_value()) sql += ", users u";
+  sql += " WHERE p.irid = '" + relation + "'";
+  if (uid.has_value()) sql += " AND u.ts = p.ts" + UidFilter(uid);
+  sql += " GROUP BY p.ts HAVING COUNT(DISTINCT p.otid) > " + N(max_rows);
+  return sql;
+}
+
+std::string PolicyTemplates::MinimumSupport(const std::string& relation,
+                                            int64_t min_group_size,
+                                            std::optional<int64_t> uid) {
+  std::string sql =
+      "SELECT DISTINCT 'terms of use: every answer over " + relation +
+      " must aggregate more than " + N(min_group_size) +
+      " records' AS errormessage FROM provenance p";
+  if (uid.has_value()) sql += ", users u";
+  sql += " WHERE p.irid = '" + relation + "'";
+  if (uid.has_value()) sql += " AND u.ts = p.ts" + UidFilter(uid);
+  sql += " GROUP BY p.ts, p.otid HAVING COUNT(DISTINCT p.itid) <= " +
+         N(min_group_size);
+  return sql;
+}
+
+std::string PolicyTemplates::AggregationBan(
+    const std::string& relation, const std::vector<std::string>& exempt) {
+  return "SELECT DISTINCT 'terms of use: " + relation +
+         " may not be blended into aggregates with other providers' "
+         "AS errormessage FROM schema s1, schema s2 "
+         "WHERE s1.ts = s2.ts AND s1.irid = '" + relation +
+         "' AND s1.agg = TRUE AND " + ExcludeList("s2", relation, exempt);
+}
+
+std::string PolicyTemplates::WindowedDistinctTupleCap(
+    const std::string& relation, int64_t window, int64_t max_distinct,
+    std::optional<int64_t> uid) {
+  std::string sql =
+      "SELECT DISTINCT 'terms of use: at most " + N(max_distinct) +
+      " distinct tuples of " + relation + " per " + N(window) +
+      "' AS errormessage FROM provenance p";
+  if (uid.has_value()) sql += ", users u";
+  sql += ", clock c WHERE p.irid = '" + relation + "' AND p.ts > c.ts - " +
+         N(window);
+  if (uid.has_value()) sql += " AND u.ts = p.ts" + UidFilter(uid);
+  sql += " HAVING COUNT(DISTINCT p.itid) > " + N(max_distinct);
+  return sql;
+}
+
+std::string PolicyTemplates::TupleReuseCap(const std::string& relation,
+                                           int64_t window, int64_t max_uses,
+                                           std::optional<int64_t> uid) {
+  std::string sql =
+      "SELECT DISTINCT 'terms of use: a tuple of " + relation +
+      " may be used at most " + N(max_uses) + " times per " + N(window) +
+      "' AS errormessage FROM provenance p";
+  if (uid.has_value()) sql += ", users u";
+  sql += ", clock c WHERE p.irid = '" + relation + "' AND p.ts > c.ts - " +
+         N(window);
+  if (uid.has_value()) sql += " AND u.ts = p.ts" + UidFilter(uid);
+  sql += " GROUP BY p.itid HAVING COUNT(p.itid) > " + N(max_uses);
+  return sql;
+}
+
+std::string PolicyTemplates::GroupLicense(const std::string& group,
+                                          const std::string& relation,
+                                          int64_t window, int64_t max_users) {
+  return "SELECT DISTINCT 'terms of use: at most " + N(max_users) +
+         " members of " + group + " may access " + relation + " per " +
+         N(window) + "' AS errormessage "
+         "FROM users u, schema s, groups g, clock c "
+         "WHERE u.ts = s.ts AND s.irid = '" + relation +
+         "' AND u.uid = g.uid AND g.gid = '" + group +
+         "' AND u.ts > c.ts - " + N(window) +
+         " HAVING COUNT(DISTINCT u.uid) > " + N(max_users);
+}
+
+}  // namespace datalawyer

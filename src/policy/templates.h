@@ -1,0 +1,77 @@
+#ifndef DATALAWYER_POLICY_TEMPLATES_H_
+#define DATALAWYER_POLICY_TEMPLATES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace datalawyer {
+
+/// Policy templates (§6: "it may be possible to come up with templates ...
+/// that can be later tweaked to get the set of policies for an
+/// organization"). Each method renders one of Table 1's restriction types
+/// into the policy language over the standard usage log; the returned SQL is
+/// a regular policy for DataLawyer::AddPolicy.
+///
+/// All windows are in clock ticks. Where a template takes `uid`, nullopt
+/// means "all users".
+class PolicyTemplates {
+ public:
+  /// Table 1 P1 (Navteq): `dataset` must not appear in a query together
+  /// with any relation outside `allowed_partners` (the dataset itself is
+  /// always allowed).
+  static std::string JoinProhibition(
+      const std::string& dataset,
+      const std::vector<std::string>& allowed_partners = {},
+      std::optional<int64_t> uid = std::nullopt);
+
+  /// Table 1 P4 (Twitter/Foursquare): at most `max_queries` queries per
+  /// `window`, optionally scoped to one user and/or to queries touching
+  /// `relation`.
+  static std::string RateLimit(int64_t window, int64_t max_queries,
+                               std::optional<int64_t> uid = std::nullopt,
+                               const std::string& relation = "");
+
+  /// Table 1 P3 (MS Translator) as an output cap: no single query may
+  /// return more than `max_rows` tuples derived from `relation`.
+  static std::string OutputRowCap(const std::string& relation,
+                                  int64_t max_rows,
+                                  std::optional<int64_t> uid = std::nullopt);
+
+  /// Table 1 P5 (MIMIC II): every output tuple of a query over `relation`
+  /// must be supported by more than `min_group_size` distinct input tuples
+  /// (k-anonymity-style disclosure limit).
+  static std::string MinimumSupport(const std::string& relation,
+                                    int64_t min_group_size,
+                                    std::optional<int64_t> uid = std::nullopt);
+
+  /// Table 1 P7 (Yelp): columns of `relation` must not be blended into
+  /// aggregates while relations outside `exempt` are present; plain joins
+  /// remain legal.
+  static std::string AggregationBan(const std::string& relation,
+                                    const std::vector<std::string>& exempt =
+                                        {});
+
+  /// Experiment policy P5: at most `max_distinct` distinct tuples of
+  /// `relation` consumed per `window` (per user when `uid` is set).
+  static std::string WindowedDistinctTupleCap(
+      const std::string& relation, int64_t window, int64_t max_distinct,
+      std::optional<int64_t> uid = std::nullopt);
+
+  /// Experiment policy P6: the same tuple of `relation` may be used at most
+  /// `max_uses` times per `window`.
+  static std::string TupleReuseCap(const std::string& relation,
+                                   int64_t window, int64_t max_uses,
+                                   std::optional<int64_t> uid = std::nullopt);
+
+  /// Table 1 P2 (Amazon Kindle, group licenses): at most `max_users`
+  /// distinct members of `group` may access `relation` per `window`.
+  static std::string GroupLicense(const std::string& group,
+                                  const std::string& relation, int64_t window,
+                                  int64_t max_users);
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_POLICY_TEMPLATES_H_

@@ -1,0 +1,191 @@
+#include "policy/unification.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace datalawyer {
+
+namespace {
+
+constexpr const char* kConstantsAlias = "dlc";
+
+/// Replaces every literal in `expr` (in-place, left-to-right) with a
+/// reference to `dlc.c<i>`, appending the displaced values to `values`.
+void LiftLiterals(ExprPtr* expr, std::vector<Value>* values) {
+  Expr* node = expr->get();
+  switch (node->kind()) {
+    case ExprKind::kLiteral: {
+      auto* lit = static_cast<LiteralExpr*>(node);
+      std::string column = "c" + std::to_string(values->size());
+      values->push_back(lit->value);
+      *expr = std::make_unique<ColumnRefExpr>(kConstantsAlias, column);
+      return;
+    }
+    case ExprKind::kBinary: {
+      auto* b = static_cast<BinaryExpr*>(node);
+      LiftLiterals(&b->lhs, values);
+      LiftLiterals(&b->rhs, values);
+      return;
+    }
+    case ExprKind::kUnary:
+      LiftLiterals(&static_cast<UnaryExpr*>(node)->operand, values);
+      return;
+    case ExprKind::kIsNull:
+      LiftLiterals(&static_cast<IsNullExpr*>(node)->operand, values);
+      return;
+    case ExprKind::kFuncCall: {
+      auto* f = static_cast<FuncCallExpr*>(node);
+      for (ExprPtr& arg : f->args) LiftLiterals(&arg, values);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+/// Canonicalizes one policy: lifts SELECT-list and WHERE literals across all
+/// UNION members, returning the displaced values. The canonical *text* of
+/// the resulting statement is the unification key.
+std::vector<Value> Canonicalize(SelectStmt* stmt) {
+  std::vector<Value> values;
+  for (SelectStmt* member = stmt; member != nullptr;
+       member = member->union_next.get()) {
+    for (SelectItem& item : member->items) LiftLiterals(&item.expr, &values);
+    if (member->where != nullptr) {
+      ExprPtr where = std::move(member->where);
+      LiftLiterals(&where, &values);
+      member->where = std::move(where);
+    }
+  }
+  return values;
+}
+
+/// True if any select item or the HAVING clause aggregates.
+bool MemberAggregates(const SelectStmt& member) {
+  for (const SelectItem& item : member.items) {
+    if (ContainsAggregate(*item.expr)) return true;
+  }
+  return member.having != nullptr && ContainsAggregate(*member.having);
+}
+
+std::string TypeSignature(const std::vector<Value>& values) {
+  std::string sig;
+  for (const Value& v : values) {
+    sig += ValueTypeToString(v.type());
+    sig += ",";
+  }
+  return sig;
+}
+
+bool AliasTaken(const SelectStmt& stmt, const std::string& alias) {
+  for (const SelectStmt* member = &stmt; member != nullptr;
+       member = member->union_next.get()) {
+    for (const TableRef& ref : member->from) {
+      if (EqualsIgnoreCase(ref.BindingName(), alias)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<UnificationResult> UnifyPolicies(const std::vector<Policy>& input) {
+  UnificationResult result;
+
+  struct Group {
+    std::unique_ptr<SelectStmt> canonical;
+    std::vector<size_t> members;             // indices into `input`
+    std::vector<std::vector<Value>> values;  // per member, the lifted row
+  };
+  std::map<std::string, Group> groups;
+  std::vector<std::string> group_order;
+
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (input[i].guard != nullptr) {
+      // Guarded policies keep their hand-written guard pairing.
+      result.policies.push_back(input[i].Clone());
+      continue;
+    }
+    std::unique_ptr<SelectStmt> canonical = input[i].stmt->Clone();
+    std::vector<Value> values = Canonicalize(canonical.get());
+    // Policies whose canonical form collides but whose constants have
+    // different types go to different groups (the Constants table is typed).
+    std::string key = canonical->ToString() + "|" + TypeSignature(values);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      Group group;
+      group.canonical = std::move(canonical);
+      group.members.push_back(i);
+      group.values.push_back(std::move(values));
+      groups.emplace(key, std::move(group));
+      group_order.push_back(key);
+    } else {
+      it->second.members.push_back(i);
+      it->second.values.push_back(std::move(values));
+    }
+  }
+
+  size_t table_counter = 0;
+  for (const std::string& key : group_order) {
+    Group& group = groups.at(key);
+    if (group.members.size() < 2 || group.values[0].empty()) {
+      // Nothing to merge: pass the originals through.
+      for (size_t idx : group.members) {
+        result.policies.push_back(input[idx].Clone());
+      }
+      continue;
+    }
+
+    if (AliasTaken(*group.canonical, kConstantsAlias)) {
+      // The policy already binds our reserved alias — leave the group alone.
+      for (size_t idx : group.members) {
+        result.policies.push_back(input[idx].Clone());
+      }
+      continue;
+    }
+
+    // Build the Constants table: c0..cn typed from the first member.
+    std::string table_name = "dl_constants_" + std::to_string(table_counter++);
+    size_t n_consts = group.values[0].size();
+    TableSchema schema;
+    for (size_t c = 0; c < n_consts; ++c) {
+      schema.AddColumn("c" + std::to_string(c), group.values[0][c].type());
+    }
+    auto table = std::make_unique<Table>(std::move(schema));
+    for (std::vector<Value>& row : group.values) {
+      DL_RETURN_NOT_OK(table->Append(std::move(row)).status());
+    }
+
+    // Rewrite the canonical statement into the unified policy.
+    for (SelectStmt* member = group.canonical.get(); member != nullptr;
+         member = member->union_next.get()) {
+      TableRef constants_ref;
+      constants_ref.table_name = table_name;
+      constants_ref.alias = kConstantsAlias;
+      member->from.push_back(std::move(constants_ref));
+      if (MemberAggregates(*member)) {
+        // GROUP BY the constant columns so aggregates are evaluated per
+        // original policy (Example 4.6: GROUP BY c.const).
+        for (size_t c = 0; c < n_consts; ++c) {
+          member->group_by.push_back(std::make_unique<ColumnRefExpr>(
+              kConstantsAlias, "c" + std::to_string(c)));
+        }
+      }
+    }
+
+    Policy unified;
+    unified.name = "unified:" + input[group.members[0]].name + "(+" +
+                   std::to_string(group.members.size() - 1) + ")";
+    unified.stmt = std::move(group.canonical);
+    unified.sql = unified.stmt->ToString();
+    result.policies.push_back(std::move(unified));
+    result.constants.emplace_back(table_name, std::move(table));
+    ++result.groups_unified;
+    result.policies_absorbed += group.members.size() - 1;
+  }
+
+  return result;
+}
+
+}  // namespace datalawyer

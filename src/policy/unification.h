@@ -1,0 +1,43 @@
+#ifndef DATALAWYER_POLICY_UNIFICATION_H_
+#define DATALAWYER_POLICY_UNIFICATION_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "policy/policy.h"
+#include "storage/table.h"
+
+namespace datalawyer {
+
+/// Output of policy unification (§4.2.2): the consolidated policy set plus
+/// the synthesized Constants tables the unified policies join against.
+struct UnificationResult {
+  /// Unified policies first, then untouched singletons. Analysis fields are
+  /// not populated — run PolicyAnalyzer afterwards.
+  std::vector<Policy> policies;
+
+  /// (table name, table) pairs to expose in the policy-evaluation catalog.
+  std::vector<std::pair<std::string, std::unique_ptr<Table>>> constants;
+
+  size_t groups_unified = 0;
+  size_t policies_absorbed = 0;
+};
+
+/// Consolidates policies that are structurally identical up to the literal
+/// constants in their SELECT list and WHERE clause into a single policy over
+/// a Constants table (one column per constant slot, one row per original
+/// policy), adding the constant columns to the GROUP BY when the policy
+/// aggregates — Example 4.6.
+///
+/// Literals in HAVING / GROUP BY / DISTINCT ON are *not* lifted: they must
+/// match verbatim for two policies to unify. This keeps thresholds like
+/// `COUNT(...) > 10` as literals, so the unified policy stays recognizably
+/// monotone for interleaved evaluation.
+Result<UnificationResult> UnifyPolicies(const std::vector<Policy>& input);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_POLICY_UNIFICATION_H_

@@ -1,0 +1,69 @@
+#ifndef DATALAWYER_POLICY_WITNESS_H_
+#define DATALAWYER_POLICY_WITNESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "log/usage_log.h"
+#include "sql/ast.h"
+
+namespace datalawyer {
+
+/// Absolute-witness queries for one log relation on behalf of one policy
+/// (§4.1.2). The compactor retains the union of the tuples these queries
+/// touch; `full_fallback` keeps the whole relation (always sound — "setting
+/// Rw = Ri always gives us a correct witness").
+struct RelationWitness {
+  bool full_fallback = false;
+  /// One query per occurrence of the relation in the policy (self-joins
+  /// yield several; Example 4.4). Results are unioned.
+  std::vector<std::unique_ptr<SelectStmt>> queries;
+};
+
+/// Witnesses for every log relation a policy references.
+struct WitnessSet {
+  std::map<std::string, RelationWitness> per_relation;
+
+  /// Merges `other` into this set (union of queries, OR of fallbacks).
+  void MergeFrom(WitnessSet other);
+};
+
+/// Synthesizes absolute-witness queries per Lemmas 4.1–4.3:
+///
+///  * the witness for log relation occurrence `a` selects `a.*` over `a`,
+///    its ts-equi-join neighborhood N(a), and the database relations, with
+///    the policy's predicates restricted to that FROM set;
+///  * Boolean aggregate-free policies tighten `SELECT DISTINCT` to
+///    `SELECT DISTINCT ON (a.X)` where X are a's join attributes (clock
+///    comparison expressions count as joins);
+///  * clock predicates are normalized to `c.ts op expr` form, `c.ts > expr`
+///    dropped, `c.ts < expr` rewritten to `dl_now.ts + 1 < expr`,
+///    `=` split into `<= AND >=`; a `!=` on the clock (or any clock use we
+///    cannot normalize) falls back to the full relation;
+///  * policies with HAVING are treated as full queries: GROUP BY/HAVING are
+///    dropped and the plain `SELECT DISTINCT a.*` witness (Eq. 2) is used;
+///  * FROM subqueries are handled separately and unioned (Algorithm 2).
+///
+/// The generated queries reference the synthetic one-row relation
+/// `dl_now(ts)` holding the current clock value; the compactor provides it.
+class WitnessBuilder {
+ public:
+  explicit WitnessBuilder(const UsageLog* log) : log_(log) {}
+
+  Result<WitnessSet> Build(const SelectStmt& policy_stmt) const;
+
+  /// Name of the synthetic current-time relation ("dl_now").
+  static const std::string& NowRelationName();
+
+ private:
+  Result<WitnessSet> BuildForMember(const SelectStmt& member) const;
+
+  const UsageLog* log_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_POLICY_WITNESS_H_

@@ -1,0 +1,236 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace datalawyer {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "select", "distinct", "on",     "from",   "where",  "group",
+      "by",     "having",   "as",     "and",    "or",     "not",
+      "count",  "sum",      "avg",    "min",    "max",    "union",
+      "all",    "insert",   "into",   "values", "create", "table",
+      "drop",   "delete",   "update", "set",    "null",   "true",
+      "false",  "order",    "asc",    "desc",   "limit",  "is",
+      "in",     "between",  "like",   "int",    "bigint", "double",
+      "text",   "varchar",  "boolean", "join",  "inner",  "left",
+      "right",  "outer",    "cross",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool Lexer::IsKeyword(const std::string& word) {
+  return Keywords().count(word) > 0;
+}
+
+char Lexer::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  return i < input_.size() ? input_[i] : '\0';
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos_;
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') ++pos_;
+    } else if (c == '/' && Peek(1) == '*') {
+      pos_ += 2;
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) ++pos_;
+      if (!AtEnd()) pos_ += 2;
+    } else {
+      break;
+    }
+  }
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.position = pos_;
+  if (AtEnd()) {
+    tok.type = TokenType::kEnd;
+    return tok;
+  }
+
+  char c = Peek();
+
+  if (IsIdentStart(c)) {
+    size_t start = pos_;
+    while (!AtEnd() && IsIdentChar(Peek())) ++pos_;
+    std::string word = ToLower(input_.substr(start, pos_ - start));
+    tok.text = word;
+    tok.type = IsKeyword(word) ? TokenType::kKeyword : TokenType::kIdentifier;
+    return tok;
+  }
+
+  if (c == '"') {
+    // Quoted identifier (kept verbatim, lowercased for case-insensitivity).
+    ++pos_;
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != '"') ++pos_;
+    if (AtEnd()) {
+      return Status::InvalidArgument("unterminated quoted identifier at byte " +
+                                     std::to_string(tok.position));
+    }
+    tok.text = ToLower(input_.substr(start, pos_ - start));
+    tok.type = TokenType::kIdentifier;
+    ++pos_;
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    size_t start = pos_;
+    bool is_double = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      ++pos_;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t save = pos_;
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_double = true;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          ++pos_;
+        }
+      } else {
+        pos_ = save;  // not an exponent after all
+      }
+    }
+    tok.text = input_.substr(start, pos_ - start);
+    if (is_double) {
+      tok.type = TokenType::kDoubleLiteral;
+      tok.double_value = std::strtod(tok.text.c_str(), nullptr);
+    } else {
+      tok.type = TokenType::kIntLiteral;
+      tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+    }
+    return tok;
+  }
+
+  if (c == '\'') {
+    ++pos_;
+    std::string contents;
+    while (true) {
+      if (AtEnd()) {
+        return Status::InvalidArgument("unterminated string literal at byte " +
+                                       std::to_string(tok.position));
+      }
+      char ch = Peek();
+      if (ch == '\'') {
+        if (Peek(1) == '\'') {  // '' escape
+          contents += '\'';
+          pos_ += 2;
+        } else {
+          ++pos_;
+          break;
+        }
+      } else {
+        contents += ch;
+        ++pos_;
+      }
+    }
+    tok.type = TokenType::kStringLiteral;
+    tok.text = std::move(contents);
+    return tok;
+  }
+
+  auto two = [&](const char* op) {
+    tok.type = TokenType::kOperator;
+    tok.text = op;
+    pos_ += 2;
+  };
+  auto one = [&](TokenType type, char ch) {
+    tok.type = type;
+    tok.text = std::string(1, ch);
+    ++pos_;
+  };
+
+  switch (c) {
+    case '!':
+      if (Peek(1) == '=') {
+        two("!=");
+        return tok;
+      }
+      return Status::InvalidArgument("unexpected '!' at byte " +
+                                     std::to_string(pos_));
+    case '<':
+      if (Peek(1) == '=') {
+        two("<=");
+      } else if (Peek(1) == '>') {
+        two("!=");  // normalize <> to !=
+      } else {
+        one(TokenType::kOperator, '<');
+      }
+      return tok;
+    case '>':
+      if (Peek(1) == '=') {
+        two(">=");
+      } else {
+        one(TokenType::kOperator, '>');
+      }
+      return tok;
+    case '=':
+    case '+':
+    case '-':
+    case '*':
+    case '/':
+    case '%':
+      one(TokenType::kOperator, c);
+      return tok;
+    case ',':
+      one(TokenType::kComma, c);
+      return tok;
+    case '.':
+      one(TokenType::kDot, c);
+      return tok;
+    case '(':
+      one(TokenType::kLParen, c);
+      return tok;
+    case ')':
+      one(TokenType::kRParen, c);
+      return tok;
+    case ';':
+      one(TokenType::kSemicolon, c);
+      return tok;
+    default:
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' at byte " + std::to_string(pos_));
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    DL_ASSIGN_OR_RETURN(Token tok, Next());
+    bool done = tok.type == TokenType::kEnd;
+    tokens.push_back(std::move(tok));
+    if (done) break;
+  }
+  return tokens;
+}
+
+}  // namespace datalawyer

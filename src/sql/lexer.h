@@ -1,0 +1,38 @@
+#ifndef DATALAWYER_SQL_LEXER_H_
+#define DATALAWYER_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace datalawyer {
+
+/// Tokenizes a SQL string. Supports `--` line comments and `/* */` block
+/// comments, single-quoted string literals with `''` escaping, and the
+/// operator set of the policy language. Keywords are recognized
+/// case-insensitively and normalized to lowercase.
+class Lexer {
+ public:
+  explicit Lexer(std::string input) : input_(std::move(input)) {}
+
+  /// Full tokenization; the last token is always kEnd.
+  Result<std::vector<Token>> Tokenize();
+
+  /// True if `word` (lowercase) is a reserved keyword.
+  static bool IsKeyword(const std::string& word);
+
+ private:
+  Result<Token> Next();
+  void SkipWhitespaceAndComments();
+  char Peek(size_t ahead = 0) const;
+  bool AtEnd() const { return pos_ >= input_.size(); }
+
+  std::string input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_SQL_LEXER_H_

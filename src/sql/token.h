@@ -1,0 +1,42 @@
+#ifndef DATALAWYER_SQL_TOKEN_H_
+#define DATALAWYER_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace datalawyer {
+
+enum class TokenType {
+  kIdentifier,   ///< unquoted identifier or "quoted" identifier
+  kKeyword,      ///< reserved word (text is lowercased)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  ///< contents with quotes stripped and '' unescaped
+  kOperator,       ///< = != <> < <= > >= + - * / %
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kEnd,
+};
+
+/// One lexical token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       ///< normalized text (keywords lowercased)
+  int64_t int_value = 0;  ///< valid for kIntLiteral
+  double double_value = 0.0;  ///< valid for kDoubleLiteral
+  size_t position = 0;    ///< byte offset in the input
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOperator(const char* op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_SQL_TOKEN_H_

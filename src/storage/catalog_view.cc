@@ -1,0 +1,17 @@
+#include "storage/catalog_view.h"
+
+#include "common/strings.h"
+
+namespace datalawyer {
+
+void OverlayCatalog::Add(const std::string& name, const RelationData* rel) {
+  overrides_[ToLower(name)] = rel;
+}
+
+const RelationData* OverlayCatalog::Find(const std::string& name) const {
+  auto it = overrides_.find(ToLower(name));
+  if (it != overrides_.end()) return it->second;
+  return base_ != nullptr ? base_->Find(name) : nullptr;
+}
+
+}  // namespace datalawyer

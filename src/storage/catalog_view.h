@@ -1,0 +1,109 @@
+#ifndef DATALAWYER_STORAGE_CATALOG_VIEW_H_
+#define DATALAWYER_STORAGE_CATALOG_VIEW_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace datalawyer {
+
+/// Name → RelationData resolver the binder/executor read through.
+///
+/// This indirection is what lets policy evaluation see `log ∪ increment`
+/// without copying (the paper keeps the increment "in temporary tables in
+/// memory ... while checking the policies", §4, NoOpt optimization 2), and
+/// lets the system expose the synthesized Clock and Constants relations.
+class CatalogView {
+ public:
+  virtual ~CatalogView() = default;
+  /// nullptr if unknown; lookup is case-insensitive.
+  virtual const RelationData* Find(const std::string& name) const = 0;
+};
+
+/// Plain view over a Database.
+class DatabaseCatalog : public CatalogView {
+ public:
+  /// `db` must outlive this view.
+  explicit DatabaseCatalog(const Database* db) : db_(db) {}
+  const RelationData* Find(const std::string& name) const override {
+    return db_->FindTable(name);
+  }
+
+ private:
+  const Database* db_;
+};
+
+/// Concatenation of two relations with identical schemas (e.g. a persisted
+/// log relation followed by its staged in-memory increment). Row ids of the
+/// second part are offset so ids remain unique within the view; callers can
+/// map back with IsFromSecond()/SecondRowId().
+class ConcatRelation : public RelationData {
+ public:
+  /// Both parts must outlive this object and share column arity.
+  ConcatRelation(const RelationData* first, const RelationData* second)
+      : first_(first), second_(second) {}
+
+  const TableSchema& schema() const override { return first_->schema(); }
+  size_t NumRows() const override {
+    return first_->NumRows() + second_->NumRows();
+  }
+  const Row& RowAt(size_t i) const override {
+    size_t n = first_->NumRows();
+    return i < n ? first_->RowAt(i) : second_->RowAt(i - n);
+  }
+  int64_t RowIdAt(size_t i) const override {
+    size_t n = first_->NumRows();
+    return i < n ? first_->RowIdAt(i) : second_->RowIdAt(i - n) + kSecondBase;
+  }
+
+  static bool IsFromSecond(int64_t id) { return id >= kSecondBase; }
+  static int64_t SecondRowId(int64_t id) { return id - kSecondBase; }
+
+  /// Offset distinguishing increment row ids from persisted row ids.
+  static constexpr int64_t kSecondBase = int64_t(1) << 40;
+
+ private:
+  const RelationData* first_;
+  const RelationData* second_;
+};
+
+/// A relation materialized on the fly (Clock's single row, Constants).
+class OwnedRelation : public RelationData {
+ public:
+  OwnedRelation(TableSchema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const TableSchema& schema() const override { return schema_; }
+  size_t NumRows() const override { return rows_.size(); }
+  const Row& RowAt(size_t i) const override { return rows_[i]; }
+  int64_t RowIdAt(size_t i) const override { return int64_t(i); }
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+};
+
+/// Base catalog plus name → relation overrides. Overrides win.
+class OverlayCatalog : public CatalogView {
+ public:
+  /// `base` may be nullptr (pure overlay). Overridden relations are not
+  /// owned and must outlive the view.
+  explicit OverlayCatalog(const CatalogView* base) : base_(base) {}
+
+  /// Registers `rel` under `name` (case-insensitive).
+  void Add(const std::string& name, const RelationData* rel);
+
+  const RelationData* Find(const std::string& name) const override;
+
+ private:
+  const CatalogView* base_;
+  std::map<std::string, const RelationData*> overrides_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_STORAGE_CATALOG_VIEW_H_

@@ -1,0 +1,59 @@
+#include "storage/database.h"
+
+#include "common/strings.h"
+
+namespace datalawyer {
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     TableSchema schema) {
+  std::string key = ToLower(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(key, std::move(table));
+  return raw;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  Table* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("no such table: " + name);
+  return t;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  const Table* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("no such table: " + name);
+  return t;
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace datalawyer

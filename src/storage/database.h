@@ -1,0 +1,44 @@
+#ifndef DATALAWYER_STORAGE_DATABASE_H_
+#define DATALAWYER_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace datalawyer {
+
+/// Named collection of tables — the catalog plus the data.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table; kAlreadyExists if the name is taken.
+  Result<Table*> CreateTable(const std::string& name, TableSchema schema);
+
+  /// kNotFound if absent. Lookup is case-insensitive.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// nullptr if absent (non-erroring variant for resolvers).
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  /// Lowercased names in lexicographic order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_STORAGE_DATABASE_H_

@@ -1,0 +1,30 @@
+#include "storage/schema.h"
+
+#include "common/strings.h"
+
+namespace datalawyer {
+
+TableSchema& TableSchema::AddColumn(const std::string& name, ValueType type) {
+  columns_.push_back(ColumnDef{ToLower(name), type});
+  return *this;
+}
+
+std::optional<size_t> TableSchema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::string TableSchema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,44 @@
+#ifndef DATALAWYER_STORAGE_SCHEMA_H_
+#define DATALAWYER_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace datalawyer {
+
+/// One column of a stored table or intermediate result.
+struct ColumnDef {
+  std::string name;  ///< Stored lowercase; SQL identifiers are case-insensitive.
+  ValueType type = ValueType::kNull;
+};
+
+/// Ordered list of columns.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Convenience builder: AddColumn("uid", ValueType::kInt64).
+  TableSchema& AddColumn(const std::string& name, ValueType type);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Case-insensitive lookup; nullopt if absent.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// "name TYPE, name TYPE, ..."
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_STORAGE_SCHEMA_H_

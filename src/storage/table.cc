@@ -1,0 +1,102 @@
+#include "storage/table.h"
+
+namespace datalawyer {
+
+Status Table::BuildIndex(const std::string& column) {
+  auto col = schema_.FindColumn(column);
+  if (!col.has_value()) {
+    return Status::NotFound("no column " + column + " to index");
+  }
+  // Replace any previous index on this column.
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].column == *col) {
+      indexes_.erase(indexes_.begin() + i);
+      break;
+    }
+  }
+  HashIndex index;
+  index.column = *col;
+  index.built_at_version = version_;
+  index.positions.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    index.positions[rows_[i][*col]].push_back(i);
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+const std::vector<size_t>* Table::IndexLookup(size_t col,
+                                              const Value& v) const {
+  for (const HashIndex& index : indexes_) {
+    if (index.column == col && index.built_at_version == version_) {
+      static const std::vector<size_t>* kEmpty = new std::vector<size_t>();
+      auto it = index.positions.find(v);
+      return it == index.positions.end() ? kEmpty : &it->second;
+    }
+  }
+  return nullptr;
+}
+
+Result<int64_t> Table::Append(Row row) {
+  if (row.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema (" +
+        std::to_string(schema_.NumColumns()) + " columns)");
+  }
+  int64_t id = next_row_id_++;
+  rows_.push_back(std::move(row));
+  row_ids_.push_back(id);
+  InvalidateIndexes();
+  return id;
+}
+
+Status Table::AppendAll(std::vector<Row> rows) {
+  for (Row& row : rows) {
+    DL_RETURN_NOT_OK(Append(std::move(row)).status());
+  }
+  return Status::OK();
+}
+
+size_t Table::RetainOnly(const std::unordered_set<int64_t>& keep) {
+  size_t out = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (keep.count(row_ids_[i])) {
+      if (out != i) {
+        rows_[out] = std::move(rows_[i]);
+        row_ids_[out] = row_ids_[i];
+      }
+      ++out;
+    }
+  }
+  size_t removed = rows_.size() - out;
+  rows_.resize(out);
+  row_ids_.resize(out);
+  if (removed > 0) InvalidateIndexes();
+  return removed;
+}
+
+size_t Table::RemoveIds(const std::unordered_set<int64_t>& remove) {
+  size_t out = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!remove.count(row_ids_[i])) {
+      if (out != i) {
+        rows_[out] = std::move(rows_[i]);
+        row_ids_[out] = row_ids_[i];
+      }
+      ++out;
+    }
+  }
+  size_t removed = rows_.size() - out;
+  rows_.resize(out);
+  row_ids_.resize(out);
+  if (removed > 0) InvalidateIndexes();
+  return removed;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  row_ids_.clear();
+  InvalidateIndexes();
+}
+
+}  // namespace datalawyer

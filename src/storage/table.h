@@ -1,0 +1,102 @@
+#ifndef DATALAWYER_STORAGE_TABLE_H_
+#define DATALAWYER_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace datalawyer {
+
+/// Read-only scan interface the executor consumes. Implemented by Table and
+/// by the overlay relations in catalog_view.h (log + in-memory increment,
+/// the synthesized Clock row, unified-policy Constants, ...).
+class RelationData {
+ public:
+  virtual ~RelationData() = default;
+  virtual const TableSchema& schema() const = 0;
+  virtual size_t NumRows() const = 0;
+  virtual const Row& RowAt(size_t i) const = 0;
+  /// Stable id of row i — survives deletions of other rows. Used as the
+  /// provenance `itid` and by log compaction's mark phase.
+  virtual int64_t RowIdAt(size_t i) const = 0;
+
+  /// Row positions whose column `col` equals `v`, when a valid hash index
+  /// exists on that column; nullptr means "scan". Overridden by Table.
+  virtual const std::vector<size_t>* IndexLookup(size_t col,
+                                                 const Value& v) const {
+    (void)col;
+    (void)v;
+    return nullptr;
+  }
+};
+
+/// In-memory row store with stable row ids.
+///
+/// Deletion is by *retention*: LogCompactor computes the set of row ids that
+/// form the absolute witness and calls RetainOnly() with it (§4.1.2).
+class Table : public RelationData {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const override { return schema_; }
+  size_t NumRows() const override { return rows_.size(); }
+  const Row& RowAt(size_t i) const override { return rows_[i]; }
+  int64_t RowIdAt(size_t i) const override { return row_ids_[i]; }
+
+  /// Appends one row; returns its stable row id. Fails if the arity does
+  /// not match the schema.
+  Result<int64_t> Append(Row row);
+
+  /// Appends many rows.
+  Status AppendAll(std::vector<Row> rows);
+
+  /// Deletes every row whose id is NOT in `keep`; returns the number of
+  /// rows removed.
+  size_t RetainOnly(const std::unordered_set<int64_t>& keep);
+
+  /// Deletes every row whose id IS in `remove`; returns the number removed.
+  size_t RemoveIds(const std::unordered_set<int64_t>& remove);
+
+  void Clear();
+
+  /// Builds a hash index on `column` for equality pushdown. The index is
+  /// invalidated (silently, falling back to scans) by any later mutation;
+  /// call again to rebuild.
+  Status BuildIndex(const std::string& column);
+
+  const std::vector<size_t>* IndexLookup(size_t col,
+                                         const Value& v) const override;
+
+ private:
+  struct ValueHashFn {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+
+  void InvalidateIndexes() { ++version_; }
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<int64_t> row_ids_;
+  int64_t next_row_id_ = 0;
+
+  struct HashIndex {
+    size_t column = 0;
+    uint64_t built_at_version = 0;
+    std::unordered_map<Value, std::vector<size_t>, ValueHashFn> positions;
+  };
+  std::vector<HashIndex> indexes_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_STORAGE_TABLE_H_

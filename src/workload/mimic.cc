@@ -1,0 +1,118 @@
+#include "workload/mimic.h"
+
+#include <random>
+
+namespace datalawyer {
+
+Status LoadMimicData(Database* db, const MimicConfig& config) {
+  std::mt19937_64 rng(config.seed);
+
+  // ---- d_patients(subject_id, sex, dob) ----
+  DL_ASSIGN_OR_RETURN(Table * patients,
+                      db->CreateTable("d_patients",
+                                      TableSchema()
+                                          .AddColumn("subject_id",
+                                                     ValueType::kInt64)
+                                          .AddColumn("sex", ValueType::kString)
+                                          .AddColumn("dob",
+                                                     ValueType::kInt64)));
+  std::uniform_int_distribution<int64_t> dob_dist(-2208988800LL, 946684800LL);
+  for (int64_t id = 0; id < config.num_patients; ++id) {
+    DL_RETURN_NOT_OK(patients
+                         ->Append(Row{Value(id),
+                                      Value((rng() & 1) ? "m" : "f"),
+                                      Value(dob_dist(rng))})
+                         .status());
+  }
+
+  // ---- chartevents(subject_id, itemid, charttime, value1) ----
+  DL_ASSIGN_OR_RETURN(
+      Table * chartevents,
+      db->CreateTable("chartevents",
+                      TableSchema()
+                          .AddColumn("subject_id", ValueType::kInt64)
+                          .AddColumn("itemid", ValueType::kInt64)
+                          .AddColumn("charttime", ValueType::kInt64)
+                          .AddColumn("value1", ValueType::kDouble)));
+  std::uniform_int_distribution<int64_t> item_dist(100, 300);
+  std::uniform_int_distribution<int64_t> subject_dist(
+      0, config.num_patients - 1);
+  std::normal_distribution<double> hr_dist(80.0, 15.0);
+  int64_t charttime = 0;
+  // Deterministic heart-rate series per patient (itemid 211: heart rate in
+  // MIMIC-II), so the W2–W4 GROUP BY sizes are exactly
+  // events_211_per_patient.
+  int64_t deterministic =
+      config.num_patients * config.events_211_per_patient;
+  for (int64_t i = 0; i < deterministic && i < config.num_chartevents; ++i) {
+    int64_t subject = i % config.num_patients;
+    DL_RETURN_NOT_OK(chartevents
+                         ->Append(Row{Value(subject), Value(int64_t{211}),
+                                      Value(charttime++),
+                                      Value(hr_dist(rng))})
+                         .status());
+  }
+  for (int64_t i = deterministic; i < config.num_chartevents; ++i) {
+    int64_t item = item_dist(rng);
+    if (item == 211) item = 212;  // keep 211 counts deterministic
+    DL_RETURN_NOT_OK(chartevents
+                         ->Append(Row{Value(subject_dist(rng)), Value(item),
+                                      Value(charttime++),
+                                      Value(hr_dist(rng))})
+                         .status());
+  }
+
+  // ---- poe_order(order_id, subject_id, medication) ----
+  DL_ASSIGN_OR_RETURN(
+      Table * poe_order,
+      db->CreateTable("poe_order",
+                      TableSchema()
+                          .AddColumn("order_id", ValueType::kInt64)
+                          .AddColumn("subject_id", ValueType::kInt64)
+                          .AddColumn("medication", ValueType::kString)));
+  const char* kMeds[] = {"aspirin", "heparin", "insulin", "morphine",
+                         "saline"};
+  for (int64_t id = 0; id < config.num_orders; ++id) {
+    DL_RETURN_NOT_OK(poe_order
+                         ->Append(Row{Value(id), Value(subject_dist(rng)),
+                                      Value(kMeds[rng() % 5])})
+                         .status());
+  }
+
+  // ---- poe_med(order_id, dose) ----
+  DL_ASSIGN_OR_RETURN(
+      Table * poe_med,
+      db->CreateTable("poe_med", TableSchema()
+                                     .AddColumn("order_id", ValueType::kInt64)
+                                     .AddColumn("dose", ValueType::kDouble)));
+  std::uniform_real_distribution<double> dose_dist(0.5, 50.0);
+  for (int64_t id = 0; id < config.num_orders; ++id) {
+    DL_RETURN_NOT_OK(
+        poe_med->Append(Row{Value(id), Value(dose_dist(rng))}).status());
+  }
+
+  // ---- groups(uid, gid): user-group membership for P1-style policies ----
+  // Group 'X' contains user 1 but not user 0 (Table 2's footnote), so the
+  // experiments' two users exercise both the pruned and the full paths.
+  DL_ASSIGN_OR_RETURN(
+      Table * groups,
+      db->CreateTable("groups", TableSchema()
+                                    .AddColumn("uid", ValueType::kInt64)
+                                    .AddColumn("gid", ValueType::kString)));
+  DL_RETURN_NOT_OK(groups->Append(Row{Value(int64_t{1}), Value("X")}).status());
+  const char* kGroups[] = {"student", "postdoc", "faculty", "staff"};
+  for (int64_t uid = 2; uid < config.num_users; ++uid) {
+    DL_RETURN_NOT_OK(
+        groups->Append(Row{Value(uid), Value(kGroups[uid % 4])}).status());
+  }
+
+  if (config.build_indexes) {
+    DL_RETURN_NOT_OK(patients->BuildIndex("subject_id"));
+    DL_RETURN_NOT_OK(chartevents->BuildIndex("subject_id"));
+    DL_RETURN_NOT_OK(poe_order->BuildIndex("order_id"));
+    DL_RETURN_NOT_OK(poe_med->BuildIndex("order_id"));
+  }
+  return Status::OK();
+}
+
+}  // namespace datalawyer

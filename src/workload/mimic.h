@@ -1,0 +1,51 @@
+#ifndef DATALAWYER_WORKLOAD_MIMIC_H_
+#define DATALAWYER_WORKLOAD_MIMIC_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace datalawyer {
+
+/// Shape parameters of the synthetic MIMIC-II-like dataset.
+///
+/// The real MIMIC-II (physionet.org/mimic2) is a gated clinical dataset; we
+/// generate data with the same schema fragments and join structure the
+/// paper's experiments exercise: `d_patients` (one row per ICU patient),
+/// `chartevents` (monitoring readings, many per patient, with the paper's
+/// heart-rate item id 211), `poe_order`/`poe_med` (provider order entry),
+/// and a `groups` user-membership table for the group-scoped policies.
+struct MimicConfig {
+  uint64_t seed = 42;
+  int64_t num_patients = 33000;   ///< MIMIC-II's "over 33000 patients"
+  int64_t num_chartevents = 400000;
+  int64_t num_orders = 20000;
+  int64_t num_users = 64;         ///< rows in `groups`
+
+  /// Every patient receives this many deterministic heart-rate (itemid 211)
+  /// chartevents before the random ones, so the paper's W2–W4 group sizes
+  /// are predictable.
+  int64_t events_211_per_patient = 12;
+
+  /// Build hash indexes on the equality-probed columns (subject_id), giving
+  /// the W1/W2 point queries their interactive speeds.
+  bool build_indexes = true;
+
+  /// Scaled-down preset for unit tests (hundreds of rows).
+  static MimicConfig Tiny() {
+    MimicConfig config;
+    config.num_patients = 200;
+    config.num_chartevents = 2000;
+    config.num_orders = 100;
+    config.events_211_per_patient = 4;
+    return config;
+  }
+};
+
+/// Populates `db` with the synthetic dataset (tables must not yet exist).
+Status LoadMimicData(Database* db, const MimicConfig& config);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_WORKLOAD_MIMIC_H_

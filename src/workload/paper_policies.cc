@@ -1,0 +1,88 @@
+#include "workload/paper_policies.h"
+
+namespace datalawyer {
+
+namespace {
+std::string N(int64_t v) { return std::to_string(v); }
+}  // namespace
+
+std::string PaperPolicies::P1(int64_t window, const std::string& group,
+                              int64_t threshold) {
+  return "SELECT DISTINCT 'P1 violated: more than " + N(threshold) +
+         " distinct users from group " + group + " in " + N(window) +
+         "ms' AS errormessage "
+         "FROM users u, groups g, clock c "
+         "WHERE u.uid = g.uid AND g.gid = '" + group + "' "
+         "AND u.ts > c.ts - " + N(window) + " "
+         "HAVING COUNT(DISTINCT u.uid) > " + N(threshold);
+}
+
+std::string PaperPolicies::P2(int64_t uid) {
+  return "SELECT DISTINCT 'P2 violated: poe_order joined with a relation "
+         "other than poe_med' AS errormessage "
+         "FROM users u, schema s1, schema s2 "
+         "WHERE u.ts = s1.ts AND s1.ts = s2.ts AND u.uid = " + N(uid) + " "
+         "AND s1.irid = 'poe_order' "
+         "AND s2.irid != 'poe_order' AND s2.irid != 'poe_med'";
+}
+
+std::string PaperPolicies::P3(int64_t uid, int64_t threshold) {
+  return "SELECT DISTINCT 'P3 violated: query on d_patients returned more "
+         "than " + N(threshold) + " tuples' AS errormessage "
+         "FROM users u, provenance p "
+         "WHERE u.ts = p.ts AND u.uid = " + N(uid) + " "
+         "AND p.irid = 'd_patients' "
+         "GROUP BY p.ts "
+         "HAVING COUNT(DISTINCT p.otid) > " + N(threshold);
+}
+
+std::string PaperPolicies::P4(int64_t uid, int64_t threshold) {
+  return "SELECT DISTINCT 'P4 violated: an output tuple over chartevents "
+         "has too few contributing inputs' AS errormessage "
+         "FROM users u, provenance p "
+         "WHERE u.ts = p.ts AND u.uid = " + N(uid) + " "
+         "AND p.irid = 'chartevents' "
+         "GROUP BY p.ts, p.otid "
+         "HAVING COUNT(DISTINCT p.itid) <= " + N(threshold);
+}
+
+std::string PaperPolicies::P5(int64_t uid, int64_t window,
+                              int64_t threshold) {
+  return "SELECT DISTINCT 'P5 violated: more than " + N(threshold) +
+         " distinct d_patients tuples used in " + N(window) +
+         "ms' AS errormessage "
+         "FROM users u, provenance p, clock c "
+         "WHERE u.ts = p.ts AND u.uid = " + N(uid) + " "
+         "AND p.irid = 'd_patients' AND p.ts > c.ts - " + N(window) + " "
+         "HAVING COUNT(DISTINCT p.itid) > " + N(threshold);
+}
+
+std::string PaperPolicies::P6(int64_t uid, int64_t window,
+                              int64_t threshold) {
+  return "SELECT DISTINCT 'P6 violated: a d_patients tuple was used more "
+         "than " + N(threshold) + " times in " + N(window) +
+         "ms' AS errormessage "
+         "FROM users u, provenance p, clock c "
+         "WHERE u.ts = p.ts AND u.uid = " + N(uid) + " "
+         "AND p.irid = 'd_patients' AND p.ts > c.ts - " + N(window) + " "
+         "GROUP BY p.itid "
+         "HAVING COUNT(p.itid) > " + N(threshold);
+}
+
+std::vector<std::pair<std::string, std::string>> PaperPolicies::All() {
+  return {
+      {"p1", P1()}, {"p2", P2()}, {"p3", P3()},
+      {"p4", P4()}, {"p5", P5()}, {"p6", P6()},
+  };
+}
+
+std::string PaperPolicies::RateLimitForUser(int64_t uid, int64_t window,
+                                            int64_t threshold) {
+  return "SELECT DISTINCT 'rate limit exceeded for user " + N(uid) +
+         "' AS errormessage "
+         "FROM users u, clock c "
+         "WHERE u.uid = " + N(uid) + " AND u.ts > c.ts - " + N(window) + " "
+         "HAVING COUNT(u.uid) > " + N(threshold);
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,62 @@
+#ifndef DATALAWYER_WORKLOAD_PAPER_POLICIES_H_
+#define DATALAWYER_WORKLOAD_PAPER_POLICIES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace datalawyer {
+
+/// SQL for the six experiment policies of Table 2, adapted to the synthetic
+/// MIMIC-like schema. Thresholds marked "adapted" differ from the paper's
+/// constants only to keep the policies satisfied on our synthetic data
+/// volumes (the paper measures the satisfied-policy path; see DESIGN.md).
+///
+/// Time windows are in logical clock ticks, which the experiments treat as
+/// milliseconds (ManualClock stepping 10 per query ≈ a 100 qps workload).
+class PaperPolicies {
+ public:
+  /// P1: at most `threshold` distinct users from group `group` may query in
+  /// any `window`. Cheapest policy: Users log only.
+  static std::string P1(int64_t window = 200, const std::string& group = "X",
+                        int64_t threshold = 10);
+
+  /// P2: user `uid` must not join poe_order with anything but poe_med.
+  /// Users + Schema logs; time-independent.
+  static std::string P2(int64_t uid = 1);
+
+  /// P3: user `uid` may not run a query on d_patients returning more than
+  /// `threshold` tuples (paper: 100; adapted default 1000 so W4 complies).
+  /// Users + Provenance; time-independent.
+  static std::string P3(int64_t uid = 1, int64_t threshold = 1000);
+
+  /// P4: no output tuple of a query over chartevents by `uid` may have <= 3
+  /// contributing input tuples. Users + Provenance; time-independent;
+  /// non-monotone (count <= k).
+  static std::string P4(int64_t uid = 1, int64_t threshold = 3);
+
+  /// P5: in any `window`, `uid` may not use more than `threshold` distinct
+  /// d_patients tuples across all queries (paper: half the table).
+  /// Users + Provenance + Clock; time-dependent.
+  static std::string P5(int64_t uid = 1, int64_t window = 3000,
+                        int64_t threshold = 16500);
+
+  /// P6: in any `window`, `uid` may not use the same d_patients tuple more
+  /// than `threshold` times. Users + Provenance + Clock; time-dependent.
+  static std::string P6(int64_t uid = 1, int64_t window = 300,
+                        int64_t threshold = 1000);
+
+  /// All six, with default parameters: {("p1", sql), ..., ("p6", sql)}.
+  static std::vector<std::pair<std::string, std::string>> All();
+
+  /// A per-user rate-limit policy (P1-like family used in Fig. 5): user
+  /// `uid` may issue at most `threshold` queries per `window`. Structurally
+  /// identical across users — exactly what policy unification consolidates.
+  static std::string RateLimitForUser(int64_t uid, int64_t window = 1000,
+                                      int64_t threshold = 350);
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_WORKLOAD_PAPER_POLICIES_H_

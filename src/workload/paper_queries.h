@@ -1,0 +1,58 @@
+#ifndef DATALAWYER_WORKLOAD_PAPER_QUERIES_H_
+#define DATALAWYER_WORKLOAD_PAPER_QUERIES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace datalawyer {
+
+/// The four workload queries of Table 3, adapted to the synthetic dataset.
+/// They span the paper's cost spectrum: W1 is an indexed point lookup, W2 a
+/// single-patient join+aggregate, W3 a 70-patient range aggregate, W4 a
+/// 650-patient range aggregate (the expensive query). HAVING thresholds are
+/// adapted to the synthetic per-patient event counts (12 heart-rate events
+/// per patient) so that each query returns non-empty, policy-compliant
+/// results.
+class PaperQueries {
+ public:
+  static std::string W1() {
+    return "SELECT * FROM d_patients WHERE subject_id = 186";
+  }
+
+  static std::string W2() {
+    return "SELECT c.subject_id, p.sex, COUNT(c.subject_id) "
+           "FROM chartevents c, d_patients p "
+           "WHERE c.subject_id = 489 AND p.subject_id = c.subject_id "
+           "AND c.itemid = 211 "
+           "GROUP BY c.subject_id, p.sex "
+           "HAVING COUNT(c.subject_id) > 1";
+  }
+
+  static std::string W3() {
+    return "SELECT c.subject_id, p.sex, COUNT(c.subject_id) "
+           "FROM chartevents c, d_patients p "
+           "WHERE c.subject_id < 1000 AND c.subject_id > 930 "
+           "AND p.subject_id = c.subject_id AND c.itemid = 211 "
+           "GROUP BY c.subject_id, p.sex "
+           "HAVING COUNT(c.subject_id) > 10";
+  }
+
+  static std::string W4() {
+    return "SELECT c.subject_id, p.sex, COUNT(c.subject_id) "
+           "FROM chartevents c, d_patients p "
+           "WHERE c.subject_id < 1450 AND c.subject_id > 800 "
+           "AND p.subject_id = c.subject_id AND c.itemid = 211 "
+           "GROUP BY c.subject_id, p.sex "
+           "HAVING COUNT(c.subject_id) > 10";
+  }
+
+  /// {("W1", sql), ..., ("W4", sql)}.
+  static std::vector<std::pair<std::string, std::string>> All() {
+    return {{"W1", W1()}, {"W2", W2()}, {"W3", W3()}, {"W4", W4()}};
+  }
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_WORKLOAD_PAPER_QUERIES_H_

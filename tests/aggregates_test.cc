@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "exec/aggregates.h"
+
+namespace datalawyer {
+namespace {
+
+FuncCallExpr MakeSpec(const std::string& name, bool distinct = false,
+                      bool star = false) {
+  std::vector<ExprPtr> args;
+  if (!star) {
+    args.push_back(std::make_unique<ColumnRefExpr>("t", "x"));
+  }
+  return FuncCallExpr(name, distinct, star, std::move(args));
+}
+
+TEST(AggregatesTest, CountStar) {
+  FuncCallExpr spec = MakeSpec("count", false, true);
+  AggregateAccumulator acc(&spec);
+  for (int i = 0; i < 5; ++i) acc.AddStarRow();
+  auto result = acc.Finish();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, Value(int64_t{5}));
+}
+
+TEST(AggregatesTest, CountSkipsNulls) {
+  FuncCallExpr spec = MakeSpec("count");
+  AggregateAccumulator acc(&spec);
+  ASSERT_TRUE(acc.Add(Value(int64_t{1})).ok());
+  ASSERT_TRUE(acc.Add(Value::Null()).ok());
+  ASSERT_TRUE(acc.Add(Value(int64_t{2})).ok());
+  EXPECT_EQ(*acc.Finish(), Value(int64_t{2}));
+}
+
+TEST(AggregatesTest, CountDistinct) {
+  FuncCallExpr spec = MakeSpec("count", /*distinct=*/true);
+  AggregateAccumulator acc(&spec);
+  for (int64_t v : {1, 2, 2, 3, 1, 3, 3}) {
+    ASSERT_TRUE(acc.Add(Value(v)).ok());
+  }
+  EXPECT_EQ(*acc.Finish(), Value(int64_t{3}));
+}
+
+TEST(AggregatesTest, DistinctWorksAcrossTypes) {
+  FuncCallExpr spec = MakeSpec("count", true);
+  AggregateAccumulator acc(&spec);
+  ASSERT_TRUE(acc.Add(Value("a")).ok());
+  ASSERT_TRUE(acc.Add(Value("a")).ok());
+  ASSERT_TRUE(acc.Add(Value("b")).ok());
+  EXPECT_EQ(*acc.Finish(), Value(int64_t{2}));
+}
+
+TEST(AggregatesTest, SumIntStaysInt) {
+  FuncCallExpr spec = MakeSpec("sum");
+  AggregateAccumulator acc(&spec);
+  ASSERT_TRUE(acc.Add(Value(int64_t{2})).ok());
+  ASSERT_TRUE(acc.Add(Value(int64_t{3})).ok());
+  auto result = acc.Finish();
+  ASSERT_TRUE(result->is_int64());
+  EXPECT_EQ(*result, Value(int64_t{5}));
+}
+
+TEST(AggregatesTest, SumWidensOnDouble) {
+  FuncCallExpr spec = MakeSpec("sum");
+  AggregateAccumulator acc(&spec);
+  ASSERT_TRUE(acc.Add(Value(int64_t{2})).ok());
+  ASSERT_TRUE(acc.Add(Value(0.5)).ok());
+  auto result = acc.Finish();
+  ASSERT_TRUE(result->is_double());
+  EXPECT_DOUBLE_EQ(result->AsDouble(), 2.5);
+}
+
+TEST(AggregatesTest, SumRejectsNonNumeric) {
+  FuncCallExpr spec = MakeSpec("sum");
+  AggregateAccumulator acc(&spec);
+  EXPECT_FALSE(acc.Add(Value("oops")).ok());
+}
+
+TEST(AggregatesTest, AvgIsAlwaysDouble) {
+  FuncCallExpr spec = MakeSpec("avg");
+  AggregateAccumulator acc(&spec);
+  ASSERT_TRUE(acc.Add(Value(int64_t{1})).ok());
+  ASSERT_TRUE(acc.Add(Value(int64_t{2})).ok());
+  auto result = acc.Finish();
+  ASSERT_TRUE(result->is_double());
+  EXPECT_DOUBLE_EQ(result->AsDouble(), 1.5);
+}
+
+TEST(AggregatesTest, MinMaxOverStrings) {
+  FuncCallExpr min_spec = MakeSpec("min");
+  FuncCallExpr max_spec = MakeSpec("max");
+  AggregateAccumulator mn(&min_spec), mx(&max_spec);
+  for (const char* s : {"pear", "apple", "zebra", "fig"}) {
+    ASSERT_TRUE(mn.Add(Value(s)).ok());
+    ASSERT_TRUE(mx.Add(Value(s)).ok());
+  }
+  EXPECT_EQ(*mn.Finish(), Value("apple"));
+  EXPECT_EQ(*mx.Finish(), Value("zebra"));
+}
+
+TEST(AggregatesTest, EmptyGroupSemantics) {
+  FuncCallExpr count_spec = MakeSpec("count");
+  FuncCallExpr sum_spec = MakeSpec("sum");
+  FuncCallExpr min_spec = MakeSpec("min");
+  FuncCallExpr avg_spec = MakeSpec("avg");
+  EXPECT_EQ(*AggregateAccumulator(&count_spec).Finish(), Value(int64_t{0}));
+  EXPECT_TRUE(AggregateAccumulator(&sum_spec).Finish()->is_null());
+  EXPECT_TRUE(AggregateAccumulator(&min_spec).Finish()->is_null());
+  EXPECT_TRUE(AggregateAccumulator(&avg_spec).Finish()->is_null());
+}
+
+TEST(AggregatesTest, AllNullInputBehavesLikeEmpty) {
+  FuncCallExpr spec = MakeSpec("min");
+  AggregateAccumulator acc(&spec);
+  ASSERT_TRUE(acc.Add(Value::Null()).ok());
+  ASSERT_TRUE(acc.Add(Value::Null()).ok());
+  EXPECT_TRUE(acc.Finish()->is_null());
+}
+
+TEST(AggregatesTest, SumDistinct) {
+  FuncCallExpr spec = MakeSpec("sum", true);
+  AggregateAccumulator acc(&spec);
+  for (int64_t v : {5, 5, 7}) {
+    ASSERT_TRUE(acc.Add(Value(v)).ok());
+  }
+  EXPECT_EQ(*acc.Finish(), Value(int64_t{12}));
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "analysis/binder.h"
+#include "sql/parser.h"
+#include "storage/catalog_view.h"
+#include "storage/database.h"
+
+namespace datalawyer {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("t",
+                                TableSchema()
+                                    .AddColumn("a", ValueType::kInt64)
+                                    .AddColumn("b", ValueType::kString)
+                                    .AddColumn("c", ValueType::kDouble))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("u",
+                                TableSchema()
+                                    .AddColumn("a", ValueType::kInt64)
+                                    .AddColumn("d", ValueType::kBool))
+                    .ok());
+    catalog_ = std::make_unique<DatabaseCatalog>(&db_);
+  }
+
+  Result<std::unique_ptr<BoundQuery>> Bind(const std::string& sql) {
+    auto parsed = Parser::ParseSelect(sql);
+    if (!parsed.ok()) return parsed.status();
+    stmts_.push_back(std::move(parsed).value());
+    Binder binder(catalog_.get());
+    return binder.Bind(*stmts_.back());
+  }
+
+  std::unique_ptr<BoundQuery> BindOk(const std::string& sql) {
+    auto result = Bind(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : nullptr;
+  }
+
+  Database db_;
+  std::unique_ptr<DatabaseCatalog> catalog_;
+  std::vector<std::unique_ptr<SelectStmt>> stmts_;  // keep ASTs alive
+};
+
+TEST_F(BinderTest, SlotLayoutFollowsFromOrder) {
+  auto bq = BindOk("SELECT t.a, u.d FROM t, u WHERE t.a = u.a");
+  ASSERT_NE(bq, nullptr);
+  ASSERT_EQ(bq->relations.size(), 2u);
+  EXPECT_EQ(bq->slot_offsets[0], 0u);
+  EXPECT_EQ(bq->slot_offsets[1], 3u);
+  EXPECT_EQ(bq->total_slots, 5u);
+  // t.a → slot 0, u.d → slot 4.
+  EXPECT_EQ(bq->column_slots.at(bq->stmt->items[0].expr.get()), 0u);
+  EXPECT_EQ(bq->column_slots.at(bq->stmt->items[1].expr.get()), 4u);
+}
+
+TEST_F(BinderTest, UnqualifiedResolution) {
+  auto bq = BindOk("SELECT b, d FROM t, u");
+  ASSERT_NE(bq, nullptr);
+  EXPECT_EQ(bq->output_schema.column(0).name, "b");
+  EXPECT_EQ(bq->output_schema.column(0).type, ValueType::kString);
+  EXPECT_EQ(bq->output_schema.column(1).type, ValueType::kBool);
+}
+
+TEST_F(BinderTest, AmbiguousUnqualifiedRejected) {
+  auto result = Bind("SELECT a FROM t, u");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(BinderTest, UnknownNamesRejected) {
+  EXPECT_FALSE(Bind("SELECT x FROM t").ok());
+  EXPECT_FALSE(Bind("SELECT t.x FROM t").ok());
+  EXPECT_FALSE(Bind("SELECT z.a FROM t").ok());
+  EXPECT_FALSE(Bind("SELECT 1 FROM nonexistent").ok());
+  EXPECT_FALSE(Bind("SELECT nope.* FROM t").ok());
+}
+
+TEST_F(BinderTest, DuplicateAliasRejected) {
+  EXPECT_FALSE(Bind("SELECT 1 FROM t x, u x").ok());
+  EXPECT_FALSE(Bind("SELECT 1 FROM t, t").ok());
+  // Self-join with distinct aliases is fine.
+  EXPECT_TRUE(Bind("SELECT 1 FROM t t1, t t2 WHERE t1.a = t2.a").ok());
+}
+
+TEST_F(BinderTest, StarExpansion) {
+  auto bq = BindOk("SELECT * FROM t, u");
+  ASSERT_NE(bq, nullptr);
+  EXPECT_EQ(bq->output_columns.size(), 5u);
+  EXPECT_EQ(bq->output_schema.column(3).name, "a");  // u.a
+
+  auto qualified = BindOk("SELECT u.*, t.b FROM t, u");
+  ASSERT_NE(qualified, nullptr);
+  ASSERT_EQ(qualified->output_columns.size(), 3u);
+  EXPECT_EQ(qualified->output_columns[0].slot, 3u);
+  EXPECT_EQ(qualified->output_columns[2].expr != nullptr, true);
+}
+
+TEST_F(BinderTest, OutputNamingAndTypes) {
+  auto bq = BindOk(
+      "SELECT t.a AS renamed, t.a + t.c, COUNT(*) AS n, 'lit' FROM t");
+  ASSERT_NE(bq, nullptr);
+  EXPECT_EQ(bq->output_schema.column(0).name, "renamed");
+  EXPECT_EQ(bq->output_schema.column(0).type, ValueType::kInt64);
+  EXPECT_EQ(bq->output_schema.column(1).type, ValueType::kDouble);
+  EXPECT_EQ(bq->output_schema.column(2).name, "n");
+  EXPECT_EQ(bq->output_schema.column(2).type, ValueType::kInt64);
+  EXPECT_EQ(bq->output_schema.column(3).type, ValueType::kString);
+}
+
+TEST_F(BinderTest, AggregateValidation) {
+  EXPECT_FALSE(Bind("SELECT 1 FROM t WHERE COUNT(*) > 1").ok());
+  EXPECT_FALSE(Bind("SELECT 1 FROM t GROUP BY COUNT(*)").ok());
+  EXPECT_FALSE(Bind("SELECT COUNT(COUNT(*)) FROM t").ok());
+  auto bq = BindOk("SELECT COUNT(t.a) FROM t HAVING COUNT(t.a) > 1");
+  ASSERT_NE(bq, nullptr);
+  EXPECT_TRUE(bq->has_aggregates);
+  EXPECT_TRUE(bq->is_grouped);
+  EXPECT_EQ(bq->aggregates.size(), 2u);  // one per call site
+}
+
+TEST_F(BinderTest, GroupingFlags) {
+  auto plain = BindOk("SELECT t.a FROM t");
+  EXPECT_FALSE(plain->is_grouped);
+  auto grouped = BindOk("SELECT t.b FROM t GROUP BY t.b");
+  EXPECT_TRUE(grouped->is_grouped);
+  EXPECT_FALSE(grouped->has_aggregates);
+}
+
+TEST_F(BinderTest, SubqueryScoping) {
+  auto bq = BindOk(
+      "SELECT s.n, u.d FROM (SELECT t.b, COUNT(*) AS n FROM t GROUP BY t.b) "
+      "s, u WHERE s.n = u.a");
+  ASSERT_NE(bq, nullptr);
+  ASSERT_EQ(bq->relations.size(), 2u);
+  EXPECT_NE(bq->relations[0].subquery, nullptr);
+  EXPECT_EQ(bq->relations[0].schema.NumColumns(), 2u);
+  EXPECT_EQ(bq->relations[0].schema.column(1).name, "n");
+  // The inner table's columns are not visible outside.
+  EXPECT_FALSE(Bind("SELECT t.a FROM (SELECT t.a FROM t) s").ok());
+}
+
+TEST_F(BinderTest, UnionArityChecked) {
+  EXPECT_TRUE(Bind("SELECT t.a FROM t UNION SELECT u.a FROM u").ok());
+  auto bad = Bind("SELECT t.a, t.b FROM t UNION SELECT u.a FROM u");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("arities"), std::string::npos);
+}
+
+TEST_F(BinderTest, DistinctOnWithGroupingRejected) {
+  EXPECT_FALSE(
+      Bind("SELECT DISTINCT ON (t.a) COUNT(*) FROM t GROUP BY t.a").ok());
+}
+
+TEST_F(BinderTest, FindRelationHelper) {
+  auto bq = BindOk("SELECT 1 FROM t alias1, u");
+  EXPECT_EQ(bq->FindRelation("alias1"), 0);
+  EXPECT_EQ(bq->FindRelation("u"), 1);
+  EXPECT_EQ(bq->FindRelation("ALIAS1"), 0);
+  EXPECT_EQ(bq->FindRelation("t"), -1);  // aliased away
+  EXPECT_EQ(bq->FindRelation("nope"), -1);
+}
+
+}  // namespace
+}  // namespace datalawyer

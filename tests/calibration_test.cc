@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "policy/calibration.h"
+#include "workload/mimic.h"
+#include "workload/paper_queries.h"
+
+namespace datalawyer {
+namespace {
+
+/// A deliberately slow generator whose built-in rank claims it is cheapest.
+class SlowLiarGenerator : public UsersLogGenerator {
+ public:
+  const std::string& relation_name() const override {
+    static const std::string* kName = new std::string("slow_liar");
+    return *kName;
+  }
+  int cost_rank() const override { return -1; }  // claims cheapest
+  Result<std::vector<Row>> Generate(const GenerationInput& input) override {
+    // Burn measurable time.
+    volatile double sink = 0;
+    for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
+    (void)sink;
+    return UsersLogGenerator::Generate(input);
+  }
+};
+
+TEST(CalibrationTest, MeasuredOrderOverridesDeclaredRanks) {
+  Database db;
+  ASSERT_TRUE(LoadMimicData(&db, MimicConfig::Tiny()).ok());
+  Engine engine(&db);
+
+  auto log = UsageLog::WithStandardGenerators();
+  ASSERT_TRUE(
+      log->RegisterGenerator(std::make_unique<SlowLiarGenerator>()).ok());
+  // Declared order puts the liar first.
+  EXPECT_EQ(log->RelationNamesInOrder()[0], "slow_liar");
+
+  QueryContext ctx;
+  ctx.uid = 1;
+  auto result = CalibrateGenerationOrder(
+      log.get(), &engine, {PaperQueries::W1(), PaperQueries::W2()}, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->costs_ms.size(), 4u);
+  // Costs are reported ascending.
+  for (size_t i = 1; i < result->costs_ms.size(); ++i) {
+    EXPECT_LE(result->costs_ms[i - 1].second, result->costs_ms[i].second);
+  }
+  // The measured order demotes the liar behind the genuinely cheap logs.
+  std::vector<std::string> order = log->RelationNamesInOrder();
+  EXPECT_NE(order[0], "slow_liar");
+  EXPECT_EQ(order.back() == "slow_liar" || order[2] == "slow_liar", true);
+  // Calibration leaves no staged rows behind.
+  for (const std::string& name : order) {
+    EXPECT_EQ(log->delta_table(name)->NumRows(), 0u) << name;
+  }
+}
+
+TEST(CalibrationTest, EmptyWorkloadRejected) {
+  Database db;
+  Engine engine(&db);
+  auto log = UsageLog::WithStandardGenerators();
+  QueryContext ctx;
+  EXPECT_FALSE(CalibrateGenerationOrder(log.get(), &engine, {}, ctx).ok());
+}
+
+TEST(CalibrationTest, SetCostRankReordersDirectly) {
+  auto log = UsageLog::WithStandardGenerators();
+  log->SetCostRank("provenance", -5.0);
+  EXPECT_EQ(log->RelationNamesInOrder()[0], "provenance");
+  log->SetCostRank("users", -10.0);
+  EXPECT_EQ(log->RelationNamesInOrder()[0], "users");
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace datalawyer {
+namespace {
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status bad = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.message(), "bad input");
+  EXPECT_EQ(bad.ToString(), "InvalidArgument: bad input");
+  EXPECT_TRUE(Status::PolicyViolation("x").IsPolicyViolation());
+  EXPECT_FALSE(bad.IsPolicyViolation());
+}
+
+TEST(StatusTest, AllCodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTypeError), "TypeError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kPolicyViolation),
+               "PolicyViolation");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  DL_ASSIGN_OR_RETURN(int half, Half(x));
+  DL_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = Half(3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(ResultTest, OkStatusDowngradedToInternal) {
+  Result<int> bogus{Status::OK()};
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_EQ(bogus.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ManualClockTest, DeterministicTicks) {
+  ManualClock clock(100, 10);
+  EXPECT_EQ(clock.Now(), 100);
+  EXPECT_EQ(clock.Tick(), 110);
+  EXPECT_EQ(clock.Tick(), 120);
+  EXPECT_EQ(clock.Now(), 120);
+  clock.AdvanceTo(500);
+  EXPECT_EQ(clock.Now(), 500);
+  clock.AdvanceTo(10);  // cannot go back
+  EXPECT_EQ(clock.Now(), 500);
+  clock.set_step(0);  // clamps to 1
+  EXPECT_EQ(clock.Tick(), 501);
+}
+
+TEST(SystemClockTest, StrictlyIncreasingTicks) {
+  SystemClock clock;
+  int64_t a = clock.Tick();
+  int64_t b = clock.Tick();
+  int64_t c = clock.Tick();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_GE(clock.Now(), 1600000000000LL);  // after 2020, in ms
+}
+
+TEST(StringsTest, Helpers) {
+  EXPECT_EQ(ToLower("MiXeD_09"), "mixed_09");
+  EXPECT_TRUE(EqualsIgnoreCase("Users", "USERS"));
+  EXPECT_FALSE(EqualsIgnoreCase("Users", "User"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+}  // namespace
+}  // namespace datalawyer

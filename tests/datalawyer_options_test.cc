@@ -1,0 +1,256 @@
+// Property: no combination of DataLawyer's optimizations may change the
+// accept/reject verdict of any query — the optimizations are performance
+// transformations, not semantics changes.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/datalawyer.h"
+#include "workload/mimic.h"
+#include "workload/paper_policies.h"
+#include "workload/paper_queries.h"
+
+namespace datalawyer {
+namespace {
+
+struct OptionCombo {
+  bool compaction;
+  bool time_independent;
+  bool unification;
+  bool preemptive;
+  bool improved_partial;
+  EvalStrategy strategy;
+
+  std::string Label() const {
+    std::string s;
+    s += compaction ? "C" : "-";
+    s += time_independent ? "T" : "-";
+    s += unification ? "U" : "-";
+    s += preemptive ? "P" : "-";
+    s += improved_partial ? "I" : "-";
+    s += strategy == EvalStrategy::kInterleaved ? "i"
+         : strategy == EvalStrategy::kSerial    ? "s"
+                                                : "u";
+    return s;
+  }
+};
+
+std::vector<OptionCombo> AllCombos() {
+  std::vector<OptionCombo> combos;
+  for (bool c : {false, true}) {
+    for (bool t : {false, true}) {
+      for (bool u : {false, true}) {
+        for (bool p : {false, true}) {
+          for (bool i : {false, true}) {
+            for (EvalStrategy s :
+                 {EvalStrategy::kInterleaved, EvalStrategy::kSerial,
+                  EvalStrategy::kUnion}) {
+              // Preemptive compaction and improved partials only modify
+              // behaviour under their parent features; prune redundant rows
+              // to keep the matrix affordable.
+              if (p && !c) continue;
+              if (i && s != EvalStrategy::kInterleaved) continue;
+              combos.push_back(OptionCombo{c, t, u, p, i, s});
+            }
+          }
+        }
+      }
+    }
+  }
+  return combos;
+}
+
+/// One scripted scenario exercising accepts and rejects across all six
+/// paper policies plus a tight rate limit.
+struct Step {
+  int64_t uid;
+  std::string sql;
+};
+
+std::vector<Step> Scenario(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Step> steps;
+  auto queries = PaperQueries::All();
+  for (int i = 0; i < 25; ++i) {
+    steps.push_back(
+        Step{int64_t(rng() % 2), queries[rng() % queries.size()].second});
+  }
+  // A join that trips P2 for uid 1.
+  steps.push_back(Step{1,
+                       "SELECT o.medication, p.sex FROM poe_order o, "
+                       "d_patients p WHERE o.subject_id = p.subject_id"});
+  steps.push_back(Step{0,
+                       "SELECT o.medication, p.sex FROM poe_order o, "
+                       "d_patients p WHERE o.subject_id = p.subject_id"});
+  return steps;
+}
+
+TEST(DataLawyerOptionsMatrixTest, AllCombosAgreeOnEveryVerdict) {
+  Database db;
+  ASSERT_TRUE(LoadMimicData(&db, MimicConfig::Tiny()).ok());
+  std::vector<Step> steps = Scenario(7);
+
+  // Reference run: NoOpt.
+  std::vector<bool> reference;
+  {
+    DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                  std::make_unique<ManualClock>(0, 10),
+                  DataLawyerOptions::NoOpt());
+    for (const auto& [name, sql] : PaperPolicies::All()) {
+      ASSERT_TRUE(dl.AddPolicy(name, sql).ok());
+    }
+    ASSERT_TRUE(
+        dl.AddPolicy("rate", PaperPolicies::RateLimitForUser(1, 500, 10))
+            .ok());
+    for (const Step& step : steps) {
+      QueryContext ctx;
+      ctx.uid = step.uid;
+      reference.push_back(dl.Execute(step.sql, ctx).ok());
+    }
+  }
+  // Both outcomes must occur or the property is vacuous.
+  EXPECT_NE(std::count(reference.begin(), reference.end(), false), 0);
+  EXPECT_NE(std::count(reference.begin(), reference.end(), true), 0);
+
+  for (const OptionCombo& combo : AllCombos()) {
+    DataLawyerOptions options;
+    options.enable_log_compaction = combo.compaction;
+    options.enable_time_independent = combo.time_independent;
+    options.enable_unification = combo.unification;
+    options.enable_preemptive_compaction = combo.preemptive;
+    options.enable_improved_partial = combo.improved_partial;
+    options.strategy = combo.strategy;
+
+    DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                  std::make_unique<ManualClock>(0, 10), options);
+    for (const auto& [name, sql] : PaperPolicies::All()) {
+      ASSERT_TRUE(dl.AddPolicy(name, sql).ok());
+    }
+    ASSERT_TRUE(
+        dl.AddPolicy("rate", PaperPolicies::RateLimitForUser(1, 500, 10))
+            .ok());
+    for (size_t i = 0; i < steps.size(); ++i) {
+      QueryContext ctx;
+      ctx.uid = steps[i].uid;
+      auto result = dl.Execute(steps[i].sql, ctx);
+      ASSERT_EQ(result.ok(), reference[i])
+          << "combo " << combo.Label() << " step " << i << " uid "
+          << steps[i].uid << ": " << result.status().ToString();
+    }
+  }
+}
+
+TEST(DataLawyerOptionsTest, StatsReportPhases) {
+  Database db;
+  ASSERT_TRUE(LoadMimicData(&db, MimicConfig::Tiny()).ok());
+  DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                std::make_unique<ManualClock>(0, 10), {});
+  ASSERT_TRUE(dl.AddPolicy("p6", PaperPolicies::P6()).ok());
+  QueryContext ctx;
+  ctx.uid = 1;
+  ASSERT_TRUE(dl.Execute(PaperQueries::W2(), ctx).ok());
+  const ExecutionStats& stats = dl.last_stats();
+  EXPECT_GT(stats.ts, 0);
+  EXPECT_GT(stats.query_exec_ms, 0.0);
+  EXPECT_EQ(stats.logs_generated, 2u);  // users + provenance
+  EXPECT_GT(stats.log_rows_staged, 0u);
+  EXPECT_GT(stats.policies_evaluated, 0u);
+  EXPECT_FALSE(stats.rejected);
+  EXPECT_GE(stats.total_ms(), stats.overhead_ms());
+}
+
+TEST(DataLawyerOptionsTest, RejectionStatsCarryViolations) {
+  Database db;
+  ASSERT_TRUE(LoadMimicData(&db, MimicConfig::Tiny()).ok());
+  DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                std::make_unique<ManualClock>(0, 10), {});
+  ASSERT_TRUE(dl.AddPolicy("p3", PaperPolicies::P3(1, 10)).ok());
+  QueryContext ctx;
+  ctx.uid = 1;
+  auto result = dl.Execute("SELECT * FROM d_patients", ctx);
+  ASSERT_FALSE(result.ok());
+  const ExecutionStats& stats = dl.last_stats();
+  EXPECT_TRUE(stats.rejected);
+  ASSERT_EQ(stats.violations.size(), 1u);
+  EXPECT_NE(stats.violations[0].find("P3 violated"), std::string::npos);
+}
+
+TEST(DataLawyerOptionsTest, PerCallOverheadIsObservable) {
+  Database db;
+  ASSERT_TRUE(LoadMimicData(&db, MimicConfig::Tiny()).ok());
+  DataLawyerOptions slow;
+  slow.per_call_overhead_us = 2000;
+  slow.strategy = EvalStrategy::kSerial;
+  slow.enable_unification = false;  // keep 4 separate policy statements
+  DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                std::make_unique<ManualClock>(0, 10), slow);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(dl.AddPolicy("rate" + std::to_string(i),
+                             PaperPolicies::RateLimitForUser(i + 10))
+                    .ok());
+  }
+  QueryContext ctx;
+  ctx.uid = 0;
+  ASSERT_TRUE(dl.Execute(PaperQueries::W1(), ctx).ok());
+  // 4 serial policy statements × 2ms of simulated dispatch each.
+  EXPECT_GE(dl.last_stats().policy_eval_ms, 8.0);
+}
+
+TEST(DataLawyerOptionsTest, AddRemovePolicyLifecycle) {
+  Database db;
+  ASSERT_TRUE(LoadMimicData(&db, MimicConfig::Tiny()).ok());
+  DataLawyer dl(&db);
+  ASSERT_TRUE(dl.AddPolicy("p2", PaperPolicies::P2()).ok());
+  EXPECT_EQ(dl.AddPolicy("p2", PaperPolicies::P2()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(dl.NumPolicies(), 1u);
+
+  QueryContext ctx;
+  ctx.uid = 1;
+  std::string join =
+      "SELECT o.medication, p.sex FROM poe_order o, d_patients p "
+      "WHERE o.subject_id = p.subject_id";
+  EXPECT_FALSE(dl.Execute(join, ctx).ok());
+  ASSERT_TRUE(dl.RemovePolicy("p2").ok());
+  EXPECT_TRUE(dl.Execute(join, ctx).ok());
+  EXPECT_FALSE(dl.RemovePolicy("p2").ok());
+
+  // Policies that do not bind are rejected at registration.
+  EXPECT_FALSE(dl.AddPolicy("bad", "SELECT x FROM no_such_table").ok());
+  EXPECT_FALSE(dl.AddPolicy("notsql", "DROP TABLE users").ok());
+}
+
+TEST(DataLawyerOptionsTest, Section6DevicePolicy) {
+  // §6: "a policy that restricts queries from 'mobile' devices to output
+  // sizes of 10 tuples" — a new log-generating function plus a SQL policy.
+  Database db;
+  ASSERT_TRUE(LoadMimicData(&db, MimicConfig::Tiny()).ok());
+  auto log = UsageLog::WithStandardGenerators();
+  ASSERT_TRUE(log->RegisterGenerator(std::make_unique<DeviceLogGenerator>())
+                  .ok());
+  DataLawyer dl(&db, std::move(log), std::make_unique<ManualClock>(0, 10),
+                {});
+  ASSERT_TRUE(dl.AddPolicy("mobile-cap", R"sql(
+    SELECT DISTINCT 'mobile queries may return at most 10 tuples'
+    FROM devices d, provenance p
+    WHERE d.ts = p.ts AND d.device = 'mobile'
+    GROUP BY p.ts HAVING COUNT(DISTINCT p.otid) > 10
+  )sql")
+                  .ok());
+
+  QueryContext mobile;
+  mobile.uid = 1;
+  mobile.extras["device"] = Value("mobile");
+  QueryContext desktop;
+  desktop.uid = 1;
+  desktop.extras["device"] = Value("desktop");
+
+  std::string broad = "SELECT * FROM d_patients WHERE subject_id < 50";
+  EXPECT_FALSE(dl.Execute(broad, mobile).ok());
+  EXPECT_TRUE(dl.Execute(broad, desktop).ok());
+  EXPECT_TRUE(dl.Execute(PaperQueries::W1(), mobile).ok());
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "storage/database.h"
+
+namespace datalawyer {
+namespace {
+
+class EngineSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(&db_);
+    auto st = engine_->ExecuteScript(R"sql(
+      CREATE TABLE t (a INT, b INT, c TEXT);
+      INSERT INTO t VALUES (1, 10, 'x'), (2, 20, 'y'), (3, 30, 'x'), (4, 40, 'z');
+      CREATE TABLE u (a INT, d TEXT);
+      INSERT INTO u VALUES (1, 'one'), (2, 'two'), (5, 'five');
+    )sql");
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+  }
+
+  QueryResult Query(const std::string& sql) {
+    auto result = engine_->ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : QueryResult{};
+  }
+
+  Database db_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(EngineSmokeTest, SimpleSelect) {
+  QueryResult r = Query("SELECT a, b FROM t WHERE a >= 2 ORDER BY a");
+  ASSERT_EQ(r.NumRows(), 3u);
+  EXPECT_EQ(r.rows[0][0], Value(int64_t{2}));
+  EXPECT_EQ(r.rows[2][1], Value(int64_t{40}));
+}
+
+TEST_F(EngineSmokeTest, SelectStar) {
+  QueryResult r = Query("SELECT * FROM t WHERE c = 'x'");
+  ASSERT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.schema.NumColumns(), 3u);
+}
+
+TEST_F(EngineSmokeTest, Join) {
+  QueryResult r = Query(
+      "SELECT t.b, u.d FROM t, u WHERE t.a = u.a ORDER BY b");
+  ASSERT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.rows[0][1], Value("one"));
+  EXPECT_EQ(r.rows[1][1], Value("two"));
+}
+
+TEST_F(EngineSmokeTest, GroupByHaving) {
+  QueryResult r = Query(
+      "SELECT c, COUNT(*) AS n, SUM(b) AS s FROM t GROUP BY c "
+      "HAVING COUNT(*) > 1");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value("x"));
+  EXPECT_EQ(r.rows[0][1], Value(int64_t{2}));
+  EXPECT_EQ(r.rows[0][2], Value(int64_t{40}));
+}
+
+TEST_F(EngineSmokeTest, GlobalAggregateOverEmpty) {
+  QueryResult r = Query("SELECT COUNT(*) FROM t WHERE a > 100");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value(int64_t{0}));
+}
+
+TEST_F(EngineSmokeTest, DistinctAndUnion) {
+  QueryResult r = Query("SELECT c FROM t UNION SELECT d FROM u");
+  EXPECT_EQ(r.NumRows(), 6u);  // x,y,z,one,two,five
+  QueryResult r2 = Query("SELECT DISTINCT c FROM t");
+  EXPECT_EQ(r2.NumRows(), 3u);
+}
+
+TEST_F(EngineSmokeTest, Subquery) {
+  QueryResult r = Query(
+      "SELECT s.c, s.n FROM (SELECT c, COUNT(*) AS n FROM t GROUP BY c) s "
+      "WHERE s.n = 1 ORDER BY c");
+  ASSERT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.rows[0][0], Value("y"));
+}
+
+TEST_F(EngineSmokeTest, DeleteWhere) {
+  auto st = engine_->ExecuteSql("DELETE FROM t WHERE c = 'x'");
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  EXPECT_EQ(Query("SELECT * FROM t").NumRows(), 2u);
+}
+
+TEST_F(EngineSmokeTest, PolicyShapedQuery) {
+  // The paper's P2b shape: global HAVING with no GROUP BY over a join.
+  QueryResult r = Query(
+      "SELECT DISTINCT 'violation' AS msg FROM t, u WHERE t.a = u.a "
+      "HAVING COUNT(DISTINCT t.a) > 10");
+  EXPECT_EQ(r.NumRows(), 0u);
+  QueryResult r2 = Query(
+      "SELECT DISTINCT 'violation' AS msg FROM t, u WHERE t.a = u.a "
+      "HAVING COUNT(DISTINCT t.a) > 1");
+  ASSERT_EQ(r2.NumRows(), 1u);
+  EXPECT_EQ(r2.rows[0][0], Value("violation"));
+}
+
+TEST_F(EngineSmokeTest, LineageCapture) {
+  ExecOptions opts;
+  opts.capture_lineage = true;
+  auto result = engine_->ExecuteSql(
+      "SELECT t.b FROM t, u WHERE t.a = u.a AND t.a = 1", opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->NumRows(), 1u);
+  ASSERT_TRUE(result->has_lineage);
+  // One tuple from t and one from u contribute.
+  EXPECT_EQ(result->lineage[0].size(), 2u);
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "analysis/binder.h"
+#include "exec/eval.h"
+#include "sql/parser.h"
+#include "storage/catalog_view.h"
+#include "storage/database.h"
+
+namespace datalawyer {
+namespace {
+
+/// Binds an expression by parsing "SELECT <expr> FROM t" against a
+/// one-table catalog and evaluates it over the supplied row.
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("t",
+                                TableSchema()
+                                    .AddColumn("i", ValueType::kInt64)
+                                    .AddColumn("d", ValueType::kDouble)
+                                    .AddColumn("s", ValueType::kString)
+                                    .AddColumn("b", ValueType::kBool)
+                                    .AddColumn("n", ValueType::kInt64))
+                    .ok());
+    catalog_ = std::make_unique<DatabaseCatalog>(&db_);
+  }
+
+  Result<Value> EvalExpr(const std::string& expr_sql, Row row) {
+    auto parsed = Parser::ParseSelect("SELECT " + expr_sql + " FROM t");
+    if (!parsed.ok()) return parsed.status();
+    stmts_.push_back(std::move(parsed).value());
+    Binder binder(catalog_.get());
+    auto bound = binder.Bind(*stmts_.back());
+    if (!bound.ok()) return bound.status();
+    bounds_.push_back(std::move(bound).value());
+    rows_.push_back(std::move(row));
+    EvalContext ctx{bounds_.back().get(), &rows_.back(), nullptr};
+    return Eval(*stmts_.back()->items[0].expr, ctx);
+  }
+
+  /// Default row: i=10, d=2.5, s='abc', b=true, n=NULL.
+  Row DefaultRow() {
+    return Row{Value(int64_t{10}), Value(2.5), Value("abc"), Value(true),
+               Value::Null()};
+  }
+
+  Database db_;
+  std::unique_ptr<DatabaseCatalog> catalog_;
+  std::vector<std::unique_ptr<SelectStmt>> stmts_;
+  std::vector<std::unique_ptr<BoundQuery>> bounds_;
+  std::vector<Row> rows_;
+};
+
+TEST_F(EvalTest, ColumnAccessAndArithmetic) {
+  EXPECT_EQ(*EvalExpr("i + 5", DefaultRow()), Value(int64_t{15}));
+  EXPECT_EQ(*EvalExpr("i * d", DefaultRow()), Value(25.0));
+  EXPECT_EQ(*EvalExpr("i % 3", DefaultRow()), Value(int64_t{1}));
+  EXPECT_EQ(*EvalExpr("-i", DefaultRow()), Value(int64_t{-10}));
+  EXPECT_EQ(*EvalExpr("i - d", DefaultRow()), Value(7.5));
+}
+
+TEST_F(EvalTest, Comparisons) {
+  EXPECT_EQ(*EvalExpr("i > 5", DefaultRow()), Value(true));
+  EXPECT_EQ(*EvalExpr("s = 'abc'", DefaultRow()), Value(true));
+  EXPECT_EQ(*EvalExpr("s != 'abc'", DefaultRow()), Value(false));
+  EXPECT_EQ(*EvalExpr("d <= 2.5", DefaultRow()), Value(true));
+}
+
+struct ThreeValuedCase {
+  const char* expr;
+  int expected;  // 1 true, 0 false, -1 null
+};
+
+class ThreeValuedLogicTest
+    : public EvalTest,
+      public ::testing::WithParamInterface<ThreeValuedCase> {};
+
+TEST_P(ThreeValuedLogicTest, Matrix) {
+  auto result = EvalExpr(GetParam().expr, DefaultRow());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  switch (GetParam().expected) {
+    case 1:
+      EXPECT_EQ(*result, Value(true)) << GetParam().expr;
+      break;
+    case 0:
+      EXPECT_EQ(*result, Value(false)) << GetParam().expr;
+      break;
+    default:
+      EXPECT_TRUE(result->is_null()) << GetParam().expr;
+  }
+}
+
+// n is NULL in the default row, so `n = n` is NULL etc. (Kleene logic).
+INSTANTIATE_TEST_SUITE_P(
+    Kleene, ThreeValuedLogicTest,
+    ::testing::Values(
+        ThreeValuedCase{"TRUE AND TRUE", 1},
+        ThreeValuedCase{"TRUE AND FALSE", 0},
+        ThreeValuedCase{"TRUE AND n = 1", -1},
+        ThreeValuedCase{"FALSE AND n = 1", 0},   // false dominates null
+        ThreeValuedCase{"n = 1 AND FALSE", 0},
+        ThreeValuedCase{"TRUE OR n = 1", 1},     // true dominates null
+        ThreeValuedCase{"n = 1 OR TRUE", 1},
+        ThreeValuedCase{"FALSE OR n = 1", -1},
+        ThreeValuedCase{"NOT (n = 1)", -1},
+        ThreeValuedCase{"NOT FALSE", 1},
+        ThreeValuedCase{"n IS NULL", 1},
+        ThreeValuedCase{"n IS NOT NULL", 0},
+        ThreeValuedCase{"i IS NULL", 0},
+        ThreeValuedCase{"n + 1 IS NULL", 1},     // null propagates through +
+        ThreeValuedCase{"n = n", -1}));
+
+TEST_F(EvalTest, TypeErrorsSurface) {
+  EXPECT_FALSE(EvalExpr("s + 1", DefaultRow()).ok());
+  EXPECT_FALSE(EvalExpr("i AND TRUE", DefaultRow()).ok());
+  EXPECT_FALSE(EvalExpr("NOT i", DefaultRow()).ok());
+  EXPECT_FALSE(EvalExpr("-s", DefaultRow()).ok());
+  EXPECT_FALSE(EvalExpr("i = 'ten'", DefaultRow()).ok());
+  EXPECT_FALSE(EvalExpr("i / 0", DefaultRow()).ok());
+}
+
+TEST_F(EvalTest, ShortCircuitSkipsErrors) {
+  // FALSE AND <error> short-circuits before the bad comparison evaluates.
+  auto result = EvalExpr("FALSE AND i = 'ten'", DefaultRow());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, Value(false));
+  auto or_result = EvalExpr("TRUE OR i = 'ten'", DefaultRow());
+  ASSERT_TRUE(or_result.ok());
+  EXPECT_EQ(*or_result, Value(true));
+}
+
+TEST_F(EvalTest, PredicateSemantics) {
+  auto parsed = Parser::ParseSelect("SELECT 1 FROM t WHERE n = 1");
+  ASSERT_TRUE(parsed.ok());
+  stmts_.push_back(std::move(parsed).value());
+  Binder binder(catalog_.get());
+  auto bound = binder.Bind(*stmts_.back());
+  ASSERT_TRUE(bound.ok());
+  bounds_.push_back(std::move(bound).value());
+  rows_.push_back(DefaultRow());
+  EvalContext ctx{bounds_.back().get(), &rows_.back(), nullptr};
+  // NULL predicate is "not true".
+  auto keep = EvalPredicate(*stmts_.back()->where, ctx);
+  ASSERT_TRUE(keep.ok());
+  EXPECT_FALSE(*keep);
+}
+
+}  // namespace
+}  // namespace datalawyer

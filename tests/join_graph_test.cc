@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "analysis/join_graph.h"
+#include "sql/parser.h"
+
+namespace datalawyer {
+namespace {
+
+JoinGraph Build(const std::string& sql) {
+  auto stmt = Parser::ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  return JoinGraph::Build(**stmt);
+}
+
+QualifiedColumn QC(const std::string& q, const std::string& c) {
+  return QualifiedColumn{q, c};
+}
+
+TEST(JoinGraphTest, DirectEquiJoin) {
+  JoinGraph g = Build("SELECT 1 FROM a, b WHERE a.x = b.y");
+  EXPECT_TRUE(g.SameClass(QC("a", "x"), QC("b", "y")));
+  EXPECT_FALSE(g.SameClass(QC("a", "x"), QC("b", "z")));
+}
+
+TEST(JoinGraphTest, TransitiveClosure) {
+  JoinGraph g = Build(
+      "SELECT 1 FROM a, b, c WHERE a.ts = b.ts AND b.ts = c.ts");
+  EXPECT_TRUE(g.SameClass(QC("a", "ts"), QC("c", "ts")));
+  EXPECT_EQ(g.ClassMembers(QC("a", "ts")).size(), 3u);
+}
+
+TEST(JoinGraphTest, SeparateClasses) {
+  JoinGraph g = Build(
+      "SELECT 1 FROM a, b WHERE a.ts = b.ts AND a.id = b.id");
+  EXPECT_TRUE(g.SameClass(QC("a", "ts"), QC("b", "ts")));
+  EXPECT_TRUE(g.SameClass(QC("a", "id"), QC("b", "id")));
+  EXPECT_FALSE(g.SameClass(QC("a", "ts"), QC("b", "id")));
+  EXPECT_EQ(g.Classes().size(), 2u);
+}
+
+TEST(JoinGraphTest, NonEquiAndConstantPredicatesIgnored) {
+  JoinGraph g = Build(
+      "SELECT 1 FROM a, b WHERE a.ts > b.ts AND a.x = 5 AND a.y != b.y");
+  EXPECT_FALSE(g.SameClass(QC("a", "ts"), QC("b", "ts")));
+  EXPECT_TRUE(g.ClassMembers(QC("a", "x")).empty());
+  EXPECT_TRUE(g.Classes().empty());
+}
+
+TEST(JoinGraphTest, DisjunctionsAreNotJoins) {
+  // A join inside OR is not a guaranteed equi-join.
+  JoinGraph g = Build("SELECT 1 FROM a, b WHERE a.x = b.x OR a.y = 1");
+  EXPECT_FALSE(g.SameClass(QC("a", "x"), QC("b", "x")));
+}
+
+TEST(JoinGraphTest, ReflexiveAndUnknown) {
+  JoinGraph g = Build("SELECT 1 FROM a, b WHERE a.ts = b.ts");
+  EXPECT_TRUE(g.SameClass(QC("a", "ts"), QC("a", "ts")));  // identity
+  EXPECT_TRUE(g.SameClass(QC("z", "q"), QC("z", "q")));
+  EXPECT_FALSE(g.SameClass(QC("z", "q"), QC("a", "ts")));
+}
+
+TEST(JoinGraphTest, NoWhereClause) {
+  JoinGraph g = Build("SELECT 1 FROM a, b");
+  EXPECT_TRUE(g.Classes().empty());
+}
+
+TEST(JoinGraphTest, PaperExampleP2b) {
+  // Example 3.2: Users/Schema joined on ts; uid joined with Groups.
+  JoinGraph g = Build(
+      "SELECT DISTINCT 'e' FROM users u, schema s, groups g, clock c "
+      "WHERE u.ts = s.ts AND s.irid = 'patients' AND u.uid = g.uid "
+      "AND g.gid = 'Students' AND u.ts > c.ts - 1209600");
+  EXPECT_TRUE(g.SameClass(QC("u", "ts"), QC("s", "ts")));
+  EXPECT_TRUE(g.SameClass(QC("u", "uid"), QC("g", "uid")));
+  EXPECT_FALSE(g.SameClass(QC("u", "ts"), QC("c", "ts")));  // window, not join
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace datalawyer {
+namespace {
+
+std::vector<Token> Lex(const std::string& sql) {
+  Lexer lexer(sql);
+  auto result = lexer.Tokenize();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("SELECT Select sElEcT");
+  ASSERT_EQ(tokens.size(), 4u);  // 3 + kEnd
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword);
+    EXPECT_EQ(tokens[i].text, "select");
+  }
+}
+
+TEST(LexerTest, IdentifiersLowercased) {
+  auto tokens = Lex("MyTable my_col _x a1");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "mytable");
+  EXPECT_EQ(tokens[1].text, "my_col");
+  EXPECT_EQ(tokens[2].text, "_x");
+  EXPECT_EQ(tokens[3].text, "a1");
+}
+
+TEST(LexerTest, QuotedIdentifier) {
+  auto tokens = Lex("\"Weird Name\"");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "weird name");
+}
+
+TEST(LexerTest, IntegerAndDoubleLiterals) {
+  auto tokens = Lex("42 3.14 0.5 1e3 2.5e-2 7");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.14);
+  EXPECT_EQ(tokens[2].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[3].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[4].double_value, 0.025);
+  EXPECT_EQ(tokens[5].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Lex("'hello' 'it''s' ''");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+  EXPECT_EQ(tokens[2].text, "");
+}
+
+TEST(LexerTest, StringsPreserveCase) {
+  auto tokens = Lex("'MiXeD CaSe'");
+  EXPECT_EQ(tokens[0].text, "MiXeD CaSe");
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= != <> < <= > >= + - * / %");
+  std::vector<std::string> expected = {"=", "!=", "!=", "<", "<=", ">",
+                                       ">=", "+", "-", "*", "/", "%"};
+  ASSERT_EQ(tokens.size(), expected.size() + 1);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kOperator) << i;
+    EXPECT_EQ(tokens[i].text, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, Punctuation) {
+  auto tokens = Lex("( ) , . ;");
+  EXPECT_EQ(tokens[0].type, TokenType::kLParen);
+  EXPECT_EQ(tokens[1].type, TokenType::kRParen);
+  EXPECT_EQ(tokens[2].type, TokenType::kComma);
+  EXPECT_EQ(tokens[3].type, TokenType::kDot);
+  EXPECT_EQ(tokens[4].type, TokenType::kSemicolon);
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Lex("SELECT -- the select list\n1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[1].int_value, 1);
+}
+
+TEST(LexerTest, BlockComments) {
+  auto tokens = Lex("SELECT /* multi\nline */ 1 /* unclosed at end ok? */");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].int_value, 1);
+}
+
+TEST(LexerTest, ErrorsReportBytePosition) {
+  Lexer bad("SELECT 'unterminated");
+  auto result = bad.Tokenize();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unterminated"), std::string::npos);
+
+  Lexer bang("a ! b");
+  EXPECT_FALSE(bang.Tokenize().ok());
+
+  Lexer weird("a # b");
+  EXPECT_FALSE(weird.Tokenize().ok());
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+  auto spaces = Lex("   \n\t  -- only a comment");
+  ASSERT_EQ(spaces.size(), 1u);
+}
+
+TEST(LexerTest, AggregateNamesAreKeywords) {
+  for (const char* kw : {"count", "sum", "avg", "min", "max"}) {
+    EXPECT_TRUE(Lexer::IsKeyword(kw)) << kw;
+  }
+  EXPECT_FALSE(Lexer::IsKeyword("median"));
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "policy/log_compactor.h"
+#include "policy/witness.h"
+#include "sql/parser.h"
+
+namespace datalawyer {
+namespace {
+
+class LogCompactorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(&db_);
+    ASSERT_TRUE(engine_
+                    ->ExecuteScript(R"sql(
+      CREATE TABLE groups (uid INT, gid TEXT);
+      INSERT INTO groups VALUES (1, 'X'), (2, 'X'), (3, 'Y');
+    )sql")
+                    .ok());
+    log_ = UsageLog::WithStandardGenerators();
+  }
+
+  /// Appends a (ts, uid) row directly to the users main table.
+  void SeedUsersMain(int64_t ts, int64_t uid) {
+    ASSERT_TRUE(
+        log_->main_table("users")->Append(Row{Value(ts), Value(uid)}).ok());
+  }
+  void StageUsersDelta(int64_t ts, int64_t uid) {
+    ASSERT_TRUE(
+        log_->delta_table("users")->Append(Row{Value(ts), Value(uid)}).ok());
+  }
+
+  WitnessSet BuildWitness(const std::string& policy_sql) {
+    auto stmt = Parser::ParseSelect(policy_sql);
+    EXPECT_TRUE(stmt.ok());
+    stmts_.push_back(std::move(stmt).value());
+    WitnessBuilder builder(log_.get());
+    auto result = builder.Build(*stmts_.back());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  Database db_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<UsageLog> log_;
+  std::vector<std::unique_ptr<SelectStmt>> stmts_;
+};
+
+TEST_F(LogCompactorTest, WindowedPolicyPrunesExpiredRows) {
+  // Policy: users in group X within a 100-tick window.
+  WitnessSet witness = BuildWitness(
+      "SELECT DISTINCT 'e' FROM users u, groups g, clock c "
+      "WHERE u.uid = g.uid AND g.gid = 'X' AND u.ts > c.ts - 100 "
+      "HAVING COUNT(DISTINCT u.uid) > 10");
+  // History: ts 5 (expired by now=200), ts 150 (in window), uid 3 (not X).
+  SeedUsersMain(5, 1);
+  SeedUsersMain(150, 1);
+  SeedUsersMain(150, 3);
+  StageUsersDelta(200, 2);
+
+  LogCompactor compactor(log_.get());
+  auto stats = compactor.CompactAndFlush({&witness}, engine_->db_catalog(),
+                                         /*now=*/200);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows_deleted, 2u);   // expired + non-X
+  EXPECT_EQ(stats->rows_inserted, 1u);  // staged row survives
+
+  const Table* main = log_->main_table("users");
+  ASSERT_EQ(main->NumRows(), 2u);
+  EXPECT_EQ(main->RowAt(0)[0], Value(int64_t{150}));
+  EXPECT_EQ(main->RowAt(1)[0], Value(int64_t{200}));
+  EXPECT_EQ(log_->delta_table("users")->NumRows(), 0u);
+}
+
+TEST_F(LogCompactorTest, FullFallbackKeepsEverything) {
+  WitnessSet witness =
+      BuildWitness("SELECT DISTINCT 'e' FROM users u WHERE uid = 1");
+  ASSERT_TRUE(witness.per_relation.at("users").full_fallback);
+  SeedUsersMain(1, 1);
+  SeedUsersMain(2, 9);
+  StageUsersDelta(3, 9);
+  LogCompactor compactor(log_.get());
+  auto stats =
+      compactor.CompactAndFlush({&witness}, engine_->db_catalog(), 3);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows_deleted, 0u);
+  EXPECT_EQ(stats->rows_inserted, 1u);
+  EXPECT_EQ(log_->main_table("users")->NumRows(), 3u);
+}
+
+TEST_F(LogCompactorTest, UnreferencedRelationIsWiped) {
+  // No policy references provenance: nothing of it needs to persist.
+  WitnessSet witness =
+      BuildWitness("SELECT DISTINCT 'e' FROM users u WHERE u.uid = 1");
+  ASSERT_TRUE(log_->main_table("provenance")
+                  ->Append(Row{Value(int64_t{1}), Value(int64_t{0}),
+                               Value("t"), Value(int64_t{0})})
+                  .ok());
+  SeedUsersMain(1, 1);
+  LogCompactor compactor(log_.get());
+  ASSERT_TRUE(
+      compactor.CompactAndFlush({&witness}, engine_->db_catalog(), 5).ok());
+  EXPECT_EQ(log_->main_table("provenance")->NumRows(), 0u);
+  EXPECT_EQ(log_->main_table("users")->NumRows(), 1u);  // uid=1 retained
+}
+
+TEST_F(LogCompactorTest, SkipRetentionBypassesWitnessQueries) {
+  WitnessSet witness = BuildWitness(
+      "SELECT DISTINCT 'e' FROM users u, clock c WHERE u.ts = c.ts "
+      "AND u.uid = 1");
+  log_->SetPersisted("users", false);
+  SeedUsersMain(1, 1);
+  StageUsersDelta(2, 1);
+  LogCompactor compactor(log_.get());
+  auto stats = compactor.CompactAndFlush({&witness}, engine_->db_catalog(), 2,
+                                         {"users"});
+  ASSERT_TRUE(stats.ok());
+  // Delta dropped (not persisted), main wiped (skip_retention: no policy
+  // needs history).
+  EXPECT_EQ(stats->rows_dropped_from_delta, 1u);
+  EXPECT_EQ(log_->main_table("users")->NumRows(), 0u);
+}
+
+TEST_F(LogCompactorTest, UnionOfWitnessesAcrossPolicies) {
+  // Policy A needs uid=1 rows, policy B needs uid=3 rows: both survive.
+  WitnessSet a =
+      BuildWitness("SELECT DISTINCT 'a' FROM users u WHERE u.uid = 1");
+  WitnessSet b =
+      BuildWitness("SELECT DISTINCT 'b' FROM users u WHERE u.uid = 3");
+  SeedUsersMain(1, 1);
+  SeedUsersMain(2, 2);
+  SeedUsersMain(3, 3);
+  LogCompactor compactor(log_.get());
+  auto stats =
+      compactor.CompactAndFlush({&a, &b}, engine_->db_catalog(), 10);
+  ASSERT_TRUE(stats.ok());
+  const Table* main = log_->main_table("users");
+  ASSERT_EQ(main->NumRows(), 2u);
+  EXPECT_EQ(main->RowAt(0)[1], Value(int64_t{1}));
+  EXPECT_EQ(main->RowAt(1)[1], Value(int64_t{3}));
+}
+
+TEST_F(LogCompactorTest, DistinctOnWitnessKeepsOneRepresentative) {
+  // Boolean, aggregate-free policy on uid: one row per distinct uid value
+  // suffices (Lemma 4.2).
+  WitnessSet witness = BuildWitness(
+      "SELECT DISTINCT 'e' FROM users u, groups g WHERE u.uid = g.uid");
+  for (int i = 0; i < 5; ++i) SeedUsersMain(i, 1);  // five uid=1 rows
+  SeedUsersMain(10, 3);
+  LogCompactor compactor(log_.get());
+  ASSERT_TRUE(
+      compactor.CompactAndFlush({&witness}, engine_->db_catalog(), 20).ok());
+  const Table* main = log_->main_table("users");
+  // One representative for uid=1 plus the uid=3 row.
+  EXPECT_EQ(main->NumRows(), 2u);
+}
+
+TEST_F(LogCompactorTest, MarkPhaseExposesKeepSets) {
+  WitnessSet witness = BuildWitness(
+      "SELECT DISTINCT 'e' FROM users u, groups g "
+      "WHERE u.uid = g.uid AND g.gid = 'Y'");
+  SeedUsersMain(1, 1);  // X, not retained
+  SeedUsersMain(2, 3);  // Y, retained
+  LogCompactor compactor(log_.get());
+  std::set<std::string> keep_all;
+  auto keep = compactor.Mark({&witness}, engine_->db_catalog(), 5, &keep_all);
+  ASSERT_TRUE(keep.ok());
+  EXPECT_TRUE(keep_all.empty());
+  ASSERT_EQ(keep->at("users").size(), 1u);
+  EXPECT_EQ(*keep->at("users").begin(), 1);  // row id of the uid=3 row
+  EXPECT_TRUE(keep->at("provenance").empty());
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace datalawyer {
+namespace {
+
+std::unique_ptr<SelectStmt> ParseOk(const std::string& sql) {
+  auto result = Parser::ParseSelect(sql);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+  return result.ok() ? std::move(result).value() : nullptr;
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = ParseOk("SELECT 1");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_EQ(stmt->items[0].expr->kind(), ExprKind::kLiteral);
+  EXPECT_TRUE(stmt->from.empty());
+}
+
+TEST(ParserTest, FullClauseSet) {
+  auto stmt = ParseOk(
+      "SELECT DISTINCT a.x AS col, COUNT(DISTINCT b.y) FROM t1 a, t2 b "
+      "WHERE a.id = b.id AND a.x > 5 GROUP BY a.x "
+      "HAVING COUNT(DISTINCT b.y) > 2 ORDER BY col DESC LIMIT 10");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->distinct);
+  EXPECT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[0].alias, "col");
+  EXPECT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->from[0].table_name, "t1");
+  EXPECT_EQ(stmt->from[0].alias, "a");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_NE(stmt->having, nullptr);
+  ASSERT_EQ(stmt->order_by.size(), 1u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(ParserTest, DistinctOn) {
+  auto stmt = ParseOk("SELECT DISTINCT ON (r.a, r.b) r.* FROM r");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_FALSE(stmt->distinct);
+  EXPECT_EQ(stmt->distinct_on.size(), 2u);
+  EXPECT_EQ(stmt->items.size(), 1u);
+  EXPECT_EQ(stmt->items[0].expr->kind(), ExprKind::kStar);
+
+  // The paper writes "DISTINCT ON (p1.ts), p1.*" with a comma: tolerated.
+  auto paper = ParseOk("SELECT DISTINCT ON (p1.ts), p1.* FROM schema p1");
+  ASSERT_NE(paper, nullptr);
+  EXPECT_EQ(paper->distinct_on.size(), 1u);
+  EXPECT_EQ(paper->items.size(), 1u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseOk("SELECT a + b * c - d FROM t");
+  // ((a + (b*c)) - d)
+  EXPECT_EQ(stmt->items[0].expr->ToString(), "((a + (b * c)) - d)");
+
+  auto logic = ParseOk("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND NOT c = 3");
+  EXPECT_EQ(logic->where->ToString(),
+            "((a = 1) OR ((b = 2) AND (not (c = 3))))");
+
+  auto paren = ParseOk("SELECT (a + b) * c FROM t");
+  EXPECT_EQ(paren->items[0].expr->ToString(), "((a + b) * c)");
+}
+
+TEST(ParserTest, UnaryMinusFoldsLiterals) {
+  auto stmt = ParseOk("SELECT -5, -2.5, -x FROM t");
+  ASSERT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[0].expr->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(static_cast<const LiteralExpr&>(*stmt->items[0].expr).value,
+            Value(int64_t{-5}));
+  EXPECT_EQ(stmt->items[1].expr->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(stmt->items[2].expr->kind(), ExprKind::kUnary);
+}
+
+TEST(ParserTest, NullBooleansAndIsNull) {
+  auto stmt = ParseOk(
+      "SELECT NULL, TRUE, FALSE FROM t WHERE a IS NULL AND b IS NOT NULL");
+  EXPECT_EQ(static_cast<const LiteralExpr&>(*stmt->items[0].expr).value,
+            Value::Null());
+  EXPECT_EQ(stmt->where->ToString(), "((a IS NULL) AND (b IS NOT NULL))");
+}
+
+TEST(ParserTest, Aggregates) {
+  auto stmt = ParseOk(
+      "SELECT COUNT(*), COUNT(x), COUNT(DISTINCT x), SUM(x), AVG(x), "
+      "MIN(x), MAX(x) FROM t");
+  ASSERT_EQ(stmt->items.size(), 7u);
+  const auto& star = static_cast<const FuncCallExpr&>(*stmt->items[0].expr);
+  EXPECT_TRUE(star.star);
+  EXPECT_TRUE(star.IsAggregate());
+  const auto& distinct = static_cast<const FuncCallExpr&>(*stmt->items[2].expr);
+  EXPECT_TRUE(distinct.distinct);
+}
+
+TEST(ParserTest, SubqueryInFrom) {
+  auto stmt = ParseOk(
+      "SELECT s.n FROM (SELECT COUNT(*) AS n FROM t GROUP BY x) s "
+      "WHERE s.n > 3");
+  ASSERT_EQ(stmt->from.size(), 1u);
+  ASSERT_TRUE(stmt->from[0].IsSubquery());
+  EXPECT_EQ(stmt->from[0].alias, "s");
+  EXPECT_EQ(stmt->from[0].subquery->group_by.size(), 1u);
+}
+
+TEST(ParserTest, SubqueryRequiresAlias) {
+  EXPECT_FALSE(Parser::ParseSelect("SELECT 1 FROM (SELECT 2)").ok());
+}
+
+TEST(ParserTest, UnionChain) {
+  auto stmt = ParseOk("SELECT a FROM t UNION SELECT b FROM u UNION ALL "
+                      "SELECT c FROM v");
+  ASSERT_NE(stmt->union_next, nullptr);
+  EXPECT_FALSE(stmt->union_all);
+  ASSERT_NE(stmt->union_next->union_next, nullptr);
+  EXPECT_TRUE(stmt->union_next->union_all);
+}
+
+TEST(ParserTest, ParenthesizedUnionMembers) {
+  auto stmt = ParseOk("(SELECT a FROM t) UNION (SELECT b FROM u)");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_NE(stmt->union_next, nullptr);
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* queries[] = {
+      "SELECT 1",
+      "SELECT DISTINCT a.x FROM t a WHERE a.y = 'z'",
+      "SELECT COUNT(DISTINCT u.uid) FROM users u GROUP BY u.ts "
+      "HAVING COUNT(DISTINCT u.uid) > 10",
+      "SELECT DISTINCT ON (p.ts) p.* FROM provenance p",
+      "SELECT a FROM t UNION ALL SELECT b FROM u",
+  };
+  for (const char* sql : queries) {
+    auto first = ParseOk(sql);
+    ASSERT_NE(first, nullptr) << sql;
+    std::string printed = first->ToString();
+    auto second = ParseOk(printed);
+    ASSERT_NE(second, nullptr) << printed;
+    EXPECT_EQ(printed, second->ToString()) << sql;
+  }
+}
+
+TEST(ParserTest, CloneIsDeepAndEqual) {
+  auto stmt = ParseOk(
+      "SELECT DISTINCT a.x FROM t a, (SELECT y FROM u) s "
+      "WHERE a.x = s.y GROUP BY a.x HAVING COUNT(*) > 1 "
+      "UNION SELECT b FROM v");
+  auto clone = stmt->Clone();
+  EXPECT_EQ(stmt->ToString(), clone->ToString());
+  // Mutating the clone must not affect the original.
+  clone->items.clear();
+  EXPECT_EQ(stmt->items.size(), 1u);
+}
+
+TEST(ParserTest, InsertStatement) {
+  auto result = Parser::Parse(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->kind, StatementKind::kInsert);
+  EXPECT_EQ(result->insert->columns.size(), 2u);
+  EXPECT_EQ(result->insert->rows.size(), 2u);
+}
+
+TEST(ParserTest, CreateTableStatement) {
+  auto result = Parser::Parse(
+      "CREATE TABLE t (a INT, b BIGINT, c DOUBLE, d TEXT, e VARCHAR, "
+      "f BOOLEAN)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->kind, StatementKind::kCreateTable);
+  const TableSchema& schema = result->create_table->schema;
+  ASSERT_EQ(schema.NumColumns(), 6u);
+  EXPECT_EQ(schema.column(0).type, ValueType::kInt64);
+  EXPECT_EQ(schema.column(2).type, ValueType::kDouble);
+  EXPECT_EQ(schema.column(3).type, ValueType::kString);
+  EXPECT_EQ(schema.column(5).type, ValueType::kBool);
+}
+
+TEST(ParserTest, DeleteAndDrop) {
+  auto del = Parser::Parse("DELETE FROM t WHERE a = 1");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->kind, StatementKind::kDelete);
+  auto drop = Parser::Parse("DROP TABLE t");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_EQ(drop->kind, StatementKind::kDropTable);
+}
+
+TEST(ParserTest, Script) {
+  auto script = Parser::ParseScript(
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script->size(), 3u);
+}
+
+struct BadSql {
+  const char* sql;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadSql> {};
+
+TEST_P(ParserErrorTest, Rejected) {
+  EXPECT_FALSE(Parser::Parse(GetParam().sql).ok()) << GetParam().sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, ParserErrorTest,
+    ::testing::Values(BadSql{"SELECT"}, BadSql{"SELECT FROM t"},
+                      BadSql{"SELECT 1 FROM"}, BadSql{"SELECT 1 WHERE"},
+                      BadSql{"SELECT 1 FROM t WHERE"},
+                      BadSql{"SELECT 1 GROUP BY"},
+                      BadSql{"SELECT 1 trailing junk ,"},
+                      BadSql{"SELECT COUNT(1, 2) FROM t"},
+                      BadSql{"INSERT INTO VALUES (1)"},
+                      BadSql{"CREATE TABLE t (a UNKNOWNTYPE)"},
+                      BadSql{"SELECT 1 FROM t LIMIT x"},
+                      BadSql{"SELECT (1 FROM t"},
+                      BadSql{"UPDATE t SET a = 1"}));
+
+TEST(ParserTest, ConjunctHelpers) {
+  auto stmt = ParseOk("SELECT 1 FROM t WHERE a = 1 AND b = 2 AND (c = 3 OR "
+                      "d = 4)");
+  auto conjuncts = SplitConjuncts(*stmt->where);
+  EXPECT_EQ(conjuncts.size(), 3u);
+  auto ptrs = ConjunctPtrs(*stmt->where);
+  EXPECT_EQ(ptrs.size(), 3u);
+  // AndTogether reassembles an equivalent tree.
+  ExprPtr rebuilt = AndTogether(std::move(conjuncts));
+  auto again = SplitConjuncts(*rebuilt);
+  EXPECT_EQ(again.size(), 3u);
+  EXPECT_EQ(AndTogether({}), nullptr);
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "policy/policy.h"
+#include "policy/policy_analyzer.h"
+#include "workload/paper_policies.h"
+
+namespace datalawyer {
+namespace {
+
+class PolicyAnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { log_ = UsageLog::WithStandardGenerators(); }
+
+  Policy Analyze(const std::string& sql) {
+    auto policy = Policy::Parse("p", sql);
+    EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+    Policy out = std::move(policy).value();
+    PolicyAnalyzer analyzer(log_.get());
+    EXPECT_TRUE(analyzer.Analyze(&out).ok());
+    return out;
+  }
+
+  std::unique_ptr<UsageLog> log_;
+};
+
+TEST_F(PolicyAnalyzerTest, FootprintCollection) {
+  Policy p = Analyze(
+      "SELECT DISTINCT 'e' FROM users u, provenance p "
+      "WHERE u.ts = p.ts AND u.uid = 1");
+  EXPECT_EQ(p.log_relations,
+            (std::vector<std::string>{"users", "provenance"}));
+  EXPECT_FALSE(p.references_clock);
+
+  Policy db_only = Analyze("SELECT DISTINCT 'e' FROM groups g "
+                           "WHERE g.gid = 'X'");
+  EXPECT_TRUE(db_only.log_relations.empty());
+
+  Policy nested = Analyze(
+      "SELECT DISTINCT 'e' FROM (SELECT s.ts AS ts FROM schema s) q, clock c "
+      "WHERE q.ts = c.ts");
+  EXPECT_EQ(nested.log_relations, (std::vector<std::string>{"schema"}));
+  EXPECT_TRUE(nested.references_clock);
+}
+
+// ---- time-independence (§4.1.1) ----
+
+struct TiCase {
+  const char* name;
+  const char* sql;
+  bool time_independent;
+};
+
+class TimeIndependenceTest
+    : public PolicyAnalyzerTest,
+      public ::testing::WithParamInterface<TiCase> {};
+
+TEST_P(TimeIndependenceTest, Classification) {
+  Policy p = Analyze(GetParam().sql);
+  EXPECT_EQ(p.time_independent, GetParam().time_independent)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TimeIndependenceTest,
+    ::testing::Values(
+        // (a) holds, no aggregates.
+        TiCase{"joined_ts_no_agg",
+               "SELECT DISTINCT 'e' FROM users u, schema s "
+               "WHERE u.ts = s.ts AND u.uid = 1",
+               true},
+        // ts attributes not joined.
+        TiCase{"unjoined_ts",
+               "SELECT DISTINCT 'e' FROM users u, schema s WHERE u.uid = 1",
+               false},
+        // (b): aggregate grouped by ts.
+        TiCase{"agg_grouped_by_ts",
+               "SELECT DISTINCT 'e' FROM users u, provenance p "
+               "WHERE u.ts = p.ts GROUP BY p.ts "
+               "HAVING COUNT(DISTINCT p.otid) > 10",
+               true},
+        // (b): group by a column in the ts join class (u.ts works too).
+        TiCase{"agg_grouped_by_equivalent_ts",
+               "SELECT DISTINCT 'e' FROM users u, provenance p "
+               "WHERE u.ts = p.ts GROUP BY u.ts "
+               "HAVING COUNT(DISTINCT p.otid) > 10",
+               true},
+        // aggregate without ts in the group-by.
+        TiCase{"agg_without_ts_group",
+               "SELECT DISTINCT 'e' FROM users u "
+               "HAVING COUNT(DISTINCT u.uid) > 10",
+               false},
+        TiCase{"agg_grouped_by_non_ts",
+               "SELECT DISTINCT 'e' FROM provenance p GROUP BY p.itid "
+               "HAVING COUNT(p.itid) > 5",
+               false},
+        // single log relation, no aggregates: increment check suffices.
+        TiCase{"single_relation_selection",
+               "SELECT DISTINCT 'e' FROM schema s WHERE s.irid = 'navteq'",
+               true},
+        // no log relations at all.
+        TiCase{"db_only", "SELECT DISTINCT 'e' FROM groups g", true},
+        // subquery must satisfy the criterion too.
+        TiCase{"bad_subquery",
+               "SELECT DISTINCT 'e' FROM (SELECT COUNT(DISTINCT u.uid) AS n "
+               "FROM users u) q WHERE q.n > 10",
+               false}));
+
+TEST_F(PolicyAnalyzerTest, PaperPoliciesClassification) {
+  // §5.3: "Policies 2, 3, and 4 are time independent."
+  EXPECT_FALSE(Analyze(PaperPolicies::P1()).time_independent);
+  EXPECT_TRUE(Analyze(PaperPolicies::P2()).time_independent);
+  EXPECT_TRUE(Analyze(PaperPolicies::P3()).time_independent);
+  EXPECT_TRUE(Analyze(PaperPolicies::P4()).time_independent);
+  EXPECT_FALSE(Analyze(PaperPolicies::P5()).time_independent);
+  EXPECT_FALSE(Analyze(PaperPolicies::P6()).time_independent);
+}
+
+TEST_F(PolicyAnalyzerTest, TimeIndependentRewriteAddsClockPin) {
+  Policy p = Analyze(PaperPolicies::P2());
+  ASSERT_NE(p.rewritten, nullptr);
+  std::string rewritten = p.rewritten->ToString();
+  // π_ind joins every log alias's ts with the injected clock item.
+  EXPECT_NE(rewritten.find("dl_ti_clock"), std::string::npos);
+  EXPECT_NE(rewritten.find("(u.ts = dl_ti_clock.ts)"), std::string::npos);
+  EXPECT_NE(rewritten.find("(s1.ts = dl_ti_clock.ts)"), std::string::npos);
+  EXPECT_NE(rewritten.find("(s2.ts = dl_ti_clock.ts)"), std::string::npos);
+
+  // Time-dependent policies get no rewrite.
+  EXPECT_EQ(Analyze(PaperPolicies::P5()).rewritten, nullptr);
+  // A db-only policy needs no pin either.
+  EXPECT_EQ(Analyze("SELECT DISTINCT 'e' FROM groups g").rewritten, nullptr);
+}
+
+TEST_F(PolicyAnalyzerTest, RewriteAvoidsAliasCollisions) {
+  Policy p = Analyze(
+      "SELECT DISTINCT 'e' FROM users dl_ti_clock "
+      "WHERE dl_ti_clock.uid = 1");
+  ASSERT_NE(p.rewritten, nullptr);
+  EXPECT_NE(p.rewritten->ToString().find("dl_ti_clock0"), std::string::npos);
+}
+
+// ---- monotonicity (§4.2.1) ----
+
+struct MonoCase {
+  const char* name;
+  const char* sql;
+  bool monotone;
+};
+
+class MonotonicityTest : public PolicyAnalyzerTest,
+                         public ::testing::WithParamInterface<MonoCase> {};
+
+TEST_P(MonotonicityTest, Classification) {
+  Policy p = Analyze(GetParam().sql);
+  EXPECT_EQ(p.monotone, GetParam().monotone) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MonotonicityTest,
+    ::testing::Values(
+        MonoCase{"spj", "SELECT DISTINCT 'e' FROM users u WHERE u.uid = 1",
+                 true},
+        MonoCase{"union",
+                 "SELECT DISTINCT 'e' FROM users u UNION "
+                 "SELECT DISTINCT 'e' FROM schema s",
+                 true},
+        MonoCase{"count_gt",
+                 "SELECT DISTINCT 'e' FROM users u "
+                 "HAVING COUNT(DISTINCT u.uid) > 10",
+                 true},
+        MonoCase{"count_ge",
+                 "SELECT DISTINCT 'e' FROM users u HAVING COUNT(*) >= 10",
+                 true},
+        MonoCase{"count_flipped",
+                 "SELECT DISTINCT 'e' FROM users u WHERE 1 = 1 "
+                 "HAVING 10 < COUNT(u.uid)",
+                 true},
+        MonoCase{"count_lt",
+                 "SELECT DISTINCT 'e' FROM users u HAVING COUNT(*) < 10",
+                 false},
+        MonoCase{"count_le",
+                 "SELECT DISTINCT 'e' FROM users u HAVING COUNT(*) <= 10",
+                 false},
+        MonoCase{"count_eq",
+                 "SELECT DISTINCT 'e' FROM users u HAVING COUNT(*) = 10",
+                 false},
+        MonoCase{"sum_gt",
+                 "SELECT DISTINCT 'e' FROM users u HAVING SUM(u.uid) > 10",
+                 false},
+        MonoCase{"threshold_not_literal",
+                 "SELECT DISTINCT 'e' FROM users u, groups g "
+                 "GROUP BY g.uid HAVING COUNT(u.uid) > g.uid",
+                 false},
+        MonoCase{"mixed_conjunct",
+                 "SELECT DISTINCT 'e' FROM users u "
+                 "HAVING COUNT(*) > 1 AND COUNT(*) < 50",
+                 false},
+        MonoCase{"group_selection_in_having",
+                 "SELECT DISTINCT 'e' FROM users u GROUP BY u.uid "
+                 "HAVING u.uid > 3 AND COUNT(*) > 2",
+                 true},
+        MonoCase{"nonmono_subquery",
+                 "SELECT DISTINCT 'e' FROM (SELECT u.ts AS ts FROM users u "
+                 "HAVING COUNT(*) < 5) q",
+                 false}));
+
+TEST_F(PolicyAnalyzerTest, PaperPoliciesMonotonicity) {
+  EXPECT_TRUE(Analyze(PaperPolicies::P1()).monotone);
+  EXPECT_TRUE(Analyze(PaperPolicies::P2()).monotone);
+  EXPECT_TRUE(Analyze(PaperPolicies::P3()).monotone);
+  EXPECT_FALSE(Analyze(PaperPolicies::P4()).monotone);  // count <= k
+  EXPECT_TRUE(Analyze(PaperPolicies::P5()).monotone);
+  EXPECT_TRUE(Analyze(PaperPolicies::P6()).monotone);
+}
+
+TEST_F(PolicyAnalyzerTest, PolicyParseRequiresSelect) {
+  EXPECT_FALSE(Policy::Parse("p", "DELETE FROM users").ok());
+  EXPECT_FALSE(Policy::Parse("p", "not sql at all").ok());
+}
+
+TEST_F(PolicyAnalyzerTest, CloneCopiesAnalysis) {
+  Policy p = Analyze(PaperPolicies::P2());
+  Policy clone = p.Clone();
+  EXPECT_EQ(clone.name, p.name);
+  EXPECT_EQ(clone.time_independent, p.time_independent);
+  EXPECT_EQ(clone.log_relations, p.log_relations);
+  ASSERT_NE(clone.rewritten, nullptr);
+  EXPECT_EQ(clone.rewritten->ToString(), p.rewritten->ToString());
+  EXPECT_NE(clone.stmt.get(), p.stmt.get());
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/binder.h"
+#include "analysis/schema_lineage.h"
+#include "sql/parser.h"
+#include "storage/catalog_view.h"
+#include "storage/database.h"
+
+namespace datalawyer {
+namespace {
+
+class SchemaLineageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("t",
+                                TableSchema()
+                                    .AddColumn("a", ValueType::kInt64)
+                                    .AddColumn("b", ValueType::kInt64)
+                                    .AddColumn("c", ValueType::kInt64))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("u",
+                                TableSchema()
+                                    .AddColumn("a", ValueType::kInt64)
+                                    .AddColumn("d", ValueType::kInt64))
+                    .ok());
+    catalog_ = std::make_unique<DatabaseCatalog>(&db_);
+  }
+
+  std::vector<SchemaLogRow> Analyze(const std::string& sql) {
+    auto parsed = Parser::ParseSelect(sql);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    stmts_.push_back(std::move(parsed).value());
+    Binder binder(catalog_.get());
+    auto bound = binder.Bind(*stmts_.back());
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    bounds_.push_back(std::move(bound).value());
+    return ComputeSchemaLineage(*bounds_.back());
+  }
+
+  static bool Has(const std::vector<SchemaLogRow>& rows, const char* ocid,
+                  const char* irid, const char* icid, bool agg) {
+    return std::any_of(rows.begin(), rows.end(), [&](const SchemaLogRow& r) {
+      return r.ocid == ocid && r.irid == irid && r.icid == icid &&
+             r.agg == agg;
+    });
+  }
+
+  Database db_;
+  std::unique_ptr<DatabaseCatalog> catalog_;
+  std::vector<std::unique_ptr<SelectStmt>> stmts_;
+  std::vector<std::unique_ptr<BoundQuery>> bounds_;
+};
+
+TEST_F(SchemaLineageTest, PaperExample33) {
+  // "SELECT T.A AS K, (T.B + T.C) AS L FROM T" generates three rows.
+  auto rows = Analyze("SELECT t.a AS k, t.b + t.c AS l FROM t");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(Has(rows, "k", "t", "a", false));
+  EXPECT_TRUE(Has(rows, "l", "t", "b", false));
+  EXPECT_TRUE(Has(rows, "l", "t", "c", false));
+}
+
+TEST_F(SchemaLineageTest, AggregateFlag) {
+  auto rows = Analyze("SELECT SUM(t.a) AS s, t.b FROM t GROUP BY t.b");
+  EXPECT_TRUE(Has(rows, "s", "t", "a", true));
+  EXPECT_TRUE(Has(rows, "b", "t", "b", false));
+}
+
+TEST_F(SchemaLineageTest, CountStarDerivesFromAllRelations) {
+  auto rows = Analyze("SELECT COUNT(*) AS n FROM t, u WHERE t.a = u.a");
+  EXPECT_TRUE(Has(rows, "n", "t", "", true));
+  EXPECT_TRUE(Has(rows, "n", "u", "", true));
+}
+
+TEST_F(SchemaLineageTest, StarExpansion) {
+  auto rows = Analyze("SELECT u.* FROM u");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(Has(rows, "a", "u", "a", false));
+  EXPECT_TRUE(Has(rows, "d", "u", "d", false));
+}
+
+TEST_F(SchemaLineageTest, FilterOnlyRelationGetsMarkerRow) {
+  // u contributes nothing to the output but is joined: policies like P1/P2
+  // must still see it.
+  auto rows = Analyze("SELECT t.b FROM t, u WHERE t.a = u.a");
+  EXPECT_TRUE(Has(rows, "b", "t", "b", false));
+  EXPECT_TRUE(Has(rows, "", "u", "", false));
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(SchemaLineageTest, LineageThroughSubquery) {
+  auto rows = Analyze(
+      "SELECT s.x FROM (SELECT t.a + t.b AS x FROM t) s");
+  EXPECT_TRUE(Has(rows, "x", "t", "a", false));
+  EXPECT_TRUE(Has(rows, "x", "t", "b", false));
+}
+
+TEST_F(SchemaLineageTest, AggregateInsideSubqueryPropagatesFlag) {
+  auto rows = Analyze(
+      "SELECT s.n FROM (SELECT COUNT(t.a) AS n FROM t) s");
+  EXPECT_TRUE(Has(rows, "n", "t", "a", true));
+}
+
+TEST_F(SchemaLineageTest, UnionMembersAllContribute) {
+  auto rows = Analyze("SELECT t.a FROM t UNION SELECT u.d FROM u");
+  // Output column named after the first member.
+  EXPECT_TRUE(Has(rows, "a", "t", "a", false));
+  EXPECT_TRUE(Has(rows, "a", "u", "d", false));
+}
+
+TEST_F(SchemaLineageTest, LiteralOnlyOutputStillMarksRelations) {
+  auto rows = Analyze("SELECT 'const' FROM t WHERE t.a = 1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(Has(rows, "", "t", "", false));
+}
+
+TEST_F(SchemaLineageTest, DeduplicatesRepeatedDerivations) {
+  auto rows = Analyze("SELECT t.a + t.a AS s FROM t");
+  EXPECT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(Has(rows, "s", "t", "a", false));
+}
+
+}  // namespace
+}  // namespace datalawyer

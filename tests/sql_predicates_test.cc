@@ -1,0 +1,232 @@
+// Coverage for the IN / BETWEEN / LIKE predicates, end-to-end through the
+// engine and within policies.
+
+#include <gtest/gtest.h>
+
+#include "core/datalawyer.h"
+#include "exec/engine.h"
+#include "sql/parser.h"
+
+namespace datalawyer {
+namespace {
+
+class SqlPredicatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(&db_);
+    ASSERT_TRUE(engine_
+                    ->ExecuteScript(R"sql(
+      CREATE TABLE t (k INT, name TEXT);
+      INSERT INTO t VALUES (1, 'alpha'), (2, 'beta'), (3, 'gamma'),
+                           (4, 'alphabet'), (5, NULL), (NULL, 'nil');
+    )sql")
+                    .ok());
+  }
+
+  size_t Count(const std::string& where) {
+    auto result = engine_->ExecuteSql("SELECT t.k FROM t WHERE " + where);
+    EXPECT_TRUE(result.ok()) << where << " -> "
+                             << result.status().ToString();
+    return result.ok() ? result->NumRows() : size_t(-1);
+  }
+
+  Database db_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(SqlPredicatesTest, InList) {
+  EXPECT_EQ(Count("t.k IN (1, 3, 99)"), 2u);
+  EXPECT_EQ(Count("t.k NOT IN (1, 3)"), 3u);  // 2, 4, 5 (NULL k filtered)
+  EXPECT_EQ(Count("t.name IN ('alpha', 'beta')"), 2u);
+  EXPECT_EQ(Count("t.k IN (99)"), 0u);
+}
+
+TEST_F(SqlPredicatesTest, InListNullSemantics) {
+  // NULL operand → NULL → filtered out.
+  EXPECT_EQ(Count("t.name IN ('zzz')"), 0u);
+  // x NOT IN (..., NULL): never TRUE when unmatched (NULL contaminates).
+  EXPECT_EQ(Count("t.k NOT IN (1, NULL)"), 0u);
+  // ... but a positive match still wins over the NULL.
+  EXPECT_EQ(Count("t.k IN (2, NULL)"), 1u);
+}
+
+TEST_F(SqlPredicatesTest, Between) {
+  EXPECT_EQ(Count("t.k BETWEEN 2 AND 4"), 3u);
+  EXPECT_EQ(Count("t.k NOT BETWEEN 2 AND 4"), 2u);  // 1, 5
+  EXPECT_EQ(Count("t.k BETWEEN 4 AND 2"), 0u);      // empty range
+  // Desugaring check: BETWEEN becomes >= / <= conjuncts.
+  auto stmt = Parser::ParseSelect("SELECT 1 FROM t WHERE t.k BETWEEN 2 AND 4");
+  ASSERT_TRUE(stmt.ok());
+  std::string text = (*stmt)->ToString();
+  EXPECT_NE(text.find("(t.k >= 2)"), std::string::npos);
+  EXPECT_NE(text.find("(t.k <= 4)"), std::string::npos);
+}
+
+TEST_F(SqlPredicatesTest, Like) {
+  EXPECT_EQ(Count("t.name LIKE 'alpha'"), 1u);
+  EXPECT_EQ(Count("t.name LIKE 'alpha%'"), 2u);  // alpha, alphabet
+  EXPECT_EQ(Count("t.name LIKE '%a'"), 3u);      // alpha, beta, gamma
+  EXPECT_EQ(Count("t.name LIKE '%am%'"), 1u);    // gamma
+  EXPECT_EQ(Count("t.name LIKE '_eta'"), 1u);    // beta
+  EXPECT_EQ(Count("t.name LIKE '%'"), 5u);       // everything non-null
+  EXPECT_EQ(Count("t.name NOT LIKE '%a%'"), 1u); // nil
+  EXPECT_EQ(Count("t.name LIKE ''"), 0u);
+}
+
+TEST_F(SqlPredicatesTest, LikeErrors) {
+  EXPECT_FALSE(engine_->ExecuteSql("SELECT 1 FROM t WHERE t.k LIKE 'x'")
+                   .ok());  // non-string operand
+  EXPECT_FALSE(
+      Parser::Parse("SELECT 1 FROM t WHERE t.name LIKE t.name").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT 1 FROM t WHERE t.k NOT 5").ok());
+}
+
+TEST_F(SqlPredicatesTest, RoundTripAndClone) {
+  auto stmt = Parser::ParseSelect(
+      "SELECT 1 FROM t WHERE t.k IN (1, 2) AND t.name NOT LIKE 'a%'");
+  ASSERT_TRUE(stmt.ok());
+  std::string printed = (*stmt)->ToString();
+  auto again = Parser::ParseSelect(printed);
+  ASSERT_TRUE(again.ok()) << printed;
+  EXPECT_EQ(printed, (*again)->ToString());
+  EXPECT_EQ((*stmt)->Clone()->ToString(), printed);
+}
+
+TEST_F(SqlPredicatesTest, PolicyWithInListEnforced) {
+  // The paper's P2 written with NOT IN: poe_order may only meet poe_med.
+  Database db;
+  Engine setup(&db);
+  ASSERT_TRUE(setup.ExecuteScript(R"sql(
+    CREATE TABLE poe_order (order_id INT, subject_id INT);
+    INSERT INTO poe_order VALUES (1, 10);
+    CREATE TABLE poe_med (order_id INT);
+    INSERT INTO poe_med VALUES (1);
+    CREATE TABLE d_patients (subject_id INT);
+    INSERT INTO d_patients VALUES (10);
+  )sql")
+                  .ok());
+  DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                std::make_unique<ManualClock>(0, 10), {});
+  ASSERT_TRUE(dl.AddPolicy("p2-in", R"sql(
+    SELECT DISTINCT 'no external joins with poe_order'
+    FROM schema s1, schema s2
+    WHERE s1.ts = s2.ts AND s1.irid = 'poe_order'
+      AND s2.irid NOT IN ('poe_order', 'poe_med')
+  )sql")
+                  .ok());
+  QueryContext ctx;
+  ctx.uid = 1;
+  EXPECT_TRUE(dl.Execute("SELECT o.order_id, m.order_id FROM poe_order o, "
+                         "poe_med m WHERE o.order_id = m.order_id",
+                         ctx)
+                  .ok());
+  auto bad = dl.Execute(
+      "SELECT o.order_id, p.subject_id FROM poe_order o, d_patients p "
+      "WHERE o.subject_id = p.subject_id",
+      ctx);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsPolicyViolation());
+}
+
+TEST_F(SqlPredicatesTest, PolicyWithLikeEnforced) {
+  // Attribution-style policy (Table 1 P6 flavor): internal staging tables
+  // (prefix 'tmp_') must never feed query answers.
+  Database db;
+  Engine setup(&db);
+  ASSERT_TRUE(setup.ExecuteScript(R"sql(
+    CREATE TABLE tmp_scratch (x INT);
+    INSERT INTO tmp_scratch VALUES (1);
+    CREATE TABLE public_data (x INT);
+    INSERT INTO public_data VALUES (2);
+  )sql")
+                  .ok());
+  DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                std::make_unique<ManualClock>(0, 10), {});
+  ASSERT_TRUE(dl.AddPolicy("no-staging", R"sql(
+    SELECT DISTINCT 'staging tables are not queryable'
+    FROM schema s WHERE s.irid LIKE 'tmp_%'
+  )sql")
+                  .ok());
+  QueryContext ctx;
+  ctx.uid = 1;
+  EXPECT_TRUE(dl.Execute("SELECT * FROM public_data", ctx).ok());
+  EXPECT_FALSE(dl.Execute("SELECT * FROM tmp_scratch", ctx).ok());
+}
+
+TEST_F(SqlPredicatesTest, ScalarFunctions) {
+  auto q = [&](const std::string& sql) {
+    auto result = engine_->ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() && !result->rows.empty() ? result->rows[0][0]
+                                                : Value::Null();
+  };
+  EXPECT_EQ(q("SELECT UPPER(t.name) FROM t WHERE t.k = 1"), Value("ALPHA"));
+  EXPECT_EQ(q("SELECT LOWER('MiXeD')"), Value("mixed"));
+  EXPECT_EQ(q("SELECT LENGTH(t.name) FROM t WHERE t.k = 2"),
+            Value(int64_t{4}));
+  EXPECT_EQ(q("SELECT ABS(0 - 7)"), Value(int64_t{7}));
+  EXPECT_EQ(q("SELECT ABS(-2.5)"), Value(2.5));
+  // NULL propagation and nesting.
+  EXPECT_TRUE(q("SELECT UPPER(t.name) FROM t WHERE t.k = 5").is_null());
+  EXPECT_EQ(q("SELECT LENGTH(UPPER(t.name)) FROM t WHERE t.k = 3"),
+            Value(int64_t{5}));
+  // Usable in predicates: alpha(5), gamma(5), alphabet(8).
+  EXPECT_EQ(Count("LENGTH(t.name) > 4"), 3u);
+}
+
+TEST_F(SqlPredicatesTest, ScalarFunctionErrors) {
+  EXPECT_FALSE(engine_->ExecuteSql("SELECT LENGTH(t.k) FROM t").ok());
+  EXPECT_FALSE(engine_->ExecuteSql("SELECT ABS(t.name) FROM t").ok());
+  EXPECT_FALSE(engine_->ExecuteSql("SELECT LOWER(t.name, t.name) FROM t").ok());
+  EXPECT_FALSE(engine_->ExecuteSql("SELECT MEDIAN(t.k) FROM t").ok());
+}
+
+TEST_F(SqlPredicatesTest, JoinOnSyntax) {
+  ASSERT_TRUE(engine_
+                  ->ExecuteScript(R"sql(
+    CREATE TABLE u (k INT, extra TEXT);
+    INSERT INTO u VALUES (1, 'one'), (3, 'three'), (9, 'nine');
+  )sql")
+                  .ok());
+  // JOIN ... ON desugars to the comma form: same results.
+  auto joined = engine_->ExecuteSql(
+      "SELECT t.name, u.extra FROM t JOIN u ON t.k = u.k ORDER BY name");
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  ASSERT_EQ(joined->NumRows(), 2u);
+  EXPECT_EQ(joined->rows[0][1], Value("one"));
+
+  auto comma = engine_->ExecuteSql(
+      "SELECT t.name, u.extra FROM t, u WHERE t.k = u.k ORDER BY name");
+  ASSERT_TRUE(comma.ok());
+  EXPECT_EQ(joined->rows, comma->rows);
+
+  // INNER JOIN keyword, chained joins, ON with extra predicates, and
+  // interaction with WHERE.
+  auto inner = engine_->ExecuteSql(
+      "SELECT t.k FROM t INNER JOIN u ON t.k = u.k AND u.extra != 'one' "
+      "WHERE t.k > 0");
+  ASSERT_TRUE(inner.ok()) << inner.status().ToString();
+  EXPECT_EQ(inner->NumRows(), 1u);  // only k=3
+
+  auto cross = engine_->ExecuteSql("SELECT t.k FROM t CROSS JOIN u");
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ(cross->NumRows(), 18u);  // 6 × 3
+
+  // The desugared join participates in hash-join planning.
+  auto plan = engine_->ExplainSql(
+      "SELECT t.name FROM t JOIN u ON t.k = u.k");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("hash join"), std::string::npos);
+}
+
+TEST_F(SqlPredicatesTest, OuterJoinsRejectedClearly) {
+  auto result =
+      engine_->ExecuteSql("SELECT 1 FROM t LEFT JOIN t t2 ON t.k = t2.k");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+  EXPECT_FALSE(
+      engine_->ExecuteSql("SELECT 1 FROM t JOIN t t2").ok());  // missing ON
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "core/datalawyer.h"
+#include "policy/policy_analyzer.h"
+#include "policy/templates.h"
+#include "workload/mimic.h"
+
+namespace datalawyer {
+namespace {
+
+class TemplatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(LoadMimicData(&db_, MimicConfig::Tiny()).ok());
+    dl_ = std::make_unique<DataLawyer>(&db_,
+                                       UsageLog::WithStandardGenerators(),
+                                       std::make_unique<ManualClock>(0, 10),
+                                       DataLawyerOptions{});
+  }
+
+  bool Allowed(int64_t uid, const std::string& sql) {
+    QueryContext ctx;
+    ctx.uid = uid;
+    auto result = dl_->Execute(sql, ctx);
+    EXPECT_TRUE(result.ok() || result.status().IsPolicyViolation())
+        << result.status().ToString();
+    return result.ok();
+  }
+
+  Database db_;
+  std::unique_ptr<DataLawyer> dl_;
+};
+
+TEST_F(TemplatesTest, EveryTemplateParsesAndAnalyzes) {
+  auto log = UsageLog::WithStandardGenerators();
+  PolicyAnalyzer analyzer(log.get());
+  const std::vector<std::string> sqls = {
+      PolicyTemplates::JoinProhibition("d_patients", {"chartevents"}),
+      PolicyTemplates::JoinProhibition("d_patients", {}, 3),
+      PolicyTemplates::RateLimit(500, 10),
+      PolicyTemplates::RateLimit(500, 10, 7, "chartevents"),
+      PolicyTemplates::OutputRowCap("d_patients", 100),
+      PolicyTemplates::OutputRowCap("d_patients", 100, 7),
+      PolicyTemplates::MinimumSupport("chartevents", 3),
+      PolicyTemplates::MinimumSupport("chartevents", 3, 7),
+      PolicyTemplates::AggregationBan("chartevents", {"d_patients"}),
+      PolicyTemplates::WindowedDistinctTupleCap("d_patients", 500, 50),
+      PolicyTemplates::TupleReuseCap("d_patients", 500, 5, 7),
+      PolicyTemplates::GroupLicense("X", "d_patients", 500, 2),
+  };
+  for (const std::string& sql : sqls) {
+    auto policy = Policy::Parse("t", sql);
+    ASSERT_TRUE(policy.ok()) << sql << "\n" << policy.status().ToString();
+    Policy p = std::move(policy).value();
+    EXPECT_TRUE(analyzer.Analyze(&p).ok()) << sql;
+  }
+}
+
+TEST_F(TemplatesTest, TemplateClassificationsMatchPaperPolicies) {
+  auto log = UsageLog::WithStandardGenerators();
+  PolicyAnalyzer analyzer(log.get());
+  auto analyze = [&](const std::string& sql) {
+    Policy p = std::move(Policy::Parse("t", sql)).value();
+    EXPECT_TRUE(analyzer.Analyze(&p).ok());
+    return p;
+  };
+  // Join prohibition ≈ P2: time-independent, monotone.
+  Policy join = analyze(PolicyTemplates::JoinProhibition("d_patients"));
+  EXPECT_TRUE(join.time_independent);
+  EXPECT_TRUE(join.monotone);
+  // Output cap ≈ P3: time-independent.
+  Policy cap = analyze(PolicyTemplates::OutputRowCap("d_patients", 100, 1));
+  EXPECT_TRUE(cap.time_independent);
+  EXPECT_TRUE(cap.monotone);
+  // Minimum support ≈ P4: time-independent, non-monotone.
+  Policy support = analyze(PolicyTemplates::MinimumSupport("chartevents", 3));
+  EXPECT_TRUE(support.time_independent);
+  EXPECT_FALSE(support.monotone);
+  // Rate limit ≈ P1-family: time-dependent, monotone.
+  Policy rate = analyze(PolicyTemplates::RateLimit(500, 10, 7));
+  EXPECT_FALSE(rate.time_independent);
+  EXPECT_TRUE(rate.monotone);
+}
+
+TEST_F(TemplatesTest, JoinProhibitionEnforced) {
+  ASSERT_TRUE(dl_->AddPolicy("nojoin", PolicyTemplates::JoinProhibition(
+                                           "poe_order", {"poe_med"}))
+                  .ok());
+  EXPECT_TRUE(Allowed(1, "SELECT * FROM poe_order WHERE order_id = 1"));
+  EXPECT_TRUE(Allowed(1,
+                      "SELECT o.medication, m.dose FROM poe_order o, "
+                      "poe_med m WHERE o.order_id = m.order_id"));
+  EXPECT_FALSE(Allowed(1,
+                       "SELECT o.medication, p.sex FROM poe_order o, "
+                       "d_patients p WHERE o.subject_id = p.subject_id"));
+}
+
+TEST_F(TemplatesTest, ScopedJoinProhibitionBindsOneUser) {
+  ASSERT_TRUE(
+      dl_->AddPolicy("nojoin",
+                     PolicyTemplates::JoinProhibition("poe_order", {}, 1))
+          .ok());
+  std::string join =
+      "SELECT o.medication, p.sex FROM poe_order o, d_patients p "
+      "WHERE o.subject_id = p.subject_id";
+  EXPECT_FALSE(Allowed(1, join));
+  EXPECT_TRUE(Allowed(0, join));
+}
+
+TEST_F(TemplatesTest, RateLimitEnforced) {
+  ASSERT_TRUE(
+      dl_->AddPolicy("rate", PolicyTemplates::RateLimit(100, 3, 5)).ok());
+  int allowed = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (Allowed(5, "SELECT * FROM d_patients WHERE subject_id = 1")) {
+      ++allowed;
+    }
+  }
+  EXPECT_EQ(allowed, 3);  // window 100 at step 10 covers all six attempts
+  // Another user is unaffected.
+  EXPECT_TRUE(Allowed(6, "SELECT * FROM d_patients WHERE subject_id = 1"));
+}
+
+TEST_F(TemplatesTest, RelationScopedRateLimit) {
+  ASSERT_TRUE(dl_->AddPolicy("rate", PolicyTemplates::RateLimit(
+                                         1000, 2, 5, "chartevents"))
+                  .ok());
+  // Queries not touching chartevents never count.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(Allowed(5, "SELECT * FROM d_patients WHERE subject_id = 1"));
+  }
+  EXPECT_TRUE(Allowed(5, "SELECT COUNT(*) FROM chartevents"));
+  EXPECT_TRUE(Allowed(5, "SELECT COUNT(*) FROM chartevents"));
+  EXPECT_FALSE(Allowed(5, "SELECT COUNT(*) FROM chartevents"));
+}
+
+TEST_F(TemplatesTest, OutputRowCapEnforced) {
+  ASSERT_TRUE(
+      dl_->AddPolicy("cap", PolicyTemplates::OutputRowCap("d_patients", 20))
+          .ok());
+  EXPECT_TRUE(Allowed(1, "SELECT * FROM d_patients WHERE subject_id < 10"));
+  EXPECT_FALSE(Allowed(1, "SELECT * FROM d_patients"));
+}
+
+TEST_F(TemplatesTest, MinimumSupportEnforced) {
+  ASSERT_TRUE(dl_->AddPolicy("support",
+                             PolicyTemplates::MinimumSupport("chartevents", 2))
+                  .ok());
+  // Tiny config: every patient has 4 heart-rate events → groups of 4 pass.
+  EXPECT_TRUE(Allowed(1,
+                      "SELECT c.subject_id, COUNT(*) FROM chartevents c "
+                      "WHERE c.itemid = 211 GROUP BY c.subject_id"));
+  // Selecting single tuples (support 1) violates.
+  EXPECT_FALSE(Allowed(1,
+                       "SELECT c.charttime FROM chartevents c "
+                       "WHERE c.subject_id = 3 AND c.itemid = 211"));
+}
+
+TEST_F(TemplatesTest, GroupLicenseEnforced) {
+  // groups: uid 1 is in 'X'; let two more users in for this test.
+  ASSERT_TRUE(db_.FindTable("groups")
+                  ->Append(Row{Value(int64_t{21}), Value("X")})
+                  .ok());
+  ASSERT_TRUE(db_.FindTable("groups")
+                  ->Append(Row{Value(int64_t{22}), Value("X")})
+                  .ok());
+  ASSERT_TRUE(dl_->AddPolicy("license", PolicyTemplates::GroupLicense(
+                                            "X", "d_patients", 1000, 2))
+                  .ok());
+  std::string q = "SELECT * FROM d_patients WHERE subject_id = 1";
+  EXPECT_TRUE(Allowed(1, q));
+  EXPECT_TRUE(Allowed(21, q));
+  EXPECT_FALSE(Allowed(22, q));  // third distinct member in the window
+  EXPECT_TRUE(Allowed(9, q));    // non-member unaffected
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "policy/unification.h"
+#include "workload/paper_policies.h"
+
+namespace datalawyer {
+namespace {
+
+Policy P(const std::string& name, const std::string& sql) {
+  auto result = Policy::Parse(name, sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(UnificationTest, PaperExample46) {
+  // Example 4.6: per-group policies differing only in the group constant.
+  std::vector<Policy> policies;
+  for (const char* group : {"Student", "Postdoc", "Faculty"}) {
+    policies.push_back(
+        P(group, std::string("SELECT DISTINCT 'Error' FROM users u, groups g "
+                             "WHERE u.uid = g.uid AND g.gid = '") +
+                     group + "' HAVING COUNT(DISTINCT u.uid) > 10"));
+  }
+  auto result = UnifyPolicies(policies);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->groups_unified, 1u);
+  EXPECT_EQ(result->policies_absorbed, 2u);
+  ASSERT_EQ(result->policies.size(), 1u);
+  ASSERT_EQ(result->constants.size(), 1u);
+
+  // Constants table: one row per policy, columns = lifted literals
+  // ('Error' message and the group name).
+  const Table* constants = result->constants[0].second.get();
+  EXPECT_EQ(constants->NumRows(), 3u);
+  EXPECT_EQ(constants->schema().NumColumns(), 2u);
+  EXPECT_EQ(constants->RowAt(0)[0], Value("Error"));
+  EXPECT_EQ(constants->RowAt(0)[1], Value("Student"));
+  EXPECT_EQ(constants->RowAt(2)[1], Value("Faculty"));
+
+  std::string sql = result->policies[0].sql;
+  // The constants join and the per-constant GROUP BY (paper: GROUP BY
+  // c.const); the count threshold stays a literal.
+  EXPECT_NE(sql.find("dl_constants_0 dlc"), std::string::npos);
+  EXPECT_NE(sql.find("(g.gid = dlc.c1)"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY dlc.c0, dlc.c1"), std::string::npos);
+  EXPECT_NE(sql.find("> 10"), std::string::npos);
+}
+
+TEST(UnificationTest, RateLimitFamilyUnifies) {
+  std::vector<Policy> policies;
+  for (int64_t uid = 0; uid < 50; ++uid) {
+    policies.push_back(P("rate" + std::to_string(uid),
+                         PaperPolicies::RateLimitForUser(uid, 1000, 350)));
+  }
+  auto result = UnifyPolicies(policies);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->policies.size(), 1u);
+  EXPECT_EQ(result->constants[0].second->NumRows(), 50u);
+}
+
+TEST(UnificationTest, DifferentStructuresStaySeparate) {
+  std::vector<Policy> policies;
+  policies.push_back(P("a", PaperPolicies::RateLimitForUser(1)));
+  policies.push_back(P("b", PaperPolicies::P2()));
+  policies.push_back(P("c", PaperPolicies::P6()));
+  auto result = UnifyPolicies(policies);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->policies.size(), 3u);
+  EXPECT_EQ(result->groups_unified, 0u);
+  EXPECT_TRUE(result->constants.empty());
+}
+
+TEST(UnificationTest, DifferentHavingThresholdsDoNotUnify) {
+  // Thresholds are deliberately NOT lifted (monotonicity preservation), so
+  // policies with different limits keep separate groups.
+  std::vector<Policy> policies;
+  policies.push_back(P("a", PaperPolicies::RateLimitForUser(1, 1000, 350)));
+  policies.push_back(P("b", PaperPolicies::RateLimitForUser(2, 1000, 100)));
+  auto result = UnifyPolicies(policies);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->policies.size(), 2u);
+}
+
+TEST(UnificationTest, TypeMismatchedConstantsDoNotUnify) {
+  std::vector<Policy> policies;
+  policies.push_back(
+      P("int", "SELECT DISTINCT 'e' FROM users u WHERE u.uid = 5"));
+  policies.push_back(
+      P("str", "SELECT DISTINCT 'e' FROM users u WHERE u.uid = 'five'"));
+  auto result = UnifyPolicies(policies);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->policies.size(), 2u);
+}
+
+TEST(UnificationTest, SingletonGroupsPassThroughUnchanged) {
+  std::vector<Policy> policies;
+  policies.push_back(P("only", PaperPolicies::P6()));
+  auto result = UnifyPolicies(policies);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->policies.size(), 1u);
+  EXPECT_EQ(result->policies[0].name, "only");
+  EXPECT_EQ(result->policies[0].stmt->ToString(),
+            policies[0].stmt->ToString());
+}
+
+TEST(UnificationTest, MixedFamiliesPartition) {
+  std::vector<Policy> policies;
+  for (int64_t uid = 0; uid < 5; ++uid) {
+    policies.push_back(P("rate" + std::to_string(uid),
+                         PaperPolicies::RateLimitForUser(uid)));
+  }
+  policies.push_back(P("p2", PaperPolicies::P2()));
+  policies.push_back(P("p2b", PaperPolicies::P2(7)));  // same family as p2!
+  policies.push_back(P("p6", PaperPolicies::P6()));
+  auto result = UnifyPolicies(policies);
+  ASSERT_TRUE(result.ok());
+  // rate-family unified (5→1), P2 family unified (2→1), P6 alone: 3 total.
+  EXPECT_EQ(result->policies.size(), 3u);
+  EXPECT_EQ(result->groups_unified, 2u);
+  EXPECT_EQ(result->policies_absorbed, 5u);
+}
+
+TEST(UnificationTest, NoAggregatesMeansNoGroupByInjected) {
+  std::vector<Policy> policies;
+  policies.push_back(
+      P("a", "SELECT DISTINCT 'msg a' FROM schema s WHERE s.irid = 'x'"));
+  policies.push_back(
+      P("b", "SELECT DISTINCT 'msg b' FROM schema s WHERE s.irid = 'y'"));
+  auto result = UnifyPolicies(policies);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->policies.size(), 1u);
+  EXPECT_EQ(result->policies[0].sql.find("GROUP BY"), std::string::npos);
+}
+
+TEST(UnificationTest, EmptyInput) {
+  auto result = UnifyPolicies({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->policies.empty());
+}
+
+}  // namespace
+}  // namespace datalawyer
