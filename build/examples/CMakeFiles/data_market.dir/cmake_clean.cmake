@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_market.dir/data_market.cpp.o"
+  "CMakeFiles/data_market.dir/data_market.cpp.o.d"
+  "data_market"
+  "data_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalawyer_shell.dir/datalawyer_shell.cpp.o"
+  "CMakeFiles/datalawyer_shell.dir/datalawyer_shell.cpp.o.d"
+  "datalawyer_shell"
+  "datalawyer_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalawyer_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for datalawyer_shell.
+# This may be replaced when dependencies are built.

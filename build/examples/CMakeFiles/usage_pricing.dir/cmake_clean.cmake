@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_pricing.dir/usage_pricing.cpp.o"
+  "CMakeFiles/usage_pricing.dir/usage_pricing.cpp.o.d"
+  "usage_pricing"
+  "usage_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

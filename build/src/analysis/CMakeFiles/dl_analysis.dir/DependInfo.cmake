@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/binder.cc" "src/analysis/CMakeFiles/dl_analysis.dir/binder.cc.o" "gcc" "src/analysis/CMakeFiles/dl_analysis.dir/binder.cc.o.d"
+  "/root/repo/src/analysis/join_graph.cc" "src/analysis/CMakeFiles/dl_analysis.dir/join_graph.cc.o" "gcc" "src/analysis/CMakeFiles/dl_analysis.dir/join_graph.cc.o.d"
+  "/root/repo/src/analysis/schema_lineage.cc" "src/analysis/CMakeFiles/dl_analysis.dir/schema_lineage.cc.o" "gcc" "src/analysis/CMakeFiles/dl_analysis.dir/schema_lineage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/dl_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

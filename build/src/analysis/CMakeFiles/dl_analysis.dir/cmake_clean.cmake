@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_analysis.dir/binder.cc.o"
+  "CMakeFiles/dl_analysis.dir/binder.cc.o.d"
+  "CMakeFiles/dl_analysis.dir/join_graph.cc.o"
+  "CMakeFiles/dl_analysis.dir/join_graph.cc.o.d"
+  "CMakeFiles/dl_analysis.dir/schema_lineage.cc.o"
+  "CMakeFiles/dl_analysis.dir/schema_lineage.cc.o.d"
+  "libdl_analysis.a"
+  "libdl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

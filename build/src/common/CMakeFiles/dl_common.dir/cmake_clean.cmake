@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_common.dir/clock.cc.o"
+  "CMakeFiles/dl_common.dir/clock.cc.o.d"
+  "CMakeFiles/dl_common.dir/status.cc.o"
+  "CMakeFiles/dl_common.dir/status.cc.o.d"
+  "CMakeFiles/dl_common.dir/strings.cc.o"
+  "CMakeFiles/dl_common.dir/strings.cc.o.d"
+  "CMakeFiles/dl_common.dir/value.cc.o"
+  "CMakeFiles/dl_common.dir/value.cc.o.d"
+  "libdl_common.a"
+  "libdl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

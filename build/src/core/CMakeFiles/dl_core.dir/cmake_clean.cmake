@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_core.dir/datalawyer.cc.o"
+  "CMakeFiles/dl_core.dir/datalawyer.cc.o.d"
+  "libdl_core.a"
+  "libdl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

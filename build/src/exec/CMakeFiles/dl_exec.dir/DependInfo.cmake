@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregates.cc" "src/exec/CMakeFiles/dl_exec.dir/aggregates.cc.o" "gcc" "src/exec/CMakeFiles/dl_exec.dir/aggregates.cc.o.d"
+  "/root/repo/src/exec/engine.cc" "src/exec/CMakeFiles/dl_exec.dir/engine.cc.o" "gcc" "src/exec/CMakeFiles/dl_exec.dir/engine.cc.o.d"
+  "/root/repo/src/exec/eval.cc" "src/exec/CMakeFiles/dl_exec.dir/eval.cc.o" "gcc" "src/exec/CMakeFiles/dl_exec.dir/eval.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/dl_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/dl_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/query_result.cc" "src/exec/CMakeFiles/dl_exec.dir/query_result.cc.o" "gcc" "src/exec/CMakeFiles/dl_exec.dir/query_result.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dl_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

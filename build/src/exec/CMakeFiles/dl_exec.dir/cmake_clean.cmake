@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_exec.dir/aggregates.cc.o"
+  "CMakeFiles/dl_exec.dir/aggregates.cc.o.d"
+  "CMakeFiles/dl_exec.dir/engine.cc.o"
+  "CMakeFiles/dl_exec.dir/engine.cc.o.d"
+  "CMakeFiles/dl_exec.dir/eval.cc.o"
+  "CMakeFiles/dl_exec.dir/eval.cc.o.d"
+  "CMakeFiles/dl_exec.dir/executor.cc.o"
+  "CMakeFiles/dl_exec.dir/executor.cc.o.d"
+  "CMakeFiles/dl_exec.dir/query_result.cc.o"
+  "CMakeFiles/dl_exec.dir/query_result.cc.o.d"
+  "libdl_exec.a"
+  "libdl_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_log.dir/log_generator.cc.o"
+  "CMakeFiles/dl_log.dir/log_generator.cc.o.d"
+  "CMakeFiles/dl_log.dir/usage_log.cc.o"
+  "CMakeFiles/dl_log.dir/usage_log.cc.o.d"
+  "libdl_log.a"
+  "libdl_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/calibration.cc" "src/policy/CMakeFiles/dl_policy.dir/calibration.cc.o" "gcc" "src/policy/CMakeFiles/dl_policy.dir/calibration.cc.o.d"
+  "/root/repo/src/policy/log_compactor.cc" "src/policy/CMakeFiles/dl_policy.dir/log_compactor.cc.o" "gcc" "src/policy/CMakeFiles/dl_policy.dir/log_compactor.cc.o.d"
+  "/root/repo/src/policy/partial_policy.cc" "src/policy/CMakeFiles/dl_policy.dir/partial_policy.cc.o" "gcc" "src/policy/CMakeFiles/dl_policy.dir/partial_policy.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/policy/CMakeFiles/dl_policy.dir/policy.cc.o" "gcc" "src/policy/CMakeFiles/dl_policy.dir/policy.cc.o.d"
+  "/root/repo/src/policy/policy_analyzer.cc" "src/policy/CMakeFiles/dl_policy.dir/policy_analyzer.cc.o" "gcc" "src/policy/CMakeFiles/dl_policy.dir/policy_analyzer.cc.o.d"
+  "/root/repo/src/policy/templates.cc" "src/policy/CMakeFiles/dl_policy.dir/templates.cc.o" "gcc" "src/policy/CMakeFiles/dl_policy.dir/templates.cc.o.d"
+  "/root/repo/src/policy/unification.cc" "src/policy/CMakeFiles/dl_policy.dir/unification.cc.o" "gcc" "src/policy/CMakeFiles/dl_policy.dir/unification.cc.o.d"
+  "/root/repo/src/policy/witness.cc" "src/policy/CMakeFiles/dl_policy.dir/witness.cc.o" "gcc" "src/policy/CMakeFiles/dl_policy.dir/witness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/log/CMakeFiles/dl_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dl_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dl_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_policy.dir/calibration.cc.o"
+  "CMakeFiles/dl_policy.dir/calibration.cc.o.d"
+  "CMakeFiles/dl_policy.dir/log_compactor.cc.o"
+  "CMakeFiles/dl_policy.dir/log_compactor.cc.o.d"
+  "CMakeFiles/dl_policy.dir/partial_policy.cc.o"
+  "CMakeFiles/dl_policy.dir/partial_policy.cc.o.d"
+  "CMakeFiles/dl_policy.dir/policy.cc.o"
+  "CMakeFiles/dl_policy.dir/policy.cc.o.d"
+  "CMakeFiles/dl_policy.dir/policy_analyzer.cc.o"
+  "CMakeFiles/dl_policy.dir/policy_analyzer.cc.o.d"
+  "CMakeFiles/dl_policy.dir/templates.cc.o"
+  "CMakeFiles/dl_policy.dir/templates.cc.o.d"
+  "CMakeFiles/dl_policy.dir/unification.cc.o"
+  "CMakeFiles/dl_policy.dir/unification.cc.o.d"
+  "CMakeFiles/dl_policy.dir/witness.cc.o"
+  "CMakeFiles/dl_policy.dir/witness.cc.o.d"
+  "libdl_policy.a"
+  "libdl_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

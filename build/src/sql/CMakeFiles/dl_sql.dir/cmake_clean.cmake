@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_sql.dir/ast.cc.o"
+  "CMakeFiles/dl_sql.dir/ast.cc.o.d"
+  "CMakeFiles/dl_sql.dir/lexer.cc.o"
+  "CMakeFiles/dl_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/dl_sql.dir/parser.cc.o"
+  "CMakeFiles/dl_sql.dir/parser.cc.o.d"
+  "libdl_sql.a"
+  "libdl_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_storage.dir/catalog_view.cc.o"
+  "CMakeFiles/dl_storage.dir/catalog_view.cc.o.d"
+  "CMakeFiles/dl_storage.dir/database.cc.o"
+  "CMakeFiles/dl_storage.dir/database.cc.o.d"
+  "CMakeFiles/dl_storage.dir/persistence.cc.o"
+  "CMakeFiles/dl_storage.dir/persistence.cc.o.d"
+  "CMakeFiles/dl_storage.dir/schema.cc.o"
+  "CMakeFiles/dl_storage.dir/schema.cc.o.d"
+  "CMakeFiles/dl_storage.dir/table.cc.o"
+  "CMakeFiles/dl_storage.dir/table.cc.o.d"
+  "libdl_storage.a"
+  "libdl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

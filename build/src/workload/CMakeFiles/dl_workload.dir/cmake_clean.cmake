@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_workload.dir/mimic.cc.o"
+  "CMakeFiles/dl_workload.dir/mimic.cc.o.d"
+  "CMakeFiles/dl_workload.dir/paper_policies.cc.o"
+  "CMakeFiles/dl_workload.dir/paper_policies.cc.o.d"
+  "libdl_workload.a"
+  "libdl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

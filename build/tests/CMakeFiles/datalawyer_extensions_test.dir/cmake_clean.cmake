@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalawyer_extensions_test.dir/datalawyer_extensions_test.cc.o"
+  "CMakeFiles/datalawyer_extensions_test.dir/datalawyer_extensions_test.cc.o.d"
+  "datalawyer_extensions_test"
+  "datalawyer_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalawyer_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

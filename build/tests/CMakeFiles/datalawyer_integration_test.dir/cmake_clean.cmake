@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalawyer_integration_test.dir/datalawyer_integration_test.cc.o"
+  "CMakeFiles/datalawyer_integration_test.dir/datalawyer_integration_test.cc.o.d"
+  "datalawyer_integration_test"
+  "datalawyer_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalawyer_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

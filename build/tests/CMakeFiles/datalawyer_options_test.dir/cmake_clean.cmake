@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalawyer_options_test.dir/datalawyer_options_test.cc.o"
+  "CMakeFiles/datalawyer_options_test.dir/datalawyer_options_test.cc.o.d"
+  "datalawyer_options_test"
+  "datalawyer_options_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalawyer_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

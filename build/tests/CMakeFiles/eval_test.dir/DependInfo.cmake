@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/eval_test.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/dl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/dl_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/dl_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dl_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dl_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_random_test.dir/executor_random_test.cc.o"
+  "CMakeFiles/executor_random_test.dir/executor_random_test.cc.o.d"
+  "executor_random_test"
+  "executor_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

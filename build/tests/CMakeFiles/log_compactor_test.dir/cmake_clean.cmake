@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_compactor_test.dir/log_compactor_test.cc.o"
+  "CMakeFiles/log_compactor_test.dir/log_compactor_test.cc.o.d"
+  "log_compactor_test"
+  "log_compactor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_compactor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

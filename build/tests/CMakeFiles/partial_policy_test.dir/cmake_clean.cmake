@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_policy_test.dir/partial_policy_test.cc.o"
+  "CMakeFiles/partial_policy_test.dir/partial_policy_test.cc.o.d"
+  "partial_policy_test"
+  "partial_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

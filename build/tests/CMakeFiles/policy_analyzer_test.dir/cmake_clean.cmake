@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_analyzer_test.dir/policy_analyzer_test.cc.o"
+  "CMakeFiles/policy_analyzer_test.dir/policy_analyzer_test.cc.o.d"
+  "policy_analyzer_test"
+  "policy_analyzer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_random_test.dir/policy_random_test.cc.o"
+  "CMakeFiles/policy_random_test.dir/policy_random_test.cc.o.d"
+  "policy_random_test"
+  "policy_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_lineage_test.dir/schema_lineage_test.cc.o"
+  "CMakeFiles/schema_lineage_test.dir/schema_lineage_test.cc.o.d"
+  "schema_lineage_test"
+  "schema_lineage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_lineage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unification_test.dir/unification_test.cc.o"
+  "CMakeFiles/unification_test.dir/unification_test.cc.o.d"
+  "unification_test"
+  "unification_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

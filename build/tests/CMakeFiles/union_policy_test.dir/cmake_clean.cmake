@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_policy_test.dir/union_policy_test.cc.o"
+  "CMakeFiles/union_policy_test.dir/union_policy_test.cc.o.d"
+  "union_policy_test"
+  "union_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

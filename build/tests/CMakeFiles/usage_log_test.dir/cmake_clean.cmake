@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_log_test.dir/usage_log_test.cc.o"
+  "CMakeFiles/usage_log_test.dir/usage_log_test.cc.o.d"
+  "usage_log_test"
+  "usage_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
