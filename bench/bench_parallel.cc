@@ -1,0 +1,156 @@
+// Parallel policy evaluation: sweeps worker-thread count x policy count
+// and reports policy-checking wall time, aggregate per-evaluation CPU
+// time, the effective parallelism (cpu/wall), and the index-probe
+// counters. Emits one JSON object per configuration (machine-readable,
+// one line each) plus a human-readable table.
+//
+// The workload is the Figure-5 family of per-user rate-limit policies
+// with unification disabled, so every policy is an independent statement
+// — exactly the shape the shared pool fans out. The simulated
+// per-statement dispatch cost (the paper's JDBC round-trips) is spent
+// *sleeping*, modeling a blocking call to a remote DBMS: overlapping
+// those latencies is what a middleware in front of a real database gains
+// from concurrent evaluation, independent of local core count.
+//
+// The sweep also cross-checks determinism: every thread count must
+// produce byte-identical admit/reject decisions and violation messages
+// to the serial (0-thread) run.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace datalawyer {
+namespace bench {
+namespace {
+
+constexpr int kTotalQueries = 40;
+constexpr int kPerCallOverheadUs = 300;
+
+struct ConfigResult {
+  double total_ms = 0;         // whole-run wall time of the query loop
+  double eval_wall_ms = 0;     // summed policy_eval_ms (wall)
+  double eval_cpu_ms = 0;      // summed policy_cpu_us (aggregate CPU)
+  size_t index_probes = 0;
+  size_t index_hits = 0;
+  size_t evaluated = 0;
+  // Decision trace for the determinism cross-check.
+  std::vector<std::string> decisions;
+};
+
+ConfigResult RunConfig(int n_policies, int threads, bool indexes) {
+  DataLawyerOptions options = DataLawyerOptions::AllOptimizations();
+  options.enable_unification = false;  // keep the statements independent
+  options.strategy = EvalStrategy::kSerial;
+  options.per_call_overhead_us = kPerCallOverheadUs;
+  options.per_call_overhead_sleep = true;  // blocking round-trip model
+  options.policy_threads = threads;
+  options.enable_log_indexes = indexes;
+
+  MimicConfig data = BenchConfig();
+  data.num_patients /= 10;  // the sweep has many cells; keep each quick
+  data.num_chartevents /= 10;
+
+  Database db;
+  if (!LoadMimicData(&db, data).ok()) std::abort();
+  auto dl = MakeSystem(&db, options);
+  for (int u = 0; u < n_policies; ++u) {
+    if (!dl->AddPolicy("rate" + std::to_string(u),
+                       PaperPolicies::RateLimitForUser(u, 1000, 350))
+             .ok()) {
+      std::abort();
+    }
+  }
+
+  ConfigResult out;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int q = 0; q < kTotalQueries; ++q) {
+    ExecutionStats stats =
+        RunOne(dl.get(), PaperQueries::W1(), q % n_policies);
+    out.eval_wall_ms += stats.policy_eval_ms;
+    out.eval_cpu_ms += stats.policy_cpu_us / 1000.0;
+    out.index_probes += stats.index_probes;
+    out.index_hits += stats.index_hits;
+    out.evaluated += stats.policies_evaluated;
+    std::string decision = stats.rejected ? "reject:" : "admit";
+    for (const std::string& v : stats.violations) decision += v + ";";
+    out.decisions.push_back(std::move(decision));
+  }
+  out.total_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace datalawyer
+
+int main() {
+  using namespace datalawyer;
+  using namespace datalawyer::bench;
+
+  std::printf(
+      "Parallel policy evaluation: %d W1 queries per cell, %dus simulated "
+      "blocking dispatch per statement, unification off.\n\n",
+      kTotalQueries, kPerCallOverheadUs);
+  std::printf("%-10s %-8s %12s %12s %10s %12s %12s\n", "#policies", "threads",
+              "eval_wall_ms", "eval_cpu_ms", "cpu/wall", "idx_probes",
+              "idx_hits");
+
+  bool deterministic = true;
+  double serial_wall_16 = 0;
+  double eight_wall_16 = 0;
+  for (int n_policies : {4, 16, 64}) {
+    std::vector<std::string> baseline;
+    for (int threads : {0, 1, 2, 4, 8}) {
+      ConfigResult r = RunConfig(n_policies, threads, true);
+      if (threads == 0) {
+        baseline = r.decisions;
+      } else if (r.decisions != baseline) {
+        deterministic = false;
+        std::fprintf(stderr,
+                     "DETERMINISM FAILURE: %d policies, %d threads diverged "
+                     "from serial\n",
+                     n_policies, threads);
+      }
+      if (n_policies == 16 && threads == 0) serial_wall_16 = r.eval_wall_ms;
+      if (n_policies == 16 && threads == 8) eight_wall_16 = r.eval_wall_ms;
+      double parallelism =
+          r.eval_wall_ms > 0 ? r.eval_cpu_ms / r.eval_wall_ms : 0;
+      std::printf("%-10d %-8d %12.1f %12.1f %10.2f %12zu %12zu\n", n_policies,
+                  threads, r.eval_wall_ms, r.eval_cpu_ms, parallelism,
+                  r.index_probes, r.index_hits);
+      std::printf(
+          "{\"policies\": %d, \"threads\": %d, \"eval_wall_ms\": %.3f, "
+          "\"eval_cpu_ms\": %.3f, \"total_ms\": %.3f, \"index_probes\": %zu, "
+          "\"index_hits\": %zu, \"statements\": %zu, "
+          "\"decisions_match_serial\": %s}\n",
+          n_policies, threads, r.eval_wall_ms, r.eval_cpu_ms, r.total_ms,
+          r.index_probes, r.index_hits, r.evaluated,
+          threads == 0 || r.decisions == baseline ? "true" : "false");
+      std::fflush(stdout);
+    }
+  }
+
+  double speedup = eight_wall_16 > 0 ? serial_wall_16 / eight_wall_16 : 0;
+  std::printf(
+      "\n16-policy policy-checking wall time: serial %.1fms, 8 threads "
+      "%.1fms -> %.2fx speedup\n",
+      serial_wall_16, eight_wall_16, speedup);
+  if (!deterministic) {
+    std::printf("FAIL: decisions diverged across thread counts\n");
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::printf("FAIL: expected >= 2x speedup at 8 threads\n");
+    return 1;
+  }
+  std::printf("PASS: decisions byte-identical across thread counts, "
+              ">= 2x speedup at 8 threads\n");
+  return 0;
+}

@@ -169,6 +169,10 @@ int main(int argc, char** argv) {
                     FormatMs(s.policy_eval_ms).c_str(),
                     FormatMs(s.compaction_ms()).c_str(),
                     s.policies_evaluated, s.policies_pruned_early);
+        std::printf("policy wall %.0fus, cpu %.0fus | index probes %zu,"
+                    " hits %zu\n",
+                    s.policy_wall_us, s.policy_cpu_us, s.index_probes,
+                    s.index_hits);
       } else if (cmd == "paper") {
         for (const auto& [name, sql] : PaperPolicies::All()) {
           Status st = dl.AddPolicy(name, sql);

@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace datalawyer {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || threads_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // One shared claim counter; each participant grabs the next unclaimed
+  // index. The caller is a participant, so completion never depends on a
+  // free worker.
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<SharedState>();
+
+  auto run = [state, n, &fn]() {
+    for (;;) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  size_t helpers = std::min(threads_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < helpers; ++i) queue_.emplace_back(run);
+  }
+  cv_.notify_all();
+
+  run();  // the caller works too
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&]() {
+    return state->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+}  // namespace datalawyer

@@ -1,6 +1,8 @@
 #include "core/datalawyer.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 #include <unordered_set>
 
 #include "analysis/binder.h"
@@ -20,6 +22,10 @@ SteadyTime Now() { return std::chrono::steady_clock::now(); }
 
 double MsSince(SteadyTime start) {
   return std::chrono::duration<double, std::milli>(Now() - start).count();
+}
+
+double UsSince(SteadyTime start) {
+  return std::chrono::duration<double, std::micro>(Now() - start).count();
 }
 
 void BusyWaitMicros(int us) {
@@ -238,6 +244,11 @@ Status DataLawyer::Prepare() {
     if (skip) skip_retention_.insert(rel);
   }
 
+  // Equality hash indexes over the persisted log: policy predicates are
+  // dominated by `uid = $user` / `ts = $now` conjuncts, which the executor
+  // turns into index probes instead of full scans.
+  if (options_.enable_log_indexes) log_->EnableIndexes();
+
   // ---- per-policy witness sets and partial-policy caches ----
   std::vector<std::string> order;
   for (const std::string& rel : log_->RelationNamesInOrder()) {
@@ -360,45 +371,91 @@ Result<QueryResult> DataLawyer::QueryUsageLog(const std::string& sql) {
   return executor.Execute(*stmt.select);
 }
 
-Result<std::vector<std::string>> DataLawyer::EvaluatePolicyStmt(
+Result<DataLawyer::PolicyEvalOutput> DataLawyer::EvalPolicyStatement(
     const SelectStmt& stmt, const CatalogView* catalog,
-    bool check_increment_dependence, bool* depends_on_increment) {
-  BusyWaitMicros(options_.per_call_overhead_us);
-  ++stats_.policies_evaluated;
+    bool check_increment_dependence) const {
+  auto t0 = Now();
+  if (options_.per_call_overhead_us > 0) {
+    if (options_.per_call_overhead_sleep) {
+      // A blocking round-trip to a remote DBMS: the worker yields, so
+      // concurrent evaluations overlap the latency regardless of cores.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.per_call_overhead_us));
+    } else {
+      BusyWaitMicros(options_.per_call_overhead_us);
+    }
+  }
 
   ExecOptions exec_options;
   exec_options.capture_lineage = check_increment_dependence;
   Executor executor(catalog, exec_options);
   DL_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(stmt));
 
-  if (check_increment_dependence && depends_on_increment != nullptr) {
-    *depends_on_increment = false;
+  PolicyEvalOutput out;
+  out.index_probes = executor.scan_stats().index_probes;
+  out.index_hits = executor.scan_stats().index_hits;
+
+  if (check_increment_dependence) {
     for (const LineageSet& lineage : result.lineage) {
       for (const LineageEntry& entry : lineage) {
         if (log_->IsLogRelation(result.base_relations[entry.rel]) &&
             ConcatRelation::IsFromSecond(entry.row_id)) {
-          *depends_on_increment = true;
+          out.depends_on_increment = true;
         }
       }
     }
   }
 
-  std::vector<std::string> messages;
   for (const Row& row : result.rows) {
     if (row.empty()) continue;
     std::string msg = row[0].is_string() ? row[0].AsString()
                                          : row[0].ToString();
     bool seen = false;
-    for (const std::string& m : messages) {
+    for (const std::string& m : out.messages) {
       if (m == msg) seen = true;
     }
-    if (!seen) messages.push_back(std::move(msg));
-    if (messages.size() >= 8) break;  // cap the report
+    if (!seen) out.messages.push_back(std::move(msg));
+    if (out.messages.size() >= 8) break;  // cap the report
   }
-  if (messages.empty() && !result.rows.empty()) {
-    messages.push_back("policy violated");
+  if (out.messages.empty() && !result.rows.empty()) {
+    out.messages.push_back("policy violated");
   }
-  return messages;
+  out.eval_us = UsSince(t0);
+  return out;
+}
+
+void DataLawyer::RecordEvalCounters(const PolicyEvalOutput& out) {
+  ++stats_.policies_evaluated;
+  stats_.policy_cpu_us += out.eval_us;
+  stats_.index_probes += out.index_probes;
+  stats_.index_hits += out.index_hits;
+}
+
+Result<std::vector<std::string>> DataLawyer::EvaluatePolicyStmt(
+    const SelectStmt& stmt, const CatalogView* catalog,
+    bool check_increment_dependence, bool* depends_on_increment) {
+  DL_ASSIGN_OR_RETURN(
+      PolicyEvalOutput out,
+      EvalPolicyStatement(stmt, catalog, check_increment_dependence));
+  if (depends_on_increment != nullptr) {
+    *depends_on_increment = out.depends_on_increment;
+  }
+  RecordEvalCounters(out);
+  stats_.policy_eval_ms += out.eval_us / 1000.0;
+  stats_.policy_wall_us += out.eval_us;
+  return std::move(out.messages);
+}
+
+ThreadPool* DataLawyer::EnsurePool(size_t min_threads) {
+  size_t want = std::max(
+      min_threads, size_t(std::max(0, options_.policy_threads)));
+  if (pool_ == nullptr || pool_->num_threads() < want) {
+    // Replacing a pool drains it first (its destructor completes every
+    // queued task), so an outstanding compaction future stays valid.
+    pool_.reset();
+    pool_ = std::make_unique<ThreadPool>(want);
+  }
+  return pool_.get();
 }
 
 Status DataLawyer::GenerateLog(const std::string& relation, int64_t ts,
@@ -487,6 +544,115 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
     if (mentioned_logs_.count(rel)) order.push_back(rel);
   }
 
+  const bool parallel = options_.policy_threads > 0;
+
+  // Phased parallel check of a batch of independent policies: log
+  // generation stays serial (it mutates the staging deltas), evaluation
+  // fans out over the pool in two waves — guards (or guardless full
+  // policies) first, then the precise statements of policies whose guard
+  // fired. Outcomes are merged in registration order, so the decision,
+  // the attributed policy, and the messages are byte-identical to the
+  // serial `evaluate_fully` loop. Returns true if a violation was found
+  // (already attributed; the caller rejects).
+  struct BatchOutcome {
+    Status status = Status::OK();
+    PolicyEvalOutput out;
+  };
+  auto check_batch_parallel =
+      [&](const std::vector<const PreparedPolicy*>& batch) -> Result<bool> {
+    // Phase A (serial): every relation a first-wave statement reads.
+    for (const PreparedPolicy* prep : batch) {
+      const Policy& policy = active_[prep->policy_index];
+      const std::vector<std::string>& rels = policy.guard != nullptr
+                                                 ? prep->guard_relations
+                                                 : policy.log_relations;
+      for (const std::string& rel : rels) {
+        DL_RETURN_NOT_OK(GenerateLog(rel, ts, input));
+      }
+    }
+
+    // Phase B (parallel): guarded policies run their guard; the rest run
+    // the full policy statement.
+    std::vector<BatchOutcome> first(batch.size());
+    ThreadPool* pool = EnsurePool(1);
+    auto t0 = Now();
+    pool->ParallelFor(batch.size(), [&](size_t i) {
+      const Policy& policy = active_[batch[i]->policy_index];
+      const SelectStmt& to_eval =
+          policy.guard != nullptr ? *policy.guard : policy.effective();
+      Result<PolicyEvalOutput> result =
+          EvalPolicyStatement(to_eval, catalog.view(), false);
+      if (!result.ok()) {
+        first[i].status = result.status();
+      } else {
+        first[i].out = std::move(*result);
+      }
+    });
+    double wall_us = UsSince(t0);
+    stats_.policy_eval_ms += wall_us / 1000.0;
+    stats_.policy_wall_us += wall_us;
+    for (const BatchOutcome& o : first) {
+      DL_RETURN_NOT_OK(o.status);
+    }
+
+    // Phase C (serial): materialize the remaining logs of fired guards.
+    std::vector<size_t> precise;  // batch indices needing the precise check
+    std::vector<int> precise_of(batch.size(), -1);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Policy& policy = active_[batch[i]->policy_index];
+      if (policy.guard == nullptr || first[i].out.messages.empty()) continue;
+      precise_of[i] = int(precise.size());
+      precise.push_back(i);
+      for (const std::string& rel : policy.log_relations) {
+        DL_RETURN_NOT_OK(GenerateLog(rel, ts, input));
+      }
+    }
+
+    // Phase D (parallel): the precise statements behind fired guards.
+    std::vector<BatchOutcome> second(precise.size());
+    if (!precise.empty()) {
+      auto t1 = Now();
+      pool->ParallelFor(precise.size(), [&](size_t j) {
+        const Policy& policy = active_[batch[precise[j]]->policy_index];
+        Result<PolicyEvalOutput> result =
+            EvalPolicyStatement(policy.effective(), catalog.view(), false);
+        if (!result.ok()) {
+          second[j].status = result.status();
+        } else {
+          second[j].out = std::move(*result);
+        }
+      });
+      double precise_wall_us = UsSince(t1);
+      stats_.policy_eval_ms += precise_wall_us / 1000.0;
+      stats_.policy_wall_us += precise_wall_us;
+    }
+
+    // Serial merge in registration order.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Policy& policy = active_[batch[i]->policy_index];
+      RecordEvalCounters(first[i].out);
+      if (policy.guard != nullptr) {
+        if (first[i].out.messages.empty()) {
+          ++stats_.policies_pruned_early;  // guard proves satisfaction
+          continue;
+        }
+        BatchOutcome& o = second[precise_of[i]];
+        DL_RETURN_NOT_OK(o.status);
+        RecordEvalCounters(o.out);
+        if (!o.out.messages.empty()) {
+          attribute(policy, o.out.messages);
+          violations = std::move(o.out.messages);
+          return true;
+        }
+      } else if (!first[i].out.messages.empty()) {
+        attribute(policy, first[i].out.messages);
+        violations = std::move(first[i].out.messages);
+        return true;
+      }
+    }
+    return false;
+  };
+
   if (options_.strategy == EvalStrategy::kInterleaved) {
     // ---- §4.4 step 1: interleaved evaluation of prunable policies ----
     std::vector<const PreparedPolicy*> remaining;
@@ -502,88 +668,173 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
         DL_RETURN_NOT_OK(GenerateLog(order[k - 1], ts, input));
       }
       std::vector<const PreparedPolicy*> next;
-      for (const PreparedPolicy* prep : remaining) {
-        const Policy& policy = active_[prep->policy_index];
-
-        // Approximate guard (§6): once its logs exist, an empty guard
-        // answer dismisses the policy without the precise check.
-        if (policy.guard != nullptr && !guard_cleared.count(prep) &&
-            prep->guard_covered[k]) {
-          auto t0 = Now();
-          DL_ASSIGN_OR_RETURN(std::vector<std::string> guard_messages,
-                              EvaluatePolicyStmt(*policy.guard,
-                                                 catalog.view(), false,
-                                                 nullptr));
-          stats_.policy_eval_ms += MsSince(t0);
-          if (guard_messages.empty()) {
-            ++stats_.policies_pruned_early;
-            continue;  // guard proves satisfaction
-          }
-          guard_cleared.insert(prep);  // suspicious: precise check required
-        }
-
-        const SelectStmt* to_eval = prep->covered[k]
-                                        ? &policy.effective()
-                                        : prep->partials[k].get();
+      if (parallel && remaining.size() > 1) {
+        // One task per surviving policy; each runs its guard (if due) and
+        // then its partial/full statement against the shared read-only
+        // catalog. Outcomes land in caller-indexed slots and are merged
+        // below in registration order, so the admitted/rejected decision,
+        // the attributed policy, and every message are byte-identical to
+        // the serial loop. `guard_cleared` is only *read* during the
+        // parallel region; it is updated in the serial merge.
+        struct RoundOutcome {
+          Status status = Status::OK();
+          bool guard_ran = false;
+          bool guard_pruned = false;
+          bool check_dep = false;
+          PolicyEvalOutput guard_out;
+          PolicyEvalOutput out;
+        };
+        std::vector<RoundOutcome> outcomes(remaining.size());
+        ThreadPool* pool = EnsurePool(1);
         auto t0 = Now();
-        bool depends = true;
-        bool check_dep = options_.enable_improved_partial &&
-                         !prep->covered[k] && prep->improved_ok &&
-                         prep->prefix_touches_log[k];
-        DL_ASSIGN_OR_RETURN(
-            std::vector<std::string> messages,
-            EvaluatePolicyStmt(*to_eval, catalog.view(), check_dep, &depends));
-        stats_.policy_eval_ms += MsSince(t0);
-        if (prep->covered[k]) {
-          if (!messages.empty()) {
-            attribute(policy, messages);
-            violations = std::move(messages);
-            return reject();
+        pool->ParallelFor(remaining.size(), [&](size_t i) {
+          const PreparedPolicy* prep = remaining[i];
+          const Policy& policy = active_[prep->policy_index];
+          RoundOutcome& o = outcomes[i];
+          if (policy.guard != nullptr && !guard_cleared.count(prep) &&
+              prep->guard_covered[k]) {
+            o.guard_ran = true;
+            Result<PolicyEvalOutput> guard_result =
+                EvalPolicyStatement(*policy.guard, catalog.view(), false);
+            if (!guard_result.ok()) {
+              o.status = guard_result.status();
+              return;
+            }
+            o.guard_out = std::move(*guard_result);
+            if (o.guard_out.messages.empty()) {
+              o.guard_pruned = true;  // guard proves satisfaction
+              return;
+            }
           }
-          // Fully satisfied: dismissed.
-        } else if (messages.empty()) {
-          ++stats_.policies_pruned_early;  // partial proved satisfaction
-        } else if (check_dep && !depends) {
-          // §4.3 improved partial policies: held in the past, and nothing
-          // from the current increment contributes.
-          ++stats_.policies_pruned_early;
-        } else {
-          next.push_back(prep);
+          const SelectStmt* to_eval = prep->covered[k]
+                                          ? &policy.effective()
+                                          : prep->partials[k].get();
+          o.check_dep = options_.enable_improved_partial &&
+                        !prep->covered[k] && prep->improved_ok &&
+                        prep->prefix_touches_log[k];
+          Result<PolicyEvalOutput> result =
+              EvalPolicyStatement(*to_eval, catalog.view(), o.check_dep);
+          if (!result.ok()) {
+            o.status = result.status();
+            return;
+          }
+          o.out = std::move(*result);
+        });
+        double wall_us = UsSince(t0);
+        stats_.policy_eval_ms += wall_us / 1000.0;
+        stats_.policy_wall_us += wall_us;
+
+        // Serial merge in registration order.
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          const PreparedPolicy* prep = remaining[i];
+          const Policy& policy = active_[prep->policy_index];
+          RoundOutcome& o = outcomes[i];
+          DL_RETURN_NOT_OK(o.status);
+          if (o.guard_ran) {
+            RecordEvalCounters(o.guard_out);
+            if (o.guard_pruned) {
+              ++stats_.policies_pruned_early;
+              continue;
+            }
+            guard_cleared.insert(prep);  // suspicious: precise check required
+          }
+          RecordEvalCounters(o.out);
+          if (prep->covered[k]) {
+            if (!o.out.messages.empty()) {
+              attribute(policy, o.out.messages);
+              violations = std::move(o.out.messages);
+              return reject();
+            }
+            // Fully satisfied: dismissed.
+          } else if (o.out.messages.empty()) {
+            ++stats_.policies_pruned_early;  // partial proved satisfaction
+          } else if (o.check_dep && !o.out.depends_on_increment) {
+            ++stats_.policies_pruned_early;
+          } else {
+            next.push_back(prep);
+          }
+        }
+      } else {
+        for (const PreparedPolicy* prep : remaining) {
+          const Policy& policy = active_[prep->policy_index];
+
+          // Approximate guard (§6): once its logs exist, an empty guard
+          // answer dismisses the policy without the precise check.
+          if (policy.guard != nullptr && !guard_cleared.count(prep) &&
+              prep->guard_covered[k]) {
+            DL_ASSIGN_OR_RETURN(std::vector<std::string> guard_messages,
+                                EvaluatePolicyStmt(*policy.guard,
+                                                   catalog.view(), false,
+                                                   nullptr));
+            if (guard_messages.empty()) {
+              ++stats_.policies_pruned_early;
+              continue;  // guard proves satisfaction
+            }
+            guard_cleared.insert(prep);  // suspicious: precise check required
+          }
+
+          const SelectStmt* to_eval = prep->covered[k]
+                                          ? &policy.effective()
+                                          : prep->partials[k].get();
+          bool depends = true;
+          bool check_dep = options_.enable_improved_partial &&
+                           !prep->covered[k] && prep->improved_ok &&
+                           prep->prefix_touches_log[k];
+          DL_ASSIGN_OR_RETURN(std::vector<std::string> messages,
+                              EvaluatePolicyStmt(*to_eval, catalog.view(),
+                                                 check_dep, &depends));
+          if (prep->covered[k]) {
+            if (!messages.empty()) {
+              attribute(policy, messages);
+              violations = std::move(messages);
+              return reject();
+            }
+            // Fully satisfied: dismissed.
+          } else if (messages.empty()) {
+            ++stats_.policies_pruned_early;  // partial proved satisfaction
+          } else if (check_dep && !depends) {
+            // §4.3 improved partial policies: held in the past, and nothing
+            // from the current increment contributes.
+            ++stats_.policies_pruned_early;
+          } else {
+            next.push_back(prep);
+          }
         }
       }
       remaining = std::move(next);
     }
 
     // ---- §4.4 step 2: the non-prunable (non-monotone) policies ----
-    for (const PreparedPolicy* prep : full_only) {
-      const Policy& policy = active_[prep->policy_index];
-      if (policy.guard != nullptr) {
-        for (const std::string& rel : prep->guard_relations) {
+    if (parallel && full_only.size() > 1) {
+      DL_ASSIGN_OR_RETURN(bool violated, check_batch_parallel(full_only));
+      if (violated) return reject();
+    } else {
+      for (const PreparedPolicy* prep : full_only) {
+        const Policy& policy = active_[prep->policy_index];
+        if (policy.guard != nullptr) {
+          for (const std::string& rel : prep->guard_relations) {
+            DL_RETURN_NOT_OK(GenerateLog(rel, ts, input));
+          }
+          DL_ASSIGN_OR_RETURN(std::vector<std::string> guard_messages,
+                              EvaluatePolicyStmt(*policy.guard, catalog.view(),
+                                                 false, nullptr));
+          if (guard_messages.empty()) {
+            ++stats_.policies_pruned_early;
+            continue;
+          }
+        }
+        for (const std::string& rel : policy.log_relations) {
           DL_RETURN_NOT_OK(GenerateLog(rel, ts, input));
         }
-        auto t0 = Now();
-        DL_ASSIGN_OR_RETURN(std::vector<std::string> guard_messages,
-                            EvaluatePolicyStmt(*policy.guard, catalog.view(),
-                                               false, nullptr));
-        stats_.policy_eval_ms += MsSince(t0);
-        if (guard_messages.empty()) {
-          ++stats_.policies_pruned_early;
-          continue;
+        DL_ASSIGN_OR_RETURN(
+            std::vector<std::string> messages,
+            EvaluatePolicyStmt(policy.effective(), catalog.view(), false,
+                               nullptr));
+        if (!messages.empty()) {
+          attribute(policy, messages);
+          violations = std::move(messages);
+          return reject();
         }
-      }
-      for (const std::string& rel : policy.log_relations) {
-        DL_RETURN_NOT_OK(GenerateLog(rel, ts, input));
-      }
-      auto t0 = Now();
-      DL_ASSIGN_OR_RETURN(
-          std::vector<std::string> messages,
-          EvaluatePolicyStmt(policy.effective(), catalog.view(), false,
-                             nullptr));
-      stats_.policy_eval_ms += MsSince(t0);
-      if (!messages.empty()) {
-        attribute(policy, messages);
-        violations = std::move(messages);
-        return reject();
       }
     }
   } else {
@@ -615,11 +866,9 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
     // violation was found and attributed.
     auto evaluate_fully = [&](const Policy& policy) -> Result<bool> {
       if (policy.guard != nullptr) {
-        auto t0 = Now();
         DL_ASSIGN_OR_RETURN(std::vector<std::string> guard_messages,
                             EvaluatePolicyStmt(*policy.guard, catalog.view(),
                                                false, nullptr));
-        stats_.policy_eval_ms += MsSince(t0);
         if (guard_messages.empty()) {
           ++stats_.policies_pruned_early;
           return false;
@@ -629,12 +878,10 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
           DL_RETURN_NOT_OK(GenerateLog(rel, ts, input));
         }
       }
-      auto t0 = Now();
       DL_ASSIGN_OR_RETURN(
           std::vector<std::string> messages,
           EvaluatePolicyStmt(policy.effective(), catalog.view(), false,
                              nullptr));
-      stats_.policy_eval_ms += MsSince(t0);
       if (!messages.empty()) {
         attribute(policy, messages);
         violations = std::move(messages);
@@ -642,15 +889,34 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       }
       return false;
     };
+    // Checks a batch of policies in registration order, parallel when
+    // configured; true means a violation was attributed.
+    auto check_batch = [&](const std::vector<const PreparedPolicy*>& batch)
+        -> Result<bool> {
+      if (parallel && batch.size() > 1) {
+        return check_batch_parallel(batch);
+      }
+      for (const PreparedPolicy* prep : batch) {
+        DL_ASSIGN_OR_RETURN(bool violated,
+                            evaluate_fully(active_[prep->policy_index]));
+        if (violated) return true;
+      }
+      return false;
+    };
 
     bool unionable = options_.strategy == EvalStrategy::kUnion;
     std::vector<const Policy*> union_set;
-    std::vector<const Policy*> separate;
-    for (const Policy& policy : active_) {
+    std::vector<const PreparedPolicy*> separate;
+    for (size_t i = 0; i < active_.size(); ++i) {
+      const Policy& policy = active_[i];
       bool fits = policy.guard == nullptr &&
                   policy.effective().items.size() == 1 &&
                   policy.effective().items[0].expr->kind() != ExprKind::kStar;
-      (fits ? union_set : separate).push_back(&policy);
+      if (fits) {
+        union_set.push_back(&policy);
+      } else {
+        separate.push_back(&prepared_[i]);
+      }
     }
 
     if (unionable && union_set.size() > 1) {
@@ -668,11 +934,9 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
         }
         while (tail->union_next != nullptr) tail = tail->union_next.get();
       }
-      auto t0 = Now();
       DL_ASSIGN_OR_RETURN(
           std::vector<std::string> messages,
           EvaluatePolicyStmt(*combined, catalog.view(), false, nullptr));
-      stats_.policy_eval_ms += MsSince(t0);
       if (!messages.empty()) {
         // Re-evaluate individually to attribute the violation (§6
         // debugging); the extra cost is paid only on rejection.
@@ -684,15 +948,13 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
         violations = std::move(messages);
         return reject();
       }
-      for (const Policy* policy : separate) {
-        DL_ASSIGN_OR_RETURN(bool violated, evaluate_fully(*policy));
-        if (violated) return reject();
-      }
+      DL_ASSIGN_OR_RETURN(bool violated, check_batch(separate));
+      if (violated) return reject();
     } else {
-      for (const Policy& policy : active_) {
-        DL_ASSIGN_OR_RETURN(bool violated, evaluate_fully(policy));
-        if (violated) return reject();
-      }
+      std::vector<const PreparedPolicy*> all;
+      for (const PreparedPolicy& prep : prepared_) all.push_back(&prep);
+      DL_ASSIGN_OR_RETURN(bool violated, check_batch(all));
+      if (violated) return reject();
     }
   }
 
@@ -729,8 +991,7 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       // §5.1: return the result before compaction finishes. The worker owns
       // the log tables until the next Execute/Flush waits on it.
       queries_since_compaction_ = 0;
-      pending_compaction_ = std::async(
-          std::launch::async,
+      pending_compaction_ = EnsurePool(1)->Submit(
           [this, ts]() -> Result<CompactionStats> {
             std::vector<const WitnessSet*> witnesses;
             for (const PreparedPolicy& prep : prepared_) {

@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/options.h"
 #include "core/stats.h"
 #include "exec/engine.h"
@@ -130,13 +131,44 @@ class DataLawyer {
  private:
   struct PreparedPolicy;
 
+  /// What one policy-statement evaluation produced — messages plus the
+  /// counters that fold into ExecutionStats. Produced by the const,
+  /// thread-safe evaluation core so concurrent tasks never touch `stats_`;
+  /// the caller merges outputs serially, in registration order.
+  struct PolicyEvalOutput {
+    std::vector<std::string> messages;  ///< violation messages (empty = ok)
+    bool depends_on_increment = false;
+    size_t index_probes = 0;
+    size_t index_hits = 0;
+    double eval_us = 0;  ///< this statement's own elapsed time
+  };
+
   Result<QueryResult> ExecuteChecked(const SelectStmt& stmt,
                                      const QueryContext& context, int64_t ts);
-  /// Evaluates one policy statement over `catalog`, applying the simulated
-  /// per-call overhead; returns violation messages (empty = satisfied).
+
+  /// Thread-safe evaluation core: runs one policy statement over `catalog`
+  /// (a fresh Executor per call), applying the simulated per-call
+  /// overhead. Const all the way down — shared state (tables, catalog,
+  /// prepared statements) is read-only during checking, which is what makes
+  /// concurrent policy evaluation sound. See DESIGN.md "Concurrency model".
+  Result<PolicyEvalOutput> EvalPolicyStatement(
+      const SelectStmt& stmt, const CatalogView* catalog,
+      bool check_increment_dependence) const;
+
+  /// Serial-path wrapper: evaluates and immediately folds the output into
+  /// `stats_`; returns violation messages (empty = satisfied).
   Result<std::vector<std::string>> EvaluatePolicyStmt(
       const SelectStmt& stmt, const CatalogView* catalog,
       bool check_increment_dependence, bool* depends_on_increment);
+
+  /// Folds one evaluation's counters into `stats_` (not its wall time —
+  /// parallel regions are timed once, around the whole region).
+  void RecordEvalCounters(const PolicyEvalOutput& out);
+
+  /// The shared worker pool, created lazily with
+  /// max(policy_threads, min_threads) workers and recreated if options ask
+  /// for more. Used by parallel policy evaluation and async compaction.
+  ThreadPool* EnsurePool(size_t min_threads);
   Status GenerateLog(const std::string& relation, int64_t ts,
                      const GenerationInput& input);
   /// §4.3 preemptive compaction: true if relation `name`'s increment can be
@@ -174,9 +206,14 @@ class DataLawyer {
   /// True while WouldAllow probes: suppresses commit/compaction/execution.
   bool probe_mode_ = false;
 
-  /// Outstanding background compaction (async_compaction mode).
+  /// Outstanding background compaction (async_compaction mode), routed
+  /// through `pool_`.
   std::future<Result<CompactionStats>> pending_compaction_;
   CompactionStats last_compaction_stats_;
+
+  /// Shared worker pool (policy evaluation + async compaction). Lazily
+  /// created; absent entirely when both features are off.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace datalawyer

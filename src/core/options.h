@@ -39,6 +39,29 @@ struct DataLawyerOptions {
   /// paper's JDBC round-trips, visible in Fig. 5). 0 = off.
   int per_call_overhead_us = 0;
 
+  /// How the simulated dispatch cost is spent: false burns CPU (a busy
+  /// wait, the historical behavior); true sleeps, modeling a *blocking*
+  /// round-trip to a remote DBMS — the case where concurrent policy
+  /// evaluation overlaps the latencies regardless of core count.
+  bool per_call_overhead_sleep = false;
+
+  /// Number of worker threads evaluating independent policies concurrently
+  /// (0 = the serial evaluation loops, unchanged from the paper). Any
+  /// value >= 1 uses the shared pool with a deterministic registration-
+  /// order merge: admit/reject decisions, violation messages, and committed
+  /// log contents are byte-identical across all thread counts. See
+  /// DESIGN.md "Concurrency model" for what is shared and what is frozen
+  /// during checking.
+  int policy_threads = 0;
+
+  /// Maintain equality hash indexes on every usage-log main relation and
+  /// let policy scans probe them for conjunctive equality predicates
+  /// (`uid = $user`, `ts = $now` — the shape of nearly every paper policy).
+  /// Pure access-path optimization: results are identical, full scans of
+  /// the log become point lookups. Indexes are maintained incrementally on
+  /// append and rebuilt after compaction deletes.
+  bool enable_log_indexes = true;
+
   /// Compact the log every N successful queries instead of after each one
   /// (§5.2: "DataLawyer could compact the log less frequently or whenever
   /// the system has idle resources"). Between compactions, surviving
@@ -63,6 +86,7 @@ struct DataLawyerOptions {
     options.enable_unification = false;
     options.enable_preemptive_compaction = false;
     options.enable_improved_partial = false;
+    options.enable_log_indexes = false;
     options.strategy = EvalStrategy::kUnion;
     return options;
   }

@@ -15,10 +15,24 @@ struct ExecutionStats {
 
   double query_exec_ms = 0;    ///< running the user's query
   double log_gen_ms = 0;       ///< log-generating functions (usage tracking)
-  double policy_eval_ms = 0;   ///< evaluating (partial and full) policies
+  double policy_eval_ms = 0;   ///< evaluating (partial and full) policies:
+                               ///< wall time (parallel regions count once)
   double compact_mark_ms = 0;  ///< witness queries + marking
   double compact_delete_ms = 0;
   double compact_insert_ms = 0;
+
+  /// Policy-checking time, split two ways: wall = elapsed time of the
+  /// evaluation phases (what the user waits for; equals policy_eval_ms in
+  /// microseconds), cpu = the same evaluations summed per worker (what the
+  /// machine spent). wall < cpu means the pool overlapped work; the ratio
+  /// cpu/wall is the effective parallelism.
+  double policy_wall_us = 0;
+  double policy_cpu_us = 0;
+
+  /// Access-path counters over all policy/guard/partial statements this
+  /// query (witness-query counters live in CompactionStats).
+  size_t index_probes = 0;  ///< equality conjuncts probed against an index
+  size_t index_hits = 0;    ///< scans served by an index instead of a walk
 
   size_t policies_evaluated = 0;  ///< policy/partial-policy statements run
   size_t policies_pruned_early = 0;

@@ -45,7 +45,7 @@ Result<QueryResult> Engine::ExecuteScript(const std::string& sql) {
   return last;
 }
 
-Result<std::string> Engine::ExplainSql(const std::string& sql) {
+Result<std::string> Engine::ExplainSql(const std::string& sql) const {
   DL_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("EXPLAIN supports SELECT statements only");
@@ -79,7 +79,7 @@ Result<QueryResult> Engine::ExecuteStatement(const Statement& stmt,
 
 Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt,
                                           const CatalogView* catalog,
-                                          ExecOptions options) {
+                                          ExecOptions options) const {
   Executor executor(catalog != nullptr ? catalog : &db_catalog_, options);
   return executor.Execute(stmt);
 }

@@ -28,13 +28,15 @@ class Engine {
   Result<QueryResult> ExecuteScript(const std::string& sql);
 
   /// Plan description for a SELECT (see Executor::Explain).
-  Result<std::string> ExplainSql(const std::string& sql);
+  Result<std::string> ExplainSql(const std::string& sql) const;
 
   /// Runs a SELECT, optionally against an extended catalog (nullptr = the
-  /// database only).
+  /// database only). Const — does not mutate engine state — and safe to
+  /// call concurrently with other const engine/executor work as long as no
+  /// one mutates the underlying tables (see DESIGN.md "Concurrency model").
   Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
                                     const CatalogView* catalog = nullptr,
-                                    ExecOptions options = {});
+                                    ExecOptions options = {}) const;
 
   Result<QueryResult> ExecuteStatement(const Statement& stmt,
                                        ExecOptions options = {});

@@ -60,6 +60,48 @@ void MergeLineage(LineageSet* dst, const LineageSet& src) {
   dst->insert(dst->end(), src.begin(), src.end());
 }
 
+/// A `column = literal` equality over the scanned relation — the unit an
+/// index probe answers. Conjunctions of several equalities yield several
+/// candidates; the executor probes each and keeps the most selective.
+struct ProbeCandidate {
+  size_t col = 0;               ///< column within the relation
+  const Value* value = nullptr; ///< literal to probe with
+  const Expr* conjunct = nullptr;
+};
+
+/// Extracts the probe candidates from single-relation pushdown conjuncts
+/// (either orientation of `col = literal`).
+std::vector<ProbeCandidate> ProbeCandidates(
+    const std::vector<const Expr*>& pushdown, const BoundQuery& bq,
+    size_t offset, size_t width) {
+  std::vector<ProbeCandidate> out;
+  for (const Expr* p : pushdown) {
+    if (p->kind() != ExprKind::kBinary) continue;
+    const auto& b = static_cast<const BinaryExpr&>(*p);
+    if (b.op != "=") continue;
+    const Expr* col_side = nullptr;
+    const Expr* lit_side = nullptr;
+    if (b.lhs->kind() == ExprKind::kColumnRef &&
+        b.rhs->kind() == ExprKind::kLiteral) {
+      col_side = b.lhs.get();
+      lit_side = b.rhs.get();
+    } else if (b.rhs->kind() == ExprKind::kColumnRef &&
+               b.lhs->kind() == ExprKind::kLiteral) {
+      col_side = b.rhs.get();
+      lit_side = b.lhs.get();
+    } else {
+      continue;
+    }
+    auto it = bq.column_slots.find(col_side);
+    if (it == bq.column_slots.end()) continue;
+    if (it->second < offset || it->second >= offset + width) continue;
+    out.push_back(ProbeCandidate{
+        it->second - offset, &static_cast<const LiteralExpr&>(*lit_side).value,
+        p});
+  }
+  return out;
+}
+
 }  // namespace
 
 void NormalizeLineage(LineageSet* lineage) {
@@ -82,7 +124,7 @@ Result<QueryResult> Executor::Execute(const SelectStmt& stmt) {
   return ExecuteBound(*bq);
 }
 
-Result<std::string> Executor::Explain(const SelectStmt& stmt) {
+Result<std::string> Executor::Explain(const SelectStmt& stmt) const {
   Binder binder(catalog_);
   DL_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(stmt));
   std::string out;
@@ -108,46 +150,32 @@ Result<std::string> Executor::Explain(const SelectStmt& stmt) {
       const BoundRelation& rel = bq->relations[rel_idx];
       uint64_t rel_bit = uint64_t(1) << rel_idx;
 
-      // Mirror ScanRelation's pushdown + index decision.
+      // Mirror ScanRelation's pushdown + index decision: probe every
+      // indexed equality conjunct and report the most selective one.
       std::vector<std::string> pushdown;
-      bool index_probe = false;
-      std::string index_detail;
+      std::vector<const Expr*> pushdown_exprs;
       for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
         if (applied[ci] || RelationMask(*conjuncts[ci], *bq) != rel_bit) {
           continue;
         }
         pushdown.push_back(conjuncts[ci]->ToString());
+        pushdown_exprs.push_back(conjuncts[ci]);
         applied[ci] = true;
-        if (index_probe || conjuncts[ci]->kind() != ExprKind::kBinary) {
-          continue;
-        }
-        const auto& b = static_cast<const BinaryExpr&>(*conjuncts[ci]);
-        const Expr* col = nullptr;
-        const Expr* lit = nullptr;
-        if (b.op != "=") continue;
-        if (b.lhs->kind() == ExprKind::kColumnRef &&
-            b.rhs->kind() == ExprKind::kLiteral) {
-          col = b.lhs.get();
-          lit = b.rhs.get();
-        } else if (b.rhs->kind() == ExprKind::kColumnRef &&
-                   b.lhs->kind() == ExprKind::kLiteral) {
-          col = b.rhs.get();
-          lit = b.lhs.get();
-        }
-        if (col == nullptr) continue;
-        auto it = bq->column_slots.find(col);
-        if (it == bq->column_slots.end()) continue;
+      }
+      bool index_probe = false;
+      std::string index_detail;
+      if (rel.relation != nullptr) {
         size_t offset = bq->slot_offsets[rel_idx];
-        if (it->second < offset ||
-            it->second >= offset + rel.schema.NumColumns()) {
-          continue;
-        }
-        if (rel.relation != nullptr &&
-            rel.relation->IndexLookup(
-                it->second - offset,
-                static_cast<const LiteralExpr&>(*lit).value) != nullptr) {
+        size_t best_hits = 0;
+        for (const ProbeCandidate& c : ProbeCandidates(
+                 pushdown_exprs, *bq, offset, rel.schema.NumColumns())) {
+          std::vector<size_t> hits;
+          if (!rel.relation->IndexLookup(c.col, *c.value, &hits)) continue;
+          if (!index_probe || hits.size() < best_hits) {
+            best_hits = hits.size();
+            index_detail = c.conjunct->ToString();
+          }
           index_probe = true;
-          index_detail = conjuncts[ci]->ToString();
         }
       }
 
@@ -390,33 +418,24 @@ Result<Executor::Intermediate> Executor::ScanRelation(
     uint32_t rel_id =
         options_.capture_lineage ? InternRelation(rel.table_name) : 0;
 
-    // Equality pushdown through a hash index: a conjunct `a.col = literal`
-    // (either orientation) narrows the scan to the matching positions.
-    const std::vector<size_t>* positions = nullptr;
-    for (const Expr* p : pushdown) {
-      if (p->kind() != ExprKind::kBinary) continue;
-      const auto& b = static_cast<const BinaryExpr&>(*p);
-      if (b.op != "=") continue;
-      const Expr* col_side = nullptr;
-      const Expr* lit_side = nullptr;
-      if (b.lhs->kind() == ExprKind::kColumnRef &&
-          b.rhs->kind() == ExprKind::kLiteral) {
-        col_side = b.lhs.get();
-        lit_side = b.rhs.get();
-      } else if (b.rhs->kind() == ExprKind::kColumnRef &&
-                 b.lhs->kind() == ExprKind::kLiteral) {
-        col_side = b.rhs.get();
-        lit_side = b.lhs.get();
-      } else {
-        continue;
+    // Equality pushdown through hash indexes: every conjunct `a.col =
+    // literal` (either orientation) with a valid index is probed, and the
+    // most selective probe narrows the scan. All pushdown predicates are
+    // still re-applied per emitted row, so probing only changes the access
+    // path, never the result.
+    bool have_probe = false;
+    std::vector<size_t> positions;
+    for (const ProbeCandidate& c : ProbeCandidates(pushdown, bq, offset,
+                                                   width)) {
+      std::vector<size_t> hits;
+      if (!rel.relation->IndexLookup(c.col, *c.value, &hits)) continue;
+      ++scan_stats_.index_probes;
+      if (!have_probe || hits.size() < positions.size()) {
+        positions = std::move(hits);
       }
-      auto it = bq.column_slots.find(col_side);
-      if (it == bq.column_slots.end()) continue;
-      if (it->second < offset || it->second >= offset + width) continue;
-      const Value& v = static_cast<const LiteralExpr&>(*lit_side).value;
-      positions = rel.relation->IndexLookup(it->second - offset, v);
-      if (positions != nullptr) break;
+      have_probe = true;
     }
+    if (have_probe) ++scan_stats_.index_hits;
 
     auto emit_position = [&](size_t i) -> Status {
       Row full_row(bq.total_slots, Value::Null());
@@ -429,8 +448,8 @@ Result<Executor::Intermediate> Executor::ScanRelation(
       return emit(std::move(full_row), std::move(lineage));
     };
 
-    if (positions != nullptr) {
-      for (size_t i : *positions) {
+    if (have_probe) {
+      for (size_t i : positions) {
         DL_RETURN_NOT_OK(emit_position(i));
       }
     } else {

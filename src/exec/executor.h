@@ -20,6 +20,13 @@ struct ExecOptions {
   bool capture_lineage = false;
 };
 
+/// Access-path counters of one Execute call (aggregated per query into
+/// ExecutionStats.index_probes / index_hits).
+struct ScanStats {
+  size_t index_probes = 0;  ///< equality conjuncts probed against an index
+  size_t index_hits = 0;    ///< scans answered by an index instead of a walk
+};
+
 /// Materialized (operator-at-a-time) executor for bound SELECT statements.
 ///
 /// Join processing follows FROM order: relations are folded left-to-right,
@@ -40,10 +47,13 @@ class Executor {
   /// relation the scan mode (index probe vs. full scan) and pushed-down
   /// predicates, per join the algorithm (hash vs. nested loop) with its
   /// keys, then the grouping / distinct / order stages.
-  Result<std::string> Explain(const SelectStmt& stmt);
+  Result<std::string> Explain(const SelectStmt& stmt) const;
 
   /// Executes an already-bound query.
   Result<QueryResult> ExecuteBound(const BoundQuery& bq);
+
+  /// Access-path counters accumulated across this executor's Execute calls.
+  const ScanStats& scan_stats() const { return scan_stats_; }
 
  private:
   /// Joined-but-not-yet-projected rows, laid out by the binder's slots.
@@ -72,6 +82,7 @@ class Executor {
   const CatalogView* catalog_;
   ExecOptions options_;
   std::vector<std::string> base_relations_;
+  ScanStats scan_stats_;
 };
 
 /// Sorts and deduplicates a lineage set in place.

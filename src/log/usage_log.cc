@@ -133,6 +133,22 @@ const Table* UsageLog::delta_table(const std::string& name) const {
   return rel != nullptr ? rel->delta.get() : nullptr;
 }
 
+void UsageLog::EnableIndexes() {
+  indexes_enabled_ = true;
+  for (auto& [name, rel] : relations_) {
+    const TableSchema& schema = rel.main->schema();
+    for (size_t c = 0; c < schema.NumColumns(); ++c) {
+      // Cannot fail: the column names come from the schema itself.
+      (void)rel.main->BuildIndex(schema.column(c).name);
+    }
+  }
+}
+
+void UsageLog::RefreshIndexes() {
+  if (!indexes_enabled_) return;
+  for (auto& [name, rel] : relations_) rel.main->RefreshIndexes();
+}
+
 size_t UsageLog::CommitStaged() {
   size_t flushed = 0;
   for (auto& [name, rel] : relations_) {

@@ -57,6 +57,22 @@ class UsageLog {
   void SetPersisted(const std::string& name, bool persisted);
   bool IsPersisted(const std::string& name) const;
 
+  /// Builds equality hash indexes on every column of every log relation's
+  /// main table and keeps them maintained: appends (CommitStaged, the
+  /// compactor's insert phase) update them incrementally; deletions
+  /// (compaction) invalidate them and RefreshIndexes rebuilds. Policy
+  /// evaluation probes these through ConcatRelation for conjunctive
+  /// equality predicates (`uid = $user`, `ts = $now` — the access pattern
+  /// of nearly every paper policy). Deltas are never indexed: they hold one
+  /// query's increment and are scanned.
+  void EnableIndexes();
+  bool indexes_enabled() const { return indexes_enabled_; }
+
+  /// Rebuilds any main-table index invalidated by a deletion. Must not run
+  /// concurrently with policy evaluation; callers invoke it after the
+  /// compactor's delete phase, before the next query's checks.
+  void RefreshIndexes();
+
   /// Direct table access for the log compactor (mark/delete/insert phases).
   Table* main_table(const std::string& name);
   Table* delta_table(const std::string& name);
@@ -106,6 +122,7 @@ class UsageLog {
   const LogRelation* Find(const std::string& name) const;
 
   std::map<std::string, LogRelation> relations_;
+  bool indexes_enabled_ = false;
 };
 
 }  // namespace datalawyer

@@ -20,7 +20,7 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 Result<std::map<std::string, std::set<int64_t>>> LogCompactor::Mark(
     const std::vector<const WitnessSet*>& witnesses, const CatalogView* base,
     int64_t now, std::set<std::string>* keep_all,
-    const std::set<std::string>& skip_retention) {
+    const std::set<std::string>& skip_retention, ScanStats* scans) {
   std::map<std::string, std::set<int64_t>> keep;
   for (const std::string& name : log_->RelationNamesInOrder()) {
     keep[name];  // default: retain nothing unless a witness asks for it
@@ -46,6 +46,10 @@ Result<std::map<std::string, std::set<int64_t>>> LogCompactor::Mark(
         options.capture_lineage = true;
         Executor executor(catalog.view(), options);
         DL_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(*query));
+        if (scans != nullptr) {
+          scans->index_probes += executor.scan_stats().index_probes;
+          scans->index_hits += executor.scan_stats().index_hits;
+        }
         // Map the relation name to its lineage index, if it was scanned.
         int rel_idx = -1;
         for (size_t i = 0; i < result.base_relations.size(); ++i) {
@@ -72,9 +76,12 @@ Result<CompactionStats> LogCompactor::CompactAndFlush(
   // ---- mark ----
   auto t0 = std::chrono::steady_clock::now();
   std::set<std::string> keep_all;
-  DL_ASSIGN_OR_RETURN(auto keep,
-                      Mark(witnesses, base, now, &keep_all, skip_retention));
+  ScanStats scans;
+  DL_ASSIGN_OR_RETURN(
+      auto keep, Mark(witnesses, base, now, &keep_all, skip_retention, &scans));
   stats.mark_ms = MsSince(t0);
+  stats.index_probes = scans.index_probes;
+  stats.index_hits = scans.index_hits;
 
   // ---- delete (persisted log) ----
   t0 = std::chrono::steady_clock::now();
@@ -118,6 +125,9 @@ Result<CompactionStats> LogCompactor::CompactAndFlush(
     }
   }
   log_->DiscardStaged();  // clears deltas and per-query generation flags
+  // The delete phase invalidated main-table indexes; restore them while the
+  // compactor still owns the tables (no reader can be probing concurrently).
+  log_->RefreshIndexes();
   stats.insert_ms = MsSince(t0);
   return stats;
 }

@@ -13,6 +13,8 @@
 
 namespace datalawyer {
 
+struct ScanStats;  // exec/executor.h
+
 /// Per-query timings and volumes of the three compaction phases (§5.2:
 /// "marking: the log compaction queries are executed ... delete: the
 /// unmarked tuples are deleted ... insert: the remaining tuples in the
@@ -24,6 +26,8 @@ struct CompactionStats {
   size_t rows_deleted = 0;           ///< removed from the persisted log
   size_t rows_inserted = 0;          ///< increment rows appended
   size_t rows_dropped_from_delta = 0;  ///< increment rows never persisted
+  size_t index_probes = 0;  ///< witness-query equality probes against indexes
+  size_t index_hits = 0;    ///< witness-query scans answered by an index
 };
 
 /// Executes the absolute-witness queries of every policy over
@@ -50,11 +54,14 @@ class LogCompactor {
       const std::set<std::string>& skip_retention = {});
 
   /// Mark phase only: computes, per log relation, the ids to retain.
-  /// Exposed for tests. `keep_all` names relations under full fallback.
+  /// Exposed for tests. `keep_all` names relations under full fallback;
+  /// `scans` (optional) accumulates the witness queries' access-path
+  /// counters.
   Result<std::map<std::string, std::set<int64_t>>> Mark(
       const std::vector<const WitnessSet*>& witnesses,
       const CatalogView* base, int64_t now, std::set<std::string>* keep_all,
-      const std::set<std::string>& skip_retention = {});
+      const std::set<std::string>& skip_retention = {},
+      ScanStats* scans = nullptr);
 
  private:
   UsageLog* log_;

@@ -51,6 +51,28 @@ class ConcatRelation : public RelationData {
   size_t NumRows() const override {
     return first_->NumRows() + second_->NumRows();
   }
+
+  /// Index probes pass through when the first (persisted, large) part can
+  /// answer from its hash index; the second part — the per-query increment,
+  /// bounded by one query's log generation — is probed through its own
+  /// index when present and scanned otherwise. Positions are returned in
+  /// concatenated coordinates. Const all the way down: safe under
+  /// concurrent policy evaluation.
+  bool IndexLookup(size_t col, const Value& v,
+                   std::vector<size_t>* out) const override {
+    if (!first_->IndexLookup(col, v, out)) return false;
+    size_t n = first_->NumRows();
+    std::vector<size_t> second_hits;
+    if (second_->IndexLookup(col, v, &second_hits)) {
+      for (size_t i : second_hits) out->push_back(n + i);
+    } else {
+      size_t m = second_->NumRows();
+      for (size_t i = 0; i < m; ++i) {
+        if (second_->RowAt(i)[col] == v) out->push_back(n + i);
+      }
+    }
+    return true;
+  }
   const Row& RowAt(size_t i) const override {
     size_t n = first_->NumRows();
     return i < n ? first_->RowAt(i) : second_->RowAt(i - n);

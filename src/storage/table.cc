@@ -25,16 +25,37 @@ Status Table::BuildIndex(const std::string& column) {
   return Status::OK();
 }
 
-const std::vector<size_t>* Table::IndexLookup(size_t col,
-                                              const Value& v) const {
+void Table::RefreshIndexes() {
+  for (HashIndex& index : indexes_) {
+    if (index.built_at_version == version_) continue;
+    index.positions.clear();
+    index.positions.reserve(rows_.size());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      index.positions[rows_[i][index.column]].push_back(i);
+    }
+    index.built_at_version = version_;
+  }
+}
+
+bool Table::HasValidIndex(size_t col) const {
+  for (const HashIndex& index : indexes_) {
+    if (index.column == col && index.built_at_version == version_) return true;
+  }
+  return false;
+}
+
+bool Table::IndexLookup(size_t col, const Value& v,
+                        std::vector<size_t>* out) const {
   for (const HashIndex& index : indexes_) {
     if (index.column == col && index.built_at_version == version_) {
-      static const std::vector<size_t>* kEmpty = new std::vector<size_t>();
       auto it = index.positions.find(v);
-      return it == index.positions.end() ? kEmpty : &it->second;
+      if (it != index.positions.end()) {
+        out->insert(out->end(), it->second.begin(), it->second.end());
+      }
+      return true;
     }
   }
-  return nullptr;
+  return false;
 }
 
 Result<int64_t> Table::Append(Row row) {
@@ -44,9 +65,16 @@ Result<int64_t> Table::Append(Row row) {
         std::to_string(schema_.NumColumns()) + " columns)");
   }
   int64_t id = next_row_id_++;
+  size_t pos = rows_.size();
   rows_.push_back(std::move(row));
   row_ids_.push_back(id);
-  InvalidateIndexes();
+  // Appends maintain current indexes in place; already-stale indexes stay
+  // stale until RefreshIndexes/BuildIndex.
+  for (HashIndex& index : indexes_) {
+    if (index.built_at_version == version_) {
+      index.positions[rows_[pos][index.column]].push_back(pos);
+    }
+  }
   return id;
 }
 

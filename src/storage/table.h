@@ -26,13 +26,17 @@ class RelationData {
   /// provenance `itid` and by log compaction's mark phase.
   virtual int64_t RowIdAt(size_t i) const = 0;
 
-  /// Row positions whose column `col` equals `v`, when a valid hash index
-  /// exists on that column; nullptr means "scan". Overridden by Table.
-  virtual const std::vector<size_t>* IndexLookup(size_t col,
-                                                 const Value& v) const {
+  /// Appends to `*out` the positions of every row whose column `col` equals
+  /// `v`, when a valid hash index (or an equivalent bounded probe) can
+  /// answer; returns false to mean "no index — scan". Must be safe to call
+  /// concurrently with other const reads: implementations may not mutate
+  /// shared state.
+  virtual bool IndexLookup(size_t col, const Value& v,
+                           std::vector<size_t>* out) const {
     (void)col;
     (void)v;
-    return nullptr;
+    (void)out;
+    return false;
   }
 };
 
@@ -68,13 +72,23 @@ class Table : public RelationData {
 
   void Clear();
 
-  /// Builds a hash index on `column` for equality pushdown. The index is
-  /// invalidated (silently, falling back to scans) by any later mutation;
-  /// call again to rebuild.
+  /// Builds a hash index on `column` for equality pushdown. Append maintains
+  /// the index incrementally; deletions (RetainOnly/RemoveIds/Clear)
+  /// invalidate it (silently, falling back to scans) until the next
+  /// BuildIndex or RefreshIndexes call.
   Status BuildIndex(const std::string& column);
 
-  const std::vector<size_t>* IndexLookup(size_t col,
-                                         const Value& v) const override;
+  /// Rebuilds every index invalidated by a deletion. Cheap no-op when all
+  /// indexes are current. Not thread-safe: call only while no reader is
+  /// scanning the table (the usage-log protocol guarantees this — indexes
+  /// are refreshed after compaction, before the next query's checks).
+  void RefreshIndexes();
+
+  /// True if a current (non-invalidated) index exists on `col`.
+  bool HasValidIndex(size_t col) const;
+
+  bool IndexLookup(size_t col, const Value& v,
+                   std::vector<size_t>* out) const override;
 
  private:
   struct ValueHashFn {

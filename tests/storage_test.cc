@@ -69,26 +69,42 @@ TEST(TableTest, IndexProbeAndInvalidation) {
         table.Append(Row{Value(int64_t(i % 10)), Value("r")}).ok());
   }
   ASSERT_TRUE(table.BuildIndex("a").ok());
-  const std::vector<size_t>* hits = table.IndexLookup(0, Value(int64_t{3}));
-  ASSERT_NE(hits, nullptr);
-  EXPECT_EQ(hits->size(), 10u);
-  for (size_t pos : *hits) {
+  std::vector<size_t> hits;
+  ASSERT_TRUE(table.IndexLookup(0, Value(int64_t{3}), &hits));
+  EXPECT_EQ(hits.size(), 10u);
+  for (size_t pos : hits) {
     EXPECT_EQ(table.RowAt(pos)[0], Value(int64_t{3}));
   }
-  // Miss returns an empty (non-null) vector.
-  const std::vector<size_t>* miss = table.IndexLookup(0, Value(int64_t{99}));
-  ASSERT_NE(miss, nullptr);
-  EXPECT_TRUE(miss->empty());
+  // Miss answers true (the index is authoritative) with no positions.
+  std::vector<size_t> miss;
+  ASSERT_TRUE(table.IndexLookup(0, Value(int64_t{99}), &miss));
+  EXPECT_TRUE(miss.empty());
   // No index on column 1.
-  EXPECT_EQ(table.IndexLookup(1, Value("r")), nullptr);
+  std::vector<size_t> none;
+  EXPECT_FALSE(table.IndexLookup(1, Value("r"), &none));
 
-  // Any mutation invalidates (falls back to scans, never stale results).
+  // Appends maintain the index incrementally (the usage log grows by
+  // appends on every committed query).
   ASSERT_TRUE(table.Append(Row{Value(int64_t{3}), Value("new")}).ok());
-  EXPECT_EQ(table.IndexLookup(0, Value(int64_t{3})), nullptr);
-  ASSERT_TRUE(table.BuildIndex("a").ok());
-  hits = table.IndexLookup(0, Value(int64_t{3}));
-  ASSERT_NE(hits, nullptr);
-  EXPECT_EQ(hits->size(), 11u);
+  hits.clear();
+  ASSERT_TRUE(table.IndexLookup(0, Value(int64_t{3}), &hits));
+  EXPECT_EQ(hits.size(), 11u);
+  EXPECT_EQ(hits.back(), 100u);
+
+  // Deletions invalidate (falls back to scans, never stale results);
+  // RefreshIndexes restores the probe path.
+  EXPECT_EQ(table.RemoveIds({0}), 1u);
+  hits.clear();
+  EXPECT_FALSE(table.IndexLookup(0, Value(int64_t{3}), &hits));
+  EXPECT_FALSE(table.HasValidIndex(0));
+  table.RefreshIndexes();
+  ASSERT_TRUE(table.HasValidIndex(0));
+  hits.clear();
+  ASSERT_TRUE(table.IndexLookup(0, Value(int64_t{3}), &hits));
+  EXPECT_EQ(hits.size(), 11u);
+  for (size_t pos : hits) {
+    EXPECT_EQ(table.RowAt(pos)[0], Value(int64_t{3}));
+  }
 
   EXPECT_FALSE(table.BuildIndex("nope").ok());
 }
