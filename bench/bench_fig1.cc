@@ -23,14 +23,17 @@ void RunSide(const char* label, DataLawyerOptions options, int64_t uid,
   auto dl = MakeSystem(&db, options);
   if (!dl->AddPolicy("p6", PaperPolicies::P6()).ok()) std::abort();
 
+  std::vector<ExecutionStats> all;
   for (int batch = 0; batch < kBatches; ++batch) {
     double total = 0;
     for (int q = 0; q < kQueriesPerBatch; ++q) {
       ExecutionStats stats = RunOne(dl.get(), PaperQueries::W1(), uid);
       total += stats.total_ms();
+      all.push_back(stats);
     }
     batch_ms->push_back(total / kQueriesPerBatch);
   }
+  EmitJson("fig1", std::string(label) + ",uid=" + std::to_string(uid), all);
   std::fprintf(stderr, "[fig1] finished %s uid=%lld\n", label,
                (long long)uid);
 }

@@ -23,7 +23,7 @@ struct Breakdown {
 };
 
 Breakdown FromStats(const ExecutionStats& s) {
-  return Breakdown{s.query_exec_ms, s.log_gen_ms, s.policy_eval_ms,
+  return Breakdown{s.query_exec_ms, s.log_gen_ms, s.policy_eval_ms(),
                    s.compaction_ms()};
 }
 
@@ -68,6 +68,7 @@ void RunPanel(const char* title, const std::string& query, int64_t uid,
       std::printf("P%-7d %-10s %9.2f %9.2f %9.2f %9.2f %9.2f\n", p,
                   "DataLawyer", s.mean_query_ms, s.mean_loggen_ms,
                   s.mean_eval_ms, s.mean_compact_ms, s.mean_total_ms);
+      EmitJson("fig2", std::string(title) + ",P" + std::to_string(p), tail);
     }
   }
 }

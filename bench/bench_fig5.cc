@@ -42,7 +42,7 @@ double RunConfig(int n_policies, bool unified, EvalStrategy strategy) {
     // Users rotate so each policy's subject appears in the log.
     ExecutionStats stats =
         RunOne(dl.get(), PaperQueries::W1(), q % n_policies);
-    eval_ms += stats.policy_eval_ms;
+    eval_ms += stats.policy_eval_ms();
   }
   return eval_ms / kTotalQueries;
 }

@@ -71,7 +71,7 @@ ConfigResult RunConfig(int n_policies, int threads, bool indexes) {
   for (int q = 0; q < kTotalQueries; ++q) {
     ExecutionStats stats =
         RunOne(dl.get(), PaperQueries::W1(), q % n_policies);
-    out.eval_wall_ms += stats.policy_eval_ms;
+    out.eval_wall_ms += stats.policy_eval_ms();
     out.eval_cpu_ms += stats.policy_cpu_us / 1000.0;
     out.index_probes += stats.index_probes;
     out.index_hits += stats.index_hits;

@@ -67,7 +67,7 @@ inline SeriesStats Summarize(const std::vector<ExecutionStats>& stats) {
     out.mean_total_ms += s.total_ms();
     out.mean_query_ms += s.query_exec_ms;
     out.mean_loggen_ms += s.log_gen_ms;
-    out.mean_eval_ms += s.policy_eval_ms;
+    out.mean_eval_ms += s.policy_eval_ms();
     out.mean_compact_ms += s.compaction_ms();
   }
   double n = double(stats.size());
@@ -77,6 +77,31 @@ inline SeriesStats Summarize(const std::vector<ExecutionStats>& stats) {
   out.mean_eval_ms /= n;
   out.mean_compact_ms /= n;
   return out;
+}
+
+/// Machine-readable companion to the human-readable tables: feeds the
+/// per-query phase timings into log-scale histograms and prints one
+/// `BENCH_JSON {...}` line (all values in microseconds) that scripts can
+/// grep out of bench output without parsing the prose.
+inline void EmitJson(const std::string& bench, const std::string& label,
+                     const std::vector<ExecutionStats>& stats) {
+  MetricsRegistry registry;
+  Histogram* total = registry.GetHistogram("total_us");
+  Histogram* query = registry.GetHistogram("query_exec_us");
+  Histogram* loggen = registry.GetHistogram("log_gen_us");
+  Histogram* eval = registry.GetHistogram("policy_eval_us");
+  Histogram* compact = registry.GetHistogram("compaction_us");
+  for (const ExecutionStats& s : stats) {
+    total->Observe(s.total_ms() * 1000.0);
+    query->Observe(s.query_exec_ms * 1000.0);
+    loggen->Observe(s.log_gen_ms * 1000.0);
+    eval->Observe(s.policy_wall_us);
+    compact->Observe(s.compaction_ms() * 1000.0);
+  }
+  std::printf("BENCH_JSON {\"bench\":\"%s\",\"label\":\"%s\",\"queries\":%zu,"
+              "\"phases_us\":%s}\n",
+              bench.c_str(), label.c_str(), stats.size(),
+              registry.ToJson().c_str());
 }
 
 /// Policy SQL for Table 2's P1..P6 by 1-based index.

@@ -29,12 +29,16 @@ void PrintHelp() {
   \policy <name> <sql>    register a policy (SQL over the usage log)
   \guard <name> <sql>     attach an approximate guard to policy <name>
   \check <sql>            dry run: would this query be admitted?
-  \policies               list active policies with their analysis
+  \policies               active policies + per-policy enforcement attribution
   \drop <name>            remove a policy
   \user <uid>             switch the current user (default 0)
   \log <sql>              read-only query over database + usage log + clock
   \explain <sql>          show the execution plan for a SELECT
   \stats                  phase breakdown of the last query
+  \trace on|off|clear     toggle span tracing (Chrome trace_event collection)
+  \trace <file>           write the collected trace as Chrome JSON to <file>
+  \metrics                Prometheus text exposition of counters/histograms
+  \audit [n]              last n (default 10) admit/reject audit records
   \paper                  load the paper's six Table 2 policies
   \save <dir> / \load <dir>   snapshot / restore the database and usage log
   \help                   this text
@@ -65,8 +69,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  DataLawyerOptions options;
+  options.enable_metrics = true;  // \metrics; one histogram update per query
   DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
-                std::make_unique<ManualClock>(0, 10), {});
+                std::make_unique<ManualClock>(0, 10), options);
   QueryContext ctx;
   ctx.uid = 0;
   std::map<std::string, std::string> policy_sql;  // for \guard re-registration
@@ -152,6 +158,65 @@ int main(int argc, char** argv) {
           }
           std::printf("}\n");
         }
+        std::printf("%-24s %10s %8s %8s %12s %10s\n", "attribution", "evals",
+                    "prunes", "rejects", "eval-us", "avg-us");
+        for (const PolicyStats& ps : dl.PolicyReport()) {
+          std::printf("%-24s %10llu %8llu %8llu %12.0f %10.1f\n",
+                      ps.name.c_str(), (unsigned long long)ps.evaluations,
+                      (unsigned long long)ps.prunes,
+                      (unsigned long long)ps.rejections, ps.eval_us,
+                      ps.evaluations ? ps.eval_us / double(ps.evaluations)
+                                     : 0.0);
+        }
+      } else if (cmd == "trace") {
+        if (rest == "on") {
+          Tracer::Global().Clear();
+          Tracer::Global().set_enabled(true);
+          std::printf("tracing on\n");
+        } else if (rest == "off") {
+          Tracer::Global().set_enabled(false);
+          std::printf("tracing off (%zu spans held)\n",
+                      Tracer::Global().size());
+        } else if (rest == "clear") {
+          Tracer::Global().Clear();
+          std::printf("trace cleared\n");
+        } else if (rest.empty()) {
+          std::printf("tracing %s, %zu spans (usage: \\trace on|off|clear|"
+                      "<file>)\n",
+                      Tracer::Global().enabled() ? "on" : "off",
+                      Tracer::Global().size());
+        } else {
+          Status st = Tracer::Global().WriteChromeJson(rest);
+          if (st.ok()) {
+            std::printf("wrote %zu spans to %s (open in about:tracing or "
+                        "ui.perfetto.dev)\n",
+                        Tracer::Global().size(), rest.c_str());
+          } else {
+            std::printf("%s\n", st.ToString().c_str());
+          }
+        }
+      } else if (cmd == "metrics") {
+        std::printf("%s", MetricsRegistry::Global().ExposeText().c_str());
+      } else if (cmd == "audit") {
+        size_t n = rest.empty() ? 10 : std::strtoull(rest.c_str(), nullptr, 10);
+        const AuditLog& audit = dl.audit_log();
+        if (audit.dropped() > 0) {
+          std::printf("(%llu older records evicted)\n",
+                      (unsigned long long)audit.dropped());
+        }
+        for (const AuditRecord& r : audit.Tail(n)) {
+          std::string policies;
+          for (size_t i = 0; i < r.violated_policies.size(); ++i) {
+            if (i) policies += ",";
+            policies += r.violated_policies[i];
+          }
+          std::printf("ts=%-8lld uid=%-4lld %s%s %8.0fus  %s%s%s\n",
+                      (long long)r.ts, (long long)r.uid,
+                      r.admitted ? "ADMIT " : "REJECT", r.probe ? "?" : " ",
+                      r.total_us, r.query_sql.c_str(),
+                      policies.empty() ? "" : "  [",
+                      policies.empty() ? "" : (policies + "]").c_str());
+        }
       } else if (cmd == "explain") {
         auto plan = dl.engine()->ExplainSql(rest);
         std::printf("%s", plan.ok() ? plan->c_str()
@@ -166,7 +231,7 @@ int main(int argc, char** argv) {
                     " | policies evaluated %zu, pruned %zu\n",
                     FormatMs(s.query_exec_ms).c_str(),
                     FormatMs(s.log_gen_ms).c_str(),
-                    FormatMs(s.policy_eval_ms).c_str(),
+                    FormatMs(s.policy_eval_ms()).c_str(),
                     FormatMs(s.compaction_ms()).c_str(),
                     s.policies_evaluated, s.policies_pruned_early);
         std::printf("policy wall %.0fus, cpu %.0fus | index probes %zu,"

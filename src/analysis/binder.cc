@@ -1,6 +1,7 @@
 #include "analysis/binder.h"
 
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace datalawyer {
 
@@ -12,6 +13,7 @@ int BoundQuery::FindRelation(const std::string& name) const {
 }
 
 Result<std::unique_ptr<BoundQuery>> Binder::Bind(const SelectStmt& stmt) {
+  DL_TRACE_SPAN("analysis.bind", "analysis");
   DL_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, BindOne(stmt));
   if (stmt.union_next) {
     DL_ASSIGN_OR_RETURN(bq->union_next, Bind(*stmt.union_next));

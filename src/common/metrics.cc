@@ -1,0 +1,221 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace datalawyer {
+
+namespace {
+
+int BucketFor(double value) {
+  if (!(value >= 1)) return 0;  // also catches NaN and negatives
+  int b = int(std::floor(std::log2(value))) + 1;
+  if (b < 0) b = 0;
+  if (b >= Histogram::kNumBuckets) b = Histogram::kNumBuckets - 1;
+  return b;
+}
+
+std::string FormatNumber(double v) {
+  char buf[48];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!seen_any_) {
+    seen_any_ = true;
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  sum_ += value;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0 : sum() / double(n);
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::BucketUpperBound(int b) {
+  return b == 0 ? 1.0 : std::ldexp(1.0, b);  // 2^b
+}
+
+double Histogram::Percentile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  // Rank of the target observation (1-based, nearest-rank).
+  uint64_t rank = uint64_t(std::ceil(q * double(n)));
+  if (rank < 1) rank = 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    uint64_t c = buckets_[b].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+      double hi = BucketUpperBound(b);
+      // Clamp to the observed range so p100 never exceeds max().
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        lo = std::max(lo, min_);
+        hi = std::min(hi, max_);
+        if (hi < lo) hi = lo;
+      }
+      // Midpoint convention: the k-th of c observations sits at (k-0.5)/c
+      // through the bucket, so a single-observation bucket reports its
+      // middle instead of its upper edge.
+      double frac = (double(rank - seen) - 0.5) / double(c);
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  seen_any_ = false;
+  sum_ = min_ = max_ = 0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::make_pair(std::make_unique<Counter>(), help))
+             .first;
+  }
+  return it->second.first.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name,
+                      std::make_pair(std::make_unique<Histogram>(), help))
+             .first;
+  }
+  return it->second.first.get();
+}
+
+std::string MetricsRegistry::ExposeText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : counters_) {
+    if (!entry.second.empty()) {
+      out += "# HELP " + name + " " + entry.second + "\n";
+    }
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + FormatNumber(double(entry.first->value())) + "\n";
+  }
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.first;
+    if (!entry.second.empty()) {
+      out += "# HELP " + name + " " + entry.second + "\n";
+    }
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      uint64_t c = h.bucket_count(b);
+      cumulative += c;
+      if (c == 0 && b != Histogram::kNumBuckets - 1) continue;  // sparse
+      out += name + "_bucket{le=\"" +
+             FormatNumber(Histogram::BucketUpperBound(b)) + "\"} " +
+             FormatNumber(double(cumulative)) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + FormatNumber(double(h.count())) +
+           "\n";
+    out += name + "_sum " + FormatNumber(h.sum()) + "\n";
+    out += name + "_count " + FormatNumber(double(h.count())) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, entry] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + FormatNumber(double(entry.first->value()));
+  }
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.first;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + FormatNumber(double(h.count())) +
+           ",\"mean\":" + FormatNumber(h.mean()) +
+           ",\"min\":" + FormatNumber(h.min()) +
+           ",\"max\":" + FormatNumber(h.max()) +
+           ",\"p50\":" + FormatNumber(h.Percentile(0.50)) +
+           ",\"p95\":" + FormatNumber(h.Percentile(0.95)) +
+           ",\"p99\":" + FormatNumber(h.Percentile(0.99)) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : counters_) entry.first->Reset();
+  for (auto& [name, entry] : histograms_) entry.first->Reset();
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : histograms_) names.push_back(name);
+  return names;
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,114 @@
+#ifndef DATALAWYER_COMMON_METRICS_H_
+#define DATALAWYER_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace datalawyer {
+
+/// Monotonically increasing counter. Increment is one relaxed atomic add;
+/// safe from any thread, including ThreadPool workers.
+class Counter {
+ public:
+  void Increment(uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Log-scale histogram over non-negative values (canonically microseconds).
+/// Bucket b counts observations in [2^(b-1), 2^b); bucket 0 counts values
+/// < 1. 40 buckets cover up to ~2^39 µs ≈ 6 days — ample for any span this
+/// system times. Observe() is lock-free (relaxed atomics per bucket);
+/// percentile estimates interpolate linearly inside the winning bucket, so
+/// they carry the usual power-of-two bucket resolution (< 50% relative
+/// error, far less in practice near bucket edges).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Estimated value at quantile q in [0, 1] (0.5 = median). 0 when empty.
+  double Percentile(double q) const;
+
+  /// Upper bound of bucket b (the Prometheus `le` label).
+  static double BucketUpperBound(int b);
+  uint64_t bucket_count(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  /// Sum/min/max kept under a light mutex: doubles have no portable atomic
+  /// fetch_add, and Observe is never on a disabled-path hot loop.
+  mutable std::mutex mu_;
+  bool seen_any_ = false;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Named counters and histograms with Prometheus text exposition.
+///
+/// Lookup by name takes a mutex; hot paths should resolve their handles
+/// once (pointers remain valid for the registry's lifetime) and then update
+/// lock-free. `MetricsRegistry::Global()` is the process-wide instance the
+/// DataLawyer pipeline records into when `enable_metrics` is on; isolated
+/// registries can be constructed freely (tests, benches).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  static MetricsRegistry& Global();
+
+  /// Finds or creates. `help` is kept from the first registration.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "");
+
+  /// Prometheus text exposition format: HELP/TYPE headers, cumulative
+  /// `_bucket{le="..."}` lines per histogram plus `_sum`/`_count`.
+  std::string ExposeText() const;
+
+  /// Compact JSON snapshot: counters as numbers, histograms as
+  /// {count,mean,min,max,p50,p95,p99}. Used by the bench harness.
+  std::string ToJson() const;
+
+  /// Resets every metric to zero (handles stay valid).
+  void ResetAll();
+
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::pair<std::unique_ptr<Counter>, std::string>>
+      counters_;
+  std::map<std::string, std::pair<std::unique_ptr<Histogram>, std::string>>
+      histograms_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_COMMON_METRICS_H_

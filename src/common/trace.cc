@@ -1,0 +1,149 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace datalawyer {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Dense per-thread ids and per-thread nesting depth. The depth counter
+/// lives here (not in Tracer) so concurrent workers never contend on it.
+std::atomic<int> g_next_tid{0};
+thread_local int t_tid = -1;
+thread_local int t_depth = 0;
+
+/// JSON string escaping for span names (policy names and SQL fragments can
+/// contain quotes and backslashes).
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer() : origin_ns_(SteadyNowNs()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives static dtors
+  return *tracer;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  origin_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+}
+
+double Tracer::NowUs() const {
+  return double(SteadyNowNs() - origin_ns_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+int Tracer::CurrentThreadId() {
+  if (t_tid < 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
+void Tracer::Record(std::string name, const char* category, double ts_us,
+                    double dur_us, int tid, int depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      TraceEvent{std::move(name), category, ts_us, dur_us, tid, depth});
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ",";
+    out += "\n{\"name\":\"";
+    AppendJsonEscaped(&out, e.name);
+    out += "\",\"cat\":\"";
+    out += e.category;
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"depth\":%d}}",
+                  e.ts_us, e.dur_us, e.tid, e.depth);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot write trace file: " + path);
+  }
+  std::string json = ToChromeJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+ScopedSpan::ScopedSpan(std::string name, const char* category)
+    : active_(Tracer::Global().enabled()),
+      name_(std::move(name)),
+      category_(category) {
+  if (!active_) return;
+  depth_ = t_depth++;
+  start_us_ = Tracer::Global().NowUs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  double end_us = Tracer::Global().NowUs();
+  --t_depth;
+  Tracer::Global().Record(std::move(name_), category_, start_us_,
+                          end_us - start_us_, Tracer::CurrentThreadId(),
+                          depth_);
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,182 @@
+#include "core/audit.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace datalawyer {
+
+namespace {
+
+/// Tab/newline-safe field encoding, mirroring persistence.cc's escaping
+/// idiom: the audit file stays grep-able line-per-record.
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Splits on unescaped `delim`, keeping escape sequences intact for a
+/// later UnescapeField pass.
+std::vector<std::string> SplitUnescaped(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == delim) {
+      fields.push_back(current);
+      current.clear();
+    } else if (line[i] == '\\' && i + 1 < line.size()) {
+      current += line[i];
+      current += line[i + 1];
+      ++i;
+    } else {
+      current += line[i];
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+/// Policy names additionally escape the comma they are joined with.
+/// UnescapeField's default case turns `\,` back into `,`.
+std::string EscapeName(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == ',') {
+      out += "\\,";
+    } else {
+      out += EscapeField(std::string(1, c));
+    }
+  }
+  return out;
+}
+
+constexpr char kHeader[] = "dl-audit-v1";
+
+}  // namespace
+
+void AuditLog::Append(AuditRecord record) {
+  ++total_appended_;
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<AuditRecord> AuditLog::Tail(size_t n) const {
+  size_t start = records_.size() > n ? records_.size() - n : 0;
+  return std::vector<AuditRecord>(records_.begin() + start, records_.end());
+}
+
+void AuditLog::Clear() {
+  records_.clear();
+  total_appended_ = 0;
+  dropped_ = 0;
+}
+
+Status AuditLog::SaveTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << kHeader << "\n";
+  char buf[192];
+  for (const AuditRecord& r : records_) {
+    std::string policies;  // each name escaped; raw commas separate them
+    for (size_t i = 0; i < r.violated_policies.size(); ++i) {
+      if (i > 0) policies += ",";
+      policies += EscapeName(r.violated_policies[i]);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%lld\t%lld\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f",
+                  (long long)r.ts, (long long)r.uid, r.admitted ? 1 : 0,
+                  r.probe ? 1 : 0, r.total_us, r.query_exec_us, r.log_gen_us,
+                  r.policy_eval_us, r.compaction_us);
+    out << buf << "\t" << policies << "\t" << EscapeField(r.query_sql)
+        << "\n";
+  }
+  out.flush();
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+Status AuditLog::LoadFrom(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("not an audit file: " + path);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> f = SplitUnescaped(line, '\t');
+    if (f.size() != 11) {
+      return Status::InvalidArgument("malformed audit line in " + path);
+    }
+    AuditRecord r;
+    r.ts = std::strtoll(f[0].c_str(), nullptr, 10);
+    r.uid = std::strtoll(f[1].c_str(), nullptr, 10);
+    r.admitted = f[2] == "1";
+    r.probe = f[3] == "1";
+    r.total_us = std::strtod(f[4].c_str(), nullptr);
+    r.query_exec_us = std::strtod(f[5].c_str(), nullptr);
+    r.log_gen_us = std::strtod(f[6].c_str(), nullptr);
+    r.policy_eval_us = std::strtod(f[7].c_str(), nullptr);
+    r.compaction_us = std::strtod(f[8].c_str(), nullptr);
+    for (const std::string& name : SplitUnescaped(f[9], ',')) {
+      if (!name.empty()) r.violated_policies.push_back(UnescapeField(name));
+    }
+    r.query_sql = UnescapeField(f[10]);
+    Append(std::move(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace datalawyer

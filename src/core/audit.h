@@ -1,0 +1,78 @@
+#ifndef DATALAWYER_CORE_AUDIT_H_
+#define DATALAWYER_CORE_AUDIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/stats.h"
+
+namespace datalawyer {
+
+/// One enforcement decision: the immutable fact of what the middleware did
+/// with one query. This is the compliance-officer view of the system — §2's
+/// auditing scenario needs "what was asked, by whom, and what did we decide"
+/// to survive independently of the (compactable) usage log.
+struct AuditRecord {
+  int64_t ts = 0;          ///< logical clock at decision time
+  int64_t uid = 0;         ///< requesting user
+  std::string query_sql;   ///< the user's SQL, verbatim
+  bool admitted = false;   ///< Eq. 1 verdict
+  bool probe = false;      ///< WouldAllow dry run (never executed/committed)
+  std::vector<std::string> violated_policies;  ///< names, registration order
+
+  /// Phase timings copied from the query's ExecutionStats (µs).
+  double total_us = 0;
+  double query_exec_us = 0;
+  double log_gen_us = 0;
+  double policy_eval_us = 0;
+  double compaction_us = 0;
+};
+
+/// Append-only, bounded enforcement audit trail.
+///
+/// Records are kept in memory in a ring of `capacity` entries (oldest
+/// evicted first; `dropped()` counts evictions so a reader can tell the
+/// trail is truncated). `SaveTo`/`LoadFrom` persist the trail as a
+/// tab-separated text file next to the storage/persistence snapshots, so a
+/// \save'd shell session carries its decision history across restarts.
+///
+/// Appends happen on the Execute path only (serial per DataLawyer); reads
+/// may come from other threads, so all access is mutex-guarded upstream by
+/// DataLawyer's single-threaded API contract — the class itself is plain.
+class AuditLog {
+ public:
+  explicit AuditLog(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Append(AuditRecord record);
+
+  size_t size() const { return records_.size(); }
+  uint64_t total_appended() const { return total_appended_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Oldest-first view of the retained records.
+  const std::deque<AuditRecord>& records() const { return records_; }
+
+  /// The `n` most recent records, oldest-first.
+  std::vector<AuditRecord> Tail(size_t n) const;
+
+  void Clear();
+
+  /// Writes the retained records to `path` (one record per line).
+  Status SaveTo(const std::string& path) const;
+  /// Appends the records of `path` to this trail (evicting as needed).
+  Status LoadFrom(const std::string& path);
+
+ private:
+  size_t capacity_;
+  std::deque<AuditRecord> records_;
+  uint64_t total_appended_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_CORE_AUDIT_H_

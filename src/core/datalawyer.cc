@@ -94,7 +94,13 @@ DataLawyer::DataLawyer(Database* db, std::unique_ptr<UsageLog> log,
       clock_(clock != nullptr ? std::move(clock)
                               : std::make_unique<ManualClock>()),
       options_(options),
-      engine_(db) {}
+      engine_(db),
+      audit_(options.audit_capacity) {
+  // Tracing is opt-in and process-global (one timeline); an instance turns
+  // it on but never off, so a default-options instance elsewhere in the
+  // process cannot silence an active trace.
+  if (options_.enable_tracing) Tracer::Global().set_enabled(true);
+}
 
 DataLawyer::~DataLawyer() {
   if (pending_compaction_.valid()) pending_compaction_.wait();
@@ -103,6 +109,7 @@ DataLawyer::~DataLawyer() {
 void DataLawyer::set_options(DataLawyerOptions options) {
   options_ = options;
   prepared_valid_ = false;
+  if (options_.enable_tracing) Tracer::Global().set_enabled(true);
 }
 
 Status DataLawyer::AddPolicy(const std::string& name, const std::string& sql,
@@ -172,6 +179,7 @@ const CatalogView* DataLawyer::policy_base_catalog() const {
 }
 
 Status DataLawyer::Prepare() {
+  DL_TRACE_SPAN("dl.prepare", "core");
   active_.clear();
   prepared_.clear();
   constants_.clear();
@@ -312,6 +320,7 @@ Status DataLawyer::Prepare() {
 
 Result<QueryResult> DataLawyer::Execute(const std::string& sql,
                                         const QueryContext& context) {
+  DL_TRACE_SPAN("dl.execute", "core");
   if (!prepared_valid_) {
     DL_RETURN_NOT_OK(Prepare());
   }
@@ -323,7 +332,9 @@ Result<QueryResult> DataLawyer::Execute(const std::string& sql,
   int64_t ts = clock_->Tick();
   stats_ = ExecutionStats{};
   stats_.ts = ts;
-  return ExecuteChecked(*stmt.select, context, ts);
+  Result<QueryResult> result = ExecuteChecked(*stmt.select, context, ts);
+  RecordDecision(sql, context, result.status(), /*probe=*/false);
+  return result;
 }
 
 Status DataLawyer::Flush() {
@@ -356,6 +367,7 @@ Status DataLawyer::WouldAllow(const std::string& sql,
   Result<QueryResult> result = ExecuteChecked(*stmt.select, context, ts);
   probe_mode_ = false;
   log_->DiscardStaged();
+  RecordDecision(sql, context, result.status(), /*probe=*/true);
   return result.status();
 }
 
@@ -371,9 +383,18 @@ Result<QueryResult> DataLawyer::QueryUsageLog(const std::string& sql) {
   return executor.Execute(*stmt.select);
 }
 
+std::string DataLawyer::SpanLabel(const char* prefix,
+                                  const std::string& name) {
+  if (!Tracer::Global().enabled()) return std::string();
+  return std::string(prefix) + name;
+}
+
 Result<DataLawyer::PolicyEvalOutput> DataLawyer::EvalPolicyStatement(
     const SelectStmt& stmt, const CatalogView* catalog,
-    bool check_increment_dependence) const {
+    bool check_increment_dependence, const std::string& span_label) const {
+  ScopedSpan span(span_label.empty() ? std::string("policy.eval")
+                                     : span_label,
+                  "policy");
   auto t0 = Now();
   if (options_.per_call_overhead_us > 0) {
     if (options_.per_call_overhead_sleep) {
@@ -424,24 +445,39 @@ Result<DataLawyer::PolicyEvalOutput> DataLawyer::EvalPolicyStatement(
   return out;
 }
 
-void DataLawyer::RecordEvalCounters(const PolicyEvalOutput& out) {
+PolicyStats& DataLawyer::AttributionFor(const std::string& name) {
+  PolicyStats& slot = policy_stats_[name];
+  if (slot.name.empty()) slot.name = name;
+  return slot;
+}
+
+void DataLawyer::RecordEvalCounters(const PolicyEvalOutput& out,
+                                    const Policy* attribute_to) {
   ++stats_.policies_evaluated;
   stats_.policy_cpu_us += out.eval_us;
   stats_.index_probes += out.index_probes;
   stats_.index_hits += out.index_hits;
+  PolicyStats& slot =
+      AttributionFor(attribute_to != nullptr ? attribute_to->name : "(union)");
+  ++slot.evaluations;
+  slot.eval_us += out.eval_us;
 }
 
 Result<std::vector<std::string>> DataLawyer::EvaluatePolicyStmt(
     const SelectStmt& stmt, const CatalogView* catalog,
-    bool check_increment_dependence, bool* depends_on_increment) {
+    bool check_increment_dependence, bool* depends_on_increment,
+    const Policy* attribute_to) {
   DL_ASSIGN_OR_RETURN(
       PolicyEvalOutput out,
-      EvalPolicyStatement(stmt, catalog, check_increment_dependence));
+      EvalPolicyStatement(
+          stmt, catalog, check_increment_dependence,
+          SpanLabel("policy.eval:", attribute_to != nullptr
+                                        ? attribute_to->name
+                                        : "(union)")));
   if (depends_on_increment != nullptr) {
     *depends_on_increment = out.depends_on_increment;
   }
-  RecordEvalCounters(out);
-  stats_.policy_eval_ms += out.eval_us / 1000.0;
+  RecordEvalCounters(out, attribute_to);
   stats_.policy_wall_us += out.eval_us;
   return std::move(out.messages);
 }
@@ -461,6 +497,7 @@ ThreadPool* DataLawyer::EnsurePool(size_t min_threads) {
 Status DataLawyer::GenerateLog(const std::string& relation, int64_t ts,
                                const GenerationInput& input) {
   if (log_->IsGenerated(relation)) return Status::OK();
+  ScopedSpan span(SpanLabel("log.gen:", relation), "log");
   auto t0 = Now();
   DL_ASSIGN_OR_RETURN(size_t staged, log_->EnsureGenerated(relation, ts, input));
   stats_.log_gen_ms += MsSince(t0);
@@ -471,6 +508,7 @@ Status DataLawyer::GenerateLog(const std::string& relation, int64_t ts,
 
 Result<bool> DataLawyer::IncrementProvablyDispensable(const std::string& name,
                                                       int64_t ts) {
+  ScopedSpan span(SpanLabel("compact.preemptive:", name), "policy");
   // Available = everything generated so far.
   std::set<std::string> available;
   for (const std::string& rel : log_->RelationNamesInOrder()) {
@@ -525,6 +563,7 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
                        const std::vector<std::string>& messages) {
     last_violations_.push_back(
         ViolationReport{policy.name, policy.sql, messages});
+    ++AttributionFor(policy.name).rejections;
   };
   auto reject = [&]() -> Status {
     log_->DiscardStaged();
@@ -580,8 +619,10 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       const Policy& policy = active_[batch[i]->policy_index];
       const SelectStmt& to_eval =
           policy.guard != nullptr ? *policy.guard : policy.effective();
-      Result<PolicyEvalOutput> result =
-          EvalPolicyStatement(to_eval, catalog.view(), false);
+      Result<PolicyEvalOutput> result = EvalPolicyStatement(
+          to_eval, catalog.view(), false,
+          SpanLabel(policy.guard != nullptr ? "policy.guard:" : "policy.eval:",
+                    policy.name));
       if (!result.ok()) {
         first[i].status = result.status();
       } else {
@@ -589,7 +630,6 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       }
     });
     double wall_us = UsSince(t0);
-    stats_.policy_eval_ms += wall_us / 1000.0;
     stats_.policy_wall_us += wall_us;
     for (const BatchOutcome& o : first) {
       DL_RETURN_NOT_OK(o.status);
@@ -615,7 +655,8 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       pool->ParallelFor(precise.size(), [&](size_t j) {
         const Policy& policy = active_[batch[precise[j]]->policy_index];
         Result<PolicyEvalOutput> result =
-            EvalPolicyStatement(policy.effective(), catalog.view(), false);
+            EvalPolicyStatement(policy.effective(), catalog.view(), false,
+                                SpanLabel("policy.eval:", policy.name));
         if (!result.ok()) {
           second[j].status = result.status();
         } else {
@@ -623,22 +664,22 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
         }
       });
       double precise_wall_us = UsSince(t1);
-      stats_.policy_eval_ms += precise_wall_us / 1000.0;
       stats_.policy_wall_us += precise_wall_us;
     }
 
     // Serial merge in registration order.
     for (size_t i = 0; i < batch.size(); ++i) {
       const Policy& policy = active_[batch[i]->policy_index];
-      RecordEvalCounters(first[i].out);
+      RecordEvalCounters(first[i].out, &policy);
       if (policy.guard != nullptr) {
         if (first[i].out.messages.empty()) {
           ++stats_.policies_pruned_early;  // guard proves satisfaction
+          ++AttributionFor(policy.name).prunes;
           continue;
         }
         BatchOutcome& o = second[precise_of[i]];
         DL_RETURN_NOT_OK(o.status);
-        RecordEvalCounters(o.out);
+        RecordEvalCounters(o.out, &policy);
         if (!o.out.messages.empty()) {
           attribute(policy, o.out.messages);
           violations = std::move(o.out.messages);
@@ -695,7 +736,8 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
               prep->guard_covered[k]) {
             o.guard_ran = true;
             Result<PolicyEvalOutput> guard_result =
-                EvalPolicyStatement(*policy.guard, catalog.view(), false);
+                EvalPolicyStatement(*policy.guard, catalog.view(), false,
+                                    SpanLabel("policy.guard:", policy.name));
             if (!guard_result.ok()) {
               o.status = guard_result.status();
               return;
@@ -712,8 +754,10 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
           o.check_dep = options_.enable_improved_partial &&
                         !prep->covered[k] && prep->improved_ok &&
                         prep->prefix_touches_log[k];
-          Result<PolicyEvalOutput> result =
-              EvalPolicyStatement(*to_eval, catalog.view(), o.check_dep);
+          Result<PolicyEvalOutput> result = EvalPolicyStatement(
+              *to_eval, catalog.view(), o.check_dep,
+              SpanLabel(prep->covered[k] ? "policy.eval:" : "policy.partial:",
+                        policy.name));
           if (!result.ok()) {
             o.status = result.status();
             return;
@@ -721,7 +765,6 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
           o.out = std::move(*result);
         });
         double wall_us = UsSince(t0);
-        stats_.policy_eval_ms += wall_us / 1000.0;
         stats_.policy_wall_us += wall_us;
 
         // Serial merge in registration order.
@@ -731,14 +774,15 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
           RoundOutcome& o = outcomes[i];
           DL_RETURN_NOT_OK(o.status);
           if (o.guard_ran) {
-            RecordEvalCounters(o.guard_out);
+            RecordEvalCounters(o.guard_out, &policy);
             if (o.guard_pruned) {
               ++stats_.policies_pruned_early;
+              ++AttributionFor(policy.name).prunes;
               continue;
             }
             guard_cleared.insert(prep);  // suspicious: precise check required
           }
-          RecordEvalCounters(o.out);
+          RecordEvalCounters(o.out, &policy);
           if (prep->covered[k]) {
             if (!o.out.messages.empty()) {
               attribute(policy, o.out.messages);
@@ -748,8 +792,10 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
             // Fully satisfied: dismissed.
           } else if (o.out.messages.empty()) {
             ++stats_.policies_pruned_early;  // partial proved satisfaction
+            ++AttributionFor(policy.name).prunes;
           } else if (o.check_dep && !o.out.depends_on_increment) {
             ++stats_.policies_pruned_early;
+            ++AttributionFor(policy.name).prunes;
           } else {
             next.push_back(prep);
           }
@@ -765,9 +811,10 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
             DL_ASSIGN_OR_RETURN(std::vector<std::string> guard_messages,
                                 EvaluatePolicyStmt(*policy.guard,
                                                    catalog.view(), false,
-                                                   nullptr));
+                                                   nullptr, &policy));
             if (guard_messages.empty()) {
               ++stats_.policies_pruned_early;
+              ++AttributionFor(policy.name).prunes;
               continue;  // guard proves satisfaction
             }
             guard_cleared.insert(prep);  // suspicious: precise check required
@@ -782,7 +829,8 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
                            prep->prefix_touches_log[k];
           DL_ASSIGN_OR_RETURN(std::vector<std::string> messages,
                               EvaluatePolicyStmt(*to_eval, catalog.view(),
-                                                 check_dep, &depends));
+                                                 check_dep, &depends,
+                                                 &policy));
           if (prep->covered[k]) {
             if (!messages.empty()) {
               attribute(policy, messages);
@@ -792,10 +840,12 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
             // Fully satisfied: dismissed.
           } else if (messages.empty()) {
             ++stats_.policies_pruned_early;  // partial proved satisfaction
+            ++AttributionFor(policy.name).prunes;
           } else if (check_dep && !depends) {
             // §4.3 improved partial policies: held in the past, and nothing
             // from the current increment contributes.
             ++stats_.policies_pruned_early;
+            ++AttributionFor(policy.name).prunes;
           } else {
             next.push_back(prep);
           }
@@ -817,9 +867,10 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
           }
           DL_ASSIGN_OR_RETURN(std::vector<std::string> guard_messages,
                               EvaluatePolicyStmt(*policy.guard, catalog.view(),
-                                                 false, nullptr));
+                                                 false, nullptr, &policy));
           if (guard_messages.empty()) {
             ++stats_.policies_pruned_early;
+            ++AttributionFor(policy.name).prunes;
             continue;
           }
         }
@@ -829,7 +880,7 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
         DL_ASSIGN_OR_RETURN(
             std::vector<std::string> messages,
             EvaluatePolicyStmt(policy.effective(), catalog.view(), false,
-                               nullptr));
+                               nullptr, &policy));
         if (!messages.empty()) {
           attribute(policy, messages);
           violations = std::move(messages);
@@ -868,9 +919,10 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       if (policy.guard != nullptr) {
         DL_ASSIGN_OR_RETURN(std::vector<std::string> guard_messages,
                             EvaluatePolicyStmt(*policy.guard, catalog.view(),
-                                               false, nullptr));
+                                               false, nullptr, &policy));
         if (guard_messages.empty()) {
           ++stats_.policies_pruned_early;
+          ++AttributionFor(policy.name).prunes;
           return false;
         }
         // Suspicious: materialize the precise policy's remaining logs.
@@ -881,7 +933,7 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       DL_ASSIGN_OR_RETURN(
           std::vector<std::string> messages,
           EvaluatePolicyStmt(policy.effective(), catalog.view(), false,
-                             nullptr));
+                             nullptr, &policy));
       if (!messages.empty()) {
         attribute(policy, messages);
         violations = std::move(messages);
@@ -936,13 +988,14 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       }
       DL_ASSIGN_OR_RETURN(
           std::vector<std::string> messages,
-          EvaluatePolicyStmt(*combined, catalog.view(), false, nullptr));
+          EvaluatePolicyStmt(*combined, catalog.view(), false, nullptr,
+                             nullptr));
       if (!messages.empty()) {
         // Re-evaluate individually to attribute the violation (§6
         // debugging); the extra cost is paid only on rejection.
         for (const Policy* policy : union_set) {
           auto re = EvaluatePolicyStmt(policy->effective(), catalog.view(),
-                                       false, nullptr);
+                                       false, nullptr, policy);
           if (re.ok() && !re->empty()) attribute(*policy, *re);
         }
         violations = std::move(messages);
@@ -984,6 +1037,7 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
     // witness queries run every period-th query.
     ++queries_since_compaction_;
     if (queries_since_compaction_ < options_.compaction_period) {
+      DL_TRACE_SPAN("log.commit", "log");
       auto t0 = Now();
       stats_.log_rows_flushed = log_->CommitStaged();
       stats_.compact_insert_ms = MsSince(t0);
@@ -993,6 +1047,7 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       queries_since_compaction_ = 0;
       pending_compaction_ = EnsurePool(1)->Submit(
           [this, ts]() -> Result<CompactionStats> {
+            DL_TRACE_SPAN("compact.async", "policy");
             std::vector<const WitnessSet*> witnesses;
             for (const PreparedPolicy& prep : prepared_) {
               witnesses.push_back(&prep.witnesses);
@@ -1021,16 +1076,138 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
     }
   } else {
     // ---- §4.4 step 4 without compaction: flush the full increment ----
+    DL_TRACE_SPAN("log.commit", "log");
     auto t0 = Now();
     stats_.log_rows_flushed = log_->CommitStaged();
     stats_.compact_insert_ms = MsSince(t0);
   }
 
   // ---- execute the user's query ----
+  DL_TRACE_SPAN("exec.user_query", "exec");
   auto t0 = Now();
   Result<QueryResult> result = engine_.ExecuteSelect(stmt);
   stats_.query_exec_ms = MsSince(t0);
   return result;
+}
+
+std::vector<PolicyStats> DataLawyer::PolicyReport() const {
+  std::vector<PolicyStats> report;
+  std::set<std::string> emitted;
+  // Active policies first, in registration order, zero-filled if never run.
+  for (const Policy& policy : prepared_valid_ ? active_ : source_policies_) {
+    auto it = policy_stats_.find(policy.name);
+    if (it != policy_stats_.end()) {
+      report.push_back(it->second);
+    } else {
+      PolicyStats zero;
+      zero.name = policy.name;
+      report.push_back(zero);
+    }
+    emitted.insert(policy.name);
+  }
+  // Then whatever else accumulated: "(union)", removed/renamed policies.
+  for (const auto& [name, slot] : policy_stats_) {
+    if (!emitted.count(name)) report.push_back(slot);
+  }
+  return report;
+}
+
+void DataLawyer::RecordDecision(const std::string& sql,
+                                const QueryContext& context, const Status& st,
+                                bool probe) {
+  // Only enforcement verdicts are observable events — a malformed query
+  // (parse/bind error) never reached the policy gate.
+  bool admitted = st.ok();
+  if (!admitted && !st.IsPolicyViolation()) return;
+
+  if (options_.enable_audit) {
+    AuditRecord record;
+    record.ts = stats_.ts;
+    record.uid = context.uid;
+    record.query_sql = sql;
+    record.admitted = admitted;
+    record.probe = probe;
+    for (const ViolationReport& v : last_violations_) {
+      record.violated_policies.push_back(v.policy_name);
+    }
+    record.total_us = stats_.total_ms() * 1000.0;
+    record.query_exec_us = stats_.query_exec_ms * 1000.0;
+    record.log_gen_us = stats_.log_gen_ms * 1000.0;
+    record.policy_eval_us = stats_.policy_wall_us;
+    record.compaction_us = stats_.compaction_ms() * 1000.0;
+    audit_.Append(std::move(record));
+  }
+
+  if (options_.enable_metrics) {
+    // Handles resolved once per process (the registry is global and the
+    // names are fixed); thereafter this is a handful of relaxed atomic ops.
+    struct Handles {
+      Counter* queries;
+      Counter* rejected;
+      Counter* probes;
+      Counter* evaluated;
+      Counter* pruned;
+      Counter* rows_flushed;
+      Counter* rows_deleted;
+      Counter* index_probes;
+      Counter* index_hits;
+      Histogram* total_us;
+      Histogram* query_us;
+      Histogram* log_gen_us;
+      Histogram* eval_us;
+      Histogram* compact_us;
+    };
+    static Handles h = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      Handles handles;
+      handles.queries =
+          r.GetCounter("dl_queries_total", "queries checked (Execute)");
+      handles.rejected = r.GetCounter("dl_queries_rejected_total",
+                                      "queries rejected by a policy");
+      handles.probes =
+          r.GetCounter("dl_probes_total", "WouldAllow dry-run checks");
+      handles.evaluated = r.GetCounter("dl_policy_evaluations_total",
+                                       "policy statements evaluated");
+      handles.pruned = r.GetCounter("dl_policies_pruned_total",
+                                    "policies dismissed early");
+      handles.rows_flushed = r.GetCounter("dl_log_rows_flushed_total",
+                                          "usage-log rows persisted");
+      handles.rows_deleted = r.GetCounter("dl_log_rows_deleted_total",
+                                          "usage-log rows compacted away");
+      handles.index_probes = r.GetCounter("dl_index_probes_total",
+                                          "equality conjuncts probed");
+      handles.index_hits =
+          r.GetCounter("dl_index_hits_total", "scans served by an index");
+      handles.total_us = r.GetHistogram("dl_total_us",
+                                        "end-to-end per-query latency (us)");
+      handles.query_us = r.GetHistogram("dl_query_exec_us",
+                                        "user-query execution latency (us)");
+      handles.log_gen_us =
+          r.GetHistogram("dl_log_gen_us", "usage-log generation latency (us)");
+      handles.eval_us = r.GetHistogram("dl_policy_eval_us",
+                                       "policy-evaluation wall latency (us)");
+      handles.compact_us =
+          r.GetHistogram("dl_compaction_us", "log-compaction latency (us)");
+      return handles;
+    }();
+    if (probe) {
+      h.probes->Increment();
+    } else {
+      h.queries->Increment();
+    }
+    if (!admitted) h.rejected->Increment();
+    h.evaluated->Increment(stats_.policies_evaluated);
+    h.pruned->Increment(stats_.policies_pruned_early);
+    h.rows_flushed->Increment(stats_.log_rows_flushed);
+    h.rows_deleted->Increment(stats_.log_rows_deleted);
+    h.index_probes->Increment(stats_.index_probes);
+    h.index_hits->Increment(stats_.index_hits);
+    h.total_us->Observe(stats_.total_ms() * 1000.0);
+    h.query_us->Observe(stats_.query_exec_ms * 1000.0);
+    h.log_gen_us->Observe(stats_.log_gen_ms * 1000.0);
+    h.eval_us->Observe(stats_.policy_wall_us);
+    h.compact_us->Observe(stats_.compaction_ms() * 1000.0);
+  }
 }
 
 }  // namespace datalawyer

@@ -7,9 +7,14 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/audit.h"
 #include "core/options.h"
 #include "core/stats.h"
 #include "exec/engine.h"
@@ -103,6 +108,20 @@ class DataLawyer {
   /// Phase timings of the most recent Execute call.
   const ExecutionStats& last_stats() const { return stats_; }
 
+  /// Cumulative per-policy enforcement attribution (evaluations, prunes,
+  /// rejections, evaluation time), active policies first in registration
+  /// order, then synthetic entries ("(union)") and removed policies.
+  /// Attribution accumulates across queries; ResetPolicyStats() clears it.
+  /// The per-policy eval_us values sum to the cumulative policy_cpu_us.
+  std::vector<PolicyStats> PolicyReport() const;
+  void ResetPolicyStats() { policy_stats_.clear(); }
+
+  /// Append-only enforcement audit trail (admit/reject decisions with query
+  /// text, violated policies, and phase timings). Populated when
+  /// options().enable_audit; ring-bounded by options().audit_capacity.
+  const AuditLog& audit_log() const { return audit_; }
+  AuditLog* mutable_audit_log() { return &audit_; }
+
   /// Per-policy detail behind the most recent rejection; empty when the
   /// last query was admitted.
   const std::vector<ViolationReport>& last_violations() const {
@@ -151,19 +170,37 @@ class DataLawyer {
   /// overhead. Const all the way down — shared state (tables, catalog,
   /// prepared statements) is read-only during checking, which is what makes
   /// concurrent policy evaluation sound. See DESIGN.md "Concurrency model".
+  /// `span_label` names the tracing span ("policy.eval:<name>"); pass an
+  /// empty string when tracing is off to skip the concatenation.
   Result<PolicyEvalOutput> EvalPolicyStatement(
       const SelectStmt& stmt, const CatalogView* catalog,
-      bool check_increment_dependence) const;
+      bool check_increment_dependence, const std::string& span_label) const;
 
   /// Serial-path wrapper: evaluates and immediately folds the output into
-  /// `stats_`; returns violation messages (empty = satisfied).
+  /// `stats_` (attributed to `attribute_to`, or the synthetic "(union)"
+  /// entry when null); returns violation messages (empty = satisfied).
   Result<std::vector<std::string>> EvaluatePolicyStmt(
       const SelectStmt& stmt, const CatalogView* catalog,
-      bool check_increment_dependence, bool* depends_on_increment);
+      bool check_increment_dependence, bool* depends_on_increment,
+      const Policy* attribute_to);
 
   /// Folds one evaluation's counters into `stats_` (not its wall time —
-  /// parallel regions are timed once, around the whole region).
-  void RecordEvalCounters(const PolicyEvalOutput& out);
+  /// parallel regions are timed once, around the whole region) and into the
+  /// per-policy attribution of `attribute_to` (null = "(union)").
+  void RecordEvalCounters(const PolicyEvalOutput& out,
+                          const Policy* attribute_to);
+
+  /// Cumulative attribution slot for an active policy name.
+  PolicyStats& AttributionFor(const std::string& name);
+
+  /// Builds "policy.eval:<name>"-style span labels, skipping the string
+  /// work entirely when tracing is off.
+  static std::string SpanLabel(const char* prefix, const std::string& name);
+
+  /// One-per-query observability epilogue: audit-trail append and metrics
+  /// recording, driven by `stats_` and the decision `st`.
+  void RecordDecision(const std::string& sql, const QueryContext& context,
+                      const Status& st, bool probe);
 
   /// The shared worker pool, created lazily with
   /// max(policy_threads, min_threads) workers and recreated if options ask
@@ -202,6 +239,14 @@ class DataLawyer {
   ExecutionStats stats_;
   std::vector<ViolationReport> last_violations_;
   int64_t queries_since_compaction_ = 0;
+
+  /// Cumulative per-policy attribution, keyed by active-policy name.
+  /// Mutated only from the serial merge sections of the checking loops, so
+  /// no locking is needed (see DESIGN.md "Concurrency model").
+  std::map<std::string, PolicyStats> policy_stats_;
+
+  /// Enforcement audit trail (enable_audit).
+  AuditLog audit_;
 
   /// True while WouldAllow probes: suppresses commit/compaction/execution.
   bool probe_mode_ = false;

@@ -1,6 +1,8 @@
 #ifndef DATALAWYER_CORE_OPTIONS_H_
 #define DATALAWYER_CORE_OPTIONS_H_
 
+#include <cstddef>
+
 namespace datalawyer {
 
 /// How the active policy set is evaluated per query (compared in Fig. 5).
@@ -61,6 +63,24 @@ struct DataLawyerOptions {
   /// the log become point lookups. Indexes are maintained incrementally on
   /// append and rebuilt after compaction deletes.
   bool enable_log_indexes = true;
+
+  /// Collect RAII spans for every pipeline phase into Tracer::Global(),
+  /// exportable as Chrome trace_event JSON (about:tracing / Perfetto). Off
+  /// by default: a disabled span costs one relaxed atomic load.
+  bool enable_tracing = false;
+
+  /// Record per-query counters and phase-latency histograms into
+  /// MetricsRegistry::Global() (Prometheus text exposition via
+  /// MetricsRegistry::ExposeText()). Off by default.
+  bool enable_metrics = false;
+
+  /// Keep an append-only audit trail of every admit/reject decision
+  /// (query text, violated policies, phase timings) — see core/audit.h.
+  /// One bounded-deque append per query; on by default.
+  bool enable_audit = true;
+
+  /// Ring-buffer capacity of the audit trail (oldest evicted first).
+  size_t audit_capacity = 4096;
 
   /// Compact the log every N successful queries instead of after each one
   /// (§5.2: "DataLawyer could compact the log less frequently or whenever

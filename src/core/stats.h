@@ -15,19 +15,22 @@ struct ExecutionStats {
 
   double query_exec_ms = 0;    ///< running the user's query
   double log_gen_ms = 0;       ///< log-generating functions (usage tracking)
-  double policy_eval_ms = 0;   ///< evaluating (partial and full) policies:
-                               ///< wall time (parallel regions count once)
   double compact_mark_ms = 0;  ///< witness queries + marking
   double compact_delete_ms = 0;
   double compact_insert_ms = 0;
 
   /// Policy-checking time, split two ways: wall = elapsed time of the
-  /// evaluation phases (what the user waits for; equals policy_eval_ms in
-  /// microseconds), cpu = the same evaluations summed per worker (what the
-  /// machine spent). wall < cpu means the pool overlapped work; the ratio
-  /// cpu/wall is the effective parallelism.
+  /// evaluation phases (what the user waits for), cpu = the same
+  /// evaluations summed per worker (what the machine spent). wall < cpu
+  /// means the pool overlapped work; the ratio cpu/wall is the effective
+  /// parallelism. Microseconds are the canonical unit; use
+  /// policy_eval_ms() for display in milliseconds.
   double policy_wall_us = 0;
   double policy_cpu_us = 0;
+
+  /// Wall time of policy evaluation in milliseconds (display convenience —
+  /// the stored quantity is policy_wall_us).
+  double policy_eval_ms() const { return policy_wall_us / 1000.0; }
 
   /// Access-path counters over all policy/guard/partial statements this
   /// query (witness-query counters live in CompactionStats).
@@ -47,13 +50,26 @@ struct ExecutionStats {
 
   /// Everything except the user's query: the policy-checking overhead.
   double overhead_ms() const {
-    return log_gen_ms + policy_eval_ms + compact_mark_ms + compact_delete_ms +
-           compact_insert_ms;
+    return log_gen_ms + policy_eval_ms() + compact_mark_ms +
+           compact_delete_ms + compact_insert_ms;
   }
   double total_ms() const { return query_exec_ms + overhead_ms(); }
   double compaction_ms() const {
     return compact_mark_ms + compact_delete_ms + compact_insert_ms;
   }
+};
+
+/// Cumulative enforcement attribution for one active policy — which
+/// policies are slow, which prune well, which reject queries. Maintained by
+/// DataLawyer across queries (survives Prepare); snapshot via
+/// DataLawyer::PolicyReport(), rendered by the shell's \policies command.
+struct PolicyStats {
+  std::string name;          ///< active (post-unification) policy name
+  uint64_t evaluations = 0;  ///< statements run (guards, partials, full)
+  uint64_t prunes = 0;       ///< dismissed early (guard/partial/increment)
+  uint64_t rejections = 0;   ///< queries this policy rejected
+  double eval_us = 0;        ///< cumulative per-statement evaluation time
+                             ///< (sums across policies to policy_cpu_us)
 };
 
 }  // namespace datalawyer

@@ -6,6 +6,7 @@
 #include "analysis/binder.h"
 #include "exec/aggregates.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "exec/eval.h"
 
 namespace datalawyer {
@@ -119,6 +120,7 @@ uint32_t Executor::InternRelation(const std::string& name) {
 }
 
 Result<QueryResult> Executor::Execute(const SelectStmt& stmt) {
+  DL_TRACE_SPAN("exec.query", "exec");
   Binder binder(catalog_);
   DL_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.Bind(stmt));
   return ExecuteBound(*bq);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "common/trace.h"
 #include "storage/persistence.h"
 
 namespace datalawyer {
@@ -84,6 +85,9 @@ Result<size_t> UsageLog::EnsureGenerated(const std::string& name, int64_t ts,
   LogRelation* rel = Find(name);
   if (rel == nullptr) return Status::NotFound("no such log relation: " + name);
   if (rel->generated) return size_t{0};
+  ScopedSpan span(Tracer::Global().enabled() ? "log.generate:" + name
+                                             : std::string(),
+                  "log");
   DL_ASSIGN_OR_RETURN(std::vector<Row> features,
                       rel->generator->Generate(input));
   size_t count = features.size();

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "exec/executor.h"
+#include "common/trace.h"
 
 namespace datalawyer {
 
@@ -72,32 +73,41 @@ Result<CompactionStats> LogCompactor::CompactAndFlush(
     const std::vector<const WitnessSet*>& witnesses, const CatalogView* base,
     int64_t now, const std::set<std::string>& skip_retention) {
   CompactionStats stats;
+  DL_TRACE_SPAN("compact.flush", "policy");
 
   // ---- mark ----
   auto t0 = std::chrono::steady_clock::now();
   std::set<std::string> keep_all;
   ScanStats scans;
-  DL_ASSIGN_OR_RETURN(
-      auto keep, Mark(witnesses, base, now, &keep_all, skip_retention, &scans));
+  std::map<std::string, std::set<int64_t>> keep;
+  {
+    DL_TRACE_SPAN("compact.mark", "policy");
+    DL_ASSIGN_OR_RETURN(
+        keep, Mark(witnesses, base, now, &keep_all, skip_retention, &scans));
+  }
   stats.mark_ms = MsSince(t0);
   stats.index_probes = scans.index_probes;
   stats.index_hits = scans.index_hits;
 
   // ---- delete (persisted log) ----
   t0 = std::chrono::steady_clock::now();
-  for (const auto& [name, ids] : keep) {
-    if (keep_all.count(name)) continue;
-    Table* main = log_->main_table(name);
-    std::unordered_set<int64_t> main_keep;
-    for (int64_t id : ids) {
-      if (!ConcatRelation::IsFromSecond(id)) main_keep.insert(id);
+  {
+    DL_TRACE_SPAN("compact.delete", "policy");
+    for (const auto& [name, ids] : keep) {
+      if (keep_all.count(name)) continue;
+      Table* main = log_->main_table(name);
+      std::unordered_set<int64_t> main_keep;
+      for (int64_t id : ids) {
+        if (!ConcatRelation::IsFromSecond(id)) main_keep.insert(id);
+      }
+      stats.rows_deleted += main->RetainOnly(main_keep);
     }
-    stats.rows_deleted += main->RetainOnly(main_keep);
   }
   stats.delete_ms = MsSince(t0);
 
   // ---- insert (surviving increment rows) ----
   t0 = std::chrono::steady_clock::now();
+  DL_TRACE_SPAN("compact.insert", "policy");
   for (const auto& [name, ids] : keep) {
     Table* main = log_->main_table(name);
     Table* delta = log_->delta_table(name);

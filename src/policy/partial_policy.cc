@@ -1,6 +1,7 @@
 #include "policy/partial_policy.h"
 
 #include "common/strings.h"
+#include "common/trace.h"
 #include "policy/policy_analyzer.h"
 
 namespace datalawyer {
@@ -131,6 +132,7 @@ void RewriteMember(SelectStmt* member, const UsageLog& log,
 std::unique_ptr<SelectStmt> BuildPartialPolicy(
     const SelectStmt& stmt, const UsageLog& log,
     const std::set<std::string>& available) {
+  DL_TRACE_SPAN("policy.partial_build", "policy");
   std::unique_ptr<SelectStmt> out = stmt.Clone();
   for (SelectStmt* member = out.get(); member != nullptr;
        member = member->union_next.get()) {

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace datalawyer {
 
@@ -90,7 +91,9 @@ bool AliasTaken(const SelectStmt& stmt, const std::string& alias) {
 
 }  // namespace
 
-Result<UnificationResult> UnifyPolicies(const std::vector<Policy>& input) {
+Result<UnificationResult> UnifyPolicies(
+    const std::vector<Policy>& input) {
+  DL_TRACE_SPAN("policy.unify", "policy");
   UnificationResult result;
 
   struct Group {

@@ -4,6 +4,7 @@
 
 #include "analysis/join_graph.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "policy/policy_analyzer.h"
 
 namespace datalawyer {
@@ -143,6 +144,7 @@ ExprPtr NowPlusOne() {
 }  // namespace
 
 Result<WitnessSet> WitnessBuilder::Build(const SelectStmt& policy_stmt) const {
+  DL_TRACE_SPAN("policy.witness_build", "policy");
   WitnessSet out;
   for (const SelectStmt* member = &policy_stmt; member != nullptr;
        member = member->union_next.get()) {

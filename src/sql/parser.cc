@@ -1,6 +1,7 @@
 #include "sql/parser.h"
 
 #include "common/strings.h"
+#include "common/trace.h"
 #include "sql/lexer.h"
 
 namespace datalawyer {
@@ -19,6 +20,7 @@ Result<ValueType> ParseTypeName(const std::string& word) {
 }  // namespace
 
 Result<Statement> Parser::Parse(const std::string& sql) {
+  DL_TRACE_SPAN("sql.parse", "sql");
   Lexer lexer(sql);
   DL_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace datalawyer {
 
@@ -195,6 +196,7 @@ Status LoadTableInto(Table* table, const std::string& path) {
 }
 
 Status SaveDatabase(const Database& db, const std::string& dir) {
+  DL_TRACE_SPAN("storage.save_db", "storage");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::InvalidArgument("cannot create directory " + dir);
@@ -206,6 +208,7 @@ Status SaveDatabase(const Database& db, const std::string& dir) {
 }
 
 Status LoadDatabase(Database* db, const std::string& dir) {
+  DL_TRACE_SPAN("storage.load_db", "storage");
   std::error_code ec;
   auto iter = std::filesystem::directory_iterator(dir, ec);
   if (ec) return Status::NotFound("cannot open directory " + dir);

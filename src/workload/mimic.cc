@@ -1,10 +1,12 @@
 #include "workload/mimic.h"
 
 #include <random>
+#include "common/trace.h"
 
 namespace datalawyer {
 
 Status LoadMimicData(Database* db, const MimicConfig& config) {
+  DL_TRACE_SPAN("workload.load_mimic", "workload");
   std::mt19937_64 rng(config.seed);
 
   // ---- d_patients(subject_id, sex, dob) ----

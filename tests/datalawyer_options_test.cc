@@ -194,7 +194,7 @@ TEST(DataLawyerOptionsTest, PerCallOverheadIsObservable) {
   ctx.uid = 0;
   ASSERT_TRUE(dl.Execute(PaperQueries::W1(), ctx).ok());
   // 4 serial policy statements × 2ms of simulated dispatch each.
-  EXPECT_GE(dl.last_stats().policy_eval_ms, 8.0);
+  EXPECT_GE(dl.last_stats().policy_eval_ms(), 8.0);
 }
 
 TEST(DataLawyerOptionsTest, AddRemovePolicyLifecycle) {

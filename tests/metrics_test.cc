@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace datalawyer {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter c;
+  ThreadPool pool(4);
+  pool.ParallelFor(1000, [&](size_t) { c.Increment(); });
+  EXPECT_EQ(c.value(), 1000u);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds values < 1; bucket b holds [2^(b-1), 2^b).
+  Histogram h;
+  h.Observe(0.0);
+  h.Observe(0.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  h.Observe(1.0);  // [1, 2) -> bucket 1
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  h.Observe(2.0);  // [2, 4) -> bucket 2
+  h.Observe(3.9);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  h.Observe(1024.0);  // [1024, 2048) -> bucket 11
+  EXPECT_EQ(h.bucket_count(11), 1u);
+}
+
+TEST(HistogramTest, SumMeanMinMax) {
+  Histogram h;
+  h.Observe(10.0);
+  h.Observe(20.0);
+  h.Observe(30.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 60.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+}
+
+TEST(HistogramTest, PercentilesOnUniformSeries) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(double(i));
+  // Log-scale buckets are coarse (power-of-two), so accept up to one
+  // bucket's relative error.
+  double p50 = h.Percentile(0.50);
+  double p95 = h.Percentile(0.95);
+  double p99 = h.Percentile(0.99);
+  EXPECT_GT(p50, 250.0);
+  EXPECT_LT(p50, 1000.0);
+  EXPECT_GT(p95, 500.0);
+  EXPECT_LE(p95, 1000.0);
+  EXPECT_GE(p99, p95);
+  EXPECT_LE(p99, 1000.0);
+  // Extremes clamp to observed min/max regardless of bucket width.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, SingleValuePercentilesCollapse) {
+  Histogram h;
+  h.Observe(37.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 37.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 37.0);
+}
+
+TEST(HistogramTest, ConcurrentObserves) {
+  Histogram h;
+  ThreadPool pool(4);
+  pool.ParallelFor(1000, [&](size_t i) { h.Observe(double(i % 64)); });
+  EXPECT_EQ(h.count(), 1000u);
+}
+
+TEST(HistogramTest, Reset) {
+  Histogram h;
+  h.Observe(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  h.Observe(2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+}
+
+TEST(MetricsRegistryTest, GetIsFindOrCreate) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("queries", "total queries");
+  Counter* b = reg.GetCounter("queries");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = reg.GetHistogram("latency_us");
+  Histogram* h2 = reg.GetHistogram("latency_us");
+  EXPECT_EQ(h1, h2);
+  a->Increment(3);
+  EXPECT_EQ(b->value(), 3u);
+}
+
+TEST(MetricsRegistryTest, ExposeTextFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("dl_queries_total", "queries executed")->Increment(7);
+  Histogram* h = reg.GetHistogram("dl_eval_us", "evaluation time");
+  h->Observe(3.0);
+  h->Observe(100.0);
+  std::string text = reg.ExposeText();
+
+  EXPECT_NE(text.find("# HELP dl_queries_total queries executed"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dl_queries_total counter"), std::string::npos);
+  EXPECT_NE(text.find("dl_queries_total 7"), std::string::npos);
+
+  EXPECT_NE(text.find("# TYPE dl_eval_us histogram"), std::string::npos);
+  // Cumulative buckets: the bucket containing 3.0 has le="4" count 1, and
+  // every bucket at or past 100.0 (le="128" onward) accumulates to 2.
+  EXPECT_NE(text.find("dl_eval_us_bucket{le=\"4\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("dl_eval_us_bucket{le=\"128\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("dl_eval_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("dl_eval_us_sum 103"), std::string::npos);
+  EXPECT_NE(text.find("dl_eval_us_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ToJsonShape) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Increment(2);
+  reg.GetHistogram("h")->Observe(8.0);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"c\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"h\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllKeepsHandlesValid) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  Histogram* h = reg.GetHistogram("h");
+  c->Increment(5);
+  h->Observe(5.0);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  c->Increment();  // the old pointer still works
+  EXPECT_EQ(reg.GetCounter("c")->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, NamesAreSorted) {
+  MetricsRegistry reg;
+  reg.GetCounter("b");
+  reg.GetCounter("a");
+  reg.GetHistogram("z");
+  reg.GetHistogram("y");
+  auto counters = reg.CounterNames();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0], "a");
+  EXPECT_EQ(counters[1], "b");
+  auto hists = reg.HistogramNames();
+  ASSERT_EQ(hists.size(), 2u);
+  EXPECT_EQ(hists[0], "y");
+  EXPECT_EQ(hists[1], "z");
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,252 @@
+// The enforcement-audit trail and per-policy attribution: every Execute /
+// WouldAllow verdict lands in the audit log with its phase timings, and
+// PolicyReport's per-policy evaluation time accounts for the cumulative
+// policy CPU time.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/audit.h"
+#include "core/datalawyer.h"
+#include "workload/mimic.h"
+#include "workload/paper_policies.h"
+
+namespace datalawyer {
+namespace {
+
+AuditRecord MakeRecord(int64_t ts, const std::string& sql, bool admitted) {
+  AuditRecord r;
+  r.ts = ts;
+  r.uid = ts % 3;
+  r.query_sql = sql;
+  r.admitted = admitted;
+  r.total_us = double(ts) * 10;
+  return r;
+}
+
+TEST(AuditLogTest, RingEvictsOldestAndCountsDrops) {
+  AuditLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    log.Append(MakeRecord(i, "q" + std::to_string(i), true));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_appended(), 5u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(log.records().front().query_sql, "q2");
+  EXPECT_EQ(log.records().back().query_sql, "q4");
+}
+
+TEST(AuditLogTest, TailReturnsMostRecentOldestFirst) {
+  AuditLog log(10);
+  for (int i = 0; i < 6; ++i) {
+    log.Append(MakeRecord(i, "q" + std::to_string(i), true));
+  }
+  auto tail = log.Tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].query_sql, "q4");
+  EXPECT_EQ(tail[1].query_sql, "q5");
+  EXPECT_EQ(log.Tail(100).size(), 6u);
+}
+
+TEST(AuditLogTest, SaveLoadRoundTripsEscapedFields) {
+  AuditLog log(10);
+  AuditRecord r = MakeRecord(42, "SELECT 'tab\there'\nFROM \\weird", false);
+  r.probe = true;
+  r.violated_policies = {"p1", "p,with,commas"};
+  r.policy_eval_us = 123.456;
+  log.Append(r);
+  log.Append(MakeRecord(43, "plain", true));
+
+  std::string path = ::testing::TempDir() + "/audit_roundtrip.tsv";
+  ASSERT_TRUE(log.SaveTo(path).ok());
+
+  AuditLog restored(10);
+  ASSERT_TRUE(restored.LoadFrom(path).ok());
+  ASSERT_EQ(restored.size(), 2u);
+  const AuditRecord& back = restored.records().front();
+  EXPECT_EQ(back.ts, 42);
+  EXPECT_EQ(back.query_sql, "SELECT 'tab\there'\nFROM \\weird");
+  EXPECT_FALSE(back.admitted);
+  EXPECT_TRUE(back.probe);
+  ASSERT_EQ(back.violated_policies.size(), 2u);
+  EXPECT_EQ(back.violated_policies[0], "p1");
+  EXPECT_EQ(back.violated_policies[1], "p,with,commas");
+  EXPECT_NEAR(back.policy_eval_us, 123.456, 0.001);
+  EXPECT_TRUE(restored.records().back().admitted);
+  std::remove(path.c_str());
+}
+
+TEST(AuditLogTest, LoadRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/audit_garbage.tsv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not-an-audit-file\n", f);
+  std::fclose(f);
+  AuditLog log(10);
+  EXPECT_FALSE(log.LoadFrom(path).ok());
+  std::remove(path.c_str());
+}
+
+class ObservabilityIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(LoadMimicData(&db_, MimicConfig::Tiny()).ok());
+  }
+
+  std::unique_ptr<DataLawyer> Make(DataLawyerOptions options) {
+    auto dl = std::make_unique<DataLawyer>(
+        &db_, UsageLog::WithStandardGenerators(),
+        std::make_unique<ManualClock>(0, 10), options);
+    for (const auto& [name, sql] : PaperPolicies::All()) {
+      EXPECT_TRUE(dl->AddPolicy(name, sql).ok());
+    }
+    return dl;
+  }
+
+  Database db_;
+  // Admitted for uid 0; trips P2 for uid 1 (medication joined with sex).
+  const std::string join_sql_ =
+      "SELECT o.medication, p.sex FROM poe_order o, "
+      "d_patients p WHERE o.subject_id = p.subject_id";
+};
+
+TEST_F(ObservabilityIntegrationTest, AuditRecordsVerdictsAndTimings) {
+  auto dl = Make({});
+  QueryContext ctx;
+  ctx.uid = 0;
+  ASSERT_TRUE(dl->Execute(join_sql_, ctx).ok());
+  ctx.uid = 1;
+  auto rejected = dl->Execute(join_sql_, ctx);
+  ASSERT_TRUE(rejected.status().IsPolicyViolation());
+  ASSERT_TRUE(dl->WouldAllow(join_sql_, ctx).IsPolicyViolation());
+
+  const AuditLog& audit = dl->audit_log();
+  ASSERT_EQ(audit.size(), 3u);
+
+  const AuditRecord& admit = audit.records()[0];
+  EXPECT_TRUE(admit.admitted);
+  EXPECT_FALSE(admit.probe);
+  EXPECT_EQ(admit.uid, 0);
+  EXPECT_EQ(admit.query_sql, join_sql_);
+  EXPECT_TRUE(admit.violated_policies.empty());
+  EXPECT_GT(admit.total_us, 0.0);
+  EXPECT_GT(admit.policy_eval_us, 0.0);
+
+  const AuditRecord& reject = audit.records()[1];
+  EXPECT_FALSE(reject.admitted);
+  EXPECT_FALSE(reject.probe);
+  EXPECT_EQ(reject.uid, 1);
+  ASSERT_FALSE(reject.violated_policies.empty());
+  EXPECT_EQ(reject.violated_policies[0], "p2");
+
+  const AuditRecord& probe = audit.records()[2];
+  EXPECT_FALSE(probe.admitted);
+  EXPECT_TRUE(probe.probe);
+}
+
+TEST_F(ObservabilityIntegrationTest, AuditDisabledByOption) {
+  DataLawyerOptions options;
+  options.enable_audit = false;
+  auto dl = Make(options);
+  QueryContext ctx;
+  ctx.uid = 0;
+  ASSERT_TRUE(dl->Execute(join_sql_, ctx).ok());
+  EXPECT_EQ(dl->audit_log().size(), 0u);
+}
+
+TEST_F(ObservabilityIntegrationTest, AuditSkipsNonVerdictStatuses) {
+  auto dl = Make({});
+  QueryContext ctx;
+  ctx.uid = 0;
+  EXPECT_FALSE(dl->Execute("SELECT nonsense FROM nowhere", ctx).ok());
+  EXPECT_EQ(dl->audit_log().size(), 0u);  // parse/bind errors are not verdicts
+}
+
+TEST_F(ObservabilityIntegrationTest, AuditCapacityOptionBoundsTheRing) {
+  DataLawyerOptions options;
+  options.audit_capacity = 2;
+  auto dl = Make(options);
+  QueryContext ctx;
+  ctx.uid = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(dl->Execute(join_sql_, ctx).ok());
+  }
+  EXPECT_EQ(dl->audit_log().size(), 2u);
+  EXPECT_EQ(dl->audit_log().dropped(), 2u);
+  EXPECT_EQ(dl->audit_log().total_appended(), 4u);
+}
+
+TEST_F(ObservabilityIntegrationTest, PolicyReportAccountsForPolicyCpuTime) {
+  auto dl = Make({});
+  QueryContext ctx;
+  double cumulative_cpu_us = 0;
+  for (int i = 0; i < 6; ++i) {
+    ctx.uid = i % 2;
+    auto result = dl->Execute(join_sql_, ctx);
+    ASSERT_TRUE(result.ok() || result.status().IsPolicyViolation());
+    cumulative_cpu_us += dl->last_stats().policy_cpu_us;
+  }
+
+  std::vector<PolicyStats> report = dl->PolicyReport();
+  ASSERT_FALSE(report.empty());
+  // Active policies lead, in registration order.
+  EXPECT_EQ(report[0].name, dl->active_policies()[0].name);
+
+  double attributed_us = 0;
+  uint64_t evaluations = 0, rejections = 0;
+  for (const PolicyStats& ps : report) {
+    attributed_us += ps.eval_us;
+    evaluations += ps.evaluations;
+    rejections += ps.rejections;
+  }
+  EXPECT_GT(evaluations, 0u);
+  EXPECT_GT(rejections, 0u);  // uid 1 queries trip p2
+  // The per-policy attribution must account for the cumulative policy CPU
+  // time within 5% (the ISSUE's acceptance bound).
+  EXPECT_GT(cumulative_cpu_us, 0.0);
+  EXPECT_NEAR(attributed_us, cumulative_cpu_us, cumulative_cpu_us * 0.05);
+
+  dl->ResetPolicyStats();
+  for (const PolicyStats& ps : dl->PolicyReport()) {
+    EXPECT_EQ(ps.evaluations, 0u);
+    EXPECT_EQ(ps.eval_us, 0.0);
+  }
+}
+
+TEST_F(ObservabilityIntegrationTest, MetricsRecordedWhenEnabled) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* queries = reg.GetCounter("dl_queries_total");
+  Counter* rejected = reg.GetCounter("dl_queries_rejected_total");
+  Histogram* total = reg.GetHistogram("dl_total_us");
+  uint64_t queries_before = queries->value();
+  uint64_t rejected_before = rejected->value();
+  uint64_t observed_before = total->count();
+
+  DataLawyerOptions options;
+  options.enable_metrics = true;
+  auto dl = Make(options);
+  QueryContext ctx;
+  ctx.uid = 0;
+  ASSERT_TRUE(dl->Execute(join_sql_, ctx).ok());
+  ctx.uid = 1;
+  ASSERT_TRUE(dl->Execute(join_sql_, ctx).status().IsPolicyViolation());
+
+  EXPECT_EQ(queries->value(), queries_before + 2);
+  EXPECT_EQ(rejected->value(), rejected_before + 1);
+  EXPECT_EQ(total->count(), observed_before + 2);
+}
+
+TEST_F(ObservabilityIntegrationTest, MetricsSilentWhenDisabled) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  uint64_t before = reg.GetCounter("dl_queries_total")->value();
+  auto dl = Make({});  // enable_metrics defaults off
+  QueryContext ctx;
+  ctx.uid = 0;
+  ASSERT_TRUE(dl->Execute(join_sql_, ctx).ok());
+  EXPECT_EQ(reg.GetCounter("dl_queries_total")->value(), before);
+}
+
+}  // namespace
+}  // namespace datalawyer

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace datalawyer {
+namespace {
+
+// The tracer is process-global; every test starts from a clean, enabled
+// timeline and leaves tracing off for whoever runs next in this binary.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Clear();
+    Tracer::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::Global().set_enabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  Tracer::Global().set_enabled(false);
+  { DL_TRACE_SPAN("should.not.appear", "test"); }
+  EXPECT_EQ(Tracer::Global().size(), 0u);
+}
+
+TEST_F(TraceTest, SpanLatchesEnabledStateAtConstruction) {
+  Tracer::Global().set_enabled(false);
+  {
+    DL_TRACE_SPAN("opened.while.off", "test");
+    Tracer::Global().set_enabled(true);  // mid-span enable must not record
+  }
+  EXPECT_EQ(Tracer::Global().size(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansGetIncreasingDepths) {
+  {
+    DL_TRACE_SPAN("outer", "test");
+    {
+      DL_TRACE_SPAN("middle", "test");
+      { DL_TRACE_SPAN("inner", "test"); }
+    }
+  }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans complete innermost-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[1].name, "middle");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[2].depth, 0);
+  // Time containment: each child starts no earlier and ends no later than
+  // its parent — this is what makes Chrome's viewer nest them.
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us + 1e-6);
+  EXPECT_GE(events[1].ts_us, events[2].ts_us);
+  EXPECT_LE(events[1].ts_us + events[1].dur_us,
+            events[2].ts_us + events[2].dur_us + 1e-6);
+  // All on the same thread lane.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[1].tid, events[2].tid);
+}
+
+TEST_F(TraceTest, SequentialSpansShareDepthZero) {
+  { DL_TRACE_SPAN("first", "test"); }
+  { DL_TRACE_SPAN("second", "test"); }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_GE(events[1].ts_us, events[0].ts_us);
+}
+
+TEST_F(TraceTest, ThreadPoolWorkersGetOwnLanesAndDepths) {
+  constexpr size_t kTasks = 64;
+  ThreadPool pool(4);
+  pool.ParallelFor(kTasks, [](size_t i) {
+    ScopedSpan outer("task:" + std::to_string(i), "test");
+    DL_TRACE_SPAN("task.inner", "test");
+  });
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2 * kTasks);
+  size_t inner = 0, outer = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name == "task.inner") {
+      EXPECT_EQ(e.depth, 1);
+      ++inner;
+    } else {
+      EXPECT_EQ(e.depth, 0);
+      ++outer;
+    }
+  }
+  EXPECT_EQ(inner, kTasks);
+  EXPECT_EQ(outer, kTasks);
+}
+
+TEST_F(TraceTest, ClearResetsTimelineOrigin) {
+  { DL_TRACE_SPAN("before.clear", "test"); }
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().size(), 0u);
+  { DL_TRACE_SPAN("after.clear", "test"); }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  // A fresh origin means the new span starts near zero (well under a
+  // second, even on a loaded machine).
+  EXPECT_LT(events[0].ts_us, 1e6);
+}
+
+TEST_F(TraceTest, ChromeJsonShapeAndEscaping) {
+  {
+    ScopedSpan span("weird \"name\"\twith\\escapes", "test");
+  }
+  std::string json = Tracer::Global().ToChromeJson();
+  // Structural markers of the trace_event format.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  // The name must come out escaped, never as a raw quote/tab/backslash.
+  EXPECT_NE(json.find("weird \\\"name\\\"\\twith\\\\escapes"),
+            std::string::npos);
+  // Balanced braces/brackets — cheap structural validity check.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(TraceTest, WriteChromeJsonRejectsBadPath) {
+  { DL_TRACE_SPAN("span", "test"); }
+  Status st =
+      Tracer::Global().WriteChromeJson("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace datalawyer
