@@ -30,10 +30,12 @@ void PrintHelp() {
   \guard <name> <sql>     attach an approximate guard to policy <name>
   \check <sql>            dry run: would this query be admitted?
   \policies               active policies + per-policy enforcement attribution
+  \policies plan <name>   physical plan the enforcement fan-out re-executes
   \drop <name>            remove a policy
   \user <uid>             switch the current user (default 0)
   \log <sql>              read-only query over database + usage log + clock
-  \explain <sql>          show the execution plan for a SELECT
+  \explain <sql>          show the execution plan for a SELECT (database only)
+  \plan <sql>             physical plan over database + usage log + clock
   \stats                  phase breakdown of the last query
   \trace on|off|clear     toggle span tracing (Chrome trace_event collection)
   \trace <file>           write the collected trace as Chrome JSON to <file>
@@ -146,6 +148,13 @@ int main(int argc, char** argv) {
         if (st.ok()) policy_sql.erase(rest);
         std::printf("%s\n", st.ok() ? "removed" : st.ToString().c_str());
       } else if (cmd == "policies") {
+        if (rest.rfind("plan ", 0) == 0) {
+          auto plan = dl.ExplainPolicy(rest.substr(5));
+          std::printf("%s", plan.ok()
+                                ? plan->c_str()
+                                : (plan.status().ToString() + "\n").c_str());
+          continue;
+        }
         if (!dl.Prepare().ok()) {
           std::printf("prepare failed\n");
           continue;
@@ -219,6 +228,10 @@ int main(int argc, char** argv) {
         }
       } else if (cmd == "explain") {
         auto plan = dl.engine()->ExplainSql(rest);
+        std::printf("%s", plan.ok() ? plan->c_str()
+                                    : (plan.status().ToString() + "\n").c_str());
+      } else if (cmd == "plan") {
+        auto plan = dl.ExplainLogQuery(rest);
         std::printf("%s", plan.ok() ? plan->c_str()
                                     : (plan.status().ToString() + "\n").c_str());
       } else if (cmd == "log") {

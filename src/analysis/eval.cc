@@ -1,4 +1,4 @@
-#include "exec/eval.h"
+#include "analysis/eval.h"
 
 #include <cctype>
 

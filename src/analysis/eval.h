@@ -1,5 +1,5 @@
-#ifndef DATALAWYER_EXEC_EVAL_H_
-#define DATALAWYER_EXEC_EVAL_H_
+#ifndef DATALAWYER_ANALYSIS_EVAL_H_
+#define DATALAWYER_ANALYSIS_EVAL_H_
 
 #include <unordered_map>
 
@@ -30,4 +30,4 @@ Result<bool> EvalPredicate(const Expr& expr, const EvalContext& ctx);
 
 }  // namespace datalawyer
 
-#endif  // DATALAWYER_EXEC_EVAL_H_
+#endif  // DATALAWYER_ANALYSIS_EVAL_H_

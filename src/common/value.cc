@@ -177,14 +177,6 @@ std::string Value::ToString() const {
   return "?";
 }
 
-size_t RowHash::operator()(const Row& row) const {
-  size_t h = 0x345678;
-  for (const Value& v : row) {
-    h = h * 1000003 ^ v.Hash();
-  }
-  return h;
-}
-
 std::string RowToString(const Row& row) {
   std::string out = "(";
   for (size_t i = 0; i < row.size(); ++i) {

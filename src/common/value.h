@@ -92,10 +92,9 @@ class Value {
 /// A tuple of values: one table/result row.
 using Row = std::vector<Value>;
 
-/// Hash functor for rows (e.g. hash-join keys, DISTINCT sets).
-struct RowHash {
-  size_t operator()(const Row& row) const;
-};
+// Hash functors over values and rows live in common/value_hash.h (ValueHash,
+// RowHash) so the hash-join, GROUP BY, DISTINCT, and index-probe call sites
+// share one definition.
 
 /// Renders "(v1, v2, ...)".
 std::string RowToString(const Row& row);

@@ -1,0 +1,37 @@
+#ifndef DATALAWYER_COMMON_VALUE_HASH_H_
+#define DATALAWYER_COMMON_VALUE_HASH_H_
+
+#include <cstddef>
+
+#include "common/value.h"
+
+namespace datalawyer {
+
+/// The one hash functor for single values, shared by every equality
+/// container in the engine: the usage-log hash indexes (storage/table.h),
+/// DISTINCT aggregate accumulators, and — through RowHash below — the
+/// executor's hash joins, GROUP BY, and DISTINCT sets. Delegates to
+/// Value::Hash(), whose contract makes int64 and double holding the same
+/// number hash alike, so `1` staged by a log generator meets `1.0` computed
+/// by an expression both in an index probe and in a join.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Hash functor for rows (hash-join keys, DISTINCT sets, GROUP BY keys).
+/// Mixes the per-value ValueHash results; keeping the mixing here — next to
+/// ValueHash — pins the invariant that a single-column row hashes
+/// compatibly wherever value equality is decided.
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0x345678;
+    for (const Value& v : row) {
+      h = h * 1000003 ^ ValueHash()(v);
+    }
+    return h;
+  }
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_COMMON_VALUE_HASH_H_

@@ -186,6 +186,9 @@ Status DataLawyer::Prepare() {
   constants_catalog_.reset();
   mentioned_logs_.clear();
   skip_retention_.clear();
+  union_combined_.reset();
+  union_member_.clear();
+  plan_cache_.Clear();
 
   // Footnote 7: restrict each policy's history to its registration time.
   std::vector<Policy> sources;
@@ -314,8 +317,71 @@ Status DataLawyer::Prepare() {
     prepared_.push_back(std::move(prep));
   }
 
+  // ---- the kUnion strategy's combined statement (Algorithm 1 line 1) ----
+  // Built once here — not per query — so it can be planned into the cache.
+  union_member_.assign(active_.size(), false);
+  if (options_.strategy == EvalStrategy::kUnion) {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < active_.size(); ++i) {
+      const Policy& policy = active_[i];
+      bool fits = policy.guard == nullptr &&
+                  policy.effective().items.size() == 1 &&
+                  policy.effective().items[0].expr->kind() != ExprKind::kStar;
+      if (fits) members.push_back(i);
+    }
+    if (members.size() > 1) {
+      SelectStmt* tail = nullptr;
+      for (size_t i : members) {
+        union_member_[i] = true;
+        std::unique_ptr<SelectStmt> clone = active_[i].effective().Clone();
+        if (union_combined_ == nullptr) {
+          union_combined_ = std::move(clone);
+          tail = union_combined_.get();
+        } else {
+          tail->union_all = true;  // dedup is unnecessary for a violation test
+          tail->union_next = std::move(clone);
+        }
+        while (tail->union_next != nullptr) tail = tail->union_next.get();
+      }
+    }
+  }
+
+  // ---- per-policy plan cache ----
+  WarmPlanCache();
+
   prepared_valid_ = true;
   return Status::OK();
+}
+
+uint64_t DataLawyer::CacheStamp() const {
+  return db_->version() * 2 + (log_->indexes_enabled() ? 1 : 0);
+}
+
+void DataLawyer::WarmPlanCache() {
+  plan_cache_.Clear();
+  plan_cache_.set_stamp(CacheStamp());
+  if (!options_.enable_plan_cache) return;
+  DL_TRACE_SPAN("plan.warm", "plan");
+  // The warming catalog dies with this scope; cached plans never
+  // dereference the relation pointers bound here (see PlanCache).
+  UsageLog::PolicyCatalog catalog =
+      log_->MakeCatalog(policy_base_catalog(), clock_->Now());
+  Planner planner;
+  for (size_t i = 0; i < active_.size(); ++i) {
+    const Policy& policy = active_[i];
+    plan_cache_.Warm(policy.effective(), catalog.view(), planner);
+    if (policy.guard != nullptr) {
+      plan_cache_.Warm(*policy.guard, catalog.view(), planner);
+    }
+    for (const std::unique_ptr<SelectStmt>& partial : prepared_[i].partials) {
+      if (partial != nullptr) {
+        plan_cache_.Warm(*partial, catalog.view(), planner);
+      }
+    }
+  }
+  if (union_combined_ != nullptr) {
+    plan_cache_.Warm(*union_combined_, catalog.view(), planner);
+  }
 }
 
 Result<QueryResult> DataLawyer::Execute(const std::string& sql,
@@ -383,6 +449,37 @@ Result<QueryResult> DataLawyer::QueryUsageLog(const std::string& sql) {
   return executor.Execute(*stmt.select);
 }
 
+Result<std::string> DataLawyer::ExplainLogQuery(const std::string& sql) {
+  DL_RETURN_NOT_OK(Flush());
+  DL_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("ExplainLogQuery only accepts SELECT");
+  }
+  UsageLog::PolicyCatalog catalog =
+      log_->MakeCatalog(policy_base_catalog(), clock_->Now());
+  Executor executor(catalog.view());
+  return executor.Explain(*stmt.select);
+}
+
+Result<std::string> DataLawyer::ExplainPolicy(const std::string& name) {
+  if (!prepared_valid_) DL_RETURN_NOT_OK(Prepare());
+  for (const Policy& policy : active_) {
+    if (policy.name != name) continue;
+    UsageLog::PolicyCatalog catalog =
+        log_->MakeCatalog(policy_base_catalog(), clock_->Now());
+    const PlanCache::Entry* cached =
+        options_.enable_plan_cache && plan_cache_.stamp() == CacheStamp()
+            ? plan_cache_.Lookup(policy.effective())
+            : nullptr;
+    if (cached != nullptr) {
+      return RenderPhysicalPlan(cached->plan, catalog.view());
+    }
+    Executor executor(catalog.view());
+    return executor.Explain(policy.effective());
+  }
+  return Status::NotFound("no such policy: " + name);
+}
+
 std::string DataLawyer::SpanLabel(const char* prefix,
                                   const std::string& name) {
   if (!Tracer::Global().enabled()) return std::string();
@@ -409,12 +506,27 @@ Result<DataLawyer::PolicyEvalOutput> DataLawyer::EvalPolicyStatement(
 
   ExecOptions exec_options;
   exec_options.capture_lineage = check_increment_dependence;
-  Executor executor(catalog, exec_options);
-  DL_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(stmt));
-
   PolicyEvalOutput out;
-  out.index_probes = executor.scan_stats().index_probes;
-  out.index_hits = executor.scan_stats().index_hits;
+  QueryResult result;
+  // A registered statement runs from its cached physical plan — zero
+  // bind/plan work per evaluation; anything else (or a stale stamp) takes
+  // the one-shot bind-and-plan path.
+  const PlanCache::Entry* cached =
+      options_.enable_plan_cache && plan_cache_.stamp() == CacheStamp()
+          ? plan_cache_.Lookup(stmt)
+          : nullptr;
+  if (cached != nullptr) {
+    PlanExecutor plan_exec(catalog, exec_options);
+    DL_ASSIGN_OR_RETURN(result, plan_exec.Run(cached->plan));
+    out.plan_cache_hit = true;
+    out.index_probes = plan_exec.scan_stats().index_probes;
+    out.index_hits = plan_exec.scan_stats().index_hits;
+  } else {
+    Executor executor(catalog, exec_options);
+    DL_ASSIGN_OR_RETURN(result, executor.Execute(stmt));
+    out.index_probes = executor.scan_stats().index_probes;
+    out.index_hits = executor.scan_stats().index_hits;
+  }
 
   if (check_increment_dependence) {
     for (const LineageSet& lineage : result.lineage) {
@@ -454,6 +566,10 @@ PolicyStats& DataLawyer::AttributionFor(const std::string& name) {
 void DataLawyer::RecordEvalCounters(const PolicyEvalOutput& out,
                                     const Policy* attribute_to) {
   ++stats_.policies_evaluated;
+  if (options_.enable_plan_cache) {
+    ++(out.plan_cache_hit ? stats_.plan_cache_hits
+                          : stats_.plan_cache_misses);
+  }
   stats_.policy_cpu_us += out.eval_us;
   stats_.index_probes += out.index_probes;
   stats_.index_hits += out.index_hits;
@@ -542,6 +658,14 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
                                                int64_t ts) {
   // A pending background compaction owns the log tables; wait it out.
   DL_RETURN_NOT_OK(Flush());
+
+  // Revalidate the plan cache against the schema/index epoch: DDL between
+  // queries (CreateTable/DropTable bypasses the policy gate) invalidates
+  // every cached plan. Rebuilding here — in the serial head, before the
+  // evaluation fan-out — keeps Lookup read-only for the pool workers.
+  if (options_.enable_plan_cache && plan_cache_.stamp() != CacheStamp()) {
+    WarmPlanCache();
+  }
 
   // Bind the user query against the database (needed by f_Schema and to
   // surface SQL errors before any policy work).
@@ -956,47 +1080,26 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       return false;
     };
 
-    bool unionable = options_.strategy == EvalStrategy::kUnion;
-    std::vector<const Policy*> union_set;
-    std::vector<const PreparedPolicy*> separate;
-    for (size_t i = 0; i < active_.size(); ++i) {
-      const Policy& policy = active_[i];
-      bool fits = policy.guard == nullptr &&
-                  policy.effective().items.size() == 1 &&
-                  policy.effective().items[0].expr->kind() != ExprKind::kStar;
-      if (fits) {
-        union_set.push_back(&policy);
-      } else {
-        separate.push_back(&prepared_[i]);
-      }
-    }
-
-    if (unionable && union_set.size() > 1) {
-      // Algorithm 1 line 1: π_union = π_1 ∪ ... ∪ π_k.
-      std::unique_ptr<SelectStmt> combined;
-      SelectStmt* tail = nullptr;
-      for (const Policy* policy : union_set) {
-        std::unique_ptr<SelectStmt> clone = policy->effective().Clone();
-        if (combined == nullptr) {
-          combined = std::move(clone);
-          tail = combined.get();
-        } else {
-          tail->union_all = true;  // dedup is unnecessary for a violation test
-          tail->union_next = std::move(clone);
-        }
-        while (tail->union_next != nullptr) tail = tail->union_next.get();
+    if (union_combined_ != nullptr) {
+      // Algorithm 1 line 1: π_union = π_1 ∪ ... ∪ π_k, built (and planned)
+      // once at Prepare time.
+      std::vector<const PreparedPolicy*> separate;
+      for (size_t i = 0; i < active_.size(); ++i) {
+        if (!union_member_[i]) separate.push_back(&prepared_[i]);
       }
       DL_ASSIGN_OR_RETURN(
           std::vector<std::string> messages,
-          EvaluatePolicyStmt(*combined, catalog.view(), false, nullptr,
+          EvaluatePolicyStmt(*union_combined_, catalog.view(), false, nullptr,
                              nullptr));
       if (!messages.empty()) {
         // Re-evaluate individually to attribute the violation (§6
         // debugging); the extra cost is paid only on rejection.
-        for (const Policy* policy : union_set) {
-          auto re = EvaluatePolicyStmt(policy->effective(), catalog.view(),
-                                       false, nullptr, policy);
-          if (re.ok() && !re->empty()) attribute(*policy, *re);
+        for (size_t i = 0; i < active_.size(); ++i) {
+          if (!union_member_[i]) continue;
+          const Policy& policy = active_[i];
+          auto re = EvaluatePolicyStmt(policy.effective(), catalog.view(),
+                                       false, nullptr, &policy);
+          if (re.ok() && !re->empty()) attribute(policy, *re);
         }
         violations = std::move(messages);
         return reject();
@@ -1151,6 +1254,8 @@ void DataLawyer::RecordDecision(const std::string& sql,
       Counter* rows_deleted;
       Counter* index_probes;
       Counter* index_hits;
+      Counter* plan_hits;
+      Counter* plan_misses;
       Histogram* total_us;
       Histogram* query_us;
       Histogram* log_gen_us;
@@ -1178,6 +1283,12 @@ void DataLawyer::RecordDecision(const std::string& sql,
                                           "equality conjuncts probed");
       handles.index_hits =
           r.GetCounter("dl_index_hits_total", "scans served by an index");
+      handles.plan_hits = r.GetCounter(
+          "dl_plan_cache_hits_total",
+          "policy statements evaluated from a cached physical plan");
+      handles.plan_misses = r.GetCounter(
+          "dl_plan_cache_misses_total",
+          "policy statements that needed a one-shot bind and plan");
       handles.total_us = r.GetHistogram("dl_total_us",
                                         "end-to-end per-query latency (us)");
       handles.query_us = r.GetHistogram("dl_query_exec_us",
@@ -1202,6 +1313,8 @@ void DataLawyer::RecordDecision(const std::string& sql,
     h.rows_deleted->Increment(stats_.log_rows_deleted);
     h.index_probes->Increment(stats_.index_probes);
     h.index_hits->Increment(stats_.index_hits);
+    h.plan_hits->Increment(stats_.plan_cache_hits);
+    h.plan_misses->Increment(stats_.plan_cache_misses);
     h.total_us->Observe(stats_.total_ms() * 1000.0);
     h.query_us->Observe(stats_.query_exec_ms * 1000.0);
     h.log_gen_us->Observe(stats_.log_gen_ms * 1000.0);

@@ -16,6 +16,7 @@
 #include "common/trace.h"
 #include "core/audit.h"
 #include "core/options.h"
+#include "core/plan_cache.h"
 #include "core/stats.h"
 #include "exec/engine.h"
 #include "log/usage_log.h"
@@ -105,6 +106,15 @@ class DataLawyer {
   /// this billing period".
   Result<QueryResult> QueryUsageLog(const std::string& sql);
 
+  /// Renders the optimized physical plan for a SELECT over the same
+  /// catalog policies see (database + usage log + clock). Shell `\plan`.
+  Result<std::string> ExplainLogQuery(const std::string& sql);
+
+  /// Renders policy <name>'s physical plan — the cached plan that every
+  /// query's enforcement fan-out re-executes, when the plan cache holds
+  /// one, else a freshly planned equivalent. Shell `\policies plan`.
+  Result<std::string> ExplainPolicy(const std::string& name);
+
   /// Phase timings of the most recent Execute call.
   const ExecutionStats& last_stats() const { return stats_; }
 
@@ -157,6 +167,7 @@ class DataLawyer {
   struct PolicyEvalOutput {
     std::vector<std::string> messages;  ///< violation messages (empty = ok)
     bool depends_on_increment = false;
+    bool plan_cache_hit = false;  ///< ran from a cached physical plan
     size_t index_probes = 0;
     size_t index_hits = 0;
     double eval_us = 0;  ///< this statement's own elapsed time
@@ -215,6 +226,18 @@ class DataLawyer {
 
   const CatalogView* policy_base_catalog() const;
 
+  /// Schema/index epoch the plan cache is validated against: the database
+  /// schema version plus whether log indexes are on. A cached plan built
+  /// under a different stamp is not trusted.
+  uint64_t CacheStamp() const;
+
+  /// (Re)plans every prepared policy statement — full, guard, partials,
+  /// and the unified UNION statement — against a fresh policy catalog, and
+  /// stamps the cache. Serial sections only (Prepare, or the head of
+  /// ExecuteChecked when the stamp went stale); Lookup during the parallel
+  /// evaluation fan-out is read-only.
+  void WarmPlanCache();
+
   Database* db_;
   std::unique_ptr<UsageLog> log_;
   std::unique_ptr<Clock> clock_;
@@ -230,6 +253,18 @@ class DataLawyer {
   /// Constants tables synthesized by unification.
   std::vector<std::pair<std::string, std::unique_ptr<Table>>> constants_;
   std::unique_ptr<OverlayCatalog> constants_catalog_;
+  /// Algorithm 1 line 1 for the kUnion strategy: π_1 ∪ ... ∪ π_k, built
+  /// once per Prepare (and planned into the cache) instead of per query.
+  /// Null unless the strategy unions at least two eligible policies;
+  /// union_member_[i] marks which active policies it absorbed.
+  std::unique_ptr<SelectStmt> union_combined_;
+  std::vector<bool> union_member_;
+
+  /// Per-policy physical plans, built at Prepare and revalidated against
+  /// CacheStamp(); steady-state policy evaluation does zero parse/bind/
+  /// plan work.
+  PlanCache plan_cache_;
+
   /// Union of active policies' log footprints.
   std::set<std::string> mentioned_logs_;
   /// Log relations persisted only on behalf of time-dependent policies.

@@ -56,6 +56,14 @@ struct DataLawyerOptions {
   /// during checking.
   int policy_threads = 0;
 
+  /// Bind and plan every registered policy statement once at Prepare time
+  /// and re-execute the cached physical plan per user query, instead of
+  /// re-binding and re-planning on every evaluation. Cached plans are
+  /// revalidated against the database schema version and the log-index
+  /// state, and rebuilt on mismatch. Pure planning-cost optimization:
+  /// verdicts and results are identical.
+  bool enable_plan_cache = true;
+
   /// Maintain equality hash indexes on every usage-log main relation and
   /// let policy scans probe them for conjunctive equality predicates
   /// (`uid = $user`, `ts = $now` — the shape of nearly every paper policy).

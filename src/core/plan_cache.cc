@@ -1,0 +1,20 @@
+#include "core/plan_cache.h"
+
+#include "analysis/binder.h"
+
+namespace datalawyer {
+
+void PlanCache::Warm(const SelectStmt& stmt, const CatalogView* catalog,
+                     const Planner& planner) {
+  Binder binder(catalog);
+  Result<std::unique_ptr<BoundQuery>> bound = binder.Bind(stmt);
+  if (!bound.ok()) return;
+  Result<PhysicalPlan> plan = planner.Plan(**bound);
+  if (!plan.ok()) return;
+  auto entry = std::make_unique<Entry>();
+  entry->bound = std::move(*bound);
+  entry->plan = std::move(*plan);
+  entries_[&stmt] = std::move(entry);
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,69 @@
+#ifndef DATALAWYER_CORE_PLAN_CACHE_H_
+#define DATALAWYER_CORE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "analysis/bound_query.h"
+#include "common/result.h"
+#include "plan/optimizer.h"
+#include "plan/physical.h"
+#include "storage/catalog_view.h"
+
+namespace datalawyer {
+
+/// Per-policy physical-plan cache: every registered policy statement
+/// (full, guard, partial, and the unified UNION statement) is bound and
+/// planned once at Prepare time, then re-executed directly per user query,
+/// eliminating the per-evaluation parse/bind/plan work entirely.
+///
+/// Keys are SelectStmt pointers: the policy engine owns its statements for
+/// the lifetime of a prepared set, so pointer identity is exact and free.
+/// Entries keep their BoundQuery alive (the plan references its slots),
+/// but the BoundRelation::relation pointers inside go stale as soon as the
+/// warming catalog dies — PlanExecutor re-resolves relations by name, so
+/// they are never dereferenced.
+///
+/// Thread safety by phasing: Warm/Clear only run in the serial sections
+/// (Prepare, or the head of ExecuteChecked on revalidation), Lookup is a
+/// const read and safe from the policy-evaluation thread pool.
+///
+/// Invalidation: the cache carries a stamp (database schema version +
+/// whether log indexes are enabled); the owner compares it against the
+/// live stamp before trusting Lookup and rewarm on mismatch.
+class PlanCache {
+ public:
+  struct Entry {
+    std::unique_ptr<BoundQuery> bound;
+    PhysicalPlan plan;
+  };
+
+  /// Binds and plans `stmt` against `catalog`, storing the entry under
+  /// &stmt. A statement that fails to bind or plan is skipped (not an
+  /// error): the evaluation fallback path will surface the failure with
+  /// its usual context.
+  void Warm(const SelectStmt& stmt, const CatalogView* catalog,
+            const Planner& planner);
+
+  /// The cached entry for `stmt`, or nullptr. Read-only; thread-safe
+  /// against concurrent Lookups.
+  const Entry* Lookup(const SelectStmt& stmt) const {
+    auto it = entries_.find(&stmt);
+    return it == entries_.end() ? nullptr : it->second.get();
+  }
+
+  void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+
+  uint64_t stamp() const { return stamp_; }
+  void set_stamp(uint64_t stamp) { stamp_ = stamp; }
+
+ private:
+  std::unordered_map<const SelectStmt*, std::unique_ptr<Entry>> entries_;
+  uint64_t stamp_ = 0;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_CORE_PLAN_CACHE_H_

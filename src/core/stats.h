@@ -39,6 +39,12 @@ struct ExecutionStats {
 
   size_t policies_evaluated = 0;  ///< policy/partial-policy statements run
   size_t policies_pruned_early = 0;
+
+  /// Plan-cache effectiveness: statements evaluated from a cached physical
+  /// plan (zero parse/bind/plan work) vs. the one-shot bind-and-plan
+  /// fallback. In steady state, misses stay at 0.
+  size_t plan_cache_hits = 0;
+  size_t plan_cache_misses = 0;
   size_t logs_generated = 0;      ///< log relations whose f_i actually ran
   size_t logs_skipped_preemptively = 0;
   size_t log_rows_staged = 0;

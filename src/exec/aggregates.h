@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "common/value.h"
+#include "common/value_hash.h"
 #include "sql/ast.h"
 
 namespace datalawyer {
@@ -28,10 +29,6 @@ class AggregateAccumulator {
   Result<Value> Finish() const;
 
  private:
-  struct ValueHashFn {
-    size_t operator()(const Value& v) const { return v.Hash(); }
-  };
-
   const FuncCallExpr* spec_;
   int64_t count_ = 0;
   double sum_double_ = 0.0;
@@ -40,7 +37,7 @@ class AggregateAccumulator {
   bool saw_any_ = false;
   Value min_;
   Value max_;
-  std::unordered_set<Value, ValueHashFn> distinct_;
+  std::unordered_set<Value, ValueHash> distinct_;
 };
 
 }  // namespace datalawyer

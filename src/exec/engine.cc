@@ -3,7 +3,7 @@
 #include <unordered_set>
 
 #include "analysis/binder.h"
-#include "exec/eval.h"
+#include "analysis/eval.h"
 #include "sql/parser.h"
 
 namespace datalawyer {

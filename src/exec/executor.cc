@@ -1,782 +1,27 @@
 #include "exec/executor.h"
 
-#include <algorithm>
-#include <unordered_map>
+#include <memory>
 
 #include "analysis/binder.h"
-#include "exec/aggregates.h"
-#include "common/strings.h"
-#include "common/trace.h"
-#include "exec/eval.h"
 
 namespace datalawyer {
 
-namespace {
-
-/// Bitmask of FROM items referenced by `expr` (via its slot bindings).
-uint64_t RelationMask(const Expr& expr, const BoundQuery& bq) {
-  uint64_t mask = 0;
-  expr.Visit([&](const Expr& e) {
-    if (e.kind() != ExprKind::kColumnRef) return;
-    auto it = bq.column_slots.find(&e);
-    if (it == bq.column_slots.end()) return;
-    size_t slot = it->second;
-    for (size_t i = 0; i < bq.relations.size(); ++i) {
-      size_t lo = bq.slot_offsets[i];
-      size_t hi = lo + bq.relations[i].schema.NumColumns();
-      if (slot >= lo && slot < hi) {
-        mask |= uint64_t(1) << i;
-        break;
-      }
-    }
-  });
-  return mask;
-}
-
-/// If `conjunct` is `lhs = rhs` with one side over relations in `left_mask`
-/// only and the other over `right_mask` only, returns the (left, right)
-/// expression pair; otherwise nullopt-like false.
-bool AsEquiJoin(const Expr& conjunct, const BoundQuery& bq, uint64_t left_mask,
-                uint64_t right_mask, const Expr** left_side,
-                const Expr** right_side) {
-  if (conjunct.kind() != ExprKind::kBinary) return false;
-  const auto& b = static_cast<const BinaryExpr&>(conjunct);
-  if (b.op != "=") return false;
-  uint64_t lm = RelationMask(*b.lhs, bq);
-  uint64_t rm = RelationMask(*b.rhs, bq);
-  if (lm != 0 && rm != 0 && (lm & ~left_mask) == 0 && (rm & ~right_mask) == 0) {
-    *left_side = b.lhs.get();
-    *right_side = b.rhs.get();
-    return true;
-  }
-  if (lm != 0 && rm != 0 && (rm & ~left_mask) == 0 && (lm & ~right_mask) == 0) {
-    *left_side = b.rhs.get();
-    *right_side = b.lhs.get();
-    return true;
-  }
-  return false;
-}
-
-void MergeLineage(LineageSet* dst, const LineageSet& src) {
-  dst->insert(dst->end(), src.begin(), src.end());
-}
-
-/// A `column = literal` equality over the scanned relation — the unit an
-/// index probe answers. Conjunctions of several equalities yield several
-/// candidates; the executor probes each and keeps the most selective.
-struct ProbeCandidate {
-  size_t col = 0;               ///< column within the relation
-  const Value* value = nullptr; ///< literal to probe with
-  const Expr* conjunct = nullptr;
-};
-
-/// Extracts the probe candidates from single-relation pushdown conjuncts
-/// (either orientation of `col = literal`).
-std::vector<ProbeCandidate> ProbeCandidates(
-    const std::vector<const Expr*>& pushdown, const BoundQuery& bq,
-    size_t offset, size_t width) {
-  std::vector<ProbeCandidate> out;
-  for (const Expr* p : pushdown) {
-    if (p->kind() != ExprKind::kBinary) continue;
-    const auto& b = static_cast<const BinaryExpr&>(*p);
-    if (b.op != "=") continue;
-    const Expr* col_side = nullptr;
-    const Expr* lit_side = nullptr;
-    if (b.lhs->kind() == ExprKind::kColumnRef &&
-        b.rhs->kind() == ExprKind::kLiteral) {
-      col_side = b.lhs.get();
-      lit_side = b.rhs.get();
-    } else if (b.rhs->kind() == ExprKind::kColumnRef &&
-               b.lhs->kind() == ExprKind::kLiteral) {
-      col_side = b.rhs.get();
-      lit_side = b.lhs.get();
-    } else {
-      continue;
-    }
-    auto it = bq.column_slots.find(col_side);
-    if (it == bq.column_slots.end()) continue;
-    if (it->second < offset || it->second >= offset + width) continue;
-    out.push_back(ProbeCandidate{
-        it->second - offset, &static_cast<const LiteralExpr&>(*lit_side).value,
-        p});
-  }
-  return out;
-}
-
-}  // namespace
-
-void NormalizeLineage(LineageSet* lineage) {
-  std::sort(lineage->begin(), lineage->end());
-  lineage->erase(std::unique(lineage->begin(), lineage->end()),
-                 lineage->end());
-}
-
-uint32_t Executor::InternRelation(const std::string& name) {
-  for (size_t i = 0; i < base_relations_.size(); ++i) {
-    if (base_relations_[i] == name) return uint32_t(i);
-  }
-  base_relations_.push_back(name);
-  return uint32_t(base_relations_.size() - 1);
-}
-
 Result<QueryResult> Executor::Execute(const SelectStmt& stmt) {
-  DL_TRACE_SPAN("exec.query", "exec");
   Binder binder(catalog_);
   DL_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.Bind(stmt));
   return ExecuteBound(*bq);
 }
 
+Result<QueryResult> Executor::ExecuteBound(const BoundQuery& bq) {
+  DL_ASSIGN_OR_RETURN(PhysicalPlan plan, planner_.Plan(bq));
+  return exec_.Run(plan);
+}
+
 Result<std::string> Executor::Explain(const SelectStmt& stmt) const {
   Binder binder(catalog_);
   DL_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(stmt));
-  std::string out;
-  int member_index = 0;
-  for (const BoundQuery* bq = bound.get(); bq != nullptr;
-       bq = bq->union_next.get(), ++member_index) {
-    if (member_index > 0) {
-      out += bq->stmt == nullptr || !bound->stmt->union_all ? "UNION\n"
-                                                            : "UNION ALL\n";
-    }
-
-    std::vector<const Expr*> conjuncts;
-    if (bq->stmt->where != nullptr) {
-      conjuncts = ConjunctPtrs(*bq->stmt->where);
-    }
-    std::vector<bool> applied(conjuncts.size(), false);
-    for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-      if (RelationMask(*conjuncts[ci], *bq) == 0) applied[ci] = true;
-    }
-
-    uint64_t left_mask = 0;
-    for (size_t rel_idx = 0; rel_idx < bq->relations.size(); ++rel_idx) {
-      const BoundRelation& rel = bq->relations[rel_idx];
-      uint64_t rel_bit = uint64_t(1) << rel_idx;
-
-      // Mirror ScanRelation's pushdown + index decision: probe every
-      // indexed equality conjunct and report the most selective one.
-      std::vector<std::string> pushdown;
-      std::vector<const Expr*> pushdown_exprs;
-      for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-        if (applied[ci] || RelationMask(*conjuncts[ci], *bq) != rel_bit) {
-          continue;
-        }
-        pushdown.push_back(conjuncts[ci]->ToString());
-        pushdown_exprs.push_back(conjuncts[ci]);
-        applied[ci] = true;
-      }
-      bool index_probe = false;
-      std::string index_detail;
-      if (rel.relation != nullptr) {
-        size_t offset = bq->slot_offsets[rel_idx];
-        size_t best_hits = 0;
-        for (const ProbeCandidate& c : ProbeCandidates(
-                 pushdown_exprs, *bq, offset, rel.schema.NumColumns())) {
-          std::vector<size_t> hits;
-          if (!rel.relation->IndexLookup(c.col, *c.value, &hits)) continue;
-          if (!index_probe || hits.size() < best_hits) {
-            best_hits = hits.size();
-            index_detail = c.conjunct->ToString();
-          }
-          index_probe = true;
-        }
-      }
-
-      std::string source =
-          rel.relation != nullptr
-              ? rel.table_name + " (" + std::to_string(rel.relation->NumRows()) +
-                    " rows)"
-              : "subquery " + rel.binding_name;
-      if (rel_idx == 0) {
-        out += "  scan " + source + " as " + rel.binding_name;
-        out += index_probe ? " [index probe " + index_detail + "]"
-                           : " [full scan]";
-      } else {
-        // Mirror JoinStep's equi-join classification.
-        std::vector<std::string> keys;
-        std::vector<std::string> residual;
-        for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-          if (applied[ci]) continue;
-          uint64_t mask = RelationMask(*conjuncts[ci], *bq);
-          if ((mask & ~(left_mask | rel_bit)) != 0) continue;
-          const Expr* ls = nullptr;
-          const Expr* rs = nullptr;
-          if ((mask & rel_bit) != 0 &&
-              AsEquiJoin(*conjuncts[ci], *bq, left_mask, rel_bit, &ls, &rs)) {
-            keys.push_back(conjuncts[ci]->ToString());
-          } else {
-            residual.push_back(conjuncts[ci]->ToString());
-          }
-          applied[ci] = true;
-        }
-        if (!keys.empty()) {
-          out += "  hash join " + source + " as " + rel.binding_name +
-                 " on " + Join(keys, " AND ");
-        } else {
-          out += "  nested loop join " + source + " as " + rel.binding_name;
-        }
-        if (index_probe) out += " [index probe " + index_detail + "]";
-        if (!residual.empty()) {
-          out += " residual: " + Join(residual, " AND ");
-        }
-      }
-      if (!pushdown.empty()) out += " pushdown: " + Join(pushdown, " AND ");
-      out += "\n";
-      left_mask |= rel_bit;
-    }
-    if (bq->relations.empty()) out += "  constant row\n";
-
-    if (!bq->stmt->distinct_on.empty()) {
-      out += "  distinct on (" + std::to_string(bq->stmt->distinct_on.size()) +
-             " keys)\n";
-    }
-    if (bq->is_grouped) {
-      out += "  aggregate [" + std::to_string(bq->stmt->group_by.size()) +
-             " group keys, " + std::to_string(bq->aggregates.size()) +
-             " aggregates]";
-      if (bq->stmt->having != nullptr) {
-        out += " having " + bq->stmt->having->ToString();
-      }
-      out += "\n";
-    }
-    out += "  project " + std::to_string(bq->output_columns.size()) +
-           " columns";
-    if (bq->stmt->distinct) out += " distinct";
-    out += "\n";
-  }
-  const SelectStmt* top = bound->stmt;
-  if (!top->order_by.empty()) {
-    out += "  sort " + std::to_string(top->order_by.size()) + " keys\n";
-  }
-  if (top->limit.has_value()) {
-    out += "  limit " + std::to_string(*top->limit) + "\n";
-  }
-  return out;
-}
-
-Result<QueryResult> Executor::ExecuteBound(const BoundQuery& bq) {
-  DL_ASSIGN_OR_RETURN(QueryResult result, ExecuteMember(bq));
-
-  // UNION chain, left-associative: a plain UNION link deduplicates the
-  // accumulated result, UNION ALL concatenates.
-  const BoundQuery* prev = &bq;
-  const BoundQuery* member = bq.union_next.get();
-  while (member != nullptr) {
-    DL_ASSIGN_OR_RETURN(QueryResult next, ExecuteMember(*member));
-    for (size_t i = 0; i < next.rows.size(); ++i) {
-      result.rows.push_back(std::move(next.rows[i]));
-      if (options_.capture_lineage) {
-        result.lineage.push_back(std::move(next.lineage[i]));
-      }
-    }
-    if (!prev->stmt->union_all) {
-      DL_RETURN_NOT_OK(ApplyDistinct(&result));
-    }
-    prev = member;
-    member = member->union_next.get();
-  }
-
-  result.has_lineage = options_.capture_lineage;
-  result.base_relations = base_relations_;
-  DL_RETURN_NOT_OK(ApplyOrderAndLimit(bq, &result));
-  return result;
-}
-
-Result<QueryResult> Executor::ExecuteMember(const BoundQuery& bq) {
-  DL_ASSIGN_OR_RETURN(Intermediate joined, BuildJoin(bq));
-
-  // DISTINCT ON: keep the first row per key, pre-projection (§4.1.2 uses
-  // this to pick one witness per group, Lemma 4.2).
-  const SelectStmt& stmt = *bq.stmt;
-  if (!stmt.distinct_on.empty()) {
-    Intermediate filtered;
-    std::unordered_map<Row, size_t, RowHash> seen;
-    for (size_t i = 0; i < joined.rows.size(); ++i) {
-      Row key;
-      key.reserve(stmt.distinct_on.size());
-      EvalContext ctx{&bq, &joined.rows[i], nullptr};
-      for (const ExprPtr& e : stmt.distinct_on) {
-        DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
-        key.push_back(std::move(v));
-      }
-      if (seen.emplace(std::move(key), i).second) {
-        filtered.rows.push_back(std::move(joined.rows[i]));
-        if (options_.capture_lineage) {
-          filtered.lineage.push_back(std::move(joined.lineage[i]));
-        }
-      }
-    }
-    joined = std::move(filtered);
-  }
-
-  QueryResult result;
-  if (bq.is_grouped) {
-    DL_ASSIGN_OR_RETURN(result, ProjectGrouped(bq, std::move(joined)));
-  } else {
-    DL_ASSIGN_OR_RETURN(result, ProjectUngrouped(bq, std::move(joined)));
-  }
-
-  if (stmt.distinct) {
-    DL_RETURN_NOT_OK(ApplyDistinct(&result));
-  }
-  return result;
-}
-
-Result<Executor::Intermediate> Executor::BuildJoin(const BoundQuery& bq) {
-  std::vector<const Expr*> conjuncts;
-  if (bq.stmt->where != nullptr) conjuncts = ConjunctPtrs(*bq.stmt->where);
-
-  // Constant conjuncts (no column refs): evaluate once.
-  for (const Expr* c : conjuncts) {
-    if (RelationMask(*c, bq) == 0) {
-      EvalContext ctx{&bq, nullptr, nullptr};
-      Row empty_row(bq.total_slots, Value::Null());
-      ctx.row = &empty_row;
-      DL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*c, ctx));
-      if (!keep) return Intermediate{};  // provably empty
-    }
-  }
-
-  if (bq.relations.empty()) {
-    // SELECT without FROM: one empty-width row.
-    Intermediate out;
-    out.rows.push_back(Row(bq.total_slots, Value::Null()));
-    if (options_.capture_lineage) out.lineage.emplace_back();
-    return out;
-  }
-
-  std::vector<bool> applied(conjuncts.size(), false);
-  for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-    if (RelationMask(*conjuncts[ci], bq) == 0) applied[ci] = true;
-  }
-
-  Intermediate current;
-  uint64_t left_mask = 0;
-  for (size_t rel_idx = 0; rel_idx < bq.relations.size(); ++rel_idx) {
-    uint64_t rel_bit = uint64_t(1) << rel_idx;
-
-    // Single-relation predicates push down to the scan.
-    std::vector<const Expr*> pushdown;
-    for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-      if (!applied[ci] && RelationMask(*conjuncts[ci], bq) == rel_bit) {
-        pushdown.push_back(conjuncts[ci]);
-        applied[ci] = true;
-      }
-    }
-    DL_ASSIGN_OR_RETURN(Intermediate scanned,
-                        ScanRelation(bq, rel_idx, pushdown));
-
-    if (rel_idx == 0) {
-      current = std::move(scanned);
-      left_mask = rel_bit;
-      continue;
-    }
-
-    // Classify the remaining conjuncts that become evaluable now.
-    std::vector<const Expr*> equi;
-    std::vector<const Expr*> residual;
-    for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-      if (applied[ci]) continue;
-      uint64_t mask = RelationMask(*conjuncts[ci], bq);
-      if ((mask & ~(left_mask | rel_bit)) != 0) continue;  // not yet
-      const Expr* ls = nullptr;
-      const Expr* rs = nullptr;
-      if ((mask & rel_bit) != 0 &&
-          AsEquiJoin(*conjuncts[ci], bq, left_mask, rel_bit, &ls, &rs)) {
-        equi.push_back(conjuncts[ci]);
-      } else {
-        residual.push_back(conjuncts[ci]);
-      }
-      applied[ci] = true;
-    }
-
-    DL_ASSIGN_OR_RETURN(
-        current, JoinStep(bq, std::move(current), rel_idx, std::move(scanned),
-                          equi, residual));
-    left_mask |= rel_bit;
-  }
-  return current;
-}
-
-Result<Executor::Intermediate> Executor::ScanRelation(
-    const BoundQuery& bq, size_t rel_idx,
-    const std::vector<const Expr*>& pushdown) {
-  const BoundRelation& rel = bq.relations[rel_idx];
-  size_t offset = bq.slot_offsets[rel_idx];
-  size_t width = rel.schema.NumColumns();
-  Intermediate out;
-
-  auto emit = [&](Row&& full_row, LineageSet&& lineage) -> Status {
-    EvalContext ctx{&bq, &full_row, nullptr};
-    for (const Expr* p : pushdown) {
-      DL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*p, ctx));
-      if (!keep) return Status::OK();
-    }
-    out.rows.push_back(std::move(full_row));
-    if (options_.capture_lineage) out.lineage.push_back(std::move(lineage));
-    return Status::OK();
-  };
-
-  if (rel.relation != nullptr) {
-    uint32_t rel_id =
-        options_.capture_lineage ? InternRelation(rel.table_name) : 0;
-
-    // Equality pushdown through hash indexes: every conjunct `a.col =
-    // literal` (either orientation) with a valid index is probed, and the
-    // most selective probe narrows the scan. All pushdown predicates are
-    // still re-applied per emitted row, so probing only changes the access
-    // path, never the result.
-    bool have_probe = false;
-    std::vector<size_t> positions;
-    for (const ProbeCandidate& c : ProbeCandidates(pushdown, bq, offset,
-                                                   width)) {
-      std::vector<size_t> hits;
-      if (!rel.relation->IndexLookup(c.col, *c.value, &hits)) continue;
-      ++scan_stats_.index_probes;
-      if (!have_probe || hits.size() < positions.size()) {
-        positions = std::move(hits);
-      }
-      have_probe = true;
-    }
-    if (have_probe) ++scan_stats_.index_hits;
-
-    auto emit_position = [&](size_t i) -> Status {
-      Row full_row(bq.total_slots, Value::Null());
-      const Row& src = rel.relation->RowAt(i);
-      for (size_t c = 0; c < width; ++c) full_row[offset + c] = src[c];
-      LineageSet lineage;
-      if (options_.capture_lineage) {
-        lineage.push_back(LineageEntry{rel_id, rel.relation->RowIdAt(i)});
-      }
-      return emit(std::move(full_row), std::move(lineage));
-    };
-
-    if (have_probe) {
-      for (size_t i : positions) {
-        DL_RETURN_NOT_OK(emit_position(i));
-      }
-    } else {
-      size_t n = rel.relation->NumRows();
-      for (size_t i = 0; i < n; ++i) {
-        DL_RETURN_NOT_OK(emit_position(i));
-      }
-    }
-    return out;
-  }
-
-  // Subquery FROM item.
-  DL_ASSIGN_OR_RETURN(QueryResult sub, ExecuteBound(*rel.subquery));
-  for (size_t i = 0; i < sub.rows.size(); ++i) {
-    Row full_row(bq.total_slots, Value::Null());
-    for (size_t c = 0; c < width && c < sub.rows[i].size(); ++c) {
-      full_row[offset + c] = std::move(sub.rows[i][c]);
-    }
-    LineageSet lineage;
-    if (options_.capture_lineage) lineage = std::move(sub.lineage[i]);
-    DL_RETURN_NOT_OK(emit(std::move(full_row), std::move(lineage)));
-  }
-  return out;
-}
-
-Result<Executor::Intermediate> Executor::JoinStep(
-    const BoundQuery& bq, Intermediate left, size_t rel_idx,
-    Intermediate right, const std::vector<const Expr*>& equi,
-    const std::vector<const Expr*>& residual) {
-  size_t offset = bq.slot_offsets[rel_idx];
-  size_t width = bq.relations[rel_idx].schema.NumColumns();
-  Intermediate out;
-
-  auto combine = [&](size_t li, size_t ri) {
-    Row row = left.rows[li];
-    for (size_t c = 0; c < width; ++c) {
-      row[offset + c] = right.rows[ri][offset + c];
-    }
-    return row;
-  };
-
-  auto emit = [&](size_t li, size_t ri) -> Status {
-    Row row = combine(li, ri);
-    EvalContext ctx{&bq, &row, nullptr};
-    for (const Expr* p : residual) {
-      DL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*p, ctx));
-      if (!keep) return Status::OK();
-    }
-    out.rows.push_back(std::move(row));
-    if (options_.capture_lineage) {
-      LineageSet lineage = left.lineage[li];
-      MergeLineage(&lineage, right.lineage[ri]);
-      out.lineage.push_back(std::move(lineage));
-    }
-    return Status::OK();
-  };
-
-  if (!equi.empty()) {
-    // Hash join: build on the incoming relation, probe with the left side.
-    std::vector<const Expr*> left_keys, right_keys;
-    uint64_t left_mask = 0;
-    for (size_t i = 0; i < rel_idx; ++i) left_mask |= uint64_t(1) << i;
-    uint64_t rel_bit = uint64_t(1) << rel_idx;
-    for (const Expr* e : equi) {
-      const Expr* ls = nullptr;
-      const Expr* rs = nullptr;
-      if (!AsEquiJoin(*e, bq, left_mask, rel_bit, &ls, &rs)) {
-        return Status::Internal("equi-join classification changed");
-      }
-      left_keys.push_back(ls);
-      right_keys.push_back(rs);
-    }
-
-    std::unordered_map<Row, std::vector<size_t>, RowHash> build;
-    build.reserve(right.rows.size());
-    for (size_t ri = 0; ri < right.rows.size(); ++ri) {
-      EvalContext ctx{&bq, &right.rows[ri], nullptr};
-      Row key;
-      key.reserve(right_keys.size());
-      bool null_key = false;
-      for (const Expr* e : right_keys) {
-        DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
-        if (v.is_null()) {
-          null_key = true;
-          break;
-        }
-        key.push_back(std::move(v));
-      }
-      if (null_key) continue;  // SQL: NULL keys never join
-      build[std::move(key)].push_back(ri);
-    }
-    for (size_t li = 0; li < left.rows.size(); ++li) {
-      EvalContext ctx{&bq, &left.rows[li], nullptr};
-      Row key;
-      key.reserve(left_keys.size());
-      bool null_key = false;
-      for (const Expr* e : left_keys) {
-        DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
-        if (v.is_null()) {
-          null_key = true;
-          break;
-        }
-        key.push_back(std::move(v));
-      }
-      if (null_key) continue;
-      auto it = build.find(key);
-      if (it == build.end()) continue;
-      for (size_t ri : it->second) {
-        DL_RETURN_NOT_OK(emit(li, ri));
-      }
-    }
-    return out;
-  }
-
-  // Nested loop (cross product with residual filters).
-  for (size_t li = 0; li < left.rows.size(); ++li) {
-    for (size_t ri = 0; ri < right.rows.size(); ++ri) {
-      DL_RETURN_NOT_OK(emit(li, ri));
-    }
-  }
-  return out;
-}
-
-Result<QueryResult> Executor::ProjectUngrouped(const BoundQuery& bq,
-                                               Intermediate input) {
-  QueryResult result;
-  result.schema = bq.output_schema;
-  result.rows.reserve(input.rows.size());
-  for (size_t i = 0; i < input.rows.size(); ++i) {
-    EvalContext ctx{&bq, &input.rows[i], nullptr};
-    Row out;
-    out.reserve(bq.output_columns.size());
-    for (const OutputColumn& col : bq.output_columns) {
-      if (col.expr != nullptr) {
-        DL_ASSIGN_OR_RETURN(Value v, Eval(*col.expr, ctx));
-        out.push_back(std::move(v));
-      } else {
-        out.push_back(input.rows[i][col.slot]);
-      }
-    }
-    result.rows.push_back(std::move(out));
-    if (options_.capture_lineage) {
-      NormalizeLineage(&input.lineage[i]);
-      result.lineage.push_back(std::move(input.lineage[i]));
-    }
-  }
-  return result;
-}
-
-Result<QueryResult> Executor::ProjectGrouped(const BoundQuery& bq,
-                                             Intermediate input) {
-  const SelectStmt& stmt = *bq.stmt;
-
-  struct GroupState {
-    Row representative;
-    std::vector<AggregateAccumulator> accumulators;
-    LineageSet lineage;
-  };
-
-  std::unordered_map<Row, GroupState, RowHash> groups;
-  std::vector<const Row*> group_order;  // deterministic output order
-
-  auto new_group_state = [&](const Row& representative) {
-    GroupState state;
-    state.representative = representative;
-    state.accumulators.reserve(bq.aggregates.size());
-    for (const FuncCallExpr* agg : bq.aggregates) {
-      state.accumulators.emplace_back(agg);
-    }
-    return state;
-  };
-
-  for (size_t i = 0; i < input.rows.size(); ++i) {
-    EvalContext ctx{&bq, &input.rows[i], nullptr};
-    Row key;
-    key.reserve(stmt.group_by.size());
-    for (const ExprPtr& e : stmt.group_by) {
-      DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
-      key.push_back(std::move(v));
-    }
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    if (inserted) {
-      it->second = new_group_state(input.rows[i]);
-      group_order.push_back(&it->first);
-    }
-    GroupState& state = it->second;
-    for (size_t a = 0; a < bq.aggregates.size(); ++a) {
-      const FuncCallExpr* spec = bq.aggregates[a];
-      if (spec->star) {
-        state.accumulators[a].AddStarRow();
-      } else {
-        DL_ASSIGN_OR_RETURN(Value v, Eval(*spec->args[0], ctx));
-        DL_RETURN_NOT_OK(state.accumulators[a].Add(v));
-      }
-    }
-    if (options_.capture_lineage) {
-      MergeLineage(&state.lineage, input.lineage[i]);
-    }
-  }
-
-  // A global aggregate (no GROUP BY) over empty input still forms one group.
-  if (groups.empty() && stmt.group_by.empty()) {
-    Row key;
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    it->second = new_group_state(Row(bq.total_slots, Value::Null()));
-    group_order.push_back(&it->first);
-  }
-
-  QueryResult result;
-  result.schema = bq.output_schema;
-  for (const Row* key : group_order) {
-    GroupState& state = groups.find(*key)->second;
-    std::unordered_map<const Expr*, Value> agg_values;
-    for (size_t a = 0; a < bq.aggregates.size(); ++a) {
-      DL_ASSIGN_OR_RETURN(Value v, state.accumulators[a].Finish());
-      agg_values[bq.aggregates[a]] = std::move(v);
-    }
-    EvalContext ctx{&bq, &state.representative, &agg_values};
-    if (stmt.having != nullptr) {
-      DL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*stmt.having, ctx));
-      if (!keep) continue;
-    }
-    Row out;
-    out.reserve(bq.output_columns.size());
-    for (const OutputColumn& col : bq.output_columns) {
-      if (col.expr != nullptr) {
-        DL_ASSIGN_OR_RETURN(Value v, Eval(*col.expr, ctx));
-        out.push_back(std::move(v));
-      } else {
-        out.push_back(state.representative[col.slot]);
-      }
-    }
-    result.rows.push_back(std::move(out));
-    if (options_.capture_lineage) {
-      NormalizeLineage(&state.lineage);
-      result.lineage.push_back(std::move(state.lineage));
-    }
-  }
-  return result;
-}
-
-Status Executor::ApplyDistinct(QueryResult* result) {
-  std::unordered_map<Row, size_t, RowHash> seen;
-  std::vector<Row> rows;
-  std::vector<LineageSet> lineage;
-  for (size_t i = 0; i < result->rows.size(); ++i) {
-    auto it = seen.find(result->rows[i]);
-    if (it == seen.end()) {
-      seen.emplace(result->rows[i], rows.size());
-      rows.push_back(std::move(result->rows[i]));
-      if (options_.capture_lineage) {
-        lineage.push_back(std::move(result->lineage[i]));
-      }
-    } else if (options_.capture_lineage) {
-      // Lineage of a deduplicated row is the union over its duplicates.
-      MergeLineage(&lineage[it->second], result->lineage[i]);
-    }
-  }
-  if (options_.capture_lineage) {
-    for (LineageSet& l : lineage) NormalizeLineage(&l);
-  }
-  result->rows = std::move(rows);
-  result->lineage = std::move(lineage);
-  return Status::OK();
-}
-
-Status Executor::ApplyOrderAndLimit(const BoundQuery& bq,
-                                    QueryResult* result) {
-  const SelectStmt& stmt = *bq.stmt;
-  if (!stmt.order_by.empty()) {
-    // Resolve each ORDER BY item to an output column: by name, or by
-    // 1-based position for integer literals.
-    std::vector<std::pair<size_t, bool>> keys;  // (column, ascending)
-    for (const OrderByItem& item : stmt.order_by) {
-      if (item.expr->kind() == ExprKind::kColumnRef) {
-        const auto& ref = static_cast<const ColumnRefExpr&>(*item.expr);
-        auto col = result->schema.FindColumn(ref.column);
-        if (!col.has_value()) {
-          return Status::Unsupported(
-              "ORDER BY must name an output column, got " + ref.ToString());
-        }
-        keys.emplace_back(*col, item.ascending);
-      } else if (item.expr->kind() == ExprKind::kLiteral) {
-        const auto& lit = static_cast<const LiteralExpr&>(*item.expr);
-        if (!lit.value.is_int64() || lit.value.AsInt64() < 1 ||
-            size_t(lit.value.AsInt64()) > result->schema.NumColumns()) {
-          return Status::InvalidArgument("ORDER BY position out of range");
-        }
-        keys.emplace_back(size_t(lit.value.AsInt64()) - 1, item.ascending);
-      } else {
-        return Status::Unsupported(
-            "ORDER BY supports output columns and positions only");
-      }
-    }
-    std::vector<size_t> perm(result->rows.size());
-    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
-    std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
-      for (const auto& [col, asc] : keys) {
-        const Value& va = result->rows[a][col];
-        const Value& vb = result->rows[b][col];
-        if (va == vb) continue;
-        bool less = va < vb;
-        return asc ? less : !less;
-      }
-      return false;
-    });
-    std::vector<Row> rows(result->rows.size());
-    for (size_t i = 0; i < perm.size(); ++i) {
-      rows[i] = std::move(result->rows[perm[i]]);
-    }
-    result->rows = std::move(rows);
-    if (result->has_lineage || !result->lineage.empty()) {
-      std::vector<LineageSet> lineage(result->lineage.size());
-      for (size_t i = 0; i < perm.size(); ++i) {
-        lineage[i] = std::move(result->lineage[perm[i]]);
-      }
-      result->lineage = std::move(lineage);
-    }
-  }
-
-  if (stmt.limit.has_value() && result->rows.size() > size_t(*stmt.limit)) {
-    result->rows.resize(size_t(*stmt.limit));
-    if (!result->lineage.empty()) result->lineage.resize(size_t(*stmt.limit));
-  }
-  return Status::OK();
+  DL_ASSIGN_OR_RETURN(PhysicalPlan plan, planner_.Plan(*bound));
+  return RenderPhysicalPlan(plan, catalog_);
 }
 
 }  // namespace datalawyer

@@ -2,91 +2,48 @@
 #define DATALAWYER_EXEC_EXECUTOR_H_
 
 #include <string>
-#include <vector>
 
 #include "analysis/bound_query.h"
 #include "common/result.h"
+#include "exec/plan_executor.h"
 #include "exec/query_result.h"
+#include "plan/optimizer.h"
 #include "storage/catalog_view.h"
 
 namespace datalawyer {
 
-/// Execution knobs.
-struct ExecOptions {
-  /// Track, for every output row, the set of contributing base-table tuples
-  /// (the paper's lineage provenance). Costs roughly another pass over the
-  /// data — deliberately mirroring the cost of provenance generation in the
-  /// paper's fProvenance.
-  bool capture_lineage = false;
-};
-
-/// Access-path counters of one Execute call (aggregated per query into
-/// ExecutionStats.index_probes / index_hits).
-struct ScanStats {
-  size_t index_probes = 0;  ///< equality conjuncts probed against an index
-  size_t index_hits = 0;    ///< scans answered by an index instead of a walk
-};
-
-/// Materialized (operator-at-a-time) executor for bound SELECT statements.
-///
-/// Join processing follows FROM order: relations are folded left-to-right,
-/// using a hash equi-join whenever a WHERE conjunct equates an
-/// already-joined expression with one over the incoming relation, and a
-/// filtered nested-loop otherwise. Single-relation conjuncts are pushed
-/// down to the scans.
+/// Facade over the three-stage pipeline: bind → plan (src/plan) → interpret
+/// (PlanExecutor). Keeps the historical one-call API for callers that do not
+/// need to hold on to plans; the policy engine plans once per registered
+/// policy and drives PlanExecutor directly through its plan cache.
 class Executor {
  public:
   /// `catalog` must outlive the executor.
   explicit Executor(const CatalogView* catalog, ExecOptions options = {})
-      : catalog_(catalog), options_(options) {}
+      : catalog_(catalog),
+        planner_(PlannerOptions{options.enable_optimizer}),
+        exec_(catalog, options) {}
 
-  /// Binds and executes (including any UNION chain).
+  /// Binds, plans, and executes (including any UNION chain).
   Result<QueryResult> Execute(const SelectStmt& stmt);
 
-  /// Renders the execution decisions for `stmt` without running it: per
+  /// Renders the optimized physical plan for `stmt` without running it: per
   /// relation the scan mode (index probe vs. full scan) and pushed-down
   /// predicates, per join the algorithm (hash vs. nested loop) with its
   /// keys, then the grouping / distinct / order stages.
   Result<std::string> Explain(const SelectStmt& stmt) const;
 
-  /// Executes an already-bound query.
+  /// Plans and executes an already-bound query.
   Result<QueryResult> ExecuteBound(const BoundQuery& bq);
 
   /// Access-path counters accumulated across this executor's Execute calls.
-  const ScanStats& scan_stats() const { return scan_stats_; }
+  const ScanStats& scan_stats() const { return exec_.scan_stats(); }
 
  private:
-  /// Joined-but-not-yet-projected rows, laid out by the binder's slots.
-  struct Intermediate {
-    std::vector<Row> rows;
-    std::vector<LineageSet> lineage;  ///< parallel to rows when capturing
-  };
-
-  Result<QueryResult> ExecuteMember(const BoundQuery& bq);
-  Result<Intermediate> BuildJoin(const BoundQuery& bq);
-  Result<Intermediate> ScanRelation(const BoundQuery& bq, size_t rel_idx,
-                                    const std::vector<const Expr*>& pushdown);
-  Result<Intermediate> JoinStep(const BoundQuery& bq, Intermediate left,
-                                size_t rel_idx, Intermediate right,
-                                const std::vector<const Expr*>& equi,
-                                const std::vector<const Expr*>& residual);
-  Result<QueryResult> ProjectUngrouped(const BoundQuery& bq,
-                                       Intermediate input);
-  Result<QueryResult> ProjectGrouped(const BoundQuery& bq, Intermediate input);
-  Status ApplyDistinct(QueryResult* result);
-  Status ApplyOrderAndLimit(const BoundQuery& bq, QueryResult* result);
-
-  /// Index into base_relations_ for `name`, interning it if new.
-  uint32_t InternRelation(const std::string& name);
-
   const CatalogView* catalog_;
-  ExecOptions options_;
-  std::vector<std::string> base_relations_;
-  ScanStats scan_stats_;
+  Planner planner_;
+  PlanExecutor exec_;
 };
-
-/// Sorts and deduplicates a lineage set in place.
-void NormalizeLineage(LineageSet* lineage);
 
 }  // namespace datalawyer
 

@@ -1,0 +1,566 @@
+#include "exec/plan_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/eval.h"
+#include "common/trace.h"
+#include "common/value_hash.h"
+#include "exec/aggregates.h"
+
+namespace datalawyer {
+
+namespace {
+
+void MergeLineage(LineageSet* dst, const LineageSet& src) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+}  // namespace
+
+void NormalizeLineage(LineageSet* lineage) {
+  std::sort(lineage->begin(), lineage->end());
+  lineage->erase(std::unique(lineage->begin(), lineage->end()),
+                 lineage->end());
+}
+
+uint32_t PlanExecutor::InternRelation(const std::string& name) {
+  for (size_t i = 0; i < base_relations_.size(); ++i) {
+    if (base_relations_[i] == name) return uint32_t(i);
+  }
+  base_relations_.push_back(name);
+  return uint32_t(base_relations_.size() - 1);
+}
+
+Result<QueryResult> PlanExecutor::Run(const PhysicalPlan& plan) {
+  DL_TRACE_SPAN("exec.query", "exec");
+  if (plan.members.empty()) return Status::Internal("empty physical plan");
+  DL_ASSIGN_OR_RETURN(QueryResult result, RunMember(plan.members[0]));
+
+  // UNION chain, left-associative: a plain UNION link deduplicates the
+  // accumulated result, UNION ALL concatenates.
+  const BoundQuery* prev = plan.members[0].bq;
+  for (size_t m = 1; m < plan.members.size(); ++m) {
+    DL_ASSIGN_OR_RETURN(QueryResult next, RunMember(plan.members[m]));
+    for (size_t i = 0; i < next.rows.size(); ++i) {
+      result.rows.push_back(std::move(next.rows[i]));
+      if (options_.capture_lineage) {
+        result.lineage.push_back(std::move(next.lineage[i]));
+      }
+    }
+    if (!prev->stmt->union_all) {
+      DL_RETURN_NOT_OK(ApplyDistinct(&result));
+    }
+    prev = plan.members[m].bq;
+  }
+
+  result.has_lineage = options_.capture_lineage;
+  result.base_relations = base_relations_;
+  DL_RETURN_NOT_OK(ApplyOrderAndLimit(*plan.bound, &result));
+  return result;
+}
+
+Result<QueryResult> PlanExecutor::RunMember(const PhysicalMember& pm) {
+  DL_ASSIGN_OR_RETURN(Intermediate joined, BuildJoin(pm));
+  if (pm.restore_input_order) RestoreInputOrder(pm, &joined);
+
+  const BoundQuery& bq = *pm.bq;
+  const SelectStmt& stmt = *bq.stmt;
+
+  // DISTINCT ON: keep the first row per key, pre-projection (§4.1.2 uses
+  // this to pick one witness per group, Lemma 4.2).
+  if (!stmt.distinct_on.empty()) {
+    Intermediate filtered;
+    std::unordered_map<Row, size_t, RowHash> seen;
+    for (size_t i = 0; i < joined.rows.size(); ++i) {
+      Row key;
+      key.reserve(stmt.distinct_on.size());
+      EvalContext ctx{&bq, &joined.rows[i], nullptr};
+      for (const ExprPtr& e : stmt.distinct_on) {
+        DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
+        key.push_back(std::move(v));
+      }
+      if (seen.emplace(std::move(key), i).second) {
+        filtered.rows.push_back(std::move(joined.rows[i]));
+        if (options_.capture_lineage) {
+          filtered.lineage.push_back(std::move(joined.lineage[i]));
+        }
+      }
+    }
+    joined = std::move(filtered);
+  }
+
+  QueryResult result;
+  if (bq.is_grouped) {
+    DL_ASSIGN_OR_RETURN(result, ProjectGrouped(bq, std::move(joined)));
+  } else {
+    DL_ASSIGN_OR_RETURN(result, ProjectUngrouped(bq, std::move(joined)));
+  }
+
+  if (stmt.distinct) {
+    DL_RETURN_NOT_OK(ApplyDistinct(&result));
+  }
+  return result;
+}
+
+Result<PlanExecutor::Intermediate> PlanExecutor::BuildJoin(
+    const PhysicalMember& pm) {
+  const BoundQuery& bq = *pm.bq;
+
+  // Constant conjuncts the planner could not fold: evaluate once, in WHERE
+  // order, so run-time errors (1/0 = 1) surface exactly as they used to.
+  for (const Expr* c : pm.runtime_constants) {
+    Row empty_row(bq.total_slots, Value::Null());
+    EvalContext ctx{&bq, &empty_row, nullptr};
+    DL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*c, ctx));
+    if (!keep) return Intermediate{};
+  }
+  if (pm.provably_empty) return Intermediate{};
+
+  if (bq.relations.empty()) {
+    // SELECT without FROM: one empty-width row.
+    Intermediate out;
+    out.rows.push_back(Row(bq.total_slots, Value::Null()));
+    if (options_.capture_lineage) out.lineage.emplace_back();
+    return out;
+  }
+
+  bool track_order = pm.restore_input_order;
+  DL_ASSIGN_OR_RETURN(Intermediate current,
+                      ScanRelation(pm, pm.scans[0], track_order));
+  for (size_t j = 1; j < pm.scans.size(); ++j) {
+    DL_ASSIGN_OR_RETURN(Intermediate scanned,
+                        ScanRelation(pm, pm.scans[j], track_order));
+    DL_ASSIGN_OR_RETURN(
+        current, JoinStep(pm, pm.joins[j - 1], std::move(current),
+                          pm.scans[j].rel_idx, std::move(scanned),
+                          track_order));
+  }
+  return current;
+}
+
+Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
+    const PhysicalMember& pm, const PhysicalScan& ps, bool track_order) {
+  const BoundQuery& bq = *pm.bq;
+  const BoundRelation& rel = bq.relations[ps.rel_idx];
+  size_t offset = bq.slot_offsets[ps.rel_idx];
+  size_t width = rel.schema.NumColumns();
+  Intermediate out;
+
+  auto emit = [&](Row&& full_row, LineageSet&& lineage) -> Status {
+    EvalContext ctx{&bq, &full_row, nullptr};
+    for (const Expr* p : ps.filters) {
+      DL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*p, ctx));
+      if (!keep) return Status::OK();
+    }
+    if (track_order) out.order.push_back({uint32_t(out.rows.size())});
+    out.rows.push_back(std::move(full_row));
+    if (options_.capture_lineage) out.lineage.push_back(std::move(lineage));
+    return Status::OK();
+  };
+
+  if (ps.subplan == nullptr) {
+    // Re-resolve the base relation by name: a cached plan runs against a
+    // fresh per-query catalog, and the pointer bound at plan time is stale.
+    const RelationData* data = catalog_->Find(rel.table_name);
+    if (data == nullptr) {
+      return Status::Internal("plan references unknown relation '" +
+                              rel.table_name + "'");
+    }
+    if (data->schema().NumColumns() != width) {
+      return Status::Internal("schema drift under cached plan for '" +
+                              rel.table_name + "'");
+    }
+    uint32_t rel_id =
+        options_.capture_lineage ? InternRelation(rel.table_name) : 0;
+
+    // Equality pushdown through hash indexes: every probe candidate with a
+    // valid index is probed, and the most selective probe narrows the
+    // scan. All pushdown predicates are still re-applied per emitted row,
+    // so probing only changes the access path, never the result.
+    bool have_probe = false;
+    std::vector<size_t> positions;
+    for (const PhysicalProbe& c : ps.probes) {
+      std::vector<size_t> hits;
+      if (!data->IndexLookup(c.col, c.value, &hits)) continue;
+      ++scan_stats_.index_probes;
+      if (!have_probe || hits.size() < positions.size()) {
+        positions = std::move(hits);
+      }
+      have_probe = true;
+    }
+    if (have_probe) ++scan_stats_.index_hits;
+
+    auto emit_position = [&](size_t i) -> Status {
+      Row full_row(bq.total_slots, Value::Null());
+      const Row& src = data->RowAt(i);
+      for (size_t c = 0; c < width; ++c) full_row[offset + c] = src[c];
+      LineageSet lineage;
+      if (options_.capture_lineage) {
+        lineage.push_back(LineageEntry{rel_id, data->RowIdAt(i)});
+      }
+      return emit(std::move(full_row), std::move(lineage));
+    };
+
+    if (have_probe) {
+      for (size_t i : positions) {
+        DL_RETURN_NOT_OK(emit_position(i));
+      }
+    } else {
+      size_t n = data->NumRows();
+      for (size_t i = 0; i < n; ++i) {
+        DL_RETURN_NOT_OK(emit_position(i));
+      }
+    }
+    return out;
+  }
+
+  // Subquery FROM item: run its own plan.
+  DL_ASSIGN_OR_RETURN(QueryResult sub, Run(*ps.subplan));
+  for (size_t i = 0; i < sub.rows.size(); ++i) {
+    Row full_row(bq.total_slots, Value::Null());
+    for (size_t c = 0; c < width && c < sub.rows[i].size(); ++c) {
+      full_row[offset + c] = std::move(sub.rows[i][c]);
+    }
+    LineageSet lineage;
+    if (options_.capture_lineage) lineage = std::move(sub.lineage[i]);
+    DL_RETURN_NOT_OK(emit(std::move(full_row), std::move(lineage)));
+  }
+  return out;
+}
+
+Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
+    const PhysicalMember& pm, const PhysicalJoin& pj, Intermediate left,
+    size_t rel_idx, Intermediate right, bool track_order) {
+  const BoundQuery& bq = *pm.bq;
+  size_t offset = bq.slot_offsets[rel_idx];
+  size_t width = bq.relations[rel_idx].schema.NumColumns();
+  Intermediate out;
+
+  auto combine = [&](size_t li, size_t ri) {
+    Row row = left.rows[li];
+    for (size_t c = 0; c < width; ++c) {
+      row[offset + c] = right.rows[ri][offset + c];
+    }
+    return row;
+  };
+
+  auto emit = [&](size_t li, size_t ri) -> Status {
+    Row row = combine(li, ri);
+    EvalContext ctx{&bq, &row, nullptr};
+    for (const Expr* p : pj.residual) {
+      DL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*p, ctx));
+      if (!keep) return Status::OK();
+    }
+    out.rows.push_back(std::move(row));
+    if (options_.capture_lineage) {
+      LineageSet lineage = left.lineage[li];
+      MergeLineage(&lineage, right.lineage[ri]);
+      out.lineage.push_back(std::move(lineage));
+    }
+    if (track_order) {
+      std::vector<uint32_t> order = left.order[li];
+      order.insert(order.end(), right.order[ri].begin(),
+                   right.order[ri].end());
+      out.order.push_back(std::move(order));
+    }
+    return Status::OK();
+  };
+
+  if (pj.algo == JoinAlgo::kHashJoin) {
+    // Hash join: build on the incoming relation, probe with the left side.
+    std::unordered_map<Row, std::vector<size_t>, RowHash> build;
+    build.reserve(right.rows.size());
+    for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+      EvalContext ctx{&bq, &right.rows[ri], nullptr};
+      Row key;
+      key.reserve(pj.right_keys.size());
+      bool null_key = false;
+      for (const Expr* e : pj.right_keys) {
+        DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
+        if (v.is_null()) {
+          null_key = true;
+          break;
+        }
+        key.push_back(std::move(v));
+      }
+      if (null_key) continue;  // SQL: NULL keys never join
+      build[std::move(key)].push_back(ri);
+    }
+    for (size_t li = 0; li < left.rows.size(); ++li) {
+      EvalContext ctx{&bq, &left.rows[li], nullptr};
+      Row key;
+      key.reserve(pj.left_keys.size());
+      bool null_key = false;
+      for (const Expr* e : pj.left_keys) {
+        DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
+        if (v.is_null()) {
+          null_key = true;
+          break;
+        }
+        key.push_back(std::move(v));
+      }
+      if (null_key) continue;
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (size_t ri : it->second) {
+        DL_RETURN_NOT_OK(emit(li, ri));
+      }
+    }
+    return out;
+  }
+
+  // Nested loop (cross product with residual filters).
+  for (size_t li = 0; li < left.rows.size(); ++li) {
+    for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+      DL_RETURN_NOT_OK(emit(li, ri));
+    }
+  }
+  return out;
+}
+
+void PlanExecutor::RestoreInputOrder(const PhysicalMember& pm,
+                                     Intermediate* joined) {
+  // A FROM-order fold emits rows in lexicographic order of the tuple of
+  // per-relation scan-emission positions (the hash-join build buckets and
+  // nested loops both preserve ascending position order). The reordered
+  // fold produced the same row set with positions tracked in scan order;
+  // remapping each tuple back to FROM order and sorting reproduces the
+  // baseline order exactly (position tuples are unique per row).
+  size_t n = pm.scan_order.size();
+  std::vector<size_t> inv(n, 0);
+  for (size_t j = 0; j < n; ++j) inv[pm.scan_order[j]] = j;
+
+  std::vector<size_t> perm(joined->rows.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    const std::vector<uint32_t>& ta = joined->order[a];
+    const std::vector<uint32_t>& tb = joined->order[b];
+    for (size_t k = 0; k < n; ++k) {
+      uint32_t va = ta[inv[k]];
+      uint32_t vb = tb[inv[k]];
+      if (va != vb) return va < vb;
+    }
+    return false;
+  });
+
+  std::vector<Row> rows(joined->rows.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    rows[i] = std::move(joined->rows[perm[i]]);
+  }
+  joined->rows = std::move(rows);
+  if (options_.capture_lineage) {
+    std::vector<LineageSet> lineage(joined->lineage.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      lineage[i] = std::move(joined->lineage[perm[i]]);
+    }
+    joined->lineage = std::move(lineage);
+  }
+  joined->order.clear();
+}
+
+Result<QueryResult> PlanExecutor::ProjectUngrouped(const BoundQuery& bq,
+                                                   Intermediate input) {
+  QueryResult result;
+  result.schema = bq.output_schema;
+  result.rows.reserve(input.rows.size());
+  for (size_t i = 0; i < input.rows.size(); ++i) {
+    EvalContext ctx{&bq, &input.rows[i], nullptr};
+    Row out;
+    out.reserve(bq.output_columns.size());
+    for (const OutputColumn& col : bq.output_columns) {
+      if (col.expr != nullptr) {
+        DL_ASSIGN_OR_RETURN(Value v, Eval(*col.expr, ctx));
+        out.push_back(std::move(v));
+      } else {
+        out.push_back(input.rows[i][col.slot]);
+      }
+    }
+    result.rows.push_back(std::move(out));
+    if (options_.capture_lineage) {
+      NormalizeLineage(&input.lineage[i]);
+      result.lineage.push_back(std::move(input.lineage[i]));
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> PlanExecutor::ProjectGrouped(const BoundQuery& bq,
+                                                 Intermediate input) {
+  const SelectStmt& stmt = *bq.stmt;
+
+  struct GroupState {
+    Row representative;
+    std::vector<AggregateAccumulator> accumulators;
+    LineageSet lineage;
+  };
+
+  std::unordered_map<Row, GroupState, RowHash> groups;
+  std::vector<const Row*> group_order;  // deterministic output order
+
+  auto new_group_state = [&](const Row& representative) {
+    GroupState state;
+    state.representative = representative;
+    state.accumulators.reserve(bq.aggregates.size());
+    for (const FuncCallExpr* agg : bq.aggregates) {
+      state.accumulators.emplace_back(agg);
+    }
+    return state;
+  };
+
+  for (size_t i = 0; i < input.rows.size(); ++i) {
+    EvalContext ctx{&bq, &input.rows[i], nullptr};
+    Row key;
+    key.reserve(stmt.group_by.size());
+    for (const ExprPtr& e : stmt.group_by) {
+      DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) {
+      it->second = new_group_state(input.rows[i]);
+      group_order.push_back(&it->first);
+    }
+    GroupState& state = it->second;
+    for (size_t a = 0; a < bq.aggregates.size(); ++a) {
+      const FuncCallExpr* spec = bq.aggregates[a];
+      if (spec->star) {
+        state.accumulators[a].AddStarRow();
+      } else {
+        DL_ASSIGN_OR_RETURN(Value v, Eval(*spec->args[0], ctx));
+        DL_RETURN_NOT_OK(state.accumulators[a].Add(v));
+      }
+    }
+    if (options_.capture_lineage) {
+      MergeLineage(&state.lineage, input.lineage[i]);
+    }
+  }
+
+  // A global aggregate (no GROUP BY) over empty input still forms one group.
+  if (groups.empty() && stmt.group_by.empty()) {
+    Row key;
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    it->second = new_group_state(Row(bq.total_slots, Value::Null()));
+    group_order.push_back(&it->first);
+  }
+
+  QueryResult result;
+  result.schema = bq.output_schema;
+  for (const Row* key : group_order) {
+    GroupState& state = groups.find(*key)->second;
+    std::unordered_map<const Expr*, Value> agg_values;
+    for (size_t a = 0; a < bq.aggregates.size(); ++a) {
+      DL_ASSIGN_OR_RETURN(Value v, state.accumulators[a].Finish());
+      agg_values[bq.aggregates[a]] = std::move(v);
+    }
+    EvalContext ctx{&bq, &state.representative, &agg_values};
+    if (stmt.having != nullptr) {
+      DL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*stmt.having, ctx));
+      if (!keep) continue;
+    }
+    Row out;
+    out.reserve(bq.output_columns.size());
+    for (const OutputColumn& col : bq.output_columns) {
+      if (col.expr != nullptr) {
+        DL_ASSIGN_OR_RETURN(Value v, Eval(*col.expr, ctx));
+        out.push_back(std::move(v));
+      } else {
+        out.push_back(state.representative[col.slot]);
+      }
+    }
+    result.rows.push_back(std::move(out));
+    if (options_.capture_lineage) {
+      NormalizeLineage(&state.lineage);
+      result.lineage.push_back(std::move(state.lineage));
+    }
+  }
+  return result;
+}
+
+Status PlanExecutor::ApplyDistinct(QueryResult* result) {
+  std::unordered_map<Row, size_t, RowHash> seen;
+  std::vector<Row> rows;
+  std::vector<LineageSet> lineage;
+  for (size_t i = 0; i < result->rows.size(); ++i) {
+    auto it = seen.find(result->rows[i]);
+    if (it == seen.end()) {
+      seen.emplace(result->rows[i], rows.size());
+      rows.push_back(std::move(result->rows[i]));
+      if (options_.capture_lineage) {
+        lineage.push_back(std::move(result->lineage[i]));
+      }
+    } else if (options_.capture_lineage) {
+      // Lineage of a deduplicated row is the union over its duplicates.
+      MergeLineage(&lineage[it->second], result->lineage[i]);
+    }
+  }
+  if (options_.capture_lineage) {
+    for (LineageSet& l : lineage) NormalizeLineage(&l);
+  }
+  result->rows = std::move(rows);
+  result->lineage = std::move(lineage);
+  return Status::OK();
+}
+
+Status PlanExecutor::ApplyOrderAndLimit(const BoundQuery& bq,
+                                        QueryResult* result) {
+  const SelectStmt& stmt = *bq.stmt;
+  if (!stmt.order_by.empty()) {
+    // Resolve each ORDER BY item to an output column: by name, or by
+    // 1-based position for integer literals.
+    std::vector<std::pair<size_t, bool>> keys;  // (column, ascending)
+    for (const OrderByItem& item : stmt.order_by) {
+      if (item.expr->kind() == ExprKind::kColumnRef) {
+        const auto& ref = static_cast<const ColumnRefExpr&>(*item.expr);
+        auto col = result->schema.FindColumn(ref.column);
+        if (!col.has_value()) {
+          return Status::Unsupported(
+              "ORDER BY must name an output column, got " + ref.ToString());
+        }
+        keys.emplace_back(*col, item.ascending);
+      } else if (item.expr->kind() == ExprKind::kLiteral) {
+        const auto& lit = static_cast<const LiteralExpr&>(*item.expr);
+        if (!lit.value.is_int64() || lit.value.AsInt64() < 1 ||
+            size_t(lit.value.AsInt64()) > result->schema.NumColumns()) {
+          return Status::InvalidArgument("ORDER BY position out of range");
+        }
+        keys.emplace_back(size_t(lit.value.AsInt64()) - 1, item.ascending);
+      } else {
+        return Status::Unsupported(
+            "ORDER BY supports output columns and positions only");
+      }
+    }
+    std::vector<size_t> perm(result->rows.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      for (const auto& [col, asc] : keys) {
+        const Value& va = result->rows[a][col];
+        const Value& vb = result->rows[b][col];
+        if (va == vb) continue;
+        bool less = va < vb;
+        return asc ? less : !less;
+      }
+      return false;
+    });
+    std::vector<Row> rows(result->rows.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      rows[i] = std::move(result->rows[perm[i]]);
+    }
+    result->rows = std::move(rows);
+    if (result->has_lineage || !result->lineage.empty()) {
+      std::vector<LineageSet> lineage(result->lineage.size());
+      for (size_t i = 0; i < perm.size(); ++i) {
+        lineage[i] = std::move(result->lineage[perm[i]]);
+      }
+      result->lineage = std::move(lineage);
+    }
+  }
+
+  if (stmt.limit.has_value() && result->rows.size() > size_t(*stmt.limit)) {
+    result->rows.resize(size_t(*stmt.limit));
+    if (!result->lineage.empty()) result->lineage.resize(size_t(*stmt.limit));
+  }
+  return Status::OK();
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,100 @@
+#ifndef DATALAWYER_EXEC_PLAN_EXECUTOR_H_
+#define DATALAWYER_EXEC_PLAN_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bound_query.h"
+#include "common/result.h"
+#include "exec/query_result.h"
+#include "plan/physical.h"
+#include "storage/catalog_view.h"
+
+namespace datalawyer {
+
+/// Execution knobs.
+struct ExecOptions {
+  /// Track, for every output row, the set of contributing base-table tuples
+  /// (the paper's lineage provenance). Costs roughly another pass over the
+  /// data — deliberately mirroring the cost of provenance generation in the
+  /// paper's fProvenance.
+  bool capture_lineage = false;
+
+  /// Apply the planner's cost-improving rules (constant folding, join
+  /// reordering, computed-constant index probes). Results are identical
+  /// either way; DL_DISABLE_OPTIMIZER=1 forces false process-wide.
+  bool enable_optimizer = true;
+};
+
+/// Access-path counters of one Run/Execute call (aggregated per query into
+/// ExecutionStats.index_probes / index_hits).
+struct ScanStats {
+  size_t index_probes = 0;  ///< equality conjuncts probed against an index
+  size_t index_hits = 0;    ///< scans answered by an index instead of a walk
+};
+
+/// Interprets physical plans (materialized, operator-at-a-time).
+///
+/// Base relations are re-resolved *by table name* through `catalog` on
+/// every Run: a plan cached at policy-registration time outlives the
+/// per-query overlay catalogs (log ∪ increment) it executes against, so
+/// the stale BoundRelation::relation pointers inside its BoundQuery are
+/// never dereferenced. Relation names are stable across queries; arity is
+/// re-checked per run.
+class PlanExecutor {
+ public:
+  /// `catalog` must outlive the executor.
+  explicit PlanExecutor(const CatalogView* catalog, ExecOptions options = {})
+      : catalog_(catalog), options_(options) {}
+
+  /// Executes a physical plan (including its UNION chain). The plan's
+  /// BoundQuery chain and AST must be alive.
+  Result<QueryResult> Run(const PhysicalPlan& plan);
+
+  /// Access-path counters accumulated across this executor's Run calls.
+  const ScanStats& scan_stats() const { return scan_stats_; }
+
+ private:
+  /// Joined-but-not-yet-projected rows, laid out by the binder's slots.
+  struct Intermediate {
+    std::vector<Row> rows;
+    std::vector<LineageSet> lineage;  ///< parallel to rows when capturing
+    /// Per-row scan-emission positions in *scan* order; tracked only when
+    /// the member was join-reordered, to restore the FROM-order fold's row
+    /// order afterwards.
+    std::vector<std::vector<uint32_t>> order;
+  };
+
+  Result<QueryResult> RunMember(const PhysicalMember& pm);
+  Result<Intermediate> BuildJoin(const PhysicalMember& pm);
+  Result<Intermediate> ScanRelation(const PhysicalMember& pm,
+                                    const PhysicalScan& ps, bool track_order);
+  Result<Intermediate> JoinStep(const PhysicalMember& pm,
+                                const PhysicalJoin& pj, Intermediate left,
+                                size_t rel_idx, Intermediate right,
+                                bool track_order);
+  /// Sorts `joined` into the row order the FROM-order fold would have
+  /// produced (lexicographic in per-relation scan positions, FROM order).
+  void RestoreInputOrder(const PhysicalMember& pm, Intermediate* joined);
+  Result<QueryResult> ProjectUngrouped(const BoundQuery& bq,
+                                       Intermediate input);
+  Result<QueryResult> ProjectGrouped(const BoundQuery& bq, Intermediate input);
+  Status ApplyDistinct(QueryResult* result);
+  Status ApplyOrderAndLimit(const BoundQuery& bq, QueryResult* result);
+
+  /// Index into base_relations_ for `name`, interning it if new.
+  uint32_t InternRelation(const std::string& name);
+
+  const CatalogView* catalog_;
+  ExecOptions options_;
+  std::vector<std::string> base_relations_;
+  ScanStats scan_stats_;
+};
+
+/// Sorts and deduplicates a lineage set in place.
+void NormalizeLineage(LineageSet* lineage);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_EXEC_PLAN_EXECUTOR_H_

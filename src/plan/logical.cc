@@ -1,0 +1,182 @@
+#include "plan/logical.h"
+
+#include "common/strings.h"
+
+namespace datalawyer {
+
+uint64_t RelationMask(const Expr& expr, const BoundQuery& bq) {
+  uint64_t mask = 0;
+  expr.Visit([&](const Expr& e) {
+    if (e.kind() != ExprKind::kColumnRef) return;
+    auto it = bq.column_slots.find(&e);
+    if (it == bq.column_slots.end()) return;
+    size_t slot = it->second;
+    for (size_t i = 0; i < bq.relations.size(); ++i) {
+      size_t lo = bq.slot_offsets[i];
+      size_t hi = lo + bq.relations[i].schema.NumColumns();
+      if (slot >= lo && slot < hi) {
+        mask |= uint64_t(1) << i;
+        break;
+      }
+    }
+  });
+  return mask;
+}
+
+Result<LogicalPlan> BuildLogicalPlan(const BoundQuery& bound) {
+  LogicalPlan plan;
+  plan.bound = &bound;
+  for (const BoundQuery* bq = &bound; bq != nullptr;
+       bq = bq->union_next.get()) {
+    if (bq->relations.size() > 64) {
+      return Status::Unsupported("more than 64 FROM items");
+    }
+    LogicalMember member;
+    member.bq = bq;
+
+    // FROM-order left-deep join tree with unplaced conjuncts above it.
+    auto filter = std::make_unique<LogicalFilter>();
+    if (bq->stmt->where != nullptr) {
+      filter->conjuncts = ConjunctPtrs(*bq->stmt->where);
+    }
+    if (!bq->relations.empty()) {
+      LogicalNodePtr tree = std::make_unique<LogicalScan>(0);
+      for (size_t i = 1; i < bq->relations.size(); ++i) {
+        auto join = std::make_unique<LogicalJoin>();
+        join->left = std::move(tree);
+        join->right = std::make_unique<LogicalScan>(i);
+        tree = std::move(join);
+      }
+      filter->child = std::move(tree);
+    }
+
+    LogicalNodePtr node = std::move(filter);
+    if (!bq->stmt->distinct_on.empty()) {
+      auto d = std::make_unique<LogicalDistinct>(/*on_keys=*/true);
+      d->child = std::move(node);
+      node = std::move(d);
+    }
+    if (bq->is_grouped) {
+      auto agg = std::make_unique<LogicalAggregate>();
+      agg->child = std::move(node);
+      node = std::move(agg);
+    }
+    auto project = std::make_unique<LogicalProject>();
+    project->child = std::move(node);
+    node = std::move(project);
+    if (bq->stmt->distinct) {
+      auto d = std::make_unique<LogicalDistinct>(/*on_keys=*/false);
+      d->child = std::move(node);
+      node = std::move(d);
+    }
+    member.root = std::move(node);
+    plan.members.push_back(std::move(member));
+  }
+  return plan;
+}
+
+namespace {
+
+void RenderNode(const LogicalNode& node, const BoundQuery& bq, int depth,
+                std::string* out) {
+  std::string pad(size_t(depth) * 2, ' ');
+  switch (node.kind) {
+    case LogicalKind::kScan: {
+      const auto& scan = static_cast<const LogicalScan&>(node);
+      const BoundRelation& rel = bq.relations[scan.rel_idx];
+      *out += pad + "Scan " +
+              (rel.table_name.empty() ? "(subquery)" : rel.table_name) +
+              " as " + rel.binding_name;
+      if (!scan.filters.empty()) {
+        std::vector<std::string> fs;
+        for (const Expr* f : scan.filters) fs.push_back(f->ToString());
+        *out += " filter " + Join(fs, " AND ");
+      }
+      *out += "\n";
+      break;
+    }
+    case LogicalKind::kJoin: {
+      const auto& join = static_cast<const LogicalJoin&>(node);
+      std::vector<std::string> keys;
+      for (const Expr* e : join.equi) keys.push_back(e->ToString());
+      std::vector<std::string> residual;
+      for (const Expr* e : join.residual) residual.push_back(e->ToString());
+      *out += pad + "Join";
+      if (!keys.empty()) *out += " on " + Join(keys, " AND ");
+      if (!residual.empty()) *out += " residual " + Join(residual, " AND ");
+      *out += "\n";
+      RenderNode(*join.left, bq, depth + 1, out);
+      RenderNode(*join.right, bq, depth + 1, out);
+      break;
+    }
+    case LogicalKind::kFilter: {
+      const auto& filter = static_cast<const LogicalFilter&>(node);
+      std::vector<std::string> cs;
+      for (const Expr* c : filter.conjuncts) cs.push_back(c->ToString());
+      *out += pad + "Filter";
+      if (filter.provably_empty) *out += " [provably empty]";
+      if (!cs.empty()) *out += " " + Join(cs, " AND ");
+      *out += "\n";
+      if (filter.child != nullptr) {
+        RenderNode(*filter.child, bq, depth + 1, out);
+      } else {
+        *out += pad + "  ConstantRow\n";
+      }
+      break;
+    }
+    case LogicalKind::kDistinct: {
+      const auto& d = static_cast<const LogicalDistinct&>(node);
+      *out += pad + (d.on_keys ? "DistinctOn" : "Distinct");
+      *out += "\n";
+      RenderNode(*d.child, bq, depth + 1, out);
+      break;
+    }
+    case LogicalKind::kAggregate: {
+      const auto& agg = static_cast<const LogicalAggregate&>(node);
+      *out += pad + "Aggregate [" +
+              std::to_string(bq.stmt->group_by.size()) + " group keys, " +
+              std::to_string(bq.aggregates.size()) + " aggregates]\n";
+      RenderNode(*agg.child, bq, depth + 1, out);
+      break;
+    }
+    case LogicalKind::kProject: {
+      const auto& p = static_cast<const LogicalProject&>(node);
+      *out += pad + "Project " + std::to_string(bq.output_columns.size()) +
+              " columns\n";
+      RenderNode(*p.child, bq, depth + 1, out);
+      break;
+    }
+    case LogicalKind::kOrder:
+    case LogicalKind::kUnion:
+      break;  // rendered at plan level
+  }
+}
+
+}  // namespace
+
+std::string RenderLogicalPlan(const LogicalPlan& plan) {
+  std::string out;
+  const SelectStmt* top = plan.bound->stmt;
+  if (!top->order_by.empty() || top->limit.has_value()) {
+    out += "Order";
+    if (!top->order_by.empty()) {
+      out += " [" + std::to_string(top->order_by.size()) + " keys]";
+    }
+    if (top->limit.has_value()) {
+      out += " limit " + std::to_string(*top->limit);
+    }
+    out += "\n";
+  }
+  const BoundQuery* prev = nullptr;
+  for (const LogicalMember& member : plan.members) {
+    if (prev != nullptr) {
+      out += prev->stmt->union_all ? "UNION ALL\n" : "UNION\n";
+    }
+    RenderNode(*member.root, *member.bq, plan.members.size() > 1 ? 1 : 0,
+               &out);
+    prev = member.bq;
+  }
+  return out;
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,144 @@
+#ifndef DATALAWYER_PLAN_LOGICAL_H_
+#define DATALAWYER_PLAN_LOGICAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/bound_query.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace datalawyer {
+
+/// Logical plan IR: *what* one bound SELECT computes, per UNION member,
+/// before the optimizer decides access paths, join order, and join
+/// algorithms. Nodes reference — never own — the bound AST; expression
+/// pointers must keep their node identity because BoundQuery::column_slots
+/// is keyed by pointer, so the optimizer moves conjuncts between nodes but
+/// never rewrites them in place.
+enum class LogicalKind {
+  kScan,
+  kFilter,
+  kJoin,
+  kProject,
+  kAggregate,
+  kDistinct,
+  kOrder,
+  kUnion,
+};
+
+struct LogicalNode {
+  explicit LogicalNode(LogicalKind k) : kind(k) {}
+  virtual ~LogicalNode() = default;
+  LogicalNode(const LogicalNode&) = delete;
+  LogicalNode& operator=(const LogicalNode&) = delete;
+
+  const LogicalKind kind;
+};
+using LogicalNodePtr = std::unique_ptr<LogicalNode>;
+
+/// Leaf: FROM item `rel_idx` of the member (base table or subquery).
+/// `filters` holds the single-relation conjuncts pushed onto this scan, in
+/// original WHERE order.
+struct LogicalScan : LogicalNode {
+  explicit LogicalScan(size_t idx)
+      : LogicalNode(LogicalKind::kScan), rel_idx(idx) {}
+  size_t rel_idx;
+  std::vector<const Expr*> filters;
+};
+
+/// Inner join of `left` with the scan `right`. `equi` holds `l = r`
+/// conjuncts with one side over the left subtree and the other over the
+/// incoming scan; `residual` holds the remaining conjuncts first evaluable
+/// here. Both keep original WHERE order.
+struct LogicalJoin : LogicalNode {
+  LogicalJoin() : LogicalNode(LogicalKind::kJoin) {}
+  LogicalNodePtr left;
+  std::unique_ptr<LogicalScan> right;
+  std::vector<const Expr*> equi;
+  std::vector<const Expr*> residual;
+};
+
+/// Conjunctive filter over its child. The builder parks the member's whole
+/// WHERE clause here; the optimizer drains conjuncts downward into scans
+/// and joins, leaving only conjuncts over no relation (evaluated once per
+/// execution) plus a provably-empty verdict when constant folding decided
+/// the member cannot produce join rows.
+struct LogicalFilter : LogicalNode {
+  LogicalFilter() : LogicalNode(LogicalKind::kFilter) {}
+  LogicalNodePtr child;  ///< join tree; null for a FROM-less member
+  std::vector<const Expr*> conjuncts;
+  bool provably_empty = false;
+};
+
+/// DISTINCT ON (pre-projection, first row per key) when `on_keys`, plain
+/// post-projection DISTINCT otherwise.
+struct LogicalDistinct : LogicalNode {
+  explicit LogicalDistinct(bool on_keys)
+      : LogicalNode(LogicalKind::kDistinct), on_keys(on_keys) {}
+  LogicalNodePtr child;
+  bool on_keys;
+};
+
+/// GROUP BY / global aggregation with optional HAVING (from the member's
+/// statement).
+struct LogicalAggregate : LogicalNode {
+  LogicalAggregate() : LogicalNode(LogicalKind::kAggregate) {}
+  LogicalNodePtr child;
+};
+
+/// Projection onto the member's output columns.
+struct LogicalProject : LogicalNode {
+  LogicalProject() : LogicalNode(LogicalKind::kProject) {}
+  LogicalNodePtr child;
+};
+
+/// Top-level ORDER BY / LIMIT (always present as the plan root; a no-op
+/// when the statement has neither).
+struct LogicalOrder : LogicalNode {
+  LogicalOrder() : LogicalNode(LogicalKind::kOrder) {}
+  LogicalNodePtr child;
+};
+
+/// UNION chain combining the members left-associatively (dedup on plain
+/// UNION links, concatenation on UNION ALL).
+struct LogicalUnion : LogicalNode {
+  LogicalUnion() : LogicalNode(LogicalKind::kUnion) {}
+  std::vector<LogicalNodePtr> members;
+};
+
+/// One UNION member's tree plus its binding.
+struct LogicalMember {
+  const BoundQuery* bq = nullptr;
+  /// Project-rooted chain: [Distinct] → Project → [Aggregate] →
+  /// [DistinctOn] → Filter → join tree.
+  LogicalNodePtr root;
+};
+
+/// The whole statement: Order over Union over the member trees. `bound` is
+/// the head of the bound UNION chain and must outlive the plan.
+struct LogicalPlan {
+  const BoundQuery* bound = nullptr;
+  std::vector<LogicalMember> members;
+};
+
+/// Builds the canonical (unoptimized) logical plan: per member a Filter
+/// holding every WHERE conjunct over a left-deep FROM-order join tree with
+/// empty scan filters, then the DISTINCT ON / aggregate / project /
+/// DISTINCT tail the statement asks for.
+Result<LogicalPlan> BuildLogicalPlan(const BoundQuery& bound);
+
+/// Bitmask of FROM items referenced by `expr` (via its slot bindings in
+/// `bq`). Shared by the optimizer's placement rules; 0 means the
+/// expression touches no relation (a constant conjunct).
+uint64_t RelationMask(const Expr& expr, const BoundQuery& bq);
+
+/// Compact indented rendering of the logical tree (debugging aid; the
+/// user-facing `\plan` output renders the physical plan).
+std::string RenderLogicalPlan(const LogicalPlan& plan);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_PLAN_LOGICAL_H_

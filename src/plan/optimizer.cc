@@ -1,0 +1,369 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "analysis/eval.h"
+#include "analysis/join_graph.h"
+#include "common/trace.h"
+
+namespace datalawyer {
+
+namespace {
+
+/// If `conjunct` is `lhs = rhs` with one side over relations in `left_mask`
+/// only and the other over `right_mask` only, returns the (left, right)
+/// expression pair.
+bool AsEquiJoin(const Expr& conjunct, const BoundQuery& bq, uint64_t left_mask,
+                uint64_t right_mask, const Expr** left_side,
+                const Expr** right_side) {
+  if (conjunct.kind() != ExprKind::kBinary) return false;
+  const auto& b = static_cast<const BinaryExpr&>(conjunct);
+  if (b.op != "=") return false;
+  uint64_t lm = RelationMask(*b.lhs, bq);
+  uint64_t rm = RelationMask(*b.rhs, bq);
+  if (lm != 0 && rm != 0 && (lm & ~left_mask) == 0 && (rm & ~right_mask) == 0) {
+    *left_side = b.lhs.get();
+    *right_side = b.rhs.get();
+    return true;
+  }
+  if (lm != 0 && rm != 0 && (rm & ~left_mask) == 0 && (lm & ~right_mask) == 0) {
+    *left_side = b.rhs.get();
+    *right_side = b.lhs.get();
+    return true;
+  }
+  return false;
+}
+
+/// Descends a member's tail chain to its Filter node.
+LogicalFilter* FilterOf(LogicalNode* node) {
+  while (node != nullptr) {
+    switch (node->kind) {
+      case LogicalKind::kFilter:
+        return static_cast<LogicalFilter*>(node);
+      case LogicalKind::kProject:
+        node = static_cast<LogicalProject*>(node)->child.get();
+        break;
+      case LogicalKind::kAggregate:
+        node = static_cast<LogicalAggregate*>(node)->child.get();
+        break;
+      case LogicalKind::kDistinct:
+        node = static_cast<LogicalDistinct*>(node)->child.get();
+        break;
+      default:
+        return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+/// Flattens a left-deep join tree into execution order: scans[j] is the
+/// j-th relation scanned, joins[j - 1] the join consuming scans[j].
+void CollectTree(LogicalNode* node, std::vector<LogicalScan*>* scans,
+                 std::vector<LogicalJoin*>* joins) {
+  if (node == nullptr) return;
+  if (node->kind == LogicalKind::kScan) {
+    scans->push_back(static_cast<LogicalScan*>(node));
+    return;
+  }
+  auto* join = static_cast<LogicalJoin*>(node);
+  CollectTree(join->left.get(), scans, joins);
+  joins->push_back(join);
+  scans->push_back(join->right.get());
+}
+
+/// Greedy join order: start with the smallest relation, then repeatedly
+/// take the smallest relation equi-connected (per JoinGraph) to the placed
+/// set, falling back to the smallest remaining one when nothing connects.
+/// Ties break toward the original FROM position, so equal-sized relations
+/// (the common case for policy plans built over an empty log) keep their
+/// written order.
+std::vector<size_t> ChooseJoinOrder(const BoundQuery& bq) {
+  size_t n = bq.relations.size();
+  std::vector<size_t> est(n);
+  for (size_t i = 0; i < n; ++i) {
+    est[i] = bq.relations[i].relation != nullptr
+                 ? bq.relations[i].relation->NumRows()
+                 : std::numeric_limits<size_t>::max();
+  }
+
+  std::vector<std::vector<bool>> conn(n, std::vector<bool>(n, false));
+  JoinGraph graph = JoinGraph::Build(*bq.stmt);
+  for (const auto& cls : graph.Classes()) {
+    std::vector<size_t> rels;
+    for (const QualifiedColumn& col : cls) {
+      int idx = bq.FindRelation(col.qualifier);
+      if (idx >= 0) rels.push_back(size_t(idx));
+    }
+    for (size_t a : rels) {
+      for (size_t b : rels) {
+        if (a != b) conn[a][b] = true;
+      }
+    }
+  }
+
+  std::vector<bool> placed(n, false);
+  std::vector<size_t> order;
+  order.reserve(n);
+  auto pick = [&](bool require_connected) -> int {
+    int best = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (placed[i]) continue;
+      if (require_connected) {
+        bool connected = false;
+        for (size_t j : order) connected = connected || conn[i][j];
+        if (!connected) continue;
+      }
+      if (best < 0 || est[i] < est[size_t(best)]) best = int(i);
+    }
+    return best;
+  };
+  while (order.size() < n) {
+    int next = order.empty() ? pick(false) : pick(true);
+    if (next < 0) next = pick(false);
+    placed[size_t(next)] = true;
+    order.push_back(size_t(next));
+  }
+  return order;
+}
+
+}  // namespace
+
+bool OptimizerDisabledByEnv() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("DL_DISABLE_OPTIMIZER");
+    return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+  }();
+  return disabled;
+}
+
+Planner::Planner(PlannerOptions options) : options_(options) {
+  if (OptimizerDisabledByEnv()) options_.enable_optimizer = false;
+}
+
+Result<LogicalPlan> Planner::PlanLogical(const BoundQuery& bound) const {
+  DL_ASSIGN_OR_RETURN(LogicalPlan plan, BuildLogicalPlan(bound));
+  for (LogicalMember& member : plan.members) {
+    DL_RETURN_NOT_OK(OptimizeMember(&member));
+  }
+  return plan;
+}
+
+Result<PhysicalPlan> Planner::Plan(const BoundQuery& bound) const {
+  DL_TRACE_SPAN("planning", "plan");
+  DL_ASSIGN_OR_RETURN(LogicalPlan logical, PlanLogical(bound));
+  PhysicalPlan plan;
+  plan.bound = &bound;
+  plan.members.reserve(logical.members.size());
+  for (const LogicalMember& member : logical.members) {
+    DL_ASSIGN_OR_RETURN(PhysicalMember pm, Physicalize(member));
+    plan.members.push_back(std::move(pm));
+  }
+  return plan;
+}
+
+Status Planner::OptimizeMember(LogicalMember* member) const {
+  const BoundQuery& bq = *member->bq;
+  LogicalFilter* filter = FilterOf(member->root.get());
+  if (filter == nullptr) return Status::Internal("member without filter node");
+
+  // Rule 1: constant folding. Constant conjuncts (no column refs) are
+  // evaluated over an all-NULL row exactly as the run-time fold would.
+  // Conjuncts past a folded-FALSE one were unreachable in the original
+  // executor (it returned at the first FALSE), so they are dropped without
+  // evaluation.
+  {
+    std::vector<const Expr*> kept;
+    kept.reserve(filter->conjuncts.size());
+    Row null_row(bq.total_slots, Value::Null());
+    EvalContext ctx{&bq, &null_row, nullptr};
+    for (const Expr* c : filter->conjuncts) {
+      if (RelationMask(*c, bq) != 0) {
+        kept.push_back(c);
+        continue;
+      }
+      if (!options_.enable_optimizer) {
+        kept.push_back(c);
+        continue;
+      }
+      if (filter->provably_empty) continue;  // unreachable past a FALSE
+      Result<bool> keep = EvalPredicate(*c, ctx);
+      if (!keep.ok()) {
+        kept.push_back(c);  // defer the evaluation error to run time
+      } else if (!keep.value()) {
+        filter->provably_empty = true;
+      }
+      // TRUE: the conjunct disappears.
+    }
+    filter->conjuncts = std::move(kept);
+  }
+
+  // Rule 2: join reordering. The tree is still pristine (no pushdown yet),
+  // so reordering rebuilds the left-deep scan spine.
+  if (options_.enable_optimizer && bq.relations.size() >= 2 &&
+      filter->child != nullptr) {
+    std::vector<size_t> order = ChooseJoinOrder(bq);
+    bool identity = true;
+    for (size_t j = 0; j < order.size(); ++j) identity &= order[j] == j;
+    if (!identity) {
+      LogicalNodePtr tree = std::make_unique<LogicalScan>(order[0]);
+      for (size_t j = 1; j < order.size(); ++j) {
+        auto join = std::make_unique<LogicalJoin>();
+        join->left = std::move(tree);
+        join->right = std::make_unique<LogicalScan>(order[j]);
+        tree = std::move(join);
+      }
+      filter->child = std::move(tree);
+    }
+  }
+
+  // Rules 3 + 4: predicate pushdown and equality-conjunct extraction, over
+  // the (possibly reordered) spine. Constant conjuncts stay in the filter
+  // for once-per-execution evaluation.
+  std::vector<LogicalScan*> scans;
+  std::vector<LogicalJoin*> joins;
+  CollectTree(filter->child.get(), &scans, &joins);
+
+  std::vector<const Expr*> remaining = std::move(filter->conjuncts);
+  filter->conjuncts.clear();
+  std::vector<bool> applied(remaining.size(), false);
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    if (RelationMask(*remaining[i], bq) == 0) {
+      filter->conjuncts.push_back(remaining[i]);
+      applied[i] = true;
+    }
+  }
+
+  uint64_t placed_mask = 0;
+  for (size_t j = 0; j < scans.size(); ++j) {
+    LogicalScan* scan = scans[j];
+    uint64_t rel_bit = uint64_t(1) << scan->rel_idx;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (!applied[i] && RelationMask(*remaining[i], bq) == rel_bit) {
+        scan->filters.push_back(remaining[i]);
+        applied[i] = true;
+      }
+    }
+    if (j > 0) {
+      LogicalJoin* join = joins[j - 1];
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        if (applied[i]) continue;
+        uint64_t mask = RelationMask(*remaining[i], bq);
+        if ((mask & ~(placed_mask | rel_bit)) != 0) continue;  // not yet
+        const Expr* ls = nullptr;
+        const Expr* rs = nullptr;
+        if ((mask & rel_bit) != 0 &&
+            AsEquiJoin(*remaining[i], bq, placed_mask, rel_bit, &ls, &rs)) {
+          join->equi.push_back(remaining[i]);
+        } else {
+          join->residual.push_back(remaining[i]);
+        }
+        applied[i] = true;
+      }
+    }
+    placed_mask |= rel_bit;
+  }
+  return Status::OK();
+}
+
+Result<PhysicalMember> Planner::Physicalize(const LogicalMember& member) const {
+  const BoundQuery& bq = *member.bq;
+  LogicalFilter* filter = FilterOf(member.root.get());
+  if (filter == nullptr) return Status::Internal("member without filter node");
+  std::vector<LogicalScan*> scans;
+  std::vector<LogicalJoin*> joins;
+  CollectTree(filter->child.get(), &scans, &joins);
+
+  PhysicalMember pm;
+  pm.bq = &bq;
+  pm.provably_empty = filter->provably_empty;
+  pm.runtime_constants = filter->conjuncts;
+
+  Row null_row(bq.total_slots, Value::Null());
+  EvalContext const_ctx{&bq, &null_row, nullptr};
+
+  uint64_t placed_mask = 0;
+  for (size_t j = 0; j < scans.size(); ++j) {
+    const LogicalScan* scan = scans[j];
+    const BoundRelation& rel = bq.relations[scan->rel_idx];
+    uint64_t rel_bit = uint64_t(1) << scan->rel_idx;
+
+    PhysicalScan ps;
+    ps.rel_idx = scan->rel_idx;
+    ps.filters = scan->filters;
+    if (rel.subquery != nullptr) {
+      DL_ASSIGN_OR_RETURN(PhysicalPlan sub, Plan(*rel.subquery));
+      ps.subplan = std::make_unique<PhysicalPlan>(std::move(sub));
+    } else {
+      // Rule 5: index-probe candidates from the pushed-down equalities.
+      // Literals always qualify; under the optimizer, any constant
+      // (relation-free, aggregate-free) side is folded at plan time. A
+      // fold error just skips the candidate — the conjunct remains a scan
+      // filter and fails at run time exactly as before.
+      size_t offset = bq.slot_offsets[scan->rel_idx];
+      size_t width = rel.schema.NumColumns();
+      for (const Expr* p : ps.filters) {
+        if (p->kind() != ExprKind::kBinary) continue;
+        const auto& b = static_cast<const BinaryExpr&>(*p);
+        if (b.op != "=") continue;
+        for (int flip = 0; flip < 2; ++flip) {
+          const Expr* col_side = flip == 0 ? b.lhs.get() : b.rhs.get();
+          const Expr* val_side = flip == 0 ? b.rhs.get() : b.lhs.get();
+          if (col_side->kind() != ExprKind::kColumnRef) continue;
+          auto it = bq.column_slots.find(col_side);
+          if (it == bq.column_slots.end()) continue;
+          if (it->second < offset || it->second >= offset + width) continue;
+          PhysicalProbe probe;
+          probe.col = it->second - offset;
+          probe.conjunct = p;
+          if (val_side->kind() == ExprKind::kLiteral) {
+            probe.value = static_cast<const LiteralExpr&>(*val_side).value;
+          } else if (options_.enable_optimizer &&
+                     RelationMask(*val_side, bq) == 0 &&
+                     !ContainsAggregate(*val_side)) {
+            Result<Value> v = Eval(*val_side, const_ctx);
+            if (!v.ok()) continue;
+            probe.value = std::move(v).value();
+          } else {
+            continue;
+          }
+          ps.probes.push_back(std::move(probe));
+          break;  // at most one candidate per conjunct
+        }
+      }
+    }
+
+    if (j > 0) {
+      const LogicalJoin* join = joins[j - 1];
+      PhysicalJoin pj;
+      pj.residual = join->residual;
+      pj.equi_conjuncts = join->equi;
+      if (!join->equi.empty()) {
+        pj.algo = JoinAlgo::kHashJoin;
+        for (const Expr* e : join->equi) {
+          const Expr* ls = nullptr;
+          const Expr* rs = nullptr;
+          if (!AsEquiJoin(*e, bq, placed_mask, rel_bit, &ls, &rs)) {
+            return Status::Internal("equi-join classification changed");
+          }
+          pj.left_keys.push_back(ls);
+          pj.right_keys.push_back(rs);
+        }
+      }
+      pm.joins.push_back(std::move(pj));
+    }
+    pm.scans.push_back(std::move(ps));
+    pm.scan_order.push_back(scan->rel_idx);
+    placed_mask |= rel_bit;
+  }
+
+  pm.restore_input_order = false;
+  for (size_t j = 0; j < pm.scan_order.size(); ++j) {
+    if (pm.scan_order[j] != j) pm.restore_input_order = true;
+  }
+  return pm;
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,71 @@
+#ifndef DATALAWYER_PLAN_OPTIMIZER_H_
+#define DATALAWYER_PLAN_OPTIMIZER_H_
+
+#include "analysis/bound_query.h"
+#include "common/result.h"
+#include "plan/logical.h"
+#include "plan/physical.h"
+
+namespace datalawyer {
+
+struct PlannerOptions {
+  /// Master switch for the cost-improving rules: constant folding, join
+  /// reordering, and computed-constant index probes. Predicate pushdown,
+  /// equality-conjunct extraction into join keys, and literal index probes
+  /// are structural — they always run and reproduce the original executor's
+  /// behavior exactly, so `false` is the baseline ("naive") plan. The
+  /// DL_DISABLE_OPTIMIZER environment variable forces false process-wide
+  /// (the CI fallback job sets it).
+  bool enable_optimizer = true;
+};
+
+/// True when DL_DISABLE_OPTIMIZER is set to a non-empty value other
+/// than "0". Cached after the first call.
+bool OptimizerDisabledByEnv();
+
+/// The rule-based planner: bound AST → logical plan → rules → physical
+/// plan. Stateless apart from its options; const and safe to share across
+/// threads.
+///
+/// Rules, in order:
+///  1. constant folding — WHERE conjuncts over no relation are evaluated at
+///     plan time; TRUE disappears, FALSE/NULL proves the join phase empty,
+///     an evaluation error defers the conjunct to run time (so `1/0 = 1`
+///     still fails exactly as it used to);
+///  2. join reordering — greedy smallest-relation-first over the equi-join
+///     connectivity of src/analysis/join_graph, ties broken by FROM
+///     position (so equal-sized relations keep their written order); the
+///     interpreter restores FROM-order row order afterwards, keeping
+///     results byte-identical;
+///  3. predicate pushdown — single-relation conjuncts move onto their scan;
+///  4. equality-conjunct extraction — conjuncts equating a placed-side
+///     expression with an incoming-side expression become hash-join keys,
+///     the rest residual filters;
+///  5. index-probe selection — `col = constant` scan filters become probe
+///     candidates (literals always; folded constant expressions under the
+///     optimizer), decided against RelationData::IndexLookup at run time.
+class Planner {
+ public:
+  explicit Planner(PlannerOptions options = {});
+
+  /// Full pipeline for a bound (possibly UNION-chained) SELECT. The
+  /// returned plan references `bound` and its AST; both must outlive it.
+  /// Emits a "planning" trace span (category "plan").
+  Result<PhysicalPlan> Plan(const BoundQuery& bound) const;
+
+  /// Builds and optimizes the logical plan without physicalizing it
+  /// (inspection / debugging).
+  Result<LogicalPlan> PlanLogical(const BoundQuery& bound) const;
+
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  Status OptimizeMember(LogicalMember* member) const;
+  Result<PhysicalMember> Physicalize(const LogicalMember& member) const;
+
+  PlannerOptions options_;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_PLAN_OPTIMIZER_H_

@@ -1,0 +1,121 @@
+#include "plan/physical.h"
+
+#include "common/strings.h"
+
+namespace datalawyer {
+
+namespace {
+
+void RenderMember(const PhysicalMember& pm, const CatalogView* catalog,
+                  std::string* out) {
+  const BoundQuery& bq = *pm.bq;
+
+  for (size_t j = 0; j < pm.scans.size(); ++j) {
+    const PhysicalScan& ps = pm.scans[j];
+    const BoundRelation& rel = bq.relations[ps.rel_idx];
+
+    // The probe decision is made against the live catalog, exactly as the
+    // interpreter will make it: every candidate with an index is probed and
+    // the most selective one narrows the scan.
+    const RelationData* data =
+        rel.table_name.empty() || catalog == nullptr
+            ? nullptr
+            : catalog->Find(rel.table_name);
+    bool index_probe = false;
+    std::string index_detail;
+    if (data != nullptr) {
+      size_t best_hits = 0;
+      for (const PhysicalProbe& probe : ps.probes) {
+        std::vector<size_t> hits;
+        if (!data->IndexLookup(probe.col, probe.value, &hits)) continue;
+        if (!index_probe || hits.size() < best_hits) {
+          best_hits = hits.size();
+          index_detail = probe.conjunct->ToString();
+        }
+        index_probe = true;
+      }
+    }
+
+    std::string source;
+    if (rel.table_name.empty()) {
+      source = "subquery " + rel.binding_name;
+    } else if (data != nullptr) {
+      source = rel.table_name + " (" + std::to_string(data->NumRows()) +
+               " rows)";
+    } else {
+      source = rel.table_name + " (? rows)";
+    }
+
+    std::vector<std::string> pushdown;
+    for (const Expr* p : ps.filters) pushdown.push_back(p->ToString());
+
+    if (j == 0) {
+      *out += "  scan " + source + " as " + rel.binding_name;
+      *out += index_probe ? " [index probe " + index_detail + "]"
+                          : " [full scan]";
+    } else {
+      const PhysicalJoin& pj = pm.joins[j - 1];
+      if (pj.algo == JoinAlgo::kHashJoin) {
+        std::vector<std::string> keys;
+        for (const Expr* e : pj.equi_conjuncts) keys.push_back(e->ToString());
+        *out += "  hash join " + source + " as " + rel.binding_name + " on " +
+                Join(keys, " AND ");
+      } else {
+        *out += "  nested loop join " + source + " as " + rel.binding_name;
+      }
+      if (index_probe) *out += " [index probe " + index_detail + "]";
+      if (!pj.residual.empty()) {
+        std::vector<std::string> residual;
+        for (const Expr* e : pj.residual) residual.push_back(e->ToString());
+        *out += " residual: " + Join(residual, " AND ");
+      }
+    }
+    if (!pushdown.empty()) *out += " pushdown: " + Join(pushdown, " AND ");
+    *out += "\n";
+  }
+  if (pm.scans.empty()) *out += "  constant row\n";
+  if (pm.provably_empty) *out += "  [provably empty]\n";
+
+  if (!bq.stmt->distinct_on.empty()) {
+    *out += "  distinct on (" + std::to_string(bq.stmt->distinct_on.size()) +
+            " keys)\n";
+  }
+  if (bq.is_grouped) {
+    *out += "  aggregate [" + std::to_string(bq.stmt->group_by.size()) +
+            " group keys, " + std::to_string(bq.aggregates.size()) +
+            " aggregates]";
+    if (bq.stmt->having != nullptr) {
+      *out += " having " + bq.stmt->having->ToString();
+    }
+    *out += "\n";
+  }
+  *out += "  project " + std::to_string(bq.output_columns.size()) +
+          " columns";
+  if (bq.stmt->distinct) *out += " distinct";
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string RenderPhysicalPlan(const PhysicalPlan& plan,
+                               const CatalogView* catalog) {
+  std::string out;
+  const BoundQuery* prev = nullptr;
+  for (const PhysicalMember& pm : plan.members) {
+    if (prev != nullptr) {
+      out += prev->stmt->union_all ? "UNION ALL\n" : "UNION\n";
+    }
+    RenderMember(pm, catalog, &out);
+    prev = pm.bq;
+  }
+  const SelectStmt* top = plan.bound->stmt;
+  if (!top->order_by.empty()) {
+    out += "  sort " + std::to_string(top->order_by.size()) + " keys\n";
+  }
+  if (top->limit.has_value()) {
+    out += "  limit " + std::to_string(*top->limit) + "\n";
+  }
+  return out;
+}
+
+}  // namespace datalawyer

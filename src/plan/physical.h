@@ -1,0 +1,107 @@
+#ifndef DATALAWYER_PLAN_PHYSICAL_H_
+#define DATALAWYER_PLAN_PHYSICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/bound_query.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "sql/ast.h"
+#include "storage/catalog_view.h"
+
+namespace datalawyer {
+
+struct PhysicalPlan;
+
+/// A `column = constant` equality the scan may answer through a hash index.
+/// The optimizer records every candidate; the interpreter probes each at
+/// run time (index availability is a run-time property of the resolved
+/// relation) and narrows the scan with the most selective answer. All scan
+/// filters are still re-applied per emitted row, so probing only changes
+/// the access path, never the result.
+struct PhysicalProbe {
+  size_t col = 0;  ///< column within the scanned relation
+  Value value;     ///< constant to probe with (owned; folded at plan time)
+  const Expr* conjunct = nullptr;  ///< originating conjunct (for explain)
+};
+
+/// Scan of one FROM item: IndexProbe when a candidate's index answers at
+/// run time, SeqScan otherwise. Base relations are *re-resolved by table
+/// name* on every execution — a cached plan outlives the per-query overlay
+/// catalogs (log ∪ increment) it runs against, so the bound
+/// BoundRelation::relation pointer must never be dereferenced here.
+struct PhysicalScan {
+  size_t rel_idx = 0;  ///< FROM index in the member's BoundQuery
+  std::vector<const Expr*> filters;  ///< pushed-down conjuncts, WHERE order
+  std::vector<PhysicalProbe> probes;
+  /// Present for subquery FROM items: the subquery's own physical plan.
+  std::unique_ptr<PhysicalPlan> subplan;
+};
+
+enum class JoinAlgo {
+  kHashJoin,    ///< build on the incoming relation, probe with the left side
+  kNestedLoop,  ///< cross product with residual filters
+};
+
+/// One step of the left-deep join fold: joins the accumulated left side
+/// with the member's scans[i + 1].
+struct PhysicalJoin {
+  JoinAlgo algo = JoinAlgo::kNestedLoop;
+  /// Parallel key sides for kHashJoin (left over the accumulated side,
+  /// right over the incoming scan), plus the originating conjuncts for
+  /// rendering.
+  std::vector<const Expr*> left_keys;
+  std::vector<const Expr*> right_keys;
+  std::vector<const Expr*> equi_conjuncts;
+  std::vector<const Expr*> residual;
+};
+
+/// One UNION member: the join pipeline plus the tail stages its BoundQuery
+/// prescribes (DISTINCT ON → aggregate → project → DISTINCT).
+struct PhysicalMember {
+  const BoundQuery* bq = nullptr;
+
+  /// Constant folding proved a WHERE conjunct false: the join phase yields
+  /// no rows (the tail still runs — a global aggregate over empty input
+  /// forms one group).
+  bool provably_empty = false;
+  /// Constant conjuncts kept for run-time evaluation (evaluated once per
+  /// execution against an all-NULL row, exactly like the pre-plan
+  /// executor), in WHERE order.
+  std::vector<const Expr*> runtime_constants;
+
+  /// Scans in execution order; empty for a FROM-less member. scans[0] is
+  /// the base of the fold, joins[i] consumes scans[i + 1].
+  std::vector<PhysicalScan> scans;
+  std::vector<PhysicalJoin> joins;  ///< size scans.size() - 1 (or 0)
+
+  /// scan_order[j] = FROM index executed j-th. When this is not the
+  /// identity (the optimizer reordered joins), the interpreter tracks
+  /// per-row scan-emission positions and re-sorts the joined rows into the
+  /// order the FROM-order fold would have produced, keeping results
+  /// byte-identical to the unoptimized path.
+  std::vector<size_t> scan_order;
+  bool restore_input_order = false;
+};
+
+/// An executable physical plan for one (possibly UNION-chained) bound
+/// SELECT. References the BoundQuery chain and its AST; both must outlive
+/// the plan. ORDER BY / LIMIT come from bound->stmt.
+struct PhysicalPlan {
+  const BoundQuery* bound = nullptr;
+  std::vector<PhysicalMember> members;
+};
+
+/// Renders the plan in the executor's explain vocabulary (scan / hash join /
+/// nested loop join / aggregate / distinct / project / sort / limit lines).
+/// Base relations are resolved by name through `catalog` for live row
+/// counts and index-probe decisions; pass the catalog the plan will run
+/// against. Unresolvable relations render with "?" row counts and no probe.
+std::string RenderPhysicalPlan(const PhysicalPlan& plan,
+                               const CatalogView* catalog);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_PLAN_PHYSICAL_H_

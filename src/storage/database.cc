@@ -13,6 +13,7 @@ Result<Table*> Database::CreateTable(const std::string& name,
   auto table = std::make_unique<Table>(std::move(schema));
   Table* raw = table.get();
   tables_.emplace(key, std::move(table));
+  ++version_;
   return raw;
 }
 
@@ -46,6 +47,7 @@ Status Database::DropTable(const std::string& name) {
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   tables_.erase(it);
+  ++version_;
   return Status::OK();
 }
 

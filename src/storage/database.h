@@ -35,8 +35,14 @@ class Database {
   /// Lowercased names in lexicographic order.
   std::vector<std::string> TableNames() const;
 
+  /// Schema epoch: bumped by every CreateTable/DropTable. Cached query
+  /// plans are stamped with the version they were built under and
+  /// revalidated against it, so DDL invalidates them without a callback.
+  uint64_t version() const { return version_; }
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace datalawyer

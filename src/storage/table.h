@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/value.h"
+#include "common/value_hash.h"
 #include "storage/schema.h"
 
 namespace datalawyer {
@@ -91,10 +92,6 @@ class Table : public RelationData {
                    std::vector<size_t>* out) const override;
 
  private:
-  struct ValueHashFn {
-    size_t operator()(const Value& v) const { return v.Hash(); }
-  };
-
   void InvalidateIndexes() { ++version_; }
 
   TableSchema schema_;
@@ -105,7 +102,7 @@ class Table : public RelationData {
   struct HashIndex {
     size_t column = 0;
     uint64_t built_at_version = 0;
-    std::unordered_map<Value, std::vector<size_t>, ValueHashFn> positions;
+    std::unordered_map<Value, std::vector<size_t>, ValueHash> positions;
   };
   std::vector<HashIndex> indexes_;
   uint64_t version_ = 0;

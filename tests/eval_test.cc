@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/binder.h"
-#include "exec/eval.h"
+#include "analysis/eval.h"
 #include "sql/parser.h"
 #include "storage/catalog_view.h"
 #include "storage/database.h"

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "exec/engine.h"
+#include "plan/optimizer.h"
 
 namespace datalawyer {
 namespace {
@@ -47,15 +48,36 @@ TEST_F(ExplainTest, IndexProbeAfterBuildIndex) {
 }
 
 TEST_F(ExplainTest, JoinAlgorithms) {
+  // With small listed first, FROM order and the size-ordered plan coincide,
+  // so the expectations hold with the optimizer on or off.
   std::string hash =
-      Plan("SELECT big.v FROM big, small WHERE big.k = small.k");
-  EXPECT_NE(hash.find("hash join small (2 rows)"), std::string::npos);
+      Plan("SELECT big.v FROM small, big WHERE big.k = small.k");
+  EXPECT_NE(hash.find("hash join big (3 rows)"), std::string::npos);
   EXPECT_NE(hash.find("on (big.k = small.k)"), std::string::npos);
 
   std::string loop =
-      Plan("SELECT big.v FROM big, small WHERE big.k < small.k");
-  EXPECT_NE(loop.find("nested loop join small"), std::string::npos);
+      Plan("SELECT big.v FROM small, big WHERE big.k < small.k");
+  EXPECT_NE(loop.find("nested loop join big"), std::string::npos);
   EXPECT_NE(loop.find("residual: (big.k < small.k)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, JoinReorderedSmallestFirst) {
+  if (OptimizerDisabledByEnv()) GTEST_SKIP() << "optimizer disabled";
+  // big listed first, but the optimizer builds the join from the smaller
+  // relation, so small (2 rows) becomes the outer scan.
+  std::string plan =
+      Plan("SELECT big.v FROM big, small WHERE big.k = small.k");
+  EXPECT_NE(plan.find("scan small (2 rows)"), std::string::npos);
+  EXPECT_NE(plan.find("hash join big (3 rows)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ConstantFoldingShowsProvablyEmpty) {
+  if (OptimizerDisabledByEnv()) GTEST_SKIP() << "optimizer disabled";
+  std::string plan = Plan("SELECT big.v FROM big WHERE 1 = 2");
+  EXPECT_NE(plan.find("[provably empty]"), std::string::npos);
+  // A true constant folds away entirely.
+  std::string kept = Plan("SELECT big.v FROM big WHERE 1 = 1");
+  EXPECT_EQ(kept.find("pushdown"), std::string::npos);
 }
 
 TEST_F(ExplainTest, AggregateDistinctOnUnionStages) {

@@ -3,8 +3,11 @@
 #include <cmath>
 #include <string>
 
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "core/datalawyer.h"
+#include "exec/engine.h"
 
 namespace datalawyer {
 namespace {
@@ -161,6 +164,48 @@ TEST(MetricsRegistryTest, ResetAllKeepsHandlesValid) {
   EXPECT_EQ(h->count(), 0u);
   c->Increment();  // the old pointer still works
   EXPECT_EQ(reg.GetCounter("c")->value(), 1u);
+}
+
+// The plan-cache counters flow into the global registry only when
+// enable_metrics is on, and in steady state (policies planned once at
+// Prepare) every recorded evaluation is a hit.
+TEST(PlanCacheMetricsTest, CountersRecordedAndGated) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* hits = reg.GetCounter("dl_plan_cache_hits_total");
+  Counter* misses = reg.GetCounter("dl_plan_cache_misses_total");
+
+  auto run_queries = [](DataLawyerOptions options) {
+    Database db;
+    Engine engine(&db);
+    EXPECT_TRUE(engine
+                    .ExecuteScript("CREATE TABLE t (a INT);"
+                                   "INSERT INTO t VALUES (1), (2);")
+                    .ok());
+    DataLawyer dl(&db, nullptr, std::make_unique<ManualClock>(), options);
+    EXPECT_TRUE(
+        dl.AddPolicy("never", "SELECT DISTINCT 'no' FROM users u "
+                              "WHERE u.uid = 999999")
+            .ok());
+    QueryContext ctx;
+    ctx.uid = 1;
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(dl.Execute("SELECT * FROM t", ctx).ok());
+    }
+  };
+
+  // Gated off: nothing lands in the registry.
+  uint64_t hits_before = hits->value();
+  uint64_t misses_before = misses->value();
+  run_queries({});  // enable_metrics defaults off
+  EXPECT_EQ(hits->value(), hits_before);
+  EXPECT_EQ(misses->value(), misses_before);
+
+  // Gated on: hits accumulate, and the steady-state miss count stays flat.
+  DataLawyerOptions with_metrics;
+  with_metrics.enable_metrics = true;
+  run_queries(with_metrics);
+  EXPECT_GT(hits->value(), hits_before);
+  EXPECT_EQ(misses->value(), misses_before);
 }
 
 TEST(MetricsRegistryTest, NamesAreSorted) {

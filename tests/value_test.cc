@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/value.h"
+#include "common/value_hash.h"
 
 namespace datalawyer {
 namespace {
