@@ -12,8 +12,8 @@ namespace datalawyer {
 namespace bench {
 namespace {
 
-constexpr int kBatches = 30;
-constexpr int kQueriesPerBatch = 120;
+const int kBatches = SmokeMode() ? 4 : 30;
+const int kQueriesPerBatch = SmokeMode() ? 20 : 120;
 
 void RunSide(const char* label, DataLawyerOptions options, int64_t uid,
              std::vector<double>* batch_ms) {

@@ -81,8 +81,10 @@ int main() {
   using namespace datalawyer;
   using namespace datalawyer::bench;
   std::printf("Figure 2: policy + query time breakdown (ms)\n");
-  RunPanel("(a) W4, uid=0", PaperQueries::W4(), 0, 10);
-  RunPanel("(b) W4, uid=1", PaperQueries::W4(), 1, 10);
-  RunPanel("(c) W2, uid=1", PaperQueries::W2(), 1, 120);
+  const int n_slow = SmokeMode() ? 4 : 10;
+  const int n_fast = SmokeMode() ? 20 : 120;
+  RunPanel("(a) W4, uid=0", PaperQueries::W4(), 0, n_slow);
+  RunPanel("(b) W4, uid=1", PaperQueries::W4(), 1, n_slow);
+  RunPanel("(c) W2, uid=1", PaperQueries::W2(), 1, n_fast);
   return 0;
 }

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json bench artifacts against committed baselines.
+
+Usage:
+  python3 bench/compare_baseline.py [--strict] [--tolerance R]
+      [--baseline-dir bench/baseline] [--current-dir .] [files...]
+
+With no positional files, every BENCH_*.json in --baseline-dir is compared
+against the file of the same name in --current-dir.
+
+Two classes of check:
+
+  structural (always an error): the current file must parse, contain the
+  same set of (bench, label) records as the baseline, and each record must
+  carry the same phase histograms with a nonzero query count.
+
+  performance (warning by default, error with --strict): each phase's p50
+  may drift at most --tolerance x in either direction relative to the
+  baseline (default 3.0 -- bench numbers on shared CI runners are noisy;
+  the check is for order-of-magnitude regressions, not percent-level ones).
+  Phases whose baseline p50 is below --floor-us (default 50) are skipped:
+  ratios of near-zero timings are meaningless.
+
+Exit status: 1 if any error (structural always, drift only with --strict),
+else 0.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    records = {}
+    for rec in data:
+        key = (rec["bench"], rec["label"])
+        if key in records:
+            raise ValueError(f"{path}: duplicate record {key}")
+        records[key] = rec
+    return records
+
+
+def compare_file(name, baseline_path, current_path, tolerance, floor_us):
+    errors, warnings = [], []
+    try:
+        baseline = load_records(baseline_path)
+    except (OSError, ValueError, KeyError) as e:
+        return [f"{name}: cannot load baseline: {e}"], []
+    try:
+        current = load_records(current_path)
+    except (OSError, ValueError, KeyError) as e:
+        return [f"{name}: cannot load current: {e}"], []
+
+    missing = sorted(set(baseline) - set(current))
+    extra = sorted(set(current) - set(baseline))
+    for key in missing:
+        errors.append(f"{name}: record {key} missing from current run")
+    for key in extra:
+        errors.append(f"{name}: unexpected record {key} (refresh baseline?)")
+
+    for key in sorted(set(baseline) & set(current)):
+        base_rec, cur_rec = baseline[key], current[key]
+        base_phases = base_rec.get("phases_us", {})
+        cur_phases = cur_rec.get("phases_us", {})
+        if cur_rec.get("queries", 0) <= 0:
+            errors.append(f"{name}: record {key} ran zero queries")
+            continue
+        for phase, base_h in base_phases.items():
+            if not isinstance(base_h, dict):
+                continue  # counters, if any ever appear
+            cur_h = cur_phases.get(phase)
+            if not isinstance(cur_h, dict):
+                errors.append(f"{name}: {key} lost phase '{phase}'")
+                continue
+            if cur_h.get("count", 0) <= 0:
+                errors.append(f"{name}: {key} phase '{phase}' has no samples")
+                continue
+            base_p50, cur_p50 = base_h.get("p50", 0), cur_h.get("p50", 0)
+            if base_p50 < floor_us:
+                continue
+            ratio = cur_p50 / base_p50
+            if ratio > tolerance or ratio < 1.0 / tolerance:
+                warnings.append(
+                    f"{name}: {key} phase '{phase}' p50 drifted "
+                    f"{ratio:.2f}x (baseline {base_p50:.0f}us, "
+                    f"current {cur_p50:.0f}us)")
+    return errors, warnings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*",
+                        help="BENCH_*.json files to check (default: all "
+                             "files present in the baseline dir)")
+    parser.add_argument("--baseline-dir", default="bench/baseline")
+    parser.add_argument("--current-dir", default=".")
+    parser.add_argument("--tolerance", type=float, default=3.0)
+    parser.add_argument("--floor-us", type=float, default=50.0)
+    parser.add_argument("--strict", action="store_true",
+                        help="treat p50 drift as an error, not a warning")
+    args = parser.parse_args()
+
+    if args.files:
+        names = [os.path.basename(f) for f in args.files]
+    else:
+        names = sorted(os.path.basename(p) for p in
+                       glob.glob(os.path.join(args.baseline_dir,
+                                              "BENCH_*.json")))
+    if not names:
+        print(f"no BENCH_*.json baselines found in {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    all_errors, all_warnings = [], []
+    for name in names:
+        errors, warnings = compare_file(
+            name,
+            os.path.join(args.baseline_dir, name),
+            os.path.join(args.current_dir, name),
+            args.tolerance, args.floor_us)
+        all_errors += errors
+        all_warnings += warnings
+
+    for w in all_warnings:
+        print(f"WARN  {w}")
+    for e in all_errors:
+        print(f"ERROR {e}")
+    checked = ", ".join(names)
+    if all_errors or (args.strict and all_warnings):
+        print(f"FAIL: {checked}")
+        return 1
+    print(f"OK: {checked} ({len(all_warnings)} drift warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

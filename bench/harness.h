@@ -2,11 +2,14 @@
 #define DATALAWYER_BENCH_HARNESS_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "common/strings.h"
 #include "core/datalawyer.h"
 #include "workload/mimic.h"
 #include "workload/paper_policies.h"
@@ -15,13 +18,27 @@
 namespace datalawyer {
 namespace bench {
 
+/// True when DL_BENCH_SMOKE is set: benches shrink their dataset and query
+/// counts to a CI-friendly size (seconds, not minutes). The emitted
+/// BENCH_*.json keeps the same schema either way, so the baseline compare
+/// script works on both.
+inline bool SmokeMode() {
+  static const bool smoke = std::getenv("DL_BENCH_SMOKE") != nullptr;
+  return smoke;
+}
+
 /// Dataset size used by all experiment harnesses. Large enough that the
 /// W1..W4 cost spectrum spans ~0.2ms to ~100ms, small enough that every
-/// bench binary finishes in tens of seconds.
+/// bench binary finishes in tens of seconds. Smoke mode shrinks it further.
 inline MimicConfig BenchConfig() {
   MimicConfig config;
-  config.num_patients = 33000;
-  config.num_chartevents = 400000;
+  if (SmokeMode()) {
+    config.num_patients = 4000;
+    config.num_chartevents = 40000;
+  } else {
+    config.num_patients = 33000;
+    config.num_chartevents = 400000;
+  }
   return config;
 }
 
@@ -80,9 +97,12 @@ inline SeriesStats Summarize(const std::vector<ExecutionStats>& stats) {
 }
 
 /// Machine-readable companion to the human-readable tables: feeds the
-/// per-query phase timings into log-scale histograms and prints one
+/// per-query phase timings into log-scale histograms, prints one
 /// `BENCH_JSON {...}` line (all values in microseconds) that scripts can
-/// grep out of bench output without parsing the prose.
+/// grep out of bench output without parsing the prose, and rewrites
+/// BENCH_<bench>.json in the working directory with every record emitted so
+/// far — the artifact bench/compare_baseline.py checks against
+/// bench/baseline/.
 inline void EmitJson(const std::string& bench, const std::string& label,
                      const std::vector<ExecutionStats>& stats) {
   MetricsRegistry registry;
@@ -98,10 +118,27 @@ inline void EmitJson(const std::string& bench, const std::string& label,
     eval->Observe(s.policy_wall_us);
     compact->Observe(s.compaction_ms() * 1000.0);
   }
-  std::printf("BENCH_JSON {\"bench\":\"%s\",\"label\":\"%s\",\"queries\":%zu,"
-              "\"phases_us\":%s}\n",
-              bench.c_str(), label.c_str(), stats.size(),
-              registry.ToJson().c_str());
+  std::string record = "{\"bench\":\"" + JsonEscape(bench) + "\",\"label\":\"" +
+                       JsonEscape(label) +
+                       "\",\"queries\":" + std::to_string(stats.size()) +
+                       ",\"phases_us\":" + registry.ToJson() + "}";
+  std::printf("BENCH_JSON %s\n", record.c_str());
+
+  // Accumulate and rewrite the per-bench file after each emit, so a partial
+  // run (crash, timeout) still leaves a valid JSON array on disk.
+  static std::map<std::string, std::vector<std::string>> records;
+  std::vector<std::string>& list = records[bench];
+  list.push_back(record);
+  std::string path = "BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < list.size(); ++i) {
+    std::fprintf(f, "%s%s\n", list[i].c_str(),
+                 i + 1 < list.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
 }
 
 /// Policy SQL for Table 2's P1..P6 by 1-based index.

@@ -26,11 +26,14 @@ namespace {
 void PrintHelp() {
   std::printf(R"(Commands:
   <sql>                   run a SQL statement through policy enforcement
+  EXPLAIN <select>        logical plan of a SELECT (database only, no policies)
+  EXPLAIN ANALYZE <select>  run it profiled: per-operator rows and wall us
   \policy <name> <sql>    register a policy (SQL over the usage log)
   \guard <name> <sql>     attach an approximate guard to policy <name>
   \check <sql>            dry run: would this query be admitted?
   \policies               active policies + per-policy enforcement attribution
   \policies plan <name>   physical plan the enforcement fan-out re-executes
+  \policies analyze <name>  profiled evaluation of that plan (rows, wall us)
   \drop <name>            remove a policy
   \user <uid>             switch the current user (default 0)
   \log <sql>              read-only query over database + usage log + clock
@@ -39,8 +42,11 @@ void PrintHelp() {
   \stats                  phase breakdown of the last query
   \trace on|off|clear     toggle span tracing (Chrome trace_event collection)
   \trace <file>           write the collected trace as Chrome JSON to <file>
-  \metrics                Prometheus text exposition of counters/histograms
+  \metrics                phase-latency summary + Prometheus text exposition
   \audit [n]              last n (default 10) admit/reject audit records
+  \slow [n]               last n (default 10) slow-enforcement profiles
+  \slow json              dump the slow-enforcement log as JSON
+  \slow threshold <us>    set the slow threshold in microseconds (0 = off)
   \paper                  load the paper's six Table 2 policies
   \save <dir> / \load <dir>   snapshot / restore the database and usage log
   \help                   this text
@@ -155,6 +161,14 @@ int main(int argc, char** argv) {
                                 : (plan.status().ToString() + "\n").c_str());
           continue;
         }
+        if (rest.rfind("analyze ", 0) == 0) {
+          auto profile = dl.ExplainAnalyzePolicy(rest.substr(8));
+          std::printf("%s",
+                      profile.ok()
+                          ? profile->c_str()
+                          : (profile.status().ToString() + "\n").c_str());
+          continue;
+        }
         if (!dl.Prepare().ok()) {
           std::printf("prepare failed\n");
           continue;
@@ -205,7 +219,41 @@ int main(int argc, char** argv) {
           }
         }
       } else if (cmd == "metrics") {
+        std::printf("%s", MetricsRegistry::Global().SummaryText().c_str());
         std::printf("%s", MetricsRegistry::Global().ExposeText().c_str());
+      } else if (cmd == "slow") {
+        if (rest == "json") {
+          std::printf("%s\n", dl.slow_log().ToJson().c_str());
+        } else if (rest.rfind("threshold ", 0) == 0) {
+          DataLawyerOptions opts = dl.options();
+          opts.slow_enforcement_threshold_us =
+              std::strtod(rest.c_str() + 10, nullptr);
+          dl.set_options(opts);
+          std::printf("slow threshold = %.0fus\n",
+                      opts.slow_enforcement_threshold_us);
+        } else {
+          const SlowLog& slow = dl.slow_log();
+          if (dl.options().slow_enforcement_threshold_us <= 0) {
+            std::printf("slow log disabled (\\slow threshold <us> to arm)\n");
+          }
+          if (slow.dropped() > 0) {
+            std::printf("(%llu older profiles evicted)\n",
+                        (unsigned long long)slow.dropped());
+          }
+          size_t n =
+              rest.empty() ? 10 : std::strtoull(rest.c_str(), nullptr, 10);
+          for (const EnforcementProfile& p : slow.Tail(n)) {
+            std::printf(
+                "ts=%-8lld uid=%-4lld %s%s total %8.0fus | parse %.0f bind "
+                "%.0f plan %.0f log-gen %.0f eval %.0f compact %.0f exec "
+                "%.0f | %s\n",
+                (long long)p.ts, (long long)p.uid,
+                p.rejected ? "REJECT" : "ADMIT ", p.probe ? "?" : " ",
+                p.total_us(), p.parse_us, p.bind_us, p.plan_us, p.log_gen_us,
+                p.policy_eval_us, p.compaction_us, p.user_exec_us,
+                p.query_sql.c_str());
+          }
+        }
       } else if (cmd == "audit") {
         size_t n = rest.empty() ? 10 : std::strtoull(rest.c_str(), nullptr, 10);
         const AuditLog& audit = dl.audit_log();

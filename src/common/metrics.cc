@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/strings.h"
+
 namespace datalawyer {
 
 namespace {
@@ -180,13 +182,15 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, entry] : counters_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + name + "\":" + FormatNumber(double(entry.first->value()));
+    out += "\"" + JsonEscape(name) +
+           "\":" + FormatNumber(double(entry.first->value()));
   }
   for (const auto& [name, entry] : histograms_) {
     const Histogram& h = *entry.first;
     if (!first) out += ",";
     first = false;
-    out += "\"" + name + "\":{\"count\":" + FormatNumber(double(h.count())) +
+    out += "\"" + JsonEscape(name) +
+           "\":{\"count\":" + FormatNumber(double(h.count())) +
            ",\"mean\":" + FormatNumber(h.mean()) +
            ",\"min\":" + FormatNumber(h.min()) +
            ",\"max\":" + FormatNumber(h.max()) +
@@ -195,6 +199,29 @@ std::string MetricsRegistry::ToJson() const {
            ",\"p99\":" + FormatNumber(h.Percentile(0.99)) + "}";
   }
   out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::SummaryText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[192];
+  bool any = false;
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.first;
+    if (h.count() == 0) continue;
+    if (!any) {
+      std::snprintf(buf, sizeof(buf), "%-28s %10s %12s %12s %12s %12s\n",
+                    "histogram", "count", "mean", "p50", "p95", "p99");
+      out += buf;
+      any = true;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%-28s %10llu %12.1f %12.1f %12.1f %12.1f\n", name.c_str(),
+                  (unsigned long long)h.count(), h.mean(), h.Percentile(0.50),
+                  h.Percentile(0.95), h.Percentile(0.99));
+    out += buf;
+  }
   return out;
 }
 

@@ -92,6 +92,11 @@ class MetricsRegistry {
   /// {count,mean,min,max,p50,p95,p99}. Used by the bench harness.
   std::string ToJson() const;
 
+  /// Human-readable latency summary: one row per histogram with count,
+  /// mean, p50, p95, p99 (the shell's `\metrics` header — the Table 4
+  /// phase percentiles at a glance). Empty histograms are skipped.
+  std::string SummaryText() const;
+
   /// Resets every metric to zero (handles stay valid).
   void ResetAll();
 

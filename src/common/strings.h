@@ -17,6 +17,17 @@ bool EqualsIgnoreCase(const std::string& a, const std::string& b);
 std::string Join(const std::vector<std::string>& parts,
                  const std::string& sep);
 
+/// Appends `s` to `*out` escaped for inclusion inside a JSON string literal
+/// (quotes, backslashes, and control characters; the surrounding quotes are
+/// the caller's). Shared by every JSON writer in the system — trace export,
+/// metrics snapshots, the slow-enforcement log, and the bench harness — so
+/// labels carrying SQL fragments or policy names can never corrupt a
+/// document.
+void AppendJsonEscaped(std::string* out, const std::string& s);
+
+/// Returns `s` escaped for a JSON string literal (see AppendJsonEscaped).
+std::string JsonEscape(const std::string& s);
+
 }  // namespace datalawyer
 
 #endif  // DATALAWYER_COMMON_STRINGS_H_

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/strings.h"
+
 namespace datalawyer {
 
 namespace {
@@ -18,38 +20,6 @@ int64_t SteadyNowNs() {
 std::atomic<int> g_next_tid{0};
 thread_local int t_tid = -1;
 thread_local int t_depth = 0;
-
-/// JSON string escaping for span names (policy names and SQL fragments can
-/// contain quotes and backslashes).
-void AppendJsonEscaped(std::string* out, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-}
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 
 #include "analysis/binder.h"
 #include "exec/executor.h"
+#include "exec/plan_executor.h"
 #include "policy/partial_policy.h"
 #include "policy/policy_analyzer.h"
 #include "policy/unification.h"
@@ -95,7 +96,8 @@ DataLawyer::DataLawyer(Database* db, std::unique_ptr<UsageLog> log,
                               : std::make_unique<ManualClock>()),
       options_(options),
       engine_(db),
-      audit_(options.audit_capacity) {
+      audit_(options.audit_capacity),
+      slow_log_(options.slow_log_capacity) {
   // Tracing is opt-in and process-global (one timeline); an instance turns
   // it on but never off, so a default-options instance elsewhere in the
   // process cannot silence an active trace.
@@ -110,6 +112,7 @@ void DataLawyer::set_options(DataLawyerOptions options) {
   options_ = options;
   prepared_valid_ = false;
   if (options_.enable_tracing) Tracer::Global().set_enabled(true);
+  slow_log_.set_capacity(options_.slow_log_capacity);
 }
 
 Status DataLawyer::AddPolicy(const std::string& name, const std::string& sql,
@@ -257,8 +260,14 @@ Status DataLawyer::Prepare() {
 
   // Equality hash indexes over the persisted log: policy predicates are
   // dominated by `uid = $user` / `ts = $now` conjuncts, which the executor
-  // turns into index probes instead of full scans.
-  if (options_.enable_log_indexes) log_->EnableIndexes();
+  // turns into index probes instead of full scans. Turning the option off
+  // after indexes were built drops them, so the cache stamp (and the access
+  // paths policies actually use) track the option.
+  if (options_.enable_log_indexes) {
+    log_->EnableIndexes();
+  } else {
+    log_->DisableIndexes();
+  }
 
   // ---- per-policy witness sets and partial-policy caches ----
   std::vector<std::string> order;
@@ -358,8 +367,22 @@ uint64_t DataLawyer::CacheStamp() const {
 }
 
 void DataLawyer::WarmPlanCache() {
+  uint64_t stamp = CacheStamp();
+  // A stamp change after the initial warm means every cached plan just
+  // became untrusted — DDL bumped the schema version, or the log-index
+  // state flipped. Count it once on the global miss counter so invalidation
+  // churn is observable even though steady-state per-query stats stay at
+  // zero misses. The first population is not an invalidation.
+  if (options_.enable_metrics && options_.enable_plan_cache &&
+      plan_cache_warmed_ && plan_cache_.stamp() != stamp) {
+    MetricsRegistry::Global()
+        .GetCounter("dl_plan_cache_misses_total",
+                    "policy statements that needed a one-shot bind and plan")
+        ->Increment();
+  }
   plan_cache_.Clear();
-  plan_cache_.set_stamp(CacheStamp());
+  plan_cache_.set_stamp(stamp);
+  plan_cache_warmed_ = true;
   if (!options_.enable_plan_cache) return;
   DL_TRACE_SPAN("plan.warm", "plan");
   // The warming catalog dies with this scope; cached plans never
@@ -390,14 +413,18 @@ Result<QueryResult> DataLawyer::Execute(const std::string& sql,
   if (!prepared_valid_) {
     DL_RETURN_NOT_OK(Prepare());
   }
+  auto parse_start = Now();
   DL_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  double parse_us = UsSince(parse_start);
   if (stmt.kind != StatementKind::kSelect) {
-    // DDL/DML bypasses policy checking (policies govern reads, §3).
+    // DDL/DML bypasses policy checking (policies govern reads, §3);
+    // EXPLAIN is a diagnostic and bypasses it the same way.
     return engine_.ExecuteStatement(stmt);
   }
   int64_t ts = clock_->Tick();
   stats_ = ExecutionStats{};
   stats_.ts = ts;
+  stats_.parse_us = parse_us;
   Result<QueryResult> result = ExecuteChecked(*stmt.select, context, ts);
   RecordDecision(sql, context, result.status(), /*probe=*/false);
   return result;
@@ -418,7 +445,9 @@ Status DataLawyer::WouldAllow(const std::string& sql,
     DL_RETURN_NOT_OK(Prepare());
   }
   DL_RETURN_NOT_OK(Flush());
+  auto parse_start = Now();
   DL_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
+  double parse_us = UsSince(parse_start);
   if (stmt.kind != StatementKind::kSelect) {
     return Status::OK();  // DDL/DML bypasses policies
   }
@@ -426,6 +455,7 @@ Status DataLawyer::WouldAllow(const std::string& sql,
   int64_t ts = clock_->Now() + 1;
   stats_ = ExecutionStats{};
   stats_.ts = ts;
+  stats_.parse_us = parse_us;
 
   // Reuse the checked path with compaction, commit and execution
   // suppressed; all staged increments are discarded afterwards.
@@ -476,6 +506,34 @@ Result<std::string> DataLawyer::ExplainPolicy(const std::string& name) {
     }
     Executor executor(catalog.view());
     return executor.Explain(policy.effective());
+  }
+  return Status::NotFound("no such policy: " + name);
+}
+
+Result<std::string> DataLawyer::ExplainAnalyzePolicy(const std::string& name) {
+  if (!prepared_valid_) DL_RETURN_NOT_OK(Prepare());
+  // Run against the committed log (same state a real evaluation would see).
+  DL_RETURN_NOT_OK(Flush());
+  for (const Policy& policy : active_) {
+    if (policy.name != name) continue;
+    UsageLog::PolicyCatalog catalog =
+        log_->MakeCatalog(policy_base_catalog(), clock_->Now());
+    const PlanCache::Entry* cached =
+        options_.enable_plan_cache && plan_cache_.stamp() == CacheStamp()
+            ? plan_cache_.Lookup(policy.effective())
+            : nullptr;
+    if (cached != nullptr) {
+      PlanExecutor exec(catalog.view());
+      exec.EnableProfiling();
+      auto start = Now();
+      DL_ASSIGN_OR_RETURN(QueryResult result, exec.Run(cached->plan));
+      double total_us = UsSince(start);
+      std::string out = RenderOperatorProfile(exec.profile(), total_us);
+      out += "  result: " + std::to_string(result.rows.size()) + " rows\n";
+      return out;
+    }
+    Executor executor(catalog.view());
+    return executor.ExplainAnalyze(policy.effective());
   }
   return Status::NotFound("no such policy: " + name);
 }
@@ -664,13 +722,17 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
   // every cached plan. Rebuilding here — in the serial head, before the
   // evaluation fan-out — keeps Lookup read-only for the pool workers.
   if (options_.enable_plan_cache && plan_cache_.stamp() != CacheStamp()) {
+    auto plan_start = Now();
     WarmPlanCache();
+    stats_.plan_us = UsSince(plan_start);
   }
 
   // Bind the user query against the database (needed by f_Schema and to
   // surface SQL errors before any policy work).
+  auto bind_start = Now();
   Binder binder(engine_.db_catalog());
   DL_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(stmt));
+  stats_.bind_us = UsSince(bind_start);
 
   GenerationInput input;
   input.query = &stmt;
@@ -1241,6 +1303,14 @@ void DataLawyer::RecordDecision(const std::string& sql,
     audit_.Append(std::move(record));
   }
 
+  if (options_.slow_enforcement_threshold_us > 0) {
+    EnforcementProfile profile =
+        EnforcementProfile::FromStats(stats_, sql, context.uid, probe);
+    if (profile.total_us() >= options_.slow_enforcement_threshold_us) {
+      slow_log_.Append(std::move(profile));
+    }
+  }
+
   if (options_.enable_metrics) {
     // Handles resolved once per process (the registry is global and the
     // names are fixed); thereafter this is a handful of relaxed atomic ops.
@@ -1261,6 +1331,9 @@ void DataLawyer::RecordDecision(const std::string& sql,
       Histogram* log_gen_us;
       Histogram* eval_us;
       Histogram* compact_us;
+      Histogram* parse_us;
+      Histogram* bind_us;
+      Histogram* plan_us;
     };
     static Handles h = [] {
       MetricsRegistry& r = MetricsRegistry::Global();
@@ -1299,6 +1372,12 @@ void DataLawyer::RecordDecision(const std::string& sql,
                                        "policy-evaluation wall latency (us)");
       handles.compact_us =
           r.GetHistogram("dl_compaction_us", "log-compaction latency (us)");
+      handles.parse_us =
+          r.GetHistogram("dl_parse_us", "SQL parse latency (us)");
+      handles.bind_us =
+          r.GetHistogram("dl_bind_us", "user-query bind latency (us)");
+      handles.plan_us =
+          r.GetHistogram("dl_plan_us", "plan-cache rewarm latency (us)");
       return handles;
     }();
     if (probe) {
@@ -1320,6 +1399,9 @@ void DataLawyer::RecordDecision(const std::string& sql,
     h.log_gen_us->Observe(stats_.log_gen_ms * 1000.0);
     h.eval_us->Observe(stats_.policy_wall_us);
     h.compact_us->Observe(stats_.compaction_ms() * 1000.0);
+    h.parse_us->Observe(stats_.parse_us);
+    h.bind_us->Observe(stats_.bind_us);
+    h.plan_us->Observe(stats_.plan_us);
   }
 }
 

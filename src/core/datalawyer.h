@@ -17,6 +17,7 @@
 #include "core/audit.h"
 #include "core/options.h"
 #include "core/plan_cache.h"
+#include "core/profile.h"
 #include "core/stats.h"
 #include "exec/engine.h"
 #include "log/usage_log.h"
@@ -115,6 +116,14 @@ class DataLawyer {
   /// one, else a freshly planned equivalent. Shell `\policies plan`.
   Result<std::string> ExplainPolicy(const std::string& name);
 
+  /// EXPLAIN ANALYZE for a registered policy: runs one profiled evaluation
+  /// of the cached policy plan (or a freshly planned equivalent) over the
+  /// live policy catalog and renders each operator annotated with observed
+  /// row counts, wall time, hash-table peaks, and index probes. Does not
+  /// tick the clock, generate logs, or touch stats. Shell
+  /// `\policies analyze <name>`.
+  Result<std::string> ExplainAnalyzePolicy(const std::string& name);
+
   /// Phase timings of the most recent Execute call.
   const ExecutionStats& last_stats() const { return stats_; }
 
@@ -131,6 +140,13 @@ class DataLawyer {
   /// options().enable_audit; ring-bounded by options().audit_capacity.
   const AuditLog& audit_log() const { return audit_; }
   AuditLog* mutable_audit_log() { return &audit_; }
+
+  /// Slow-enforcement log: EnforcementProfiles of every query whose
+  /// end-to-end latency met options().slow_enforcement_threshold_us.
+  /// Ring-bounded by options().slow_log_capacity; empty when the threshold
+  /// is 0 (the default).
+  const SlowLog& slow_log() const { return slow_log_; }
+  SlowLog* mutable_slow_log() { return &slow_log_; }
 
   /// Per-policy detail behind the most recent rejection; empty when the
   /// last query was admitted.
@@ -264,6 +280,9 @@ class DataLawyer {
   /// CacheStamp(); steady-state policy evaluation does zero parse/bind/
   /// plan work.
   PlanCache plan_cache_;
+  /// False until the first WarmPlanCache — the initial population does not
+  /// count as an invalidation on dl_plan_cache_misses_total.
+  bool plan_cache_warmed_ = false;
 
   /// Union of active policies' log footprints.
   std::set<std::string> mentioned_logs_;
@@ -282,6 +301,9 @@ class DataLawyer {
 
   /// Enforcement audit trail (enable_audit).
   AuditLog audit_;
+
+  /// Slow-enforcement log (slow_enforcement_threshold_us > 0).
+  SlowLog slow_log_;
 
   /// True while WouldAllow probes: suppresses commit/compaction/execution.
   bool probe_mode_ = false;

@@ -90,6 +90,15 @@ struct DataLawyerOptions {
   /// Ring-buffer capacity of the audit trail (oldest evicted first).
   size_t audit_capacity = 4096;
 
+  /// Retain an EnforcementProfile (per-phase latency breakdown, see
+  /// core/profile.h) for every query whose end-to-end latency is at least
+  /// this many microseconds. 0 disables the slow-enforcement log entirely.
+  /// Shell: `\slow [n]` lists recent entries, `\slow json` dumps them.
+  double slow_enforcement_threshold_us = 0;
+
+  /// Ring-buffer capacity of the slow-enforcement log.
+  size_t slow_log_capacity = 256;
+
   /// Compact the log every N successful queries instead of after each one
   /// (§5.2: "DataLawyer could compact the log less frequently or whenever
   /// the system has idle resources"). Between compactions, surviving

@@ -1,0 +1,97 @@
+#include "core/profile.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace datalawyer {
+
+namespace {
+
+void AppendField(std::string* out, const char* name, double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.1f,", name, us);
+  *out += buf;
+}
+
+}  // namespace
+
+EnforcementProfile EnforcementProfile::FromStats(const ExecutionStats& stats,
+                                                 const std::string& sql,
+                                                 int64_t uid, bool probe) {
+  EnforcementProfile p;
+  p.ts = stats.ts;
+  p.uid = uid;
+  p.query_sql = sql;
+  p.rejected = stats.rejected;
+  p.probe = probe;
+  p.parse_us = stats.parse_us;
+  p.bind_us = stats.bind_us;
+  p.plan_us = stats.plan_us;
+  p.log_gen_us = stats.log_gen_ms * 1000.0;
+  p.policy_eval_us = stats.policy_wall_us;
+  p.compaction_us = stats.compaction_ms() * 1000.0;
+  p.user_exec_us = stats.query_exec_ms * 1000.0;
+  return p;
+}
+
+std::string EnforcementProfile::ToJson() const {
+  std::string out = "{";
+  out += "\"ts\":" + std::to_string(ts) + ",";
+  out += "\"uid\":" + std::to_string(uid) + ",";
+  out += "\"sql\":\"" + JsonEscape(query_sql) + "\",";
+  out += rejected ? "\"rejected\":true," : "\"rejected\":false,";
+  out += probe ? "\"probe\":true," : "\"probe\":false,";
+  AppendField(&out, "parse_us", parse_us);
+  AppendField(&out, "bind_us", bind_us);
+  AppendField(&out, "plan_us", plan_us);
+  AppendField(&out, "log_gen_us", log_gen_us);
+  AppendField(&out, "policy_eval_us", policy_eval_us);
+  AppendField(&out, "compaction_us", compaction_us);
+  AppendField(&out, "user_exec_us", user_exec_us);
+  AppendField(&out, "total_us", total_us());
+  out.back() = '}';  // replace the trailing comma
+  return out;
+}
+
+void SlowLog::Append(EnforcementProfile profile) {
+  if (capacity_ == 0) return;
+  while (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(std::move(profile));
+  ++total_appended_;
+}
+
+void SlowLog::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<EnforcementProfile> SlowLog::Tail(size_t n) const {
+  size_t start = records_.size() > n ? records_.size() - n : 0;
+  return std::vector<EnforcementProfile>(records_.begin() + start,
+                                         records_.end());
+}
+
+std::string SlowLog::ToJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n" + records_[i].ToJson();
+  }
+  out += "\n]";
+  return out;
+}
+
+void SlowLog::Clear() {
+  records_.clear();
+  total_appended_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,86 @@
+#ifndef DATALAWYER_CORE_PROFILE_H_
+#define DATALAWYER_CORE_PROFILE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace datalawyer {
+
+/// Per-query enforcement profile: the end-to-end latency of one Execute /
+/// WouldAllow call decomposed into the seven pipeline phases. The parts sum
+/// to total_us() by construction — the same decomposition ExecutionStats
+/// uses for total_ms() — so a profile always accounts for 100% of the
+/// latency it reports. Feeds the slow-enforcement log and the shell's
+/// `\slow` command.
+struct EnforcementProfile {
+  int64_t ts = 0;         ///< logical clock at decision time
+  int64_t uid = 0;        ///< requesting user
+  std::string query_sql;  ///< the user's SQL, verbatim
+  bool rejected = false;
+  bool probe = false;  ///< WouldAllow dry run
+
+  /// Phase latencies in microseconds.
+  double parse_us = 0;        ///< SQL text -> AST
+  double bind_us = 0;         ///< binding the user query
+  double plan_us = 0;         ///< plan-cache rewarm (0 in steady state)
+  double log_gen_us = 0;      ///< usage-log generation (usage tracking)
+  double policy_eval_us = 0;  ///< policy-evaluation wall time
+  double compaction_us = 0;   ///< mark + delete + insert/commit
+  double user_exec_us = 0;    ///< running the user's query
+
+  double total_us() const {
+    return parse_us + bind_us + plan_us + log_gen_us + policy_eval_us +
+           compaction_us + user_exec_us;
+  }
+
+  /// Builds a profile from one query's ExecutionStats plus its context.
+  static EnforcementProfile FromStats(const ExecutionStats& stats,
+                                      const std::string& sql, int64_t uid,
+                                      bool probe);
+
+  /// One JSON object (SQL escaped via the shared JSON escaper).
+  std::string ToJson() const;
+};
+
+/// Ring-bounded log of the slowest enforcement decisions: every query whose
+/// end-to-end latency met options().slow_enforcement_threshold_us gets its
+/// EnforcementProfile retained here (oldest evicted first; `dropped()`
+/// counts evictions). Appends happen on the Execute path only, like the
+/// audit trail — the class itself is plain, no locking.
+class SlowLog {
+ public:
+  explicit SlowLog(size_t capacity = 256) : capacity_(capacity) {}
+
+  void Append(EnforcementProfile profile);
+
+  size_t size() const { return records_.size(); }
+  uint64_t total_appended() const { return total_appended_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity);
+
+  /// Oldest-first view of the retained profiles.
+  const std::deque<EnforcementProfile>& records() const { return records_; }
+
+  /// The `n` most recent profiles, oldest-first.
+  std::vector<EnforcementProfile> Tail(size_t n) const;
+
+  /// JSON array of every retained profile, oldest-first.
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::deque<EnforcementProfile> records_;
+  uint64_t total_appended_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_CORE_PROFILE_H_

@@ -28,6 +28,21 @@ Result<Value> CoerceForColumn(Value v, const ColumnDef& col) {
                            ValueTypeToString(col.type));
 }
 
+/// Wraps rendered plan text into a one-column result, one row per line, so
+/// EXPLAIN output flows through the normal QueryResult machinery.
+QueryResult PlanTextResult(const std::string& text) {
+  QueryResult result;
+  result.schema.AddColumn("query plan", ValueType::kString);
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    result.rows.push_back(Row{Value(text.substr(start, end - start))});
+    start = end + 1;
+  }
+  return result;
+}
+
 }  // namespace
 
 Result<QueryResult> Engine::ExecuteSql(const std::string& sql,
@@ -73,6 +88,14 @@ Result<QueryResult> Engine::ExecuteStatement(const Statement& stmt,
     case StatementKind::kDropTable:
       DL_RETURN_NOT_OK(db_->DropTable(stmt.drop_table->table_name));
       return QueryResult{};
+    case StatementKind::kExplain: {
+      Executor executor(&db_catalog_, options);
+      DL_ASSIGN_OR_RETURN(std::string text,
+                          stmt.explain->analyze
+                              ? executor.ExplainAnalyze(*stmt.explain->select)
+                              : executor.Explain(*stmt.explain->select));
+      return PlanTextResult(text);
+    }
   }
   return Status::Internal("unhandled statement kind");
 }

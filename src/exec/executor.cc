@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include <chrono>
 #include <memory>
 
 #include "analysis/binder.h"
@@ -22,6 +23,26 @@ Result<std::string> Executor::Explain(const SelectStmt& stmt) const {
   DL_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(stmt));
   DL_ASSIGN_OR_RETURN(PhysicalPlan plan, planner_.Plan(*bound));
   return RenderPhysicalPlan(plan, catalog_);
+}
+
+Result<std::string> Executor::ExplainAnalyze(const SelectStmt& stmt) const {
+  Binder binder(catalog_);
+  DL_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(stmt));
+  DL_ASSIGN_OR_RETURN(PhysicalPlan plan, planner_.Plan(*bound));
+
+  PlanExecutor exec(catalog_, options_);
+  exec.EnableProfiling();
+  auto t0 = std::chrono::steady_clock::now();
+  DL_ASSIGN_OR_RETURN(QueryResult result, exec.Run(plan));
+  double total_us =
+      double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count()) /
+      1000.0;
+
+  std::string out = RenderOperatorProfile(exec.profile(), total_us);
+  out += "  result: " + std::to_string(result.rows.size()) + " rows\n";
+  return out;
 }
 
 }  // namespace datalawyer

@@ -21,6 +21,7 @@ class Executor {
   /// `catalog` must outlive the executor.
   explicit Executor(const CatalogView* catalog, ExecOptions options = {})
       : catalog_(catalog),
+        options_(options),
         planner_(PlannerOptions{options.enable_optimizer}),
         exec_(catalog, options) {}
 
@@ -33,6 +34,12 @@ class Executor {
   /// keys, then the grouping / distinct / order stages.
   Result<std::string> Explain(const SelectStmt& stmt) const;
 
+  /// EXPLAIN ANALYZE: executes `stmt` once with per-operator profiling and
+  /// renders each operator annotated with its observed row counts, wall
+  /// time, peak hash-table size, and index probe/hit counts. Runs on a
+  /// dedicated PlanExecutor so this executor's scan stats stay untouched.
+  Result<std::string> ExplainAnalyze(const SelectStmt& stmt) const;
+
   /// Plans and executes an already-bound query.
   Result<QueryResult> ExecuteBound(const BoundQuery& bq);
 
@@ -41,6 +48,7 @@ class Executor {
 
  private:
   const CatalogView* catalog_;
+  ExecOptions options_;
   Planner planner_;
   PlanExecutor exec_;
 };

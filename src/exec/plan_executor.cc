@@ -1,9 +1,12 @@
 #include "exec/plan_executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <unordered_map>
 
 #include "analysis/eval.h"
+#include "common/strings.h"
 #include "common/trace.h"
 #include "common/value_hash.h"
 #include "exec/aggregates.h"
@@ -17,6 +20,57 @@ void MergeLineage(LineageSet* dst, const LineageSet& src) {
 }
 
 }  // namespace
+
+double PlanExecutor::ProfNowUs() {
+  return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) /
+         1000.0;
+}
+
+OperatorProfile& PlanExecutor::RecordOp(std::string label, double start_us,
+                                        uint64_t rows_in, uint64_t rows_out) {
+  OperatorProfile& op = profile_.emplace_back();
+  op.label = std::move(label);
+  op.depth = profile_depth_;
+  op.rows_in = rows_in;
+  op.rows_out = rows_out;
+  op.wall_us = ProfNowUs() - start_us;
+  return op;
+}
+
+std::string RenderOperatorProfile(const std::vector<OperatorProfile>& ops,
+                                  double total_us) {
+  std::string out;
+  char buf[96];
+  double depth0_sum = 0;
+  for (const OperatorProfile& op : ops) {
+    out += "  ";
+    for (int d = 0; d < op.depth; ++d) out += "    ";
+    out += op.label;
+    std::snprintf(buf, sizeof(buf), "  (rows %llu -> %llu, %.1f us",
+                  (unsigned long long)op.rows_in,
+                  (unsigned long long)op.rows_out, op.wall_us);
+    out += buf;
+    if (op.peak_hash_entries > 0) {
+      std::snprintf(buf, sizeof(buf), ", hash peak %zu",
+                    op.peak_hash_entries);
+      out += buf;
+    }
+    if (op.index_probes > 0) {
+      std::snprintf(buf, sizeof(buf), ", probes %zu hits %zu",
+                    op.index_probes, op.index_hits);
+      out += buf;
+    }
+    out += ")\n";
+    if (op.depth == 0) depth0_sum += op.wall_us;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  total: %zu operators, %.1f us (wall %.1f us)\n",
+                ops.size(), depth0_sum, total_us);
+  out += buf;
+  return out;
+}
 
 void NormalizeLineage(LineageSet* lineage) {
   std::sort(lineage->begin(), lineage->end());
@@ -70,6 +124,8 @@ Result<QueryResult> PlanExecutor::RunMember(const PhysicalMember& pm) {
   // DISTINCT ON: keep the first row per key, pre-projection (§4.1.2 uses
   // this to pick one witness per group, Lemma 4.2).
   if (!stmt.distinct_on.empty()) {
+    double prof_start = profiling_ ? ProfNowUs() : 0;
+    uint64_t prof_rows_in = joined.rows.size();
     Intermediate filtered;
     std::unordered_map<Row, size_t, RowHash> seen;
     for (size_t i = 0; i < joined.rows.size(); ++i) {
@@ -88,6 +144,13 @@ Result<QueryResult> PlanExecutor::RunMember(const PhysicalMember& pm) {
       }
     }
     joined = std::move(filtered);
+    if (profiling_) {
+      OperatorProfile& op = RecordOp(
+          "distinct on (" + std::to_string(stmt.distinct_on.size()) +
+              " keys)",
+          prof_start, prof_rows_in, joined.rows.size());
+      op.peak_hash_entries = seen.size();
+    }
   }
 
   QueryResult result;
@@ -145,6 +208,7 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
   const BoundRelation& rel = bq.relations[ps.rel_idx];
   size_t offset = bq.slot_offsets[ps.rel_idx];
   size_t width = rel.schema.NumColumns();
+  double prof_start = profiling_ ? ProfNowUs() : 0;
   Intermediate out;
 
   auto emit = [&](Row&& full_row, LineageSet&& lineage) -> Status {
@@ -179,13 +243,17 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
     // scan. All pushdown predicates are still re-applied per emitted row,
     // so probing only changes the access path, never the result.
     bool have_probe = false;
+    size_t probes_issued = 0;
+    const Expr* best_conjunct = nullptr;
     std::vector<size_t> positions;
     for (const PhysicalProbe& c : ps.probes) {
       std::vector<size_t> hits;
       if (!data->IndexLookup(c.col, c.value, &hits)) continue;
       ++scan_stats_.index_probes;
+      ++probes_issued;
       if (!have_probe || hits.size() < positions.size()) {
         positions = std::move(hits);
+        best_conjunct = c.conjunct;
       }
       have_probe = true;
     }
@@ -212,11 +280,28 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
         DL_RETURN_NOT_OK(emit_position(i));
       }
     }
+    if (profiling_) {
+      std::string label = "scan " + rel.table_name + " (" +
+                          std::to_string(data->NumRows()) + " rows) as " +
+                          rel.binding_name;
+      label += have_probe && best_conjunct != nullptr
+                   ? " [index probe " + best_conjunct->ToString() + "]"
+                   : " [full scan]";
+      uint64_t rows_in = have_probe ? positions.size() : data->NumRows();
+      OperatorProfile& op =
+          RecordOp(std::move(label), prof_start, rows_in, out.rows.size());
+      op.index_probes = probes_issued;
+      op.index_hits = have_probe ? 1 : 0;
+    }
     return out;
   }
 
-  // Subquery FROM item: run its own plan.
-  DL_ASSIGN_OR_RETURN(QueryResult sub, Run(*ps.subplan));
+  // Subquery FROM item: run its own plan. Its operators record one level
+  // deeper; their time is also inside this scan's wall time.
+  if (profiling_) ++profile_depth_;
+  Result<QueryResult> sub_result = Run(*ps.subplan);
+  if (profiling_) --profile_depth_;
+  DL_ASSIGN_OR_RETURN(QueryResult sub, std::move(sub_result));
   for (size_t i = 0; i < sub.rows.size(); ++i) {
     Row full_row(bq.total_slots, Value::Null());
     for (size_t c = 0; c < width && c < sub.rows[i].size(); ++c) {
@@ -225,6 +310,10 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
     LineageSet lineage;
     if (options_.capture_lineage) lineage = std::move(sub.lineage[i]);
     DL_RETURN_NOT_OK(emit(std::move(full_row), std::move(lineage)));
+  }
+  if (profiling_) {
+    RecordOp("scan subquery " + rel.binding_name + " as " + rel.binding_name,
+             prof_start, sub.rows.size(), out.rows.size());
   }
   return out;
 }
@@ -235,7 +324,22 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
   const BoundQuery& bq = *pm.bq;
   size_t offset = bq.slot_offsets[rel_idx];
   size_t width = bq.relations[rel_idx].schema.NumColumns();
+  double prof_start = profiling_ ? ProfNowUs() : 0;
   Intermediate out;
+
+  auto join_label = [&]() {
+    const BoundRelation& rel = bq.relations[rel_idx];
+    std::string source =
+        rel.table_name.empty() ? "subquery " + rel.binding_name
+                               : rel.table_name;
+    if (pj.algo == JoinAlgo::kHashJoin) {
+      std::vector<std::string> keys;
+      for (const Expr* e : pj.equi_conjuncts) keys.push_back(e->ToString());
+      return "hash join " + source + " as " + rel.binding_name + " on " +
+             Join(keys, " AND ");
+    }
+    return "nested loop join " + source + " as " + rel.binding_name;
+  };
 
   auto combine = [&](size_t li, size_t ri) {
     Row row = left.rows[li];
@@ -307,6 +411,12 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
         DL_RETURN_NOT_OK(emit(li, ri));
       }
     }
+    if (profiling_) {
+      OperatorProfile& op =
+          RecordOp(join_label(), prof_start,
+                   left.rows.size() + right.rows.size(), out.rows.size());
+      op.peak_hash_entries = build.size();
+    }
     return out;
   }
 
@@ -315,6 +425,10 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
     for (size_t ri = 0; ri < right.rows.size(); ++ri) {
       DL_RETURN_NOT_OK(emit(li, ri));
     }
+  }
+  if (profiling_) {
+    RecordOp(join_label(), prof_start,
+             left.rows.size() + right.rows.size(), out.rows.size());
   }
   return out;
 }
@@ -361,6 +475,7 @@ void PlanExecutor::RestoreInputOrder(const PhysicalMember& pm,
 
 Result<QueryResult> PlanExecutor::ProjectUngrouped(const BoundQuery& bq,
                                                    Intermediate input) {
+  double prof_start = profiling_ ? ProfNowUs() : 0;
   QueryResult result;
   result.schema = bq.output_schema;
   result.rows.reserve(input.rows.size());
@@ -382,11 +497,17 @@ Result<QueryResult> PlanExecutor::ProjectUngrouped(const BoundQuery& bq,
       result.lineage.push_back(std::move(input.lineage[i]));
     }
   }
+  if (profiling_) {
+    RecordOp("project " + std::to_string(bq.output_columns.size()) +
+                 " columns",
+             prof_start, input.rows.size(), result.rows.size());
+  }
   return result;
 }
 
 Result<QueryResult> PlanExecutor::ProjectGrouped(const BoundQuery& bq,
                                                  Intermediate input) {
+  double prof_start = profiling_ ? ProfNowUs() : 0;
   const SelectStmt& stmt = *bq.stmt;
 
   struct GroupState {
@@ -474,10 +595,20 @@ Result<QueryResult> PlanExecutor::ProjectGrouped(const BoundQuery& bq,
       result.lineage.push_back(std::move(state.lineage));
     }
   }
+  if (profiling_) {
+    OperatorProfile& op = RecordOp(
+        "aggregate [" + std::to_string(stmt.group_by.size()) +
+            " group keys, " + std::to_string(bq.aggregates.size()) +
+            " aggregates]",
+        prof_start, input.rows.size(), result.rows.size());
+    op.peak_hash_entries = groups.size();
+  }
   return result;
 }
 
 Status PlanExecutor::ApplyDistinct(QueryResult* result) {
+  double prof_start = profiling_ ? ProfNowUs() : 0;
+  uint64_t prof_rows_in = result->rows.size();
   std::unordered_map<Row, size_t, RowHash> seen;
   std::vector<Row> rows;
   std::vector<LineageSet> lineage;
@@ -499,6 +630,11 @@ Status PlanExecutor::ApplyDistinct(QueryResult* result) {
   }
   result->rows = std::move(rows);
   result->lineage = std::move(lineage);
+  if (profiling_) {
+    OperatorProfile& op = RecordOp("distinct", prof_start, prof_rows_in,
+                                   result->rows.size());
+    op.peak_hash_entries = seen.size();
+  }
   return Status::OK();
 }
 
@@ -506,6 +642,7 @@ Status PlanExecutor::ApplyOrderAndLimit(const BoundQuery& bq,
                                         QueryResult* result) {
   const SelectStmt& stmt = *bq.stmt;
   if (!stmt.order_by.empty()) {
+    double prof_start = profiling_ ? ProfNowUs() : 0;
     // Resolve each ORDER BY item to an output column: by name, or by
     // 1-based position for integer literals.
     std::vector<std::pair<size_t, bool>> keys;  // (column, ascending)
@@ -554,11 +691,21 @@ Status PlanExecutor::ApplyOrderAndLimit(const BoundQuery& bq,
       }
       result->lineage = std::move(lineage);
     }
+    if (profiling_) {
+      RecordOp("sort " + std::to_string(stmt.order_by.size()) + " keys",
+               prof_start, result->rows.size(), result->rows.size());
+    }
   }
 
   if (stmt.limit.has_value() && result->rows.size() > size_t(*stmt.limit)) {
+    double prof_start = profiling_ ? ProfNowUs() : 0;
+    uint64_t prof_rows_in = result->rows.size();
     result->rows.resize(size_t(*stmt.limit));
     if (!result->lineage.empty()) result->lineage.resize(size_t(*stmt.limit));
+    if (profiling_) {
+      RecordOp("limit " + std::to_string(*stmt.limit), prof_start,
+               prof_rows_in, result->rows.size());
+    }
   }
   return Status::OK();
 }

@@ -34,6 +34,29 @@ struct ScanStats {
   size_t index_hits = 0;    ///< scans answered by an index instead of a walk
 };
 
+/// Runtime counters for one physical operator, collected in execution order
+/// when profiling is enabled (EXPLAIN ANALYZE). Labels reuse the
+/// RenderPhysicalPlan vocabulary so the analyzed plan reads like the static
+/// one. `depth` > 0 marks operators inside a subquery FROM item; their wall
+/// time is also included in the enclosing scan's, so end-to-end totals
+/// compare against the sum of depth-0 operators only.
+struct OperatorProfile {
+  std::string label;
+  int depth = 0;
+  uint64_t rows_in = 0;   ///< rows consumed (both sides for a join)
+  uint64_t rows_out = 0;  ///< rows emitted after the operator's filters
+  double wall_us = 0;
+  size_t peak_hash_entries = 0;  ///< join build / group / dedup table size
+  size_t index_probes = 0;       ///< index probes issued by this scan
+  size_t index_hits = 0;         ///< 1 when an index answered this scan
+};
+
+/// Renders profiled operators one per line, annotated with their counters,
+/// followed by a summary line comparing the depth-0 operator sum against
+/// `total_us` (the wall time of the enclosing Run, measured by the caller).
+std::string RenderOperatorProfile(const std::vector<OperatorProfile>& ops,
+                                  double total_us);
+
 /// Interprets physical plans (materialized, operator-at-a-time).
 ///
 /// Base relations are re-resolved *by table name* through `catalog` on
@@ -54,6 +77,16 @@ class PlanExecutor {
 
   /// Access-path counters accumulated across this executor's Run calls.
   const ScanStats& scan_stats() const { return scan_stats_; }
+
+  /// Turns on per-operator profiling for subsequent Run calls. Off by
+  /// default; when off the only cost on the execution path is one branch
+  /// per operator.
+  void EnableProfiling() { profiling_ = true; }
+  bool profiling() const { return profiling_; }
+
+  /// Operators recorded (in execution order) by profiled Run calls.
+  const std::vector<OperatorProfile>& profile() const { return profile_; }
+  void ClearProfile() { profile_.clear(); }
 
  private:
   /// Joined-but-not-yet-projected rows, laid out by the binder's slots.
@@ -86,10 +119,20 @@ class PlanExecutor {
   /// Index into base_relations_ for `name`, interning it if new.
   uint32_t InternRelation(const std::string& name);
 
+  /// Steady-clock microseconds for operator timing; only called when
+  /// profiling is on.
+  static double ProfNowUs();
+  /// Appends a profile record (profiling must be on).
+  OperatorProfile& RecordOp(std::string label, double start_us,
+                            uint64_t rows_in, uint64_t rows_out);
+
   const CatalogView* catalog_;
   ExecOptions options_;
   std::vector<std::string> base_relations_;
   ScanStats scan_stats_;
+  bool profiling_ = false;
+  int profile_depth_ = 0;  ///< subquery nesting of the op being recorded
+  std::vector<OperatorProfile> profile_;
 };
 
 /// Sorts and deduplicates a lineage set in place.

@@ -148,6 +148,11 @@ void UsageLog::EnableIndexes() {
   }
 }
 
+void UsageLog::DisableIndexes() {
+  indexes_enabled_ = false;
+  for (auto& [name, rel] : relations_) rel.main->DropIndexes();
+}
+
 void UsageLog::RefreshIndexes() {
   if (!indexes_enabled_) return;
   for (auto& [name, rel] : relations_) rel.main->RefreshIndexes();

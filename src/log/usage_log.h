@@ -68,6 +68,11 @@ class UsageLog {
   void EnableIndexes();
   bool indexes_enabled() const { return indexes_enabled_; }
 
+  /// Drops all main-table indexes and turns index maintenance off — the
+  /// inverse of EnableIndexes, used when options.enable_log_indexes is
+  /// toggled off between queries.
+  void DisableIndexes();
+
   /// Rebuilds any main-table index invalidated by a deletion. Must not run
   /// concurrently with policy evaluation; callers invoke it after the
   /// compactor's delete phase, before the next query's checks.

@@ -292,7 +292,24 @@ struct DropTableStmt {
   std::string table_name;
 };
 
-enum class StatementKind { kSelect, kInsert, kCreateTable, kDelete, kDropTable };
+/// EXPLAIN [ANALYZE] SELECT ... — renders the physical plan; with ANALYZE
+/// the plan is executed once with operator profiling and annotated with the
+/// observed row counts and wall times. EXPLAIN is lexed as an identifier,
+/// not a reserved keyword, so tables and columns named "explain" keep
+/// working.
+struct ExplainStmt {
+  bool analyze = false;
+  std::unique_ptr<SelectStmt> select;
+};
+
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kCreateTable,
+  kDelete,
+  kDropTable,
+  kExplain,
+};
 
 /// Any parsed statement; exactly the member matching `kind` is set.
 struct Statement {
@@ -302,6 +319,7 @@ struct Statement {
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<DeleteStmt> del;
   std::unique_ptr<DropTableStmt> drop_table;
+  std::unique_ptr<ExplainStmt> explain;
 };
 
 // ---------------------------------------------------------------------------

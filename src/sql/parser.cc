@@ -145,7 +145,22 @@ Result<Statement> Parser::ParseStatement() {
     DL_ASSIGN_OR_RETURN(stmt.drop_table, ParseDropTable());
     return stmt;
   }
-  return ErrorHere("expected SELECT, INSERT, CREATE, DELETE or DROP");
+  // EXPLAIN [ANALYZE] SELECT ... — matched as an identifier so "explain"
+  // stays usable as a table or column name everywhere else.
+  if (tok.type == TokenType::kIdentifier &&
+      EqualsIgnoreCase(tok.text, "explain")) {
+    Advance();
+    stmt.kind = StatementKind::kExplain;
+    stmt.explain = std::make_unique<ExplainStmt>();
+    if (Peek().type == TokenType::kIdentifier &&
+        EqualsIgnoreCase(Peek().text, "analyze")) {
+      Advance();
+      stmt.explain->analyze = true;
+    }
+    DL_ASSIGN_OR_RETURN(stmt.explain->select, ParseSelectStmt());
+    return stmt;
+  }
+  return ErrorHere("expected SELECT, INSERT, CREATE, DELETE, DROP or EXPLAIN");
 }
 
 Result<std::unique_ptr<SelectStmt>> Parser::ParseSelectStmt() {

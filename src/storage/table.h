@@ -85,6 +85,10 @@ class Table : public RelationData {
   /// are refreshed after compaction, before the next query's checks).
   void RefreshIndexes();
 
+  /// Drops every hash index (the inverse of BuildIndex). Subsequent scans
+  /// fall back to full walks until indexes are built again.
+  void DropIndexes() { indexes_.clear(); }
+
   /// True if a current (non-invalidated) index exists on `col`.
   bool HasValidIndex(size_t col) const;
 

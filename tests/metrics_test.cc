@@ -87,6 +87,45 @@ TEST(HistogramTest, SingleValuePercentilesCollapse) {
   h.Observe(37.0);
   EXPECT_DOUBLE_EQ(h.Percentile(0.5), 37.0);
   EXPECT_DOUBLE_EQ(h.Percentile(0.99), 37.0);
+  // q = 0 and q = 1 are the observed extremes — here the same point.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 37.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 37.0);
+}
+
+TEST(HistogramTest, EmptyPercentilesAreZeroAtEveryQuantile) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0.0);
+  // Out-of-range quantiles clamp rather than misbehave.
+  EXPECT_DOUBLE_EQ(h.Percentile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(2.0), 0.0);
+}
+
+TEST(HistogramTest, AllObservationsInOneBucket) {
+  // Distinct values all landing in bucket [64, 128): interpolation stays
+  // inside the observed [min, max] range, and every quantile is ordered.
+  Histogram h;
+  h.Observe(70.0);
+  h.Observe(80.0);
+  h.Observe(90.0);
+  h.Observe(100.0);
+  double p50 = h.Percentile(0.5);
+  double p95 = h.Percentile(0.95);
+  EXPECT_GE(p50, 70.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_GE(p95, p50);
+  EXPECT_LE(p95, 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 70.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 100.0);
+}
+
+TEST(HistogramTest, OutOfRangeQuantilesClampToExtremes) {
+  Histogram h;
+  h.Observe(5.0);
+  h.Observe(500.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.5), 500.0);
 }
 
 TEST(HistogramTest, ConcurrentObserves) {

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "core/datalawyer.h"
+#include "exec/engine.h"
+
+namespace datalawyer {
+namespace {
+
+// The global dl_plan_cache_misses_total counter ticks exactly once per
+// cache-stamp change after the initial warm: a DDL statement bumps the
+// schema version, and toggling enable_log_indexes flips the index bit of
+// the stamp. Steady-state queries add nothing, and verdicts are identical
+// across every rewarm.
+TEST(PlanCacheInvalidationTest, MissCounterTicksOncePerStampChange) {
+  Database db;
+  Engine engine(&db);
+  ASSERT_TRUE(engine
+                  .ExecuteScript("CREATE TABLE t (v INT);"
+                                 "INSERT INTO t VALUES (1), (2);")
+                  .ok());
+
+  DataLawyerOptions options;
+  options.enable_metrics = true;
+  DataLawyer dl(&db, nullptr, std::make_unique<ManualClock>(), options);
+  ASSERT_TRUE(dl.AddPolicy("never",
+                           "SELECT DISTINCT 'no' FROM users u "
+                           "WHERE u.uid = 999999")
+                  .ok());
+  QueryContext ctx;
+  ctx.uid = 1;
+  auto run = [&]() {
+    auto result = dl.Execute("SELECT * FROM t", ctx);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->rows.size(), 2u);
+  };
+
+  Counter* misses =
+      MetricsRegistry::Global().GetCounter("dl_plan_cache_misses_total");
+
+  // First query: Prepare populates the cache. The initial warm is not an
+  // invalidation, so it never counts.
+  run();
+  uint64_t base = misses->value();
+
+  // Steady state: no stamp movement, no misses.
+  run();
+  run();
+  EXPECT_EQ(misses->value(), base);
+
+  // DDL bumps the database schema version -> exactly one rewarm.
+  ASSERT_TRUE(dl.Execute("CREATE TABLE other (w INT)", ctx).ok());
+  run();
+  EXPECT_EQ(misses->value(), base + 1);
+  run();
+  EXPECT_EQ(misses->value(), base + 1);
+
+  // Toggling the log-index optimization flips the stamp's index bit ->
+  // exactly one more rewarm.
+  DataLawyerOptions no_indexes = options;
+  no_indexes.enable_log_indexes = false;
+  dl.set_options(no_indexes);
+  run();
+  EXPECT_EQ(misses->value(), base + 2);
+  run();
+  EXPECT_EQ(misses->value(), base + 2);
+
+  // And back on again.
+  dl.set_options(options);
+  run();
+  EXPECT_EQ(misses->value(), base + 3);
+
+  // Per-query stats never saw a steady-state miss: every evaluated
+  // statement after each rewarm ran from the cache.
+  EXPECT_EQ(dl.last_stats().plan_cache_misses, 0u);
+  EXPECT_GT(dl.last_stats().plan_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace datalawyer
