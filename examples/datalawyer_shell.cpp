@@ -16,6 +16,7 @@
 
 #include "core/datalawyer.h"
 #include "storage/persistence.h"
+#include "storage/stats.h"
 #include "workload/mimic.h"
 #include "workload/paper_policies.h"
 
@@ -40,6 +41,7 @@ void PrintHelp() {
   \explain <sql>          show the execution plan for a SELECT (database only)
   \plan <sql>             physical plan over database + usage log + clock
   \stats                  phase breakdown of the last query
+  \stats <table>          per-column statistics (rows, NDV, nulls, min..max)
   \trace on|off|clear     toggle span tracing (Chrome trace_event collection)
   \trace <file>           write the collected trace as Chrome JSON to <file>
   \metrics                phase-latency summary + Prometheus text exposition
@@ -286,6 +288,18 @@ int main(int argc, char** argv) {
         auto result = dl.QueryUsageLog(rest);
         std::printf("%s\n", result.ok() ? result->ToString().c_str()
                                         : result.status().ToString().c_str());
+      } else if (cmd == "stats" && !rest.empty()) {
+        // \stats <table>: per-column statistics of a database table or a
+        // usage-log main relation (row count, NDVs, null counts, min..max).
+        const Table* table = db.FindTable(rest);
+        if (table == nullptr) table = dl.usage_log()->main_table(rest);
+        if (table == nullptr) {
+          std::printf("no such table or log relation: %s\n", rest.c_str());
+          continue;
+        }
+        TableStats stats = ComputeTableStats(*table);
+        std::printf("%s", RenderTableStats(rest, table->schema(),
+                                           stats).c_str());
       } else if (cmd == "stats") {
         const ExecutionStats& s = dl.last_stats();
         std::printf("query %s | log-gen %s | policy-eval %s | compaction %s"
@@ -296,9 +310,9 @@ int main(int argc, char** argv) {
                     FormatMs(s.compaction_ms()).c_str(),
                     s.policies_evaluated, s.policies_pruned_early);
         std::printf("policy wall %.0fus, cpu %.0fus | index probes %zu,"
-                    " hits %zu\n",
+                    " hits %zu | range probes %zu, hits %zu\n",
                     s.policy_wall_us, s.policy_cpu_us, s.index_probes,
-                    s.index_hits);
+                    s.index_hits, s.range_probes, s.range_hits);
       } else if (cmd == "paper") {
         for (const auto& [name, sql] : PaperPolicies::All()) {
           Status st = dl.AddPolicy(name, sql);

@@ -269,6 +269,21 @@ Status DataLawyer::Prepare() {
     log_->DisableIndexes();
   }
 
+  // Ordered timestamp indexes serve the sliding-window range predicates
+  // (`p.ts > $now - 30`) every windowed policy carries; statistics feed the
+  // planner's cost model. Both share the hash indexes' maintenance
+  // discipline and, like them, are reflected in the cache stamp.
+  if (options_.enable_ordered_log_indexes) {
+    log_->EnableOrderedIndexes();
+  } else {
+    log_->DisableOrderedIndexes();
+  }
+  if (options_.enable_stats_costing && !StatsCostingDisabledByEnv()) {
+    log_->EnableStats();
+  } else {
+    log_->DisableStats();
+  }
+
   // ---- per-policy witness sets and partial-policy caches ----
   std::vector<std::string> order;
   for (const std::string& rel : log_->RelationNamesInOrder()) {
@@ -363,7 +378,12 @@ Status DataLawyer::Prepare() {
 }
 
 uint64_t DataLawyer::CacheStamp() const {
-  return db_->version() * 2 + (log_->indexes_enabled() ? 1 : 0);
+  // Any bit flip invalidates every cached plan: schema version (DDL, or a
+  // stats-drift rewarm via Database::BumpVersion), hash-index state,
+  // ordered-index state, and whether stats-based costing is live.
+  return db_->version() * 8 + (log_->indexes_enabled() ? 4 : 0) +
+         (log_->ordered_indexes_enabled() ? 2 : 0) +
+         (log_->stats_enabled() ? 1 : 0);
 }
 
 void DataLawyer::WarmPlanCache() {
@@ -389,7 +409,14 @@ void DataLawyer::WarmPlanCache() {
   // dereference the relation pointers bound here (see PlanCache).
   UsageLog::PolicyCatalog catalog =
       log_->MakeCatalog(policy_base_catalog(), clock_->Now());
-  Planner planner;
+  Planner planner(PlannerOptions{true, options_.enable_stats_costing});
+  // The stats snapshot the costed plans were built against: per-relation
+  // main-table row counts, compared on later queries to detect drift.
+  stats_warm_rows_.clear();
+  for (const std::string& rel : log_->RelationNamesInOrder()) {
+    const Table* main = log_->main_table(rel);
+    if (main != nullptr) stats_warm_rows_[rel] = main->NumRows();
+  }
   for (size_t i = 0; i < active_.size(); ++i) {
     const Policy& policy = active_[i];
     plan_cache_.Warm(policy.effective(), catalog.view(), planner);
@@ -564,6 +591,7 @@ Result<DataLawyer::PolicyEvalOutput> DataLawyer::EvalPolicyStatement(
 
   ExecOptions exec_options;
   exec_options.capture_lineage = check_increment_dependence;
+  exec_options.enable_stats_costing = options_.enable_stats_costing;
   PolicyEvalOutput out;
   QueryResult result;
   // A registered statement runs from its cached physical plan — zero
@@ -579,11 +607,15 @@ Result<DataLawyer::PolicyEvalOutput> DataLawyer::EvalPolicyStatement(
     out.plan_cache_hit = true;
     out.index_probes = plan_exec.scan_stats().index_probes;
     out.index_hits = plan_exec.scan_stats().index_hits;
+    out.range_probes = plan_exec.scan_stats().range_probes;
+    out.range_hits = plan_exec.scan_stats().range_hits;
   } else {
     Executor executor(catalog, exec_options);
     DL_ASSIGN_OR_RETURN(result, executor.Execute(stmt));
     out.index_probes = executor.scan_stats().index_probes;
     out.index_hits = executor.scan_stats().index_hits;
+    out.range_probes = executor.scan_stats().range_probes;
+    out.range_hits = executor.scan_stats().range_hits;
   }
 
   if (check_increment_dependence) {
@@ -631,6 +663,8 @@ void DataLawyer::RecordEvalCounters(const PolicyEvalOutput& out,
   stats_.policy_cpu_us += out.eval_us;
   stats_.index_probes += out.index_probes;
   stats_.index_hits += out.index_hits;
+  stats_.range_probes += out.range_probes;
+  stats_.range_hits += out.range_hits;
   PolicyStats& slot =
       AttributionFor(attribute_to != nullptr ? attribute_to->name : "(union)");
   ++slot.evaluations;
@@ -716,6 +750,25 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
                                                int64_t ts) {
   // A pending background compaction owns the log tables; wait it out.
   DL_RETURN_NOT_OK(Flush());
+
+  // Stats drift: costed plans embed cardinality-derived access-path and
+  // join-order choices, so once a log main table has grown or shrunk 2x
+  // past a 256-row floor since the plans were costed, bump the schema
+  // version — the stamp check below then rewarms against fresh statistics.
+  // The floor keeps tiny tables (whose plans are all equivalent anyway)
+  // from churning the cache.
+  if (options_.enable_plan_cache && log_->stats_enabled()) {
+    for (const auto& [rel, ref] : stats_warm_rows_) {
+      const Table* main = log_->main_table(rel);
+      if (main == nullptr) continue;
+      size_t cur = main->NumRows();
+      if (std::max(cur, ref) < 256) continue;
+      if (cur >= 2 * ref || 2 * cur <= ref) {
+        db_->BumpVersion();
+        break;
+      }
+    }
+  }
 
   // Revalidate the plan cache against the schema/index epoch: DDL between
   // queries (CreateTable/DropTable bypasses the policy gate) invalidates
@@ -1324,6 +1377,8 @@ void DataLawyer::RecordDecision(const std::string& sql,
       Counter* rows_deleted;
       Counter* index_probes;
       Counter* index_hits;
+      Counter* range_probes;
+      Counter* range_hits;
       Counter* plan_hits;
       Counter* plan_misses;
       Histogram* total_us;
@@ -1356,6 +1411,12 @@ void DataLawyer::RecordDecision(const std::string& sql,
                                           "equality conjuncts probed");
       handles.index_hits =
           r.GetCounter("dl_index_hits_total", "scans served by an index");
+      handles.range_probes = r.GetCounter(
+          "dl_range_probes_total",
+          "range conjuncts probed against an ordered index");
+      handles.range_hits = r.GetCounter(
+          "dl_range_scan_hits_total",
+          "scans served by an ordered-index range probe");
       handles.plan_hits = r.GetCounter(
           "dl_plan_cache_hits_total",
           "policy statements evaluated from a cached physical plan");
@@ -1392,6 +1453,8 @@ void DataLawyer::RecordDecision(const std::string& sql,
     h.rows_deleted->Increment(stats_.log_rows_deleted);
     h.index_probes->Increment(stats_.index_probes);
     h.index_hits->Increment(stats_.index_hits);
+    h.range_probes->Increment(stats_.range_probes);
+    h.range_hits->Increment(stats_.range_hits);
     h.plan_hits->Increment(stats_.plan_cache_hits);
     h.plan_misses->Increment(stats_.plan_cache_misses);
     h.total_us->Observe(stats_.total_ms() * 1000.0);

@@ -186,6 +186,8 @@ class DataLawyer {
     bool plan_cache_hit = false;  ///< ran from a cached physical plan
     size_t index_probes = 0;
     size_t index_hits = 0;
+    size_t range_probes = 0;
+    size_t range_hits = 0;
     double eval_us = 0;  ///< this statement's own elapsed time
   };
 
@@ -283,6 +285,11 @@ class DataLawyer {
   /// False until the first WarmPlanCache — the initial population does not
   /// count as an invalidation on dl_plan_cache_misses_total.
   bool plan_cache_warmed_ = false;
+  /// Per-log-relation main-table row counts at the last WarmPlanCache.
+  /// Costed plans embed cardinality-derived choices, so a large drift
+  /// (table grown or shrunk 2x past a floor of 256 rows) forces a rewarm
+  /// via Database::BumpVersion.
+  std::map<std::string, size_t> stats_warm_rows_;
 
   /// Union of active policies' log footprints.
   std::set<std::string> mentioned_logs_;

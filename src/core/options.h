@@ -72,6 +72,21 @@ struct DataLawyerOptions {
   /// append and rebuilt after compaction deletes.
   bool enable_log_indexes = true;
 
+  /// Maintain ordered (sorted-run) indexes on the timestamp column of every
+  /// usage-log main relation and let policy scans answer range predicates
+  /// (`p.ts > $now - 30`, BETWEEN — the shape of every sliding-window
+  /// policy) with a binary-searched range probe instead of a full scan.
+  /// Same maintenance discipline as the hash indexes: incremental on
+  /// append, invalidated by compaction deletes, rebuilt by RefreshIndexes.
+  bool enable_ordered_log_indexes = true;
+
+  /// Keep per-table/per-column statistics (row counts, NDVs, min/max) on
+  /// the usage-log main relations and let the planner cost access paths
+  /// (seq scan vs hash probe vs range scan) and join orders from estimated
+  /// cardinalities. Pure plan-choice optimization: results are identical.
+  /// DL_DISABLE_STATS_COSTING=1 forces the costing half off process-wide.
+  bool enable_stats_costing = true;
+
   /// Collect RAII spans for every pipeline phase into Tracer::Global(),
   /// exportable as Chrome trace_event JSON (about:tracing / Perfetto). Off
   /// by default: a disabled span costs one relaxed atomic load.
@@ -124,6 +139,8 @@ struct DataLawyerOptions {
     options.enable_preemptive_compaction = false;
     options.enable_improved_partial = false;
     options.enable_log_indexes = false;
+    options.enable_ordered_log_indexes = false;
+    options.enable_stats_costing = false;
     options.strategy = EvalStrategy::kUnion;
     return options;
   }

@@ -46,6 +46,8 @@ struct ExecutionStats {
   /// query (witness-query counters live in CompactionStats).
   size_t index_probes = 0;  ///< equality conjuncts probed against an index
   size_t index_hits = 0;    ///< scans served by an index instead of a walk
+  size_t range_probes = 0;  ///< range conjuncts probed against an ordered index
+  size_t range_hits = 0;    ///< scans served by an ordered-index range probe
 
   size_t policies_evaluated = 0;  ///< policy/partial-policy statements run
   size_t policies_pruned_early = 0;

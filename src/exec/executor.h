@@ -22,7 +22,8 @@ class Executor {
   explicit Executor(const CatalogView* catalog, ExecOptions options = {})
       : catalog_(catalog),
         options_(options),
-        planner_(PlannerOptions{options.enable_optimizer}),
+        planner_(PlannerOptions{options.enable_optimizer,
+                                options.enable_stats_costing}),
         exec_(catalog, options) {}
 
   /// Binds, plans, and executes (including any UNION chain).

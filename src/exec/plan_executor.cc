@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <unordered_map>
 
@@ -52,6 +53,11 @@ std::string RenderOperatorProfile(const std::vector<OperatorProfile>& ops,
                   (unsigned long long)op.rows_in,
                   (unsigned long long)op.rows_out, op.wall_us);
     out += buf;
+    if (op.est_rows >= 0) {
+      std::snprintf(buf, sizeof(buf), ", est %lld",
+                    (long long)std::llround(op.est_rows));
+      out += buf;
+    }
     if (op.peak_hash_entries > 0) {
       std::snprintf(buf, sizeof(buf), ", hash peak %zu",
                     op.peak_hash_entries);
@@ -190,10 +196,10 @@ Result<PlanExecutor::Intermediate> PlanExecutor::BuildJoin(
 
   bool track_order = pm.restore_input_order;
   DL_ASSIGN_OR_RETURN(Intermediate current,
-                      ScanRelation(pm, pm.scans[0], track_order));
+                      ScanRelation(pm, pm.scans[0], track_order, nullptr));
   for (size_t j = 1; j < pm.scans.size(); ++j) {
     DL_ASSIGN_OR_RETURN(Intermediate scanned,
-                        ScanRelation(pm, pm.scans[j], track_order));
+                        ScanRelation(pm, pm.scans[j], track_order, &current));
     DL_ASSIGN_OR_RETURN(
         current, JoinStep(pm, pm.joins[j - 1], std::move(current),
                           pm.scans[j].rel_idx, std::move(scanned),
@@ -203,7 +209,8 @@ Result<PlanExecutor::Intermediate> PlanExecutor::BuildJoin(
 }
 
 Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
-    const PhysicalMember& pm, const PhysicalScan& ps, bool track_order) {
+    const PhysicalMember& pm, const PhysicalScan& ps, bool track_order,
+    const Intermediate* left) {
   const BoundQuery& bq = *pm.bq;
   const BoundRelation& rel = bq.relations[ps.rel_idx];
   size_t offset = bq.slot_offsets[ps.rel_idx];
@@ -238,26 +245,167 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
     uint32_t rel_id =
         options_.capture_lineage ? InternRelation(rel.table_name) : 0;
 
-    // Equality pushdown through hash indexes: every probe candidate with a
-    // valid index is probed, and the most selective probe narrows the
-    // scan. All pushdown predicates are still re-applied per emitted row,
-    // so probing only changes the access path, never the result.
-    bool have_probe = false;
+    // Index pushdown. Hash probes answer `col = const` equalities; range
+    // probes answer `col OP bound` comparisons through ordered indexes,
+    // with bounds either plan-time constants or expressions evaluated
+    // against the accumulated left side (usable only when every left row
+    // yields the same bound value — the single-row clock always does,
+    // which is what makes sliding-window narrowing sound: the originating
+    // conjunct is re-applied downstream, so narrowing never changes the
+    // result, and a unanimous bound means no join partner is lost). The
+    // cost model's chosen path is honored when its index is available;
+    // kUnknown probes every candidate and the smallest hit set wins.
+    bool have_probe = false;   // hash path answered
+    bool have_range = false;   // range path answered
     size_t probes_issued = 0;
+    size_t range_probes_issued = 0;
     const Expr* best_conjunct = nullptr;
     std::vector<size_t> positions;
-    for (const PhysicalProbe& c : ps.probes) {
-      std::vector<size_t> hits;
-      if (!data->IndexLookup(c.col, c.value, &hits)) continue;
-      ++scan_stats_.index_probes;
-      ++probes_issued;
-      if (!have_probe || hits.size() < positions.size()) {
-        positions = std::move(hits);
-        best_conjunct = c.conjunct;
+
+    auto try_hash = [&]() {
+      for (const PhysicalProbe& c : ps.probes) {
+        std::vector<size_t> hits;
+        if (!data->IndexLookup(c.col, c.value, &hits)) continue;
+        ++scan_stats_.index_probes;
+        ++probes_issued;
+        if ((!have_probe && !have_range) || hits.size() < positions.size()) {
+          positions = std::move(hits);
+          best_conjunct = c.conjunct;
+          have_probe = true;
+          have_range = false;
+        }
       }
-      have_probe = true;
+    };
+
+    // Resolves one probe's bound; false = probe unusable this execution.
+    auto resolve_bound = [&](const PhysicalRangeProbe& probe,
+                             Value* out) -> bool {
+      if (probe.has_const) {
+        *out = probe.value;
+        return true;
+      }
+      if (left == nullptr || left->rows.empty()) return false;
+      for (size_t i = 0; i < left->rows.size(); ++i) {
+        EvalContext ctx{&bq, &left->rows[i], nullptr};
+        Result<Value> v = Eval(*probe.bound_expr, ctx);
+        if (!v.ok()) return false;
+        if (i == 0) {
+          *out = std::move(v).value();
+        } else if (*out != v.value()) {
+          return false;  // left rows disagree: narrowing would drop matches
+        }
+      }
+      return true;
+    };
+
+    auto try_range = [&]() {
+      // Combine the probes per column into one [lo, hi] interval; a bound
+      // that fails to resolve or compare just drops out (the conjunct is
+      // still re-applied, so a looser interval is always safe).
+      for (size_t p = 0; p < ps.range_probes.size(); ++p) {
+        size_t col = ps.range_probes[p].col;
+        bool first_for_col = true;
+        for (size_t q = 0; q < p; ++q) {
+          if (ps.range_probes[q].col == col) first_for_col = false;
+        }
+        if (!first_for_col) continue;
+
+        bool has_lo = false, has_hi = false;
+        bool lo_inc = true, hi_inc = true;
+        Value lo, hi;
+        const Expr* conjunct = nullptr;
+        for (const PhysicalRangeProbe& probe : ps.range_probes) {
+          if (probe.col != col) continue;
+          Value bound;
+          if (!resolve_bound(probe, &bound)) continue;
+          bool is_lower = probe.op == ">" || probe.op == ">=";
+          bool inclusive = probe.op == ">=" || probe.op == "<=";
+          if (conjunct == nullptr) conjunct = probe.conjunct;
+          if (bound.is_null()) {
+            // `col OP NULL` never holds: this interval alone is exact.
+            has_lo = true;
+            has_hi = false;
+            lo = Value::Null();
+            conjunct = probe.conjunct;
+            break;
+          }
+          if (is_lower) {
+            bool replace = !has_lo;
+            if (has_lo) {
+              Result<Value> gt = Value::Compare(bound, ">", lo);
+              if (!gt.ok() || gt->is_null()) continue;
+              if (gt->AsBool()) {
+                replace = true;
+              } else {
+                Result<Value> eq = Value::Compare(bound, "=", lo);
+                if (eq.ok() && !eq->is_null() && eq->AsBool() && !inclusive) {
+                  lo_inc = false;  // same bound, stricter inclusivity
+                }
+              }
+            }
+            if (replace) {
+              lo = std::move(bound);
+              lo_inc = inclusive;
+              has_lo = true;
+              conjunct = probe.conjunct;
+            }
+          } else {
+            bool replace = !has_hi;
+            if (has_hi) {
+              Result<Value> lt = Value::Compare(bound, "<", hi);
+              if (!lt.ok() || lt->is_null()) continue;
+              if (lt->AsBool()) {
+                replace = true;
+              } else {
+                Result<Value> eq = Value::Compare(bound, "=", hi);
+                if (eq.ok() && !eq->is_null() && eq->AsBool() && !inclusive) {
+                  hi_inc = false;
+                }
+              }
+            }
+            if (replace) {
+              hi = std::move(bound);
+              hi_inc = inclusive;
+              has_hi = true;
+              conjunct = probe.conjunct;
+            }
+          }
+        }
+        if (!has_lo && !has_hi) continue;
+
+        std::vector<size_t> hits;
+        if (!data->RangeLookup(col, has_lo ? &lo : nullptr, lo_inc,
+                               has_hi ? &hi : nullptr, hi_inc, &hits)) {
+          continue;
+        }
+        ++scan_stats_.range_probes;
+        ++range_probes_issued;
+        if ((!have_probe && !have_range) || hits.size() < positions.size()) {
+          positions = std::move(hits);
+          best_conjunct = conjunct;
+          have_range = true;
+          have_probe = false;
+        }
+      }
+    };
+
+    switch (ps.chosen_path) {
+      case AccessPath::kSeqScan:
+        break;
+      case AccessPath::kHashProbe:
+        try_hash();
+        break;
+      case AccessPath::kRangeScan:
+        try_range();
+        if (!have_range) try_hash();  // chosen index gone: adapt
+        break;
+      case AccessPath::kUnknown:
+        try_hash();
+        try_range();
+        break;
     }
     if (have_probe) ++scan_stats_.index_hits;
+    if (have_range) ++scan_stats_.range_hits;
 
     auto emit_position = [&](size_t i) -> Status {
       Row full_row(bq.total_slots, Value::Null());
@@ -270,7 +418,7 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
       return emit(std::move(full_row), std::move(lineage));
     };
 
-    if (have_probe) {
+    if (have_probe || have_range) {
       for (size_t i : positions) {
         DL_RETURN_NOT_OK(emit_position(i));
       }
@@ -284,14 +432,20 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
       std::string label = "scan " + rel.table_name + " (" +
                           std::to_string(data->NumRows()) + " rows) as " +
                           rel.binding_name;
-      label += have_probe && best_conjunct != nullptr
-                   ? " [index probe " + best_conjunct->ToString() + "]"
-                   : " [full scan]";
-      uint64_t rows_in = have_probe ? positions.size() : data->NumRows();
+      if (have_range && best_conjunct != nullptr) {
+        label += " [range scan " + best_conjunct->ToString() + "]";
+      } else if (have_probe && best_conjunct != nullptr) {
+        label += " [index probe " + best_conjunct->ToString() + "]";
+      } else {
+        label += " [full scan]";
+      }
+      uint64_t rows_in =
+          have_probe || have_range ? positions.size() : data->NumRows();
       OperatorProfile& op =
           RecordOp(std::move(label), prof_start, rows_in, out.rows.size());
-      op.index_probes = probes_issued;
-      op.index_hits = have_probe ? 1 : 0;
+      op.index_probes = probes_issued + range_probes_issued;
+      op.index_hits = have_probe || have_range ? 1 : 0;
+      op.est_rows = ps.est_rows;
     }
     return out;
   }
@@ -416,6 +570,7 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
           RecordOp(join_label(), prof_start,
                    left.rows.size() + right.rows.size(), out.rows.size());
       op.peak_hash_entries = build.size();
+      op.est_rows = pj.est_rows;
     }
     return out;
   }
@@ -427,8 +582,10 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
     }
   }
   if (profiling_) {
-    RecordOp(join_label(), prof_start,
-             left.rows.size() + right.rows.size(), out.rows.size());
+    OperatorProfile& op =
+        RecordOp(join_label(), prof_start,
+                 left.rows.size() + right.rows.size(), out.rows.size());
+    op.est_rows = pj.est_rows;
   }
   return out;
 }

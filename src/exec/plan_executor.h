@@ -25,6 +25,11 @@ struct ExecOptions {
   /// reordering, computed-constant index probes). Results are identical
   /// either way; DL_DISABLE_OPTIMIZER=1 forces false process-wide.
   bool enable_optimizer = true;
+
+  /// Statistics-driven cost-based planning (see PlannerOptions). Only
+  /// affects which plan the facade Executor builds; results are identical.
+  /// DL_DISABLE_STATS_COSTING=1 forces false process-wide.
+  bool enable_stats_costing = true;
 };
 
 /// Access-path counters of one Run/Execute call (aggregated per query into
@@ -32,6 +37,8 @@ struct ExecOptions {
 struct ScanStats {
   size_t index_probes = 0;  ///< equality conjuncts probed against an index
   size_t index_hits = 0;    ///< scans answered by an index instead of a walk
+  size_t range_probes = 0;  ///< range conjuncts probed against an ordered index
+  size_t range_hits = 0;    ///< scans answered by an ordered-index range probe
 };
 
 /// Runtime counters for one physical operator, collected in execution order
@@ -49,6 +56,10 @@ struct OperatorProfile {
   size_t peak_hash_entries = 0;  ///< join build / group / dedup table size
   size_t index_probes = 0;       ///< index probes issued by this scan
   size_t index_hits = 0;         ///< 1 when an index answered this scan
+  /// Planner's cardinality estimate for this operator (EXPLAIN ANALYZE
+  /// renders "est N" next to the actual rows); < 0 when the plan carried
+  /// no estimate.
+  double est_rows = -1;
 };
 
 /// Renders profiled operators one per line, annotated with their counters,
@@ -101,8 +112,12 @@ class PlanExecutor {
 
   Result<QueryResult> RunMember(const PhysicalMember& pm);
   Result<Intermediate> BuildJoin(const PhysicalMember& pm);
+  /// `left` is the accumulated left-side intermediate when this scan feeds
+  /// a join (nullptr for scans[0]); left-bound range probes evaluate their
+  /// bound expression against it.
   Result<Intermediate> ScanRelation(const PhysicalMember& pm,
-                                    const PhysicalScan& ps, bool track_order);
+                                    const PhysicalScan& ps, bool track_order,
+                                    const Intermediate* left);
   Result<Intermediate> JoinStep(const PhysicalMember& pm,
                                 const PhysicalJoin& pj, Intermediate left,
                                 size_t rel_idx, Intermediate right,

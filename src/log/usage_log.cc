@@ -153,8 +153,37 @@ void UsageLog::DisableIndexes() {
   for (auto& [name, rel] : relations_) rel.main->DropIndexes();
 }
 
+void UsageLog::EnableOrderedIndexes() {
+  ordered_indexes_enabled_ = true;
+  for (auto& [name, rel] : relations_) {
+    const TableSchema& schema = rel.main->schema();
+    for (size_t c = 0; c < schema.NumColumns(); ++c) {
+      if (schema.column(c).name != "ts") continue;
+      // Cannot fail: the column name comes from the schema itself.
+      (void)rel.main->BuildOrderedIndex(schema.column(c).name);
+    }
+  }
+}
+
+void UsageLog::DisableOrderedIndexes() {
+  ordered_indexes_enabled_ = false;
+  for (auto& [name, rel] : relations_) rel.main->DropOrderedIndexes();
+}
+
+void UsageLog::EnableStats() {
+  stats_enabled_ = true;
+  for (auto& [name, rel] : relations_) rel.main->EnableStats();
+}
+
+void UsageLog::DisableStats() {
+  stats_enabled_ = false;
+  for (auto& [name, rel] : relations_) rel.main->DisableStats();
+}
+
 void UsageLog::RefreshIndexes() {
-  if (!indexes_enabled_) return;
+  if (!indexes_enabled_ && !ordered_indexes_enabled_ && !stats_enabled_) {
+    return;
+  }
   for (auto& [name, rel] : relations_) rel.main->RefreshIndexes();
 }
 

@@ -73,9 +73,31 @@ class UsageLog {
   /// toggled off between queries.
   void DisableIndexes();
 
-  /// Rebuilds any main-table index invalidated by a deletion. Must not run
-  /// concurrently with policy evaluation; callers invoke it after the
-  /// compactor's delete phase, before the next query's checks.
+  /// Builds an ordered (sorted-run) index on the timestamp column ("ts")
+  /// of every log relation's main table and keeps it maintained under the
+  /// same discipline as the hash indexes: appends extend the unsorted tail
+  /// (merged into the sorted run past a threshold), deletions invalidate,
+  /// RefreshIndexes rebuilds. Policy evaluation answers sliding-window
+  /// range predicates (`p.ts > $now - 30`, BETWEEN) through these via
+  /// ConcatRelation::RangeLookup.
+  void EnableOrderedIndexes();
+  bool ordered_indexes_enabled() const { return ordered_indexes_enabled_; }
+
+  /// Drops all ordered indexes and turns their maintenance off.
+  void DisableOrderedIndexes();
+
+  /// Keeps per-column statistics (row count, NDV, min/max) on every log
+  /// relation's main table, folded incrementally on append and rebuilt by
+  /// RefreshIndexes after compaction deletes. The planner's cost model
+  /// reads these through RelationData::Stats().
+  void EnableStats();
+  bool stats_enabled() const { return stats_enabled_; }
+  void DisableStats();
+
+  /// Rebuilds any main-table index or statistics snapshot invalidated by a
+  /// deletion. Must not run concurrently with policy evaluation; callers
+  /// invoke it after the compactor's delete phase, before the next query's
+  /// checks.
   void RefreshIndexes();
 
   /// Direct table access for the log compactor (mark/delete/insert phases).
@@ -128,6 +150,8 @@ class UsageLog {
 
   std::map<std::string, LogRelation> relations_;
   bool indexes_enabled_ = false;
+  bool ordered_indexes_enabled_ = false;
+  bool stats_enabled_ = false;
 };
 
 }  // namespace datalawyer

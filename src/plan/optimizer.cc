@@ -1,6 +1,7 @@
 #include "plan/optimizer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <string>
@@ -8,6 +9,7 @@
 #include "analysis/eval.h"
 #include "analysis/join_graph.h"
 #include "common/trace.h"
+#include "plan/stats.h"
 
 namespace datalawyer {
 
@@ -35,6 +37,104 @@ bool AsEquiJoin(const Expr& conjunct, const BoundQuery& bq, uint64_t left_mask,
     return true;
   }
   return false;
+}
+
+/// True for the comparison operators an ordered index can serve.
+bool IsRangeOp(const std::string& op) {
+  return op == "<" || op == "<=" || op == ">" || op == ">=";
+}
+
+/// Mirrors a comparison across its operands: `c OP col` ≡ `col FLIP(OP) c`.
+std::string FlipRangeOp(const std::string& op) {
+  if (op == "<") return ">";
+  if (op == "<=") return ">=";
+  if (op == ">") return "<";
+  return "<=";
+}
+
+/// If `e` is a column reference into relation `rel_idx`, returns its column
+/// index within that relation's schema; -1 otherwise.
+int ScanColumnOf(const Expr& e, const BoundQuery& bq, size_t rel_idx) {
+  if (e.kind() != ExprKind::kColumnRef) return -1;
+  auto it = bq.column_slots.find(&e);
+  if (it == bq.column_slots.end()) return -1;
+  size_t offset = bq.slot_offsets[rel_idx];
+  size_t width = bq.relations[rel_idx].schema.NumColumns();
+  if (it->second < offset || it->second >= offset + width) return -1;
+  return int(it->second - offset);
+}
+
+/// Plan-time constant bound of `e`: the literal value, or — under the
+/// optimizer — the folded value of a relation-free, aggregate-free
+/// expression. Returns false when the bound is not a plan-time constant.
+bool FoldConstBound(const Expr& e, const BoundQuery& bq, bool enable_optimizer,
+                    Value* out) {
+  if (e.kind() == ExprKind::kLiteral) {
+    *out = static_cast<const LiteralExpr&>(e).value;
+    return true;
+  }
+  if (!enable_optimizer || RelationMask(e, bq) != 0 || ContainsAggregate(e)) {
+    return false;
+  }
+  Row null_row(bq.total_slots, Value::Null());
+  EvalContext ctx{&bq, &null_row, nullptr};
+  Result<Value> v = Eval(e, ctx);
+  if (!v.ok()) return false;
+  *out = std::move(v).value();
+  return true;
+}
+
+/// Plan-time evaluation of a bound expression whose every referenced
+/// relation holds exactly one row (the clock, Constants): fills those
+/// slots from the single rows and evaluates. Used only for cardinality
+/// estimation — the run-time probe re-evaluates against the live rows.
+bool EvalSingleRowBound(const Expr& e, const BoundQuery& bq, Value* out) {
+  uint64_t mask = RelationMask(e, bq);
+  if (mask == 0 || ContainsAggregate(e)) return false;
+  Row row(bq.total_slots, Value::Null());
+  for (size_t i = 0; i < bq.relations.size(); ++i) {
+    if ((mask & (uint64_t(1) << i)) == 0) continue;
+    const RelationData* rel = bq.relations[i].relation;
+    if (rel == nullptr || rel->NumRows() != 1) return false;
+    const Row& src = rel->RowAt(0);
+    size_t offset = bq.slot_offsets[i];
+    size_t width = bq.relations[i].schema.NumColumns();
+    for (size_t c = 0; c < width && c < src.size(); ++c) {
+      row[offset + c] = src[c];
+    }
+  }
+  EvalContext ctx{&bq, &row, nullptr};
+  Result<Value> v = Eval(e, ctx);
+  if (!v.ok()) return false;
+  *out = std::move(v).value();
+  return true;
+}
+
+/// Estimated selectivity of a single-relation conjunct against relation
+/// `rel_idx`, from its TableStats when present and the System-R defaults
+/// otherwise. Conservative: anything unrecognized estimates as a generic
+/// range predicate.
+double EstimateConjunctSelectivity(const Expr& conjunct, const BoundQuery& bq,
+                                   size_t rel_idx, const TableStats* stats,
+                                   bool enable_optimizer) {
+  if (conjunct.kind() != ExprKind::kBinary) return kDefaultRangeSelectivity;
+  const auto& b = static_cast<const BinaryExpr&>(conjunct);
+  if (b.op == "!=" || b.op == "<>") return kDefaultNeqSelectivity;
+  if (b.op != "=" && !IsRangeOp(b.op)) return kDefaultRangeSelectivity;
+  for (int flip = 0; flip < 2; ++flip) {
+    const Expr* col_side = flip == 0 ? b.lhs.get() : b.rhs.get();
+    const Expr* val_side = flip == 0 ? b.rhs.get() : b.lhs.get();
+    int col = ScanColumnOf(*col_side, bq, rel_idx);
+    if (col < 0) continue;
+    if (b.op == "=") return EstimateEqSelectivity(stats, size_t(col));
+    std::string op = flip == 0 ? b.op : FlipRangeOp(b.op);
+    Value bound;
+    bool have_bound = FoldConstBound(*val_side, bq, enable_optimizer, &bound) ||
+                      EvalSingleRowBound(*val_side, bq, &bound);
+    return EstimateRangeSelectivity(stats, size_t(col), op,
+                                    have_bound ? &bound : nullptr);
+  }
+  return b.op == "=" ? kDefaultEqSelectivity : kDefaultRangeSelectivity;
 }
 
 /// Descends a member's tail chain to its Filter node.
@@ -77,16 +177,34 @@ void CollectTree(LogicalNode* node, std::vector<LogicalScan*>* scans,
 /// Greedy join order: start with the smallest relation, then repeatedly
 /// take the smallest relation equi-connected (per JoinGraph) to the placed
 /// set, falling back to the smallest remaining one when nothing connects.
+/// "Smallest" means raw NumRows under the heuristic planner; under
+/// stats-based costing it is the estimated cardinality after the
+/// relation's own pushable conjuncts (selectivities from TableStats).
 /// Ties break toward the original FROM position, so equal-sized relations
 /// (the common case for policy plans built over an empty log) keep their
 /// written order.
-std::vector<size_t> ChooseJoinOrder(const BoundQuery& bq) {
+std::vector<size_t> ChooseJoinOrder(const BoundQuery& bq,
+                                    const std::vector<const Expr*>& conjuncts,
+                                    const PlannerOptions& options) {
   size_t n = bq.relations.size();
-  std::vector<size_t> est(n);
+  std::vector<double> est(n);
   for (size_t i = 0; i < n; ++i) {
     est[i] = bq.relations[i].relation != nullptr
-                 ? bq.relations[i].relation->NumRows()
-                 : std::numeric_limits<size_t>::max();
+                 ? double(bq.relations[i].relation->NumRows())
+                 : std::numeric_limits<double>::infinity();
+  }
+  if (options.enable_stats_costing) {
+    for (size_t i = 0; i < n; ++i) {
+      const RelationData* rel = bq.relations[i].relation;
+      if (rel == nullptr) continue;
+      const TableStats* stats = rel->Stats();
+      uint64_t rel_bit = uint64_t(1) << i;
+      for (const Expr* c : conjuncts) {
+        if (RelationMask(*c, bq) != rel_bit) continue;
+        est[i] *= EstimateConjunctSelectivity(*c, bq, i, stats,
+                                              options.enable_optimizer);
+      }
+    }
   }
 
   std::vector<std::vector<bool>> conn(n, std::vector<bool>(n, false));
@@ -114,7 +232,12 @@ std::vector<size_t> ChooseJoinOrder(const BoundQuery& bq) {
       if (require_connected) {
         bool connected = false;
         for (size_t j : order) connected = connected || conn[i][j];
-        if (!connected) continue;
+        // Under costing, an (estimated) at-most-one-row relation may jump
+        // the connectivity queue: its cross join is free, and placing it
+        // early can hand later scans a computable range bound — the clock
+        // in every sliding-window policy is exactly this shape.
+        bool tiny = options.enable_stats_costing && est[i] <= 1.5;
+        if (!connected && !tiny) continue;
       }
       if (best < 0 || est[i] < est[size_t(best)]) best = int(i);
     }
@@ -139,8 +262,19 @@ bool OptimizerDisabledByEnv() {
   return disabled;
 }
 
+bool StatsCostingDisabledByEnv() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("DL_DISABLE_STATS_COSTING");
+    return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+  }();
+  return disabled;
+}
+
 Planner::Planner(PlannerOptions options) : options_(options) {
   if (OptimizerDisabledByEnv()) options_.enable_optimizer = false;
+  if (StatsCostingDisabledByEnv() || !options_.enable_optimizer) {
+    options_.enable_stats_costing = false;
+  }
 }
 
 Result<LogicalPlan> Planner::PlanLogical(const BoundQuery& bound) const {
@@ -204,7 +338,8 @@ Status Planner::OptimizeMember(LogicalMember* member) const {
   // so reordering rebuilds the left-deep scan spine.
   if (options_.enable_optimizer && bq.relations.size() >= 2 &&
       filter->child != nullptr) {
-    std::vector<size_t> order = ChooseJoinOrder(bq);
+    std::vector<size_t> order =
+        ChooseJoinOrder(bq, filter->conjuncts, options_);
     bool identity = true;
     for (size_t j = 0; j < order.size(); ++j) identity &= order[j] == j;
     if (!identity) {
@@ -285,6 +420,7 @@ Result<PhysicalMember> Planner::Physicalize(const LogicalMember& member) const {
   EvalContext const_ctx{&bq, &null_row, nullptr};
 
   uint64_t placed_mask = 0;
+  double left_est = -1;  ///< estimated rows of the accumulated left side
   for (size_t j = 0; j < scans.size(); ++j) {
     const LogicalScan* scan = scans[j];
     const BoundRelation& rel = bq.relations[scan->rel_idx];
@@ -333,11 +469,40 @@ Result<PhysicalMember> Planner::Physicalize(const LogicalMember& member) const {
           break;  // at most one candidate per conjunct
         }
       }
+
+      // Rule 6a: range-probe candidates from pushed-down comparisons with
+      // a plan-time-constant bound. Gated on the optimizer so the naive
+      // baseline stays exactly the original executor (which never probed
+      // ranges); the conjunct remains a re-applied scan filter either way.
+      if (options_.enable_optimizer) {
+        for (const Expr* p : ps.filters) {
+          if (p->kind() != ExprKind::kBinary) continue;
+          const auto& b = static_cast<const BinaryExpr&>(*p);
+          if (!IsRangeOp(b.op)) continue;
+          for (int flip = 0; flip < 2; ++flip) {
+            const Expr* col_side = flip == 0 ? b.lhs.get() : b.rhs.get();
+            const Expr* val_side = flip == 0 ? b.rhs.get() : b.lhs.get();
+            int col = ScanColumnOf(*col_side, bq, scan->rel_idx);
+            if (col < 0) continue;
+            PhysicalRangeProbe probe;
+            probe.col = size_t(col);
+            probe.op = flip == 0 ? b.op : FlipRangeOp(b.op);
+            probe.conjunct = p;
+            if (!FoldConstBound(*val_side, bq, options_.enable_optimizer,
+                                &probe.value)) {
+              continue;
+            }
+            probe.has_const = true;
+            ps.range_probes.push_back(std::move(probe));
+            break;  // at most one candidate per conjunct
+          }
+        }
+      }
     }
 
+    PhysicalJoin pj;
     if (j > 0) {
       const LogicalJoin* join = joins[j - 1];
-      PhysicalJoin pj;
       pj.residual = join->residual;
       pj.equi_conjuncts = join->equi;
       if (!join->equi.empty()) {
@@ -352,8 +517,126 @@ Result<PhysicalMember> Planner::Physicalize(const LogicalMember& member) const {
           pj.right_keys.push_back(rs);
         }
       }
-      pm.joins.push_back(std::move(pj));
+
+      // Rule 6b: range-probe candidates from residual comparisons that
+      // bound a column of this scan by an expression over already-placed
+      // relations — the sliding-window shape `p.ts > c.ts - w` with the
+      // single-row clock to the left. The bound is evaluated per execution
+      // against the accumulated left side; the conjunct stays a residual
+      // filter, so the probe only narrows the access path.
+      if (options_.enable_optimizer && rel.subquery == nullptr) {
+        for (const Expr* r : pj.residual) {
+          if (r->kind() != ExprKind::kBinary) continue;
+          const auto& b = static_cast<const BinaryExpr&>(*r);
+          if (!IsRangeOp(b.op)) continue;
+          for (int flip = 0; flip < 2; ++flip) {
+            const Expr* col_side = flip == 0 ? b.lhs.get() : b.rhs.get();
+            const Expr* val_side = flip == 0 ? b.rhs.get() : b.lhs.get();
+            int col = ScanColumnOf(*col_side, bq, scan->rel_idx);
+            if (col < 0) continue;
+            uint64_t bound_mask = RelationMask(*val_side, bq);
+            if (bound_mask == 0 || (bound_mask & ~placed_mask) != 0 ||
+                ContainsAggregate(*val_side)) {
+              continue;
+            }
+            PhysicalRangeProbe probe;
+            probe.col = size_t(col);
+            probe.op = flip == 0 ? b.op : FlipRangeOp(b.op);
+            probe.bound_expr = val_side;
+            probe.conjunct = r;
+            ps.range_probes.push_back(std::move(probe));
+            break;  // at most one candidate per conjunct
+          }
+        }
+      }
     }
+
+    // Rule 7: cost-based access path and cardinality estimates, only when
+    // the plan-time relation carries maintained statistics (otherwise the
+    // run-time adaptive probing is kept and EXPLAIN shows no estimates).
+    const RelationData* rel_data =
+        rel.subquery == nullptr ? rel.relation : nullptr;
+    const TableStats* stats = rel_data != nullptr ? rel_data->Stats() : nullptr;
+    if (options_.enable_stats_costing && stats != nullptr) {
+      double base_rows = double(rel_data->NumRows());
+
+      // Bound of a range probe as far as plan time can see it: the folded
+      // constant, or the value under single-row left relations (clock).
+      auto probe_bound = [&](const PhysicalRangeProbe& probe, Value* out) {
+        if (probe.has_const) {
+          *out = probe.value;
+          return true;
+        }
+        return EvalSingleRowBound(*probe.bound_expr, bq, out);
+      };
+
+      double sel_all = 1.0;
+      for (const Expr* f : ps.filters) {
+        sel_all *= EstimateConjunctSelectivity(*f, bq, ps.rel_idx, stats,
+                                               options_.enable_optimizer);
+      }
+      ps.est_rows = base_rows * sel_all;
+
+      double seq_cost = base_rows;
+      double hash_cost = std::numeric_limits<double>::infinity();
+      for (const PhysicalProbe& probe : ps.probes) {
+        if (!rel_data->HasHashIndex(probe.col)) continue;
+        hash_cost = std::min(
+            hash_cost,
+            1.0 + base_rows * EstimateEqSelectivity(stats, probe.col));
+      }
+      double range_cost = std::numeric_limits<double>::infinity();
+      for (const PhysicalRangeProbe& probe : ps.range_probes) {
+        if (!rel_data->HasOrderedIndex(probe.col)) continue;
+        // Combine every range probe on the same column (BETWEEN is two).
+        double sel = 1.0;
+        for (const PhysicalRangeProbe& other : ps.range_probes) {
+          if (other.col != probe.col) continue;
+          Value bound;
+          bool have = probe_bound(other, &bound);
+          sel *= EstimateRangeSelectivity(stats, other.col, other.op,
+                                          have ? &bound : nullptr);
+        }
+        range_cost =
+            std::min(range_cost, std::log2(std::max(base_rows, 2.0)) +
+                                     base_rows * sel);
+      }
+      if (seq_cost <= hash_cost && seq_cost <= range_cost) {
+        ps.chosen_path = AccessPath::kSeqScan;
+      } else if (hash_cost <= range_cost) {
+        ps.chosen_path = AccessPath::kHashProbe;
+      } else {
+        ps.chosen_path = AccessPath::kRangeScan;
+      }
+
+      // Join-output estimate: |L ⋈ R| ≈ |L|·|R| / Π ndv(right key), then
+      // the residual conjuncts' selectivities (range residuals estimated
+      // like pushed ranges, anything else by the default).
+      if (j > 0 && left_est >= 0) {
+        double est = left_est * ps.est_rows;
+        for (const Expr* rs : pj.right_keys) {
+          int col = ScanColumnOf(*rs, bq, ps.rel_idx);
+          double ndv = col >= 0
+                           ? EstimateColumnNdv(stats, size_t(col), base_rows)
+                           : std::max(1.0, std::min(base_rows, 10.0));
+          est /= std::max(1.0, ndv);
+        }
+        for (const Expr* r : pj.residual) {
+          est *= EstimateConjunctSelectivity(*r, bq, ps.rel_idx, stats,
+                                             options_.enable_optimizer);
+        }
+        pj.est_rows = est;
+        left_est = est;
+      } else if (j == 0) {
+        left_est = ps.est_rows;
+      } else {
+        left_est = -1;
+      }
+    } else {
+      left_est = -1;
+    }
+
+    if (j > 0) pm.joins.push_back(std::move(pj));
     pm.scans.push_back(std::move(ps));
     pm.scan_order.push_back(scan->rel_idx);
     placed_mask |= rel_bit;

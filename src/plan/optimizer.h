@@ -10,18 +10,32 @@ namespace datalawyer {
 
 struct PlannerOptions {
   /// Master switch for the cost-improving rules: constant folding, join
-  /// reordering, and computed-constant index probes. Predicate pushdown,
-  /// equality-conjunct extraction into join keys, and literal index probes
-  /// are structural — they always run and reproduce the original executor's
-  /// behavior exactly, so `false` is the baseline ("naive") plan. The
-  /// DL_DISABLE_OPTIMIZER environment variable forces false process-wide
-  /// (the CI fallback job sets it).
+  /// reordering, computed-constant index probes, and range-probe
+  /// extraction. Predicate pushdown, equality-conjunct extraction into
+  /// join keys, and literal index probes are structural — they always run
+  /// and reproduce the original executor's behavior exactly, so `false` is
+  /// the baseline ("naive") plan. The DL_DISABLE_OPTIMIZER environment
+  /// variable forces false process-wide (the CI fallback job sets it).
   bool enable_optimizer = true;
+
+  /// Statistics-driven cost-based planning: join order and scan cardinality
+  /// are estimated from TableStats (selectivities, NDVs, ranges) and each
+  /// scan's access path (seq vs. hash probe vs. range scan) is chosen by
+  /// estimated cost instead of adaptively at run time. Off: join order
+  /// falls back to the heuristic smallest-NumRows greedy and access paths
+  /// stay adaptive — plans remain correct, only the choices change.
+  /// Requires enable_optimizer; DL_DISABLE_STATS_COSTING forces false
+  /// process-wide (the costing-off CI leg sets it).
+  bool enable_stats_costing = true;
 };
 
 /// True when DL_DISABLE_OPTIMIZER is set to a non-empty value other
 /// than "0". Cached after the first call.
 bool OptimizerDisabledByEnv();
+
+/// True when DL_DISABLE_STATS_COSTING is set to a non-empty value other
+/// than "0". Cached after the first call.
+bool StatsCostingDisabledByEnv();
 
 /// The rule-based planner: bound AST → logical plan → rules → physical
 /// plan. Stateless apart from its options; const and safe to share across
@@ -43,7 +57,15 @@ bool OptimizerDisabledByEnv();
 ///     the rest residual filters;
 ///  5. index-probe selection — `col = constant` scan filters become probe
 ///     candidates (literals always; folded constant expressions under the
-///     optimizer), decided against RelationData::IndexLookup at run time.
+///     optimizer), decided against RelationData::IndexLookup at run time;
+///  6. range-probe selection (under the optimizer) — `col OP constant`
+///     scan filters and join-residual conjuncts bounding a column by an
+///     expression over already-placed relations become range-probe
+///     candidates served by ordered indexes (RelationData::RangeLookup);
+///  7. cost-based access path and join order (under enable_stats_costing)
+///     — per-scan cardinalities estimated from TableStats pick between
+///     seq scan, hash probe, and range scan, and drive the greedy join
+///     order in place of raw row counts.
 class Planner {
  public:
   explicit Planner(PlannerOptions options = {});

@@ -1,10 +1,48 @@
 #include "plan/physical.h"
 
+#include <cmath>
+
+#include "analysis/eval.h"
 #include "common/strings.h"
+#include "plan/logical.h"
 
 namespace datalawyer {
 
 namespace {
+
+/// Resolves a range probe's bound at render time: constants fold; bound
+/// expressions evaluate when every referenced relation resolves through
+/// the live catalog with exactly one row (the clock) — the same condition
+/// under which the interpreter can use the probe.
+bool ResolveRenderBound(const Expr& e, const BoundQuery& bq,
+                        const CatalogView* catalog, Value* out) {
+  uint64_t mask = RelationMask(e, bq);
+  Row row(bq.total_slots, Value::Null());
+  for (size_t i = 0; i < bq.relations.size(); ++i) {
+    if ((mask & (uint64_t(1) << i)) == 0) continue;
+    const BoundRelation& rel = bq.relations[i];
+    const RelationData* data =
+        rel.table_name.empty() || catalog == nullptr
+            ? nullptr
+            : catalog->Find(rel.table_name);
+    if (data == nullptr || data->NumRows() != 1) return false;
+    const Row& src = data->RowAt(0);
+    size_t offset = bq.slot_offsets[i];
+    size_t width = rel.schema.NumColumns();
+    for (size_t c = 0; c < width && c < src.size(); ++c) {
+      row[offset + c] = src[c];
+    }
+  }
+  EvalContext ctx{&bq, &row, nullptr};
+  Result<Value> v = Eval(e, ctx);
+  if (!v.ok()) return false;
+  *out = std::move(v).value();
+  return true;
+}
+
+std::string FormatEstRows(double est) {
+  return " est_rows=" + std::to_string((long long)std::llround(est));
+}
 
 void RenderMember(const PhysicalMember& pm, const CatalogView* catalog,
                   std::string* out) {
@@ -14,25 +52,86 @@ void RenderMember(const PhysicalMember& pm, const CatalogView* catalog,
     const PhysicalScan& ps = pm.scans[j];
     const BoundRelation& rel = bq.relations[ps.rel_idx];
 
-    // The probe decision is made against the live catalog, exactly as the
-    // interpreter will make it: every candidate with an index is probed and
-    // the most selective one narrows the scan.
+    // The access-path decision is re-made against the live catalog,
+    // exactly as the interpreter will make it: the cost model's choice is
+    // honored when its index is still available, and the kUnknown
+    // (adaptive) case probes every candidate and lets the most selective
+    // one narrow the scan.
     const RelationData* data =
         rel.table_name.empty() || catalog == nullptr
             ? nullptr
             : catalog->Find(rel.table_name);
     bool index_probe = false;
+    bool range_probe = false;
     std::string index_detail;
     if (data != nullptr) {
-      size_t best_hits = 0;
-      for (const PhysicalProbe& probe : ps.probes) {
-        std::vector<size_t> hits;
-        if (!data->IndexLookup(probe.col, probe.value, &hits)) continue;
-        if (!index_probe || hits.size() < best_hits) {
-          best_hits = hits.size();
-          index_detail = probe.conjunct->ToString();
+      bool hash_ok = false;
+      size_t hash_hits = 0;
+      std::string hash_detail;
+      if (ps.chosen_path != AccessPath::kSeqScan) {
+        for (const PhysicalProbe& probe : ps.probes) {
+          std::vector<size_t> hits;
+          if (!data->IndexLookup(probe.col, probe.value, &hits)) continue;
+          if (!hash_ok || hits.size() < hash_hits) {
+            hash_hits = hits.size();
+            hash_detail = probe.conjunct->ToString();
+          }
+          hash_ok = true;
         }
-        index_probe = true;
+      }
+      bool range_ok = false;
+      size_t range_hits = 0;
+      std::string range_detail;
+      if (ps.chosen_path == AccessPath::kRangeScan ||
+          ps.chosen_path == AccessPath::kUnknown) {
+        for (const PhysicalRangeProbe& probe : ps.range_probes) {
+          Value bound;
+          if (probe.has_const) {
+            bound = probe.value;
+          } else if (!ResolveRenderBound(*probe.bound_expr, bq, catalog,
+                                         &bound)) {
+            continue;
+          }
+          bool is_lower = probe.op == ">" || probe.op == ">=";
+          bool inclusive = probe.op == ">=" || probe.op == "<=";
+          std::vector<size_t> hits;
+          if (!data->RangeLookup(probe.col, is_lower ? &bound : nullptr,
+                                 inclusive, is_lower ? nullptr : &bound,
+                                 inclusive, &hits)) {
+            continue;
+          }
+          if (!range_ok || hits.size() < range_hits) {
+            range_hits = hits.size();
+            range_detail = probe.conjunct->ToString();
+          }
+          range_ok = true;
+        }
+      }
+      switch (ps.chosen_path) {
+        case AccessPath::kSeqScan:
+          break;
+        case AccessPath::kHashProbe:
+          index_probe = hash_ok;
+          index_detail = hash_detail;
+          break;
+        case AccessPath::kRangeScan:
+          if (range_ok) {
+            range_probe = true;
+            index_detail = range_detail;
+          } else if (hash_ok) {
+            index_probe = true;
+            index_detail = hash_detail;
+          }
+          break;
+        case AccessPath::kUnknown:
+          if (hash_ok && (!range_ok || hash_hits <= range_hits)) {
+            index_probe = true;
+            index_detail = hash_detail;
+          } else if (range_ok) {
+            range_probe = true;
+            index_detail = range_detail;
+          }
+          break;
       }
     }
 
@@ -49,10 +148,18 @@ void RenderMember(const PhysicalMember& pm, const CatalogView* catalog,
     std::vector<std::string> pushdown;
     for (const Expr* p : ps.filters) pushdown.push_back(p->ToString());
 
+    std::string access_token;
+    if (range_probe) {
+      access_token = " [range scan " + index_detail + "]";
+    } else if (index_probe) {
+      access_token = " [index probe " + index_detail + "]";
+    } else {
+      access_token = " [full scan]";
+    }
+
     if (j == 0) {
       *out += "  scan " + source + " as " + rel.binding_name;
-      *out += index_probe ? " [index probe " + index_detail + "]"
-                          : " [full scan]";
+      *out += access_token;
     } else {
       const PhysicalJoin& pj = pm.joins[j - 1];
       if (pj.algo == JoinAlgo::kHashJoin) {
@@ -63,7 +170,7 @@ void RenderMember(const PhysicalMember& pm, const CatalogView* catalog,
       } else {
         *out += "  nested loop join " + source + " as " + rel.binding_name;
       }
-      if (index_probe) *out += " [index probe " + index_detail + "]";
+      if (range_probe || index_probe) *out += access_token;
       if (!pj.residual.empty()) {
         std::vector<std::string> residual;
         for (const Expr* e : pj.residual) residual.push_back(e->ToString());
@@ -71,6 +178,11 @@ void RenderMember(const PhysicalMember& pm, const CatalogView* catalog,
       }
     }
     if (!pushdown.empty()) *out += " pushdown: " + Join(pushdown, " AND ");
+    if (j == 0 && ps.est_rows >= 0) {
+      *out += FormatEstRows(ps.est_rows);
+    } else if (j > 0 && pm.joins[j - 1].est_rows >= 0) {
+      *out += FormatEstRows(pm.joins[j - 1].est_rows);
+    }
     *out += "\n";
   }
   if (pm.scans.empty()) *out += "  constant row\n";

@@ -27,6 +27,34 @@ struct PhysicalProbe {
   const Expr* conjunct = nullptr;  ///< originating conjunct (for explain)
 };
 
+/// A `column OP bound` range conjunct (OP in {<, <=, >, >=}, normalized so
+/// the column sits on the left) the scan may answer through an ordered
+/// index. The bound is either a plan-time constant or an expression over
+/// relations already placed to the scan's left, evaluated per execution
+/// against the accumulated intermediate — usable only when every left row
+/// agrees on one bound value (the single-row clock relation of the
+/// sliding-window policies always does). The originating conjunct is still
+/// re-applied per emitted row, so probing only narrows the access path.
+struct PhysicalRangeProbe {
+  size_t col = 0;  ///< column within the scanned relation
+  std::string op;  ///< "<", "<=", ">", ">=" with the column on the left
+  bool has_const = false;
+  Value value;  ///< plan-time constant bound when has_const
+  /// Bound expression over already-placed relations when !has_const.
+  const Expr* bound_expr = nullptr;
+  const Expr* conjunct = nullptr;  ///< originating conjunct (for explain)
+};
+
+/// Access path the cost model picked for a scan. kUnknown (costing off or
+/// no statistics) keeps the adaptive behavior: probe every candidate at
+/// run time and let the smallest hit set win.
+enum class AccessPath {
+  kUnknown,
+  kSeqScan,
+  kHashProbe,
+  kRangeScan,
+};
+
 /// Scan of one FROM item: IndexProbe when a candidate's index answers at
 /// run time, SeqScan otherwise. Base relations are *re-resolved by table
 /// name* on every execution — a cached plan outlives the per-query overlay
@@ -36,6 +64,12 @@ struct PhysicalScan {
   size_t rel_idx = 0;  ///< FROM index in the member's BoundQuery
   std::vector<const Expr*> filters;  ///< pushed-down conjuncts, WHERE order
   std::vector<PhysicalProbe> probes;
+  std::vector<PhysicalRangeProbe> range_probes;
+  /// Cost-model decision; kUnknown = decide adaptively at run time.
+  AccessPath chosen_path = AccessPath::kUnknown;
+  /// Estimated output cardinality after pushed filters; < 0 when the plan
+  /// was built without trustworthy statistics (EXPLAIN omits it then).
+  double est_rows = -1;
   /// Present for subquery FROM items: the subquery's own physical plan.
   std::unique_ptr<PhysicalPlan> subplan;
 };
@@ -56,6 +90,8 @@ struct PhysicalJoin {
   std::vector<const Expr*> right_keys;
   std::vector<const Expr*> equi_conjuncts;
   std::vector<const Expr*> residual;
+  /// Estimated output cardinality; < 0 when built without statistics.
+  double est_rows = -1;
 };
 
 /// One UNION member: the join pipeline plus the tail stages its BoundQuery

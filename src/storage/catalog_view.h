@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "storage/database.h"
+#include "storage/stats.h"
 #include "storage/table.h"
 
 namespace datalawyer {
@@ -43,9 +44,13 @@ class DatabaseCatalog : public CatalogView {
 /// map back with IsFromSecond()/SecondRowId().
 class ConcatRelation : public RelationData {
  public:
-  /// Both parts must outlive this object and share column arity.
-  ConcatRelation(const RelationData* first, const RelationData* second)
-      : first_(first), second_(second) {}
+  /// Both parts must outlive this object and share column arity. When the
+  /// first (persisted) part maintains statistics, the view folds the
+  /// second part's rows in at construction — the increment is bounded by
+  /// one query's log generation, so this stays cheap — and serves the
+  /// merged snapshot through Stats(). NDVs over-approximate: a delta value
+  /// already present in the main part still counts once more.
+  ConcatRelation(const RelationData* first, const RelationData* second);
 
   const TableSchema& schema() const override { return first_->schema(); }
   size_t NumRows() const override {
@@ -73,6 +78,27 @@ class ConcatRelation : public RelationData {
     }
     return true;
   }
+  /// Range probes follow the same shape as IndexLookup: the first part
+  /// must answer from its ordered index, the second is probed when it can
+  /// and scanned (with full SQL comparison semantics) otherwise. A scan
+  /// comparison that would raise — mixed types the naive path reports as a
+  /// TypeError — makes the whole probe decline, so errors surface
+  /// identically on both access paths.
+  bool RangeLookup(size_t col, const Value* lo, bool lo_inclusive,
+                   const Value* hi, bool hi_inclusive,
+                   std::vector<size_t>* out) const override;
+
+  bool HasHashIndex(size_t col) const override {
+    return first_->HasHashIndex(col);
+  }
+  bool HasOrderedIndex(size_t col) const override {
+    return first_->HasOrderedIndex(col);
+  }
+
+  const TableStats* Stats() const override {
+    return has_stats_ ? &stats_ : nullptr;
+  }
+
   const Row& RowAt(size_t i) const override {
     size_t n = first_->NumRows();
     return i < n ? first_->RowAt(i) : second_->RowAt(i - n);
@@ -91,22 +117,32 @@ class ConcatRelation : public RelationData {
  private:
   const RelationData* first_;
   const RelationData* second_;
+  bool has_stats_ = false;
+  TableStats stats_;  ///< merged first+second snapshot, built at construction
 };
 
 /// A relation materialized on the fly (Clock's single row, Constants).
+/// Carries exact statistics, computed once at construction — these
+/// relations are tiny, and the clock's single-row count is what lets the
+/// cost model chain cardinality estimates through the cross join and place
+/// the clock early enough that window bounds become computable.
 class OwnedRelation : public RelationData {
  public:
   OwnedRelation(TableSchema schema, std::vector<Row> rows)
-      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+      : schema_(std::move(schema)), rows_(std::move(rows)) {
+    stats_ = ComputeTableStats(*this);
+  }
 
   const TableSchema& schema() const override { return schema_; }
   size_t NumRows() const override { return rows_.size(); }
   const Row& RowAt(size_t i) const override { return rows_[i]; }
   int64_t RowIdAt(size_t i) const override { return int64_t(i); }
+  const TableStats* Stats() const override { return &stats_; }
 
  private:
   TableSchema schema_;
   std::vector<Row> rows_;
+  TableStats stats_;
 };
 
 /// Base catalog plus name → relation overrides. Overrides win.

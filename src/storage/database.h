@@ -40,6 +40,12 @@ class Database {
   /// revalidated against it, so DDL invalidates them without a callback.
   uint64_t version() const { return version_; }
 
+  /// Forces an epoch bump without a schema change — used when something a
+  /// cached plan depends on but the stamp cannot see changes shape (e.g.
+  /// the statistics a cost-based plan was chosen under drift past the
+  /// replan threshold, or a log index is rebuilt after compaction).
+  void BumpVersion() { ++version_; }
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
   uint64_t version_ = 0;

@@ -1,0 +1,95 @@
+#include "storage/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "common/value_hash.h"
+#include "storage/table.h"
+
+namespace datalawyer {
+
+TableStats ComputeTableStats(const RelationData& rel) {
+  const size_t cols = rel.schema().NumColumns();
+  TableStats stats;
+  stats.valid = true;
+  stats.row_count = rel.NumRows();
+  stats.columns.resize(cols);
+
+  std::vector<std::unordered_set<Value, ValueHash>> distinct(cols);
+  std::vector<bool> range_ok(cols, true);
+  for (size_t i = 0; i < stats.row_count; ++i) {
+    const Row& row = rel.RowAt(i);
+    for (size_t c = 0; c < cols; ++c) {
+      const Value& v = row[c];
+      ColumnStats& cs = stats.columns[c];
+      if (v.is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      distinct[c].insert(v);
+      if (!v.is_numeric() || !std::isfinite(v.ToDouble())) {
+        range_ok[c] = false;
+        continue;
+      }
+      double d = v.ToDouble();
+      if (!cs.has_range) {
+        cs.has_range = true;
+        cs.min = cs.max = d;
+      } else {
+        cs.min = std::min(cs.min, d);
+        cs.max = std::max(cs.max, d);
+      }
+    }
+  }
+  for (size_t c = 0; c < cols; ++c) {
+    stats.columns[c].ndv = distinct[c].size();
+    if (!range_ok[c]) stats.columns[c].has_range = false;
+  }
+  return stats;
+}
+
+namespace {
+
+std::string FormatBound(double d) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    return std::to_string(int64_t(d));
+  }
+  std::ostringstream out;
+  out << d;
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderTableStats(const std::string& name, const TableSchema& schema,
+                             const TableStats& stats) {
+  std::ostringstream out;
+  out << name << ": " << stats.row_count << " rows\n";
+  if (!stats.valid) {
+    out << "  (no statistics)\n";
+    return out.str();
+  }
+  out << "  column            ndv     nulls  min..max\n";
+  for (size_t c = 0; c < schema.NumColumns() && c < stats.columns.size(); ++c) {
+    const ColumnStats& cs = stats.columns[c];
+    std::string col = schema.column(c).name;
+    if (col.size() < 16) col.resize(16, ' ');
+    std::string ndv = std::to_string(cs.ndv);
+    if (ndv.size() < 8) ndv.resize(8, ' ');
+    std::string nulls = std::to_string(cs.null_count);
+    if (nulls.size() < 6) nulls.resize(6, ' ');
+    out << "  " << col << "  " << ndv << "  " << nulls << "  ";
+    if (cs.has_range) {
+      out << FormatBound(cs.min) << ".." << FormatBound(cs.max);
+    } else {
+      out << "-";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace datalawyer

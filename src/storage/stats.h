@@ -1,0 +1,48 @@
+#ifndef DATALAWYER_STORAGE_STATS_H_
+#define DATALAWYER_STORAGE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace datalawyer {
+
+class RelationData;
+
+/// Summary statistics for one column: number of distinct non-NULL values,
+/// NULL count, and (for columns whose non-NULL values are all numeric) a
+/// min/max range widened to double. Strings and booleans carry NDVs but no
+/// range; a column that mixes numerics with other classes drops its range.
+struct ColumnStats {
+  uint64_t ndv = 0;
+  uint64_t null_count = 0;
+  bool has_range = false;  ///< min/max below are meaningful
+  double min = 0;
+  double max = 0;
+};
+
+/// Summary statistics for one relation. `valid` distinguishes "statistics
+/// are maintained and current" from the default "no statistics" state —
+/// estimation falls back to magic selectivities when false.
+struct TableStats {
+  bool valid = false;
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;  ///< parallel to the schema
+};
+
+/// Full-scan computation of a relation's statistics (exact NDVs). Used by
+/// the shell's `\stats <table>` and by tests; the Table class maintains the
+/// same quantities incrementally.
+TableStats ComputeTableStats(const RelationData& rel);
+
+/// Renders the stats as an aligned table for the shell:
+///   column  ndv  nulls  min  max
+std::string RenderTableStats(const std::string& name, const TableSchema& schema,
+                             const TableStats& stats);
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_STORAGE_STATS_H_

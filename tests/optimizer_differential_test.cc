@@ -57,6 +57,22 @@ const char* kWorkload[] = {
     "SELECT orders.item, orders.uid FROM orders ORDER BY 2 DESC, 1 LIMIT 3",
     "SELECT users.name FROM users WHERE users.uid = 1 OR users.uid = 3",
     "SELECT 1 + 2",
+    // Range predicates: servable from the ordered index (or not), with the
+    // cost model free to pick either path — rows and lineage must not move.
+    "SELECT users.name FROM users WHERE users.uid > 2",
+    "SELECT users.name FROM users WHERE users.uid >= 2 AND users.uid <= 3",
+    "SELECT users.name FROM users WHERE users.uid BETWEEN 2 AND 3",
+    "SELECT users.name FROM users WHERE users.uid BETWEEN 3 AND 2",
+    "SELECT orders.item FROM orders WHERE orders.uid BETWEEN 1 AND 2 "
+    "ORDER BY orders.item",
+    "SELECT users.name FROM users WHERE users.uid > 1 + 1",
+    "SELECT users.name, orders.item FROM users, orders "
+    "WHERE orders.uid >= users.uid AND users.uid = 3",
+    "SELECT users.name, orders.item FROM users, orders "
+    "WHERE orders.uid > users.uid - 2 AND orders.uid < users.uid + 1 "
+    "AND users.uid = 2",
+    "SELECT COUNT(*) FROM orders WHERE orders.uid >= 2 AND orders.uid = 3",
+    "SELECT users.name FROM users WHERE users.uid > 'x'",
 };
 
 // (relation name, row id) pairs — comparable across executors whose
@@ -87,6 +103,13 @@ class OptimizerDifferentialTest : public ::testing::Test {
     )sql")
                     .ok());
     ASSERT_TRUE(db_.FindTable("orders")->BuildIndex("uid").ok());
+    // Ordered indexes and statistics make every access path — and the cost
+    // model that picks between them — reachable for the workload above.
+    ASSERT_TRUE(db_.FindTable("users")->BuildOrderedIndex("uid").ok());
+    ASSERT_TRUE(db_.FindTable("orders")->BuildOrderedIndex("uid").ok());
+    for (const char* t : {"users", "orders", "prices"}) {
+      db_.FindTable(t)->EnableStats();
+    }
   }
 
   Database db_;
@@ -98,30 +121,36 @@ class OptimizerDifferentialTest : public ::testing::Test {
 // whole workload.
 TEST_F(OptimizerDifferentialTest, RowsAndLineageIdentical) {
   for (const char* sql : kWorkload) {
-    SCOPED_TRACE(sql);
-    auto stmt = Parser::ParseSelect(sql);
-    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    for (bool costing : {true, false}) {
+      SCOPED_TRACE(std::string(sql) +
+                   (costing ? " [costing on]" : " [costing off]"));
+      auto stmt = Parser::ParseSelect(sql);
+      ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
 
-    ExecOptions naive_opts;
-    naive_opts.capture_lineage = true;
-    naive_opts.enable_optimizer = false;
-    Executor naive(engine_->db_catalog(), naive_opts);
-    auto naive_result = naive.Execute(**stmt);
+      ExecOptions naive_opts;
+      naive_opts.capture_lineage = true;
+      naive_opts.enable_optimizer = false;
+      Executor naive(engine_->db_catalog(), naive_opts);
+      auto naive_result = naive.Execute(**stmt);
 
-    ExecOptions opt_opts;
-    opt_opts.capture_lineage = true;
-    opt_opts.enable_optimizer = true;
-    Executor optimized(engine_->db_catalog(), opt_opts);
-    auto opt_result = optimized.Execute(**stmt);
+      ExecOptions opt_opts;
+      opt_opts.capture_lineage = true;
+      opt_opts.enable_optimizer = true;
+      opt_opts.enable_stats_costing = costing;
+      Executor optimized(engine_->db_catalog(), opt_opts);
+      auto opt_result = optimized.Execute(**stmt);
 
-    ASSERT_EQ(naive_result.ok(), opt_result.ok());
-    if (!naive_result.ok()) continue;
+      ASSERT_EQ(naive_result.ok(), opt_result.ok())
+          << naive_result.status().ToString() << " vs "
+          << opt_result.status().ToString();
+      if (!naive_result.ok()) continue;
 
-    ASSERT_EQ(naive_result->rows, opt_result->rows);
-    ASSERT_EQ(naive_result->lineage.size(), opt_result->lineage.size());
-    for (size_t i = 0; i < naive_result->lineage.size(); ++i) {
-      EXPECT_EQ(ResolvedLineage(*naive_result, i),
-                ResolvedLineage(*opt_result, i));
+      ASSERT_EQ(naive_result->rows, opt_result->rows);
+      ASSERT_EQ(naive_result->lineage.size(), opt_result->lineage.size());
+      for (size_t i = 0; i < naive_result->lineage.size(); ++i) {
+        EXPECT_EQ(ResolvedLineage(*naive_result, i),
+                  ResolvedLineage(*opt_result, i));
+      }
     }
   }
 }

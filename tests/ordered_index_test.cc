@@ -1,0 +1,178 @@
+// Differential testing of the ordered (sorted-run) timestamp indexes:
+// randomized insert / delete interleavings, with every range probe checked
+// against a std::multimap oracle and a linear scan — across the unsorted
+// tail, the threshold-triggered merges, and post-compaction rebuilds. The
+// range probe is an access path, never a semantics change.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/stats.h"
+#include "storage/table.h"
+
+namespace datalawyer {
+namespace {
+
+/// Linear-scan reference for one range probe.
+std::vector<size_t> ReferenceRange(const Table& table, size_t col,
+                                   const int64_t* lo, bool lo_inc,
+                                   const int64_t* hi, bool hi_inc) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    int64_t v = table.RowAt(i)[col].AsInt64();
+    if (lo != nullptr && (lo_inc ? v < *lo : v <= *lo)) continue;
+    if (hi != nullptr && (hi_inc ? v > *hi : v >= *hi)) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+TEST(OrderedIndexTest, RandomInsertsAndDeletesAgainstOracle) {
+  std::mt19937_64 rng(4242);
+  Table table(TableSchema()
+                  .AddColumn("ts", ValueType::kInt64)
+                  .AddColumn("uid", ValueType::kInt64));
+  ASSERT_TRUE(table.BuildOrderedIndex("ts").ok());
+
+  // The oracle mirrors the table's ts column as a sorted multiset.
+  std::multimap<int64_t, int64_t> oracle;  // ts -> uid (values unused)
+
+  for (int round = 0; round < 80; ++round) {
+    // Appends past the tail-merge threshold exercise the sort+merge path;
+    // bursts of 300 guarantee at least one merge during the test.
+    size_t appends = round % 10 == 0 ? 300 : rng() % 8;
+    for (size_t i = 0; i < appends; ++i) {
+      int64_t ts = int64_t(rng() % 500);
+      ASSERT_TRUE(table.Append(Row{Value(ts), Value(int64_t(rng() % 7))})
+                      .ok());
+      oracle.emplace(ts, 0);
+    }
+    if (rng() % 3 == 0 && table.NumRows() > 0) {
+      // Deletion invalidates; probes must refuse until the refresh.
+      std::unordered_set<int64_t> remove;
+      std::multimap<int64_t, int64_t> surviving;
+      for (size_t i = 0; i < table.NumRows(); ++i) {
+        if (rng() % 4 == 0) {
+          remove.insert(table.RowIdAt(i));
+        } else {
+          surviving.emplace(table.RowAt(i)[0].AsInt64(), 0);
+        }
+      }
+      table.RemoveIds(remove);
+      oracle = std::move(surviving);
+      if (!remove.empty()) {
+        EXPECT_FALSE(table.HasValidOrderedIndex(0));
+        std::vector<size_t> unused;
+        int64_t zero = 0;
+        Value lo(zero);
+        EXPECT_FALSE(table.RangeLookup(0, &lo, true, nullptr, true, &unused));
+      }
+      table.RefreshIndexes();
+    }
+    ASSERT_TRUE(table.HasValidOrderedIndex(0));
+
+    // A batch of random intervals — open, half-open, closed, empty,
+    // inverted — each checked against both references.
+    for (int probe = 0; probe < 12; ++probe) {
+      int64_t a = int64_t(rng() % 520) - 10;
+      int64_t b = int64_t(rng() % 520) - 10;
+      bool use_lo = rng() % 4 != 0;
+      bool use_hi = rng() % 4 != 0;
+      bool lo_inc = rng() % 2 == 0;
+      bool hi_inc = rng() % 2 == 0;
+      if (!use_lo && !use_hi) use_lo = true;
+
+      std::vector<size_t> hits;
+      Value lo(a), hi(b);
+      ASSERT_TRUE(table.RangeLookup(0, use_lo ? &lo : nullptr, lo_inc,
+                                    use_hi ? &hi : nullptr, hi_inc, &hits));
+      std::vector<size_t> expect =
+          ReferenceRange(table, 0, use_lo ? &a : nullptr, lo_inc,
+                         use_hi ? &b : nullptr, hi_inc);
+      EXPECT_EQ(hits, expect) << "round " << round << " [" << a << "," << b
+                              << "] lo=" << use_lo << " hi=" << use_hi;
+
+      // Cross-check the total count against the oracle for closed
+      // intervals (the multimap's equal_range arithmetic is independent
+      // of the table's positions).
+      if (use_lo && use_hi && lo_inc && hi_inc && a <= b) {
+        size_t count = 0;
+        for (auto it = oracle.lower_bound(a);
+             it != oracle.end() && it->first <= b; ++it) {
+          ++count;
+        }
+        EXPECT_EQ(hits.size(), count);
+      }
+    }
+  }
+}
+
+TEST(OrderedIndexTest, MixedTypeColumnRefusesProbes) {
+  // A column that mixes strings and ints has no consistent sort order
+  // under Value::Compare; the index must decline so the executor falls
+  // back to a scan (which surfaces the comparison TypeError exactly as an
+  // unindexed table would).
+  Table table(TableSchema().AddColumn("k", ValueType::kInt64));
+  ASSERT_TRUE(table.Append(Row{Value(int64_t(1))}).ok());
+  ASSERT_TRUE(table.Append(Row{Value(std::string("x"))}).ok());
+  ASSERT_TRUE(table.BuildOrderedIndex("k").ok());
+  std::vector<size_t> hits;
+  Value lo(int64_t(0));
+  EXPECT_FALSE(table.RangeLookup(0, &lo, true, nullptr, true, &hits));
+}
+
+TEST(OrderedIndexTest, NullBoundMatchesNothing) {
+  Table table(TableSchema().AddColumn("ts", ValueType::kInt64));
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.Append(Row{Value(i)}).ok());
+  }
+  ASSERT_TRUE(table.BuildOrderedIndex("ts").ok());
+  // SQL comparison against NULL never holds: the probe answers (it is
+  // exact) with zero hits.
+  std::vector<size_t> hits{99};
+  Value null = Value::Null();
+  ASSERT_TRUE(table.RangeLookup(0, &null, true, nullptr, true, &hits));
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(OrderedIndexTest, StatsTrackAppendsAndRebuilds) {
+  Table table(TableSchema()
+                  .AddColumn("ts", ValueType::kInt64)
+                  .AddColumn("uid", ValueType::kInt64));
+  table.EnableStats();
+  ASSERT_NE(table.Stats(), nullptr);
+  EXPECT_EQ(table.Stats()->row_count, 0u);
+
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table.Append(Row{Value(i), Value(i % 5)}).ok());
+  }
+  const TableStats* stats = table.Stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->row_count, 100u);
+  EXPECT_EQ(stats->columns[0].ndv, 100u);
+  EXPECT_EQ(stats->columns[1].ndv, 5u);
+  ASSERT_TRUE(stats->columns[0].has_range);
+  EXPECT_EQ(stats->columns[0].min, 0.0);
+  EXPECT_EQ(stats->columns[0].max, 99.0);
+
+  // Deletion invalidates the snapshot; RefreshIndexes rebuilds it.
+  std::unordered_set<int64_t> remove;
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    if (table.RowAt(i)[0].AsInt64() >= 50) remove.insert(table.RowIdAt(i));
+  }
+  table.RemoveIds(remove);
+  EXPECT_EQ(table.Stats(), nullptr);
+  table.RefreshIndexes();
+  stats = table.Stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->row_count, 50u);
+  EXPECT_EQ(stats->columns[0].ndv, 50u);
+  EXPECT_EQ(stats->columns[0].max, 49.0);
+}
+
+}  // namespace
+}  // namespace datalawyer
