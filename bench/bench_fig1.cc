@@ -34,6 +34,9 @@ void RunSide(const char* label, DataLawyerOptions options, int64_t uid,
     batch_ms->push_back(total / kQueriesPerBatch);
   }
   EmitJson("fig1", std::string(label) + ",uid=" + std::to_string(uid), all);
+  // Decision provenance for the last side wins the file — the DataLawyer
+  // runs come last, so the uploaded artifact shows the optimized pipeline.
+  EmitDecisions("fig1", *dl);
   std::fprintf(stderr, "[fig1] finished %s uid=%lld\n", label,
                (long long)uid);
 }

@@ -69,6 +69,7 @@ void RunPanel(const char* title, const std::string& query, int64_t uid,
                   "DataLawyer", s.mean_query_ms, s.mean_loggen_ms,
                   s.mean_eval_ms, s.mean_compact_ms, s.mean_total_ms);
       EmitJson("fig2", std::string(title) + ",P" + std::to_string(p), tail);
+      EmitDecisions("fig2", *dl);
     }
   }
 }

@@ -141,6 +141,21 @@ inline void EmitJson(const std::string& bench, const std::string& label,
   std::fclose(f);
 }
 
+/// Writes the system's decision store to DECISIONS_<bench>.json in the
+/// working directory (rewritten on each call, like BENCH_*.json). CI
+/// uploads these next to the bench artifacts so a regression in the
+/// numbers can be joined against the per-query decision provenance —
+/// verdicts, per-policy outcomes, plan-cache behaviour, phase timings.
+inline void EmitDecisions(const std::string& bench, const DataLawyer& dl) {
+  std::string path = "DECISIONS_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::string json = dl.decision_store().ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
 /// Policy SQL for Table 2's P1..P6 by 1-based index.
 inline std::string PolicyByIndex(int index) {
   switch (index) {

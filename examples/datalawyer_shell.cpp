@@ -26,7 +26,9 @@ namespace {
 
 void PrintHelp() {
   std::printf(R"(Commands:
-  <sql>                   run a SQL statement through policy enforcement
+  <sql>                   run a SQL statement through policy enforcement;
+                          telemetry is queryable as ordinary relations:
+                          dl_decisions, dl_policy_stats, dl_slow_log
   EXPLAIN <select>        logical plan of a SELECT (database only, no policies)
   EXPLAIN ANALYZE <select>  run it profiled: per-operator rows and wall us
   \policy <name> <sql>    register a policy (SQL over the usage log)
@@ -45,6 +47,12 @@ void PrintHelp() {
   \trace on|off|clear     toggle span tracing (Chrome trace_event collection)
   \trace <file>           write the collected trace as Chrome JSON to <file>
   \metrics                phase-latency summary + Prometheus text exposition
+  \top                    1s/10s/60s windowed rollups: QPS, reject rate, p50/p95
+  \why [n]                witness tuples + per-policy outcomes of the last
+                          n (default 1) rejected queries
+  \why <decision-id>      the same, for one decision by id (see \decisions)
+  \decisions [n]          last n (default 10) decision records
+  \decisions json         dump the decision store as JSON
   \audit [n]              last n (default 10) admit/reject audit records
   \slow [n]               last n (default 10) slow-enforcement profiles
   \slow json              dump the slow-enforcement log as JSON
@@ -222,7 +230,100 @@ int main(int argc, char** argv) {
         }
       } else if (cmd == "metrics") {
         std::printf("%s", MetricsRegistry::Global().SummaryText().c_str());
-        std::printf("%s", MetricsRegistry::Global().ExposeText().c_str());
+        std::string expo = MetricsRegistry::Global().ExposeText();
+        RollupRegistry::Global().AppendExposition(&expo);
+        std::printf("%s", expo.c_str());
+      } else if (cmd == "top") {
+        std::printf("%s", RollupRegistry::Global().SummaryText().c_str());
+      } else if (cmd == "why") {
+        const DecisionStore& decisions = dl.decision_store();
+        if (!decisions.enabled()) {
+          std::printf("decision store disabled\n");
+          continue;
+        }
+        auto print_decision = [](const DecisionRecord& d) {
+          std::printf("#%llu ts=%lld uid=%lld %s%s  %s\n",
+                      (unsigned long long)d.id, (long long)d.ts,
+                      (long long)d.uid,
+                      d.admitted ? "ADMIT " : "REJECT", d.probe ? "?" : " ",
+                      d.query_sql.c_str());
+          if (!d.policy.empty()) {
+            std::printf("  policy: %s\n", d.policy.c_str());
+          }
+          for (const std::string& m : d.messages) {
+            std::printf("  message: %s\n", m.c_str());
+          }
+          for (const PolicyOutcome& o : d.outcomes) {
+            std::printf("  %-24s %-9s evals=%llu prunes=%llu %.0fus\n",
+                        o.policy.c_str(), o.outcome.c_str(),
+                        (unsigned long long)o.evaluations,
+                        (unsigned long long)o.prunes, o.eval_us);
+          }
+          for (const DecisionWitness& w : d.witnesses) {
+            std::string values;
+            for (size_t i = 0; i < w.values.size(); ++i) {
+              if (i) values += ", ";
+              values += w.values[i];
+            }
+            std::printf("  witness %s%s row=%lld ts=%lld  (%s)\n",
+                        w.relation.c_str(), w.from_increment ? "+" : "",
+                        (long long)w.row_id, (long long)w.ts, values.c_str());
+          }
+          if (d.witnesses_truncated > 0) {
+            std::printf("  (+%llu more witness rows, truncated)\n",
+                        (unsigned long long)d.witnesses_truncated);
+          }
+          std::printf(
+              "  total %8.0fus | parse %.0f bind %.0f plan %.0f log-gen "
+              "%.0f eval %.0f compact %.0f exec %.0f | plan-cache %zu/%zu\n",
+              d.total_us(), d.parse_us, d.bind_us, d.plan_us, d.log_gen_us,
+              d.policy_eval_us, d.compaction_us, d.user_exec_us,
+              d.plan_cache_hits, d.plan_cache_hits + d.plan_cache_misses);
+        };
+        // \why <arg>: a decision id if one matches, otherwise a count of
+        // recent rejections (ids grow without bound, counts stay small, so
+        // a collision picks the id — the more specific reading).
+        uint64_t arg = rest.empty() ? 0 : std::strtoull(rest.c_str(), nullptr, 10);
+        const DecisionRecord* byid = arg > 0 ? decisions.FindById(arg) : nullptr;
+        if (byid != nullptr) {
+          print_decision(*byid);
+          continue;
+        }
+        size_t want = arg > 0 ? size_t(arg) : 1;
+        std::vector<const DecisionRecord*> rejected;
+        const auto& records = decisions.records();
+        for (auto it = records.rbegin();
+             it != records.rend() && rejected.size() < want; ++it) {
+          if (!it->admitted) rejected.push_back(&*it);
+        }
+        if (rejected.empty()) {
+          std::printf("no rejected queries recorded\n");
+          continue;
+        }
+        for (auto it = rejected.rbegin(); it != rejected.rend(); ++it) {
+          print_decision(**it);
+        }
+      } else if (cmd == "decisions") {
+        if (rest == "json") {
+          std::printf("%s\n", dl.decision_store().ToJson().c_str());
+        } else {
+          size_t n =
+              rest.empty() ? 10 : std::strtoull(rest.c_str(), nullptr, 10);
+          const DecisionStore& decisions = dl.decision_store();
+          if (decisions.dropped() > 0) {
+            std::printf("(%llu older decisions evicted)\n",
+                        (unsigned long long)decisions.dropped());
+          }
+          for (const DecisionRecord& d : decisions.Tail(n)) {
+            std::printf("#%-6llu ts=%-8lld uid=%-4lld %s%s %8.0fus  %s%s%s\n",
+                        (unsigned long long)d.id, (long long)d.ts,
+                        (long long)d.uid,
+                        d.admitted ? "ADMIT " : "REJECT", d.probe ? "?" : " ",
+                        d.total_us(), d.query_sql.c_str(),
+                        d.policy.empty() ? "" : "  [",
+                        d.policy.empty() ? "" : (d.policy + "]").c_str());
+          }
+        }
       } else if (cmd == "slow") {
         if (rest == "json") {
           std::printf("%s\n", dl.slow_log().ToJson().c_str());

@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -26,6 +27,41 @@ std::string FormatNumber(double v) {
     std::snprintf(buf, sizeof(buf), "%.6g", v);
   }
   return buf;
+}
+
+/// Quantile estimate over a log2 bucket array: nearest-rank to pick the
+/// bucket, midpoint convention inside it, clamped to [mn, mx]. The single
+/// implementation behind both Histogram::Percentile and the windowed
+/// rollups, so the two agree by construction.
+double PercentileFromBuckets(const uint64_t* buckets, int num_buckets,
+                             uint64_t n, double mn, double mx, double q) {
+  if (n == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  if (q <= 0.0) return mn;
+  if (q >= 1.0) return mx;
+  // Rank of the target observation (1-based, nearest-rank).
+  uint64_t rank = uint64_t(std::ceil(q * double(n)));
+  if (rank < 1) rank = 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < num_buckets; ++b) {
+    uint64_t c = buckets[b];
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+      double hi = Histogram::BucketUpperBound(b);
+      // Clamp to the observed range so p100 never exceeds max().
+      lo = std::max(lo, mn);
+      hi = std::min(hi, mx);
+      if (hi < lo) hi = lo;
+      // Midpoint convention: the k-th of c observations sits at (k-0.5)/c
+      // through the bucket, so a single-observation bucket reports its
+      // middle instead of its upper edge.
+      double frac = (double(rank - seen) - 0.5) / double(c);
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return mx;
 }
 
 }  // namespace
@@ -73,35 +109,17 @@ double Histogram::BucketUpperBound(int b) {
 double Histogram::Percentile(double q) const {
   uint64_t n = count();
   if (n == 0) return 0;
-  q = std::min(1.0, std::max(0.0, q));
-  if (q <= 0.0) return min();
-  if (q >= 1.0) return max();
-  // Rank of the target observation (1-based, nearest-rank).
-  uint64_t rank = uint64_t(std::ceil(q * double(n)));
-  if (rank < 1) rank = 1;
-  uint64_t seen = 0;
+  uint64_t snapshot[kNumBuckets];
   for (int b = 0; b < kNumBuckets; ++b) {
-    uint64_t c = buckets_[b].load(std::memory_order_relaxed);
-    if (c == 0) continue;
-    if (seen + c >= rank) {
-      double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
-      double hi = BucketUpperBound(b);
-      // Clamp to the observed range so p100 never exceeds max().
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        lo = std::max(lo, min_);
-        hi = std::min(hi, max_);
-        if (hi < lo) hi = lo;
-      }
-      // Midpoint convention: the k-th of c observations sits at (k-0.5)/c
-      // through the bucket, so a single-observation bucket reports its
-      // middle instead of its upper edge.
-      double frac = (double(rank - seen) - 0.5) / double(c);
-      return lo + frac * (hi - lo);
-    }
-    seen += c;
+    snapshot[b] = buckets_[b].load(std::memory_order_relaxed);
   }
-  return max();
+  double mn, mx;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mn = min_;
+    mx = max_;
+  }
+  return PercentileFromBuckets(snapshot, kNumBuckets, n, mn, mx, q);
 }
 
 void Histogram::Reset() {
@@ -206,20 +224,24 @@ std::string MetricsRegistry::SummaryText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char buf[192];
-  bool any = false;
+  if (!histograms_.empty()) {
+    std::snprintf(buf, sizeof(buf), "%-28s %10s %12s %12s %12s %12s\n",
+                  "histogram", "count", "mean", "p50", "p95", "p99");
+    out += buf;
+  }
   for (const auto& [name, entry] : histograms_) {
     const Histogram& h = *entry.first;
-    if (h.count() == 0) continue;
-    if (!any) {
-      std::snprintf(buf, sizeof(buf), "%-28s %10s %12s %12s %12s %12s\n",
-                    "histogram", "count", "mean", "p50", "p95", "p99");
-      out += buf;
-      any = true;
+    if (h.count() == 0) {
+      // Explicit "no samples yet" row: every registered phase stays
+      // visible, and 0-count is never confusable with a 0µs latency.
+      std::snprintf(buf, sizeof(buf), "%-28s %10llu %12s %12s %12s %12s\n",
+                    name.c_str(), 0ull, "-", "-", "-", "-");
+    } else {
+      std::snprintf(
+          buf, sizeof(buf), "%-28s %10llu %12.1f %12.1f %12.1f %12.1f\n",
+          name.c_str(), (unsigned long long)h.count(), h.mean(),
+          h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99));
     }
-    std::snprintf(buf, sizeof(buf),
-                  "%-28s %10llu %12.1f %12.1f %12.1f %12.1f\n", name.c_str(),
-                  (unsigned long long)h.count(), h.mean(), h.Percentile(0.50),
-                  h.Percentile(0.95), h.Percentile(0.99));
     out += buf;
   }
   return out;
@@ -243,6 +265,175 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
   std::vector<std::string> names;
   for (const auto& [name, entry] : histograms_) names.push_back(name);
   return names;
+}
+
+const char* RollupRegistry::PhaseName(int phase) {
+  switch (phase) {
+    case kTotal:
+      return "total";
+    case kLogGen:
+      return "log_gen";
+    case kPolicyEval:
+      return "policy_eval";
+    case kCompaction:
+      return "compaction";
+    case kUserExec:
+      return "user_exec";
+    default:
+      return "?";
+  }
+}
+
+RollupRegistry& RollupRegistry::Global() {
+  static RollupRegistry* registry = new RollupRegistry();
+  return *registry;
+}
+
+int64_t RollupRegistry::NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RollupRegistry::Slot::Clear(int64_t new_epoch) {
+  epoch = new_epoch;
+  queries = 0;
+  rejected = 0;
+  for (int p = 0; p < kNumPhases; ++p) {
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) buckets[p][b] = 0;
+    min_v[p] = max_v[p] = 0;
+    seen[p] = false;
+  }
+}
+
+void RollupRegistry::Record(bool was_rejected,
+                            const double phase_us[kNumPhases]) {
+  RecordAt(NowUs(), was_rejected, phase_us);
+}
+
+void RollupRegistry::RecordAt(int64_t now_us, bool was_rejected,
+                              const double phase_us[kNumPhases]) {
+  int64_t epoch = now_us / 1000000;
+  if (epoch < 0) epoch = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[epoch % kNumSlots];
+  if (slot.epoch != epoch) slot.Clear(epoch);
+  slot.queries++;
+  if (was_rejected) slot.rejected++;
+  for (int p = 0; p < kNumPhases; ++p) {
+    double v = phase_us[p];
+    if (std::isnan(v)) v = 0;
+    if (v < 0) v = 0;
+    slot.buckets[p][BucketFor(v)]++;
+    if (!slot.seen[p]) {
+      slot.seen[p] = true;
+      slot.min_v[p] = slot.max_v[p] = v;
+    } else {
+      if (v < slot.min_v[p]) slot.min_v[p] = v;
+      if (v > slot.max_v[p]) slot.max_v[p] = v;
+    }
+  }
+}
+
+RollupRegistry::WindowSnapshot RollupRegistry::Snapshot(int window_s) const {
+  return SnapshotAt(NowUs(), window_s);
+}
+
+RollupRegistry::WindowSnapshot RollupRegistry::SnapshotAt(
+    int64_t now_us, int window_s) const {
+  WindowSnapshot snap;
+  snap.window_s = window_s;
+  int64_t now_epoch = now_us / 1000000;
+  int64_t lo_epoch = now_epoch - window_s + 1;  // inclusive
+  uint64_t merged[kNumPhases][Histogram::kNumBuckets] = {};
+  double mn[kNumPhases] = {};
+  double mx[kNumPhases] = {};
+  bool seen[kNumPhases] = {};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Slot& slot : slots_) {
+    if (slot.epoch < lo_epoch || slot.epoch > now_epoch) continue;
+    snap.queries += slot.queries;
+    snap.rejected += slot.rejected;
+    for (int p = 0; p < kNumPhases; ++p) {
+      if (!slot.seen[p]) continue;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        merged[p][b] += slot.buckets[p][b];
+      }
+      if (!seen[p]) {
+        seen[p] = true;
+        mn[p] = slot.min_v[p];
+        mx[p] = slot.max_v[p];
+      } else {
+        mn[p] = std::min(mn[p], slot.min_v[p]);
+        mx[p] = std::max(mx[p], slot.max_v[p]);
+      }
+    }
+  }
+  if (snap.queries > 0) {
+    snap.rejection_rate = double(snap.rejected) / double(snap.queries);
+  }
+  for (int p = 0; p < kNumPhases; ++p) {
+    if (!seen[p]) continue;
+    snap.p50[p] = PercentileFromBuckets(merged[p], Histogram::kNumBuckets,
+                                        snap.queries, mn[p], mx[p], 0.50);
+    snap.p95[p] = PercentileFromBuckets(merged[p], Histogram::kNumBuckets,
+                                        snap.queries, mn[p], mx[p], 0.95);
+  }
+  return snap;
+}
+
+void RollupRegistry::AppendExposition(std::string* out) const {
+  int64_t now_us = NowUs();
+  *out += "# TYPE dl_rollup_queries gauge\n";
+  *out += "# TYPE dl_rollup_rejected gauge\n";
+  *out += "# TYPE dl_rollup_rejection_rate gauge\n";
+  *out += "# TYPE dl_rollup_phase_us gauge\n";
+  for (int w : kWindowSeconds) {
+    WindowSnapshot snap = SnapshotAt(now_us, w);
+    std::string window = "{window=\"" + std::to_string(w) + "s\"";
+    *out += "dl_rollup_queries" + window + "} " +
+            FormatNumber(double(snap.queries)) + "\n";
+    *out += "dl_rollup_rejected" + window + "} " +
+            FormatNumber(double(snap.rejected)) + "\n";
+    *out += "dl_rollup_rejection_rate" + window + "} " +
+            FormatNumber(snap.rejection_rate) + "\n";
+    for (int p = 0; p < kNumPhases; ++p) {
+      std::string labels =
+          window + ",phase=\"" + PhaseName(p) + "\",quantile=\"";
+      *out += "dl_rollup_phase_us" + labels + "0.5\"} " +
+              FormatNumber(snap.p50[p]) + "\n";
+      *out += "dl_rollup_phase_us" + labels + "0.95\"} " +
+              FormatNumber(snap.p95[p]) + "\n";
+    }
+  }
+}
+
+std::string RollupRegistry::SummaryText() const {
+  int64_t now_us = NowUs();
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-8s %8s %8s %8s %12s %12s %12s %12s\n",
+                "window", "queries", "reject", "rate%", "p50 total",
+                "p95 total", "p50 policy", "p95 policy");
+  out += buf;
+  for (int w : kWindowSeconds) {
+    WindowSnapshot snap = SnapshotAt(now_us, w);
+    std::snprintf(buf, sizeof(buf),
+                  "%-8s %8llu %8llu %8.1f %12.1f %12.1f %12.1f %12.1f\n",
+                  (std::to_string(w) + "s").c_str(),
+                  (unsigned long long)snap.queries,
+                  (unsigned long long)snap.rejected,
+                  snap.rejection_rate * 100.0, snap.p50[kTotal],
+                  snap.p95[kTotal], snap.p50[kPolicyEval],
+                  snap.p95[kPolicyEval]);
+    out += buf;
+  }
+  return out;
+}
+
+void RollupRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& slot : slots_) slot.Clear(-1);
 }
 
 }  // namespace datalawyer

@@ -94,7 +94,9 @@ class MetricsRegistry {
 
   /// Human-readable latency summary: one row per histogram with count,
   /// mean, p50, p95, p99 (the shell's `\metrics` header — the Table 4
-  /// phase percentiles at a glance). Empty histograms are skipped.
+  /// phase percentiles at a glance). Empty histograms render explicitly
+  /// with count 0 and `-` in every percentile column, so a missing phase
+  /// is visibly "no samples" rather than silently absent.
   std::string SummaryText() const;
 
   /// Resets every metric to zero (handles stay valid).
@@ -112,6 +114,93 @@ class MetricsRegistry {
       counters_;
   std::map<std::string, std::pair<std::unique_ptr<Histogram>, std::string>>
       histograms_;
+};
+
+/// Fixed-width time-window rollups of enforcement verdicts and per-phase
+/// latency. A ring of one-second slots (each holding verdict counts plus a
+/// log2 bucket array per phase, the same bucket layout as Histogram) is
+/// merged on demand into 1s / 10s / 60s window snapshots with p50/p95
+/// computed by the same nearest-rank-with-midpoint convention Histogram
+/// uses — so a rollup percentile over a window that saw every sample agrees
+/// with the cumulative `\metrics` histogram to within one bucket.
+///
+/// Record() takes one mutex; it runs once per checked query on the
+/// enforcement (not query-execution) path, matching the discipline of the
+/// audit ring. Snapshots merge at read time, so an idle system pays
+/// nothing for windows sliding past.
+class RollupRegistry {
+ public:
+  /// Phases carried per-slot. kTotal is end-to-end enforcement latency;
+  /// the rest mirror the EnforcementProfile phases that dominate it.
+  enum Phase {
+    kTotal = 0,
+    kLogGen,
+    kPolicyEval,
+    kCompaction,
+    kUserExec,
+    kNumPhases
+  };
+  static const char* PhaseName(int phase);
+
+  static constexpr int kNumWindows = 3;
+  static constexpr int kWindowSeconds[kNumWindows] = {1, 10, 60};
+
+  struct WindowSnapshot {
+    int window_s = 0;
+    uint64_t queries = 0;
+    uint64_t rejected = 0;
+    double rejection_rate = 0;  ///< rejected / queries; 0 when idle
+    double p50[kNumPhases] = {};
+    double p95[kNumPhases] = {};
+  };
+
+  RollupRegistry() = default;
+  static RollupRegistry& Global();
+
+  /// Records one verdict with its per-phase latencies (µs, indexed by
+  /// Phase) at the current steady-clock time.
+  void Record(bool rejected, const double phase_us[kNumPhases]);
+  /// Deterministic-clock variant for tests.
+  void RecordAt(int64_t now_us, bool rejected,
+                const double phase_us[kNumPhases]);
+
+  /// Merges the slots covering the trailing `window_s` seconds.
+  WindowSnapshot Snapshot(int window_s) const;
+  WindowSnapshot SnapshotAt(int64_t now_us, int window_s) const;
+
+  /// Prometheus gauges for every window: dl_rollup_queries,
+  /// dl_rollup_rejected, dl_rollup_rejection_rate, and
+  /// dl_rollup_phase_us{phase=...,quantile=...}.
+  void AppendExposition(std::string* out) const;
+
+  /// One table row per window: the shell's `\top` view.
+  std::string SummaryText() const;
+
+  void Reset();
+
+  /// Steady-clock microseconds (the time base Record() stamps with).
+  static int64_t NowUs();
+
+  RollupRegistry(const RollupRegistry&) = delete;
+  RollupRegistry& operator=(const RollupRegistry&) = delete;
+
+ private:
+  /// One second of observations. 64 slots > the widest 60 s window, so a
+  /// slot is never overwritten while still inside any window.
+  static constexpr int kNumSlots = 64;
+  struct Slot {
+    int64_t epoch = -1;  ///< seconds-since-clock-origin this slot covers
+    uint64_t queries = 0;
+    uint64_t rejected = 0;
+    uint64_t buckets[kNumPhases][Histogram::kNumBuckets] = {};
+    double min_v[kNumPhases] = {};
+    double max_v[kNumPhases] = {};
+    bool seen[kNumPhases] = {};
+    void Clear(int64_t new_epoch);
+  };
+
+  mutable std::mutex mu_;
+  Slot slots_[kNumSlots];
 };
 
 }  // namespace datalawyer

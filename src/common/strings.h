@@ -1,6 +1,7 @@
 #ifndef DATALAWYER_COMMON_STRINGS_H_
 #define DATALAWYER_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,25 @@ void AppendJsonEscaped(std::string* out, const std::string& s);
 
 /// Returns `s` escaped for a JSON string literal (see AppendJsonEscaped).
 std::string JsonEscape(const std::string& s);
+
+/// Escapes `s` for one field of a tab-separated line: backslash, tab, LF
+/// and CR become two-character escape sequences, so a field can carry
+/// arbitrary query text without corrupting the row or the file. Shared by
+/// the audit trail's TSV persistence (and any future line-oriented format).
+std::string TsvEscape(const std::string& s);
+
+/// Inverse of TsvEscape. Unknown escape sequences keep the escaped
+/// character verbatim; a trailing lone backslash is preserved.
+std::string TsvUnescape(const std::string& s);
+
+/// Splits `line` on unescaped occurrences of `delim` (escape character is
+/// backslash: "\\t" does not split a tab-delimited line). Fields are
+/// returned still escaped; callers unescape with TsvUnescape.
+std::vector<std::string> SplitEscaped(const std::string& line, char delim);
+
+/// 64-bit FNV-1a hash of `s` — stable across runs and platforms, used for
+/// compact query fingerprints in decision records.
+uint64_t Fnv1a64(const std::string& s);
 
 }  // namespace datalawyer
 

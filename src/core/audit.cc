@@ -4,98 +4,29 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/strings.h"
+
 namespace datalawyer {
 
 namespace {
 
-/// Tab/newline-safe field encoding, mirroring persistence.cc's escaping
-/// idiom: the audit file stays grep-able line-per-record.
-std::string EscapeField(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-std::string UnescapeField(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '\\' || i + 1 == s.size()) {
-      out += s[i];
-      continue;
-    }
-    ++i;
-    switch (s[i]) {
-      case 't':
-        out += '\t';
-        break;
-      case 'n':
-        out += '\n';
-        break;
-      case 'r':
-        out += '\r';
-        break;
-      default:
-        out += s[i];
-    }
-  }
-  return out;
-}
-
-/// Splits on unescaped `delim`, keeping escape sequences intact for a
-/// later UnescapeField pass.
-std::vector<std::string> SplitUnescaped(const std::string& line, char delim) {
-  std::vector<std::string> fields;
-  std::string current;
-  for (size_t i = 0; i < line.size(); ++i) {
-    if (line[i] == delim) {
-      fields.push_back(current);
-      current.clear();
-    } else if (line[i] == '\\' && i + 1 < line.size()) {
-      current += line[i];
-      current += line[i + 1];
-      ++i;
-    } else {
-      current += line[i];
-    }
-  }
-  fields.push_back(current);
-  return fields;
-}
-
-/// Policy names additionally escape the comma they are joined with.
-/// UnescapeField's default case turns `\,` back into `,`.
+/// Policy names ride inside one TSV field joined by raw commas, so on top
+/// of the shared TsvEscape they escape the comma too. TsvUnescape's
+/// unknown-escape rule turns `\,` back into `,`.
 std::string EscapeName(const std::string& s) {
   std::string out;
-  for (char c : s) {
-    if (c == ',') {
-      out += "\\,";
-    } else {
-      out += EscapeField(std::string(1, c));
-    }
+  for (char c : TsvEscape(s)) {
+    if (c == ',') out += '\\';
+    out += c;
   }
   return out;
 }
 
-constexpr char kHeader[] = "dl-audit-v1";
+/// v2 appends the decision_id field cross-linking into the
+/// decision-provenance store; v1 files (11 fields) still load, with
+/// decision_id defaulting to 0.
+constexpr char kHeader[] = "dl-audit-v2";
+constexpr char kHeaderV1[] = "dl-audit-v1";
 
 }  // namespace
 
@@ -135,12 +66,12 @@ Status AuditLog::SaveTo(const std::string& path) const {
       policies += EscapeName(r.violated_policies[i]);
     }
     std::snprintf(buf, sizeof(buf),
-                  "%lld\t%lld\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f",
+                  "%lld\t%lld\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%llu",
                   (long long)r.ts, (long long)r.uid, r.admitted ? 1 : 0,
                   r.probe ? 1 : 0, r.total_us, r.query_exec_us, r.log_gen_us,
-                  r.policy_eval_us, r.compaction_us);
-    out << buf << "\t" << policies << "\t" << EscapeField(r.query_sql)
-        << "\n";
+                  r.policy_eval_us, r.compaction_us,
+                  (unsigned long long)r.decision_id);
+    out << buf << "\t" << policies << "\t" << TsvEscape(r.query_sql) << "\n";
   }
   out.flush();
   if (!out) return Status::Internal("write failed for " + path);
@@ -151,13 +82,18 @@ Status AuditLog::LoadFrom(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot read " + path);
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
+  if (!std::getline(in, line)) {
     return Status::InvalidArgument("not an audit file: " + path);
   }
+  bool v1 = line == kHeaderV1;
+  if (!v1 && line != kHeader) {
+    return Status::InvalidArgument("not an audit file: " + path);
+  }
+  const size_t expected_fields = v1 ? 11 : 12;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    std::vector<std::string> f = SplitUnescaped(line, '\t');
-    if (f.size() != 11) {
+    std::vector<std::string> f = SplitEscaped(line, '\t');
+    if (f.size() != expected_fields) {
       return Status::InvalidArgument("malformed audit line in " + path);
     }
     AuditRecord r;
@@ -170,10 +106,15 @@ Status AuditLog::LoadFrom(const std::string& path) {
     r.log_gen_us = std::strtod(f[6].c_str(), nullptr);
     r.policy_eval_us = std::strtod(f[7].c_str(), nullptr);
     r.compaction_us = std::strtod(f[8].c_str(), nullptr);
-    for (const std::string& name : SplitUnescaped(f[9], ',')) {
-      if (!name.empty()) r.violated_policies.push_back(UnescapeField(name));
+    size_t i = 9;
+    if (!v1) {
+      r.decision_id = std::strtoull(f[i].c_str(), nullptr, 10);
+      ++i;
     }
-    r.query_sql = UnescapeField(f[10]);
+    for (const std::string& name : SplitEscaped(f[i], ',')) {
+      if (!name.empty()) r.violated_policies.push_back(TsvUnescape(name));
+    }
+    r.query_sql = TsvUnescape(f[i + 1]);
     Append(std::move(r));
   }
   return Status::OK();

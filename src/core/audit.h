@@ -21,6 +21,9 @@ struct AuditRecord {
   std::string query_sql;   ///< the user's SQL, verbatim
   bool admitted = false;   ///< Eq. 1 verdict
   bool probe = false;      ///< WouldAllow dry run (never executed/committed)
+  /// Cross-link into the decision-provenance store: the DecisionRecord id
+  /// carrying this verdict's full explanation (0 = none recorded).
+  uint64_t decision_id = 0;
   std::vector<std::string> violated_policies;  ///< names, registration order
 
   /// Phase timings copied from the query's ExecutionStats (µs).

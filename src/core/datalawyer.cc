@@ -6,11 +6,13 @@
 #include <unordered_set>
 
 #include "analysis/binder.h"
+#include "common/strings.h"
 #include "exec/executor.h"
 #include "exec/plan_executor.h"
 #include "policy/partial_policy.h"
 #include "policy/policy_analyzer.h"
 #include "policy/unification.h"
+#include "policy/witness.h"
 #include "sql/parser.h"
 
 namespace datalawyer {
@@ -97,11 +99,15 @@ DataLawyer::DataLawyer(Database* db, std::unique_ptr<UsageLog> log,
       options_(options),
       engine_(db),
       audit_(options.audit_capacity),
-      slow_log_(options.slow_log_capacity) {
+      slow_log_(options.slow_log_capacity),
+      decisions_(options.decision_capacity) {
   // Tracing is opt-in and process-global (one timeline); an instance turns
   // it on but never off, so a default-options instance elsewhere in the
   // process cannot silence an active trace.
   if (options_.enable_tracing) Tracer::Global().set_enabled(true);
+  decisions_.set_enabled(options_.enable_decisions);
+  system_catalog_ = std::make_unique<SystemCatalog>(engine_.db_catalog());
+  RegisterSystemRelations();
 }
 
 DataLawyer::~DataLawyer() {
@@ -113,6 +119,8 @@ void DataLawyer::set_options(DataLawyerOptions options) {
   prepared_valid_ = false;
   if (options_.enable_tracing) Tracer::Global().set_enabled(true);
   slow_log_.set_capacity(options_.slow_log_capacity);
+  decisions_.set_enabled(options_.enable_decisions);
+  decisions_.set_capacity(options_.decision_capacity);
 }
 
 Status DataLawyer::AddPolicy(const std::string& name, const std::string& sql,
@@ -124,9 +132,10 @@ Status DataLawyer::AddPolicy(const std::string& name, const std::string& sql,
   }
   DL_ASSIGN_OR_RETURN(Policy policy, Policy::Parse(name, sql));
 
-  // Validate that the policy binds against database + log + clock.
+  // Validate that the policy binds against database (+ dl_* telemetry
+  // relations) + log + clock.
   UsageLog::PolicyCatalog catalog =
-      log_->MakeCatalog(engine_.db_catalog(), clock_->Now());
+      log_->MakeCatalog(system_catalog_.get(), clock_->Now());
   Binder binder(catalog.view());
   DL_RETURN_NOT_OK(binder.Bind(*policy.stmt).status());
 
@@ -151,7 +160,7 @@ Status DataLawyer::AddPolicyWithGuard(const std::string& name,
   }
   // The guard must bind against the same catalog as the policy.
   UsageLog::PolicyCatalog catalog =
-      log_->MakeCatalog(engine_.db_catalog(), clock_->Now());
+      log_->MakeCatalog(system_catalog_.get(), clock_->Now());
   Binder binder(catalog.view());
   Status bound = binder.Bind(**guard).status();
   if (!bound.ok()) {
@@ -176,9 +185,11 @@ Status DataLawyer::RemovePolicy(const std::string& name) {
 }
 
 const CatalogView* DataLawyer::policy_base_catalog() const {
+  // Both branches bottom out in system_catalog_ — policies resolve real
+  // tables first, then the dl_* telemetry relations.
   return constants_catalog_ != nullptr
              ? static_cast<const CatalogView*>(constants_catalog_.get())
-             : engine_.db_catalog();
+             : system_catalog_.get();
 }
 
 Status DataLawyer::Prepare() {
@@ -214,7 +225,7 @@ Status DataLawyer::Prepare() {
   }
   if (!constants_.empty()) {
     constants_catalog_ =
-        std::make_unique<OverlayCatalog>(engine_.db_catalog());
+        std::make_unique<OverlayCatalog>(system_catalog_.get());
     for (const auto& [name, table] : constants_) {
       constants_catalog_->Add(name, table.get());
     }
@@ -496,6 +507,7 @@ Status DataLawyer::WouldAllow(const std::string& sql,
 
 Result<QueryResult> DataLawyer::QueryUsageLog(const std::string& sql) {
   DL_RETURN_NOT_OK(Flush());
+  system_catalog_->InvalidateSnapshots();
   DL_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("QueryUsageLog only accepts SELECT");
@@ -508,6 +520,7 @@ Result<QueryResult> DataLawyer::QueryUsageLog(const std::string& sql) {
 
 Result<std::string> DataLawyer::ExplainLogQuery(const std::string& sql) {
   DL_RETURN_NOT_OK(Flush());
+  system_catalog_->InvalidateSnapshots();
   DL_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(sql));
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("ExplainLogQuery only accepts SELECT");
@@ -751,6 +764,21 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
   // A pending background compaction owns the log tables; wait it out.
   DL_RETURN_NOT_OK(Flush());
 
+  // Serial head: drop telemetry snapshots materialized by earlier queries,
+  // so every phase of *this* query (bind, log generation, evaluation,
+  // execution) observes one consistent dl_* state — which excludes this
+  // query's own decision record, appended only after execution. Costs one
+  // atomic load when no snapshot exists.
+  system_catalog_->InvalidateSnapshots();
+  if (decisions_.enabled()) {
+    last_witnesses_.clear();
+    last_witnesses_truncated_ = 0;
+    // Snapshot the cumulative attribution; RecordDecision diffs against it
+    // to derive this query's per-policy outcomes. Map assignment reuses
+    // nodes, so the steady-state cost is copies, not allocations.
+    decision_stats_base_ = policy_stats_;
+  }
+
   // Stats drift: costed plans embed cardinality-derived access-path and
   // join-order choices, so once a log main table has grown or shrunk 2x
   // past a 256-row floor since the plans were costed, bump the schema
@@ -780,17 +808,18 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
     stats_.plan_us = UsSince(plan_start);
   }
 
-  // Bind the user query against the database (needed by f_Schema and to
-  // surface SQL errors before any policy work).
+  // Bind the user query against the database plus the dl_* system
+  // relations (needed by f_Schema, to let telemetry queries through the
+  // same policy gate, and to surface SQL errors before any policy work).
   auto bind_start = Now();
-  Binder binder(engine_.db_catalog());
+  Binder binder(system_catalog_.get());
   DL_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(stmt));
   stats_.bind_us = UsSince(bind_start);
 
   GenerationInput input;
   input.query = &stmt;
   input.bound = bound.get();
-  input.db_catalog = engine_.db_catalog();
+  input.db_catalog = system_catalog_.get();
   input.context = &context;
 
   UsageLog::PolicyCatalog catalog =
@@ -805,6 +834,28 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
     ++AttributionFor(policy.name).rejections;
   };
   auto reject = [&]() -> Status {
+    // Capture the violating log rows while the staged increment still
+    // exists — the witness tuples behind this rejection. Best-effort: a
+    // capture error degrades the explanation, never the verdict.
+    if (decisions_.enabled() && !last_violations_.empty()) {
+      for (const Policy& policy : active_) {
+        if (policy.name != last_violations_.front().policy_name) continue;
+        Result<WitnessCaptureResult> captured = CaptureViolationWitnesses(
+            policy.effective(), catalog.view(), *log_,
+            options_.decision_witness_limit, options_.decision_witness_naive,
+            options_.enable_stats_costing);
+        if (captured.ok()) {
+          last_witnesses_.clear();
+          for (CapturedWitness& c : captured->rows) {
+            last_witnesses_.push_back(DecisionWitness{
+                std::move(c.relation), c.row_id, c.from_increment, c.ts,
+                std::move(c.values)});
+          }
+          last_witnesses_truncated_ = captured->truncated;
+        }
+        break;
+      }
+    }
     log_->DiscardStaged();
     stats_.rejected = true;
     stats_.violations = violations;
@@ -1301,9 +1352,12 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
   }
 
   // ---- execute the user's query ----
+  // Through the system catalog, so SELECTs over dl_* relations execute
+  // like any other read (real tables shadow the virtual names).
   DL_TRACE_SPAN("exec.user_query", "exec");
   auto t0 = Now();
-  Result<QueryResult> result = engine_.ExecuteSelect(stmt);
+  Result<QueryResult> result =
+      engine_.ExecuteSelect(stmt, system_catalog_.get());
   stats_.query_exec_ms = MsSince(t0);
   return result;
 }
@@ -1330,6 +1384,120 @@ std::vector<PolicyStats> DataLawyer::PolicyReport() const {
   return report;
 }
 
+void DataLawyer::RegisterSystemRelations() {
+  // Each provider materializes a read-only snapshot of one telemetry
+  // surface. Providers run under the SystemCatalog mutex on first lookup
+  // after an invalidation; they only read state mutated in serial sections
+  // (decision store, attribution map, slow log), so a concurrent policy
+  // worker resolving a dl_* name mid-evaluation sees a stable snapshot.
+  system_catalog_->Register("dl_decisions", [this]() {
+    TableSchema schema;
+    schema.AddColumn("id", ValueType::kInt64)
+        .AddColumn("ts", ValueType::kInt64)
+        .AddColumn("uid", ValueType::kInt64)
+        .AddColumn("verdict", ValueType::kString)
+        .AddColumn("probe", ValueType::kBool)
+        .AddColumn("policy", ValueType::kString)
+        .AddColumn("query", ValueType::kString)
+        .AddColumn("query_hash", ValueType::kInt64)
+        .AddColumn("witness_count", ValueType::kInt64)
+        .AddColumn("plan_cache_hits", ValueType::kInt64)
+        .AddColumn("plan_cache_misses", ValueType::kInt64)
+        .AddColumn("parse_us", ValueType::kDouble)
+        .AddColumn("bind_us", ValueType::kDouble)
+        .AddColumn("plan_us", ValueType::kDouble)
+        .AddColumn("log_gen_us", ValueType::kDouble)
+        .AddColumn("policy_eval_us", ValueType::kDouble)
+        .AddColumn("compaction_us", ValueType::kDouble)
+        .AddColumn("user_exec_us", ValueType::kDouble)
+        .AddColumn("total_us", ValueType::kDouble);
+    std::vector<Row> rows;
+    for (const DecisionRecord& d : decisions_.records()) {
+      Row row;
+      row.push_back(Value(int64_t(d.id)));
+      row.push_back(Value(d.ts));
+      row.push_back(Value(d.uid));
+      row.push_back(Value(std::string(d.verdict())));
+      row.push_back(Value(d.probe));
+      row.push_back(d.policy.empty() ? Value() : Value(d.policy));
+      row.push_back(Value(d.query_sql));
+      row.push_back(Value(int64_t(d.query_hash)));
+      row.push_back(Value(int64_t(d.witnesses.size())));
+      row.push_back(Value(int64_t(d.plan_cache_hits)));
+      row.push_back(Value(int64_t(d.plan_cache_misses)));
+      row.push_back(Value(d.parse_us));
+      row.push_back(Value(d.bind_us));
+      row.push_back(Value(d.plan_us));
+      row.push_back(Value(d.log_gen_us));
+      row.push_back(Value(d.policy_eval_us));
+      row.push_back(Value(d.compaction_us));
+      row.push_back(Value(d.user_exec_us));
+      row.push_back(Value(d.total_us()));
+      rows.push_back(std::move(row));
+    }
+    return std::make_unique<OwnedRelation>(std::move(schema),
+                                           std::move(rows));
+  });
+
+  system_catalog_->Register("dl_policy_stats", [this]() {
+    TableSchema schema;
+    schema.AddColumn("policy", ValueType::kString)
+        .AddColumn("evaluations", ValueType::kInt64)
+        .AddColumn("prunes", ValueType::kInt64)
+        .AddColumn("rejections", ValueType::kInt64)
+        .AddColumn("eval_us", ValueType::kDouble);
+    std::vector<Row> rows;
+    for (const PolicyStats& s : PolicyReport()) {
+      Row row;
+      row.push_back(Value(s.name));
+      row.push_back(Value(int64_t(s.evaluations)));
+      row.push_back(Value(int64_t(s.prunes)));
+      row.push_back(Value(int64_t(s.rejections)));
+      row.push_back(Value(s.eval_us));
+      rows.push_back(std::move(row));
+    }
+    return std::make_unique<OwnedRelation>(std::move(schema),
+                                           std::move(rows));
+  });
+
+  system_catalog_->Register("dl_slow_log", [this]() {
+    TableSchema schema;
+    schema.AddColumn("ts", ValueType::kInt64)
+        .AddColumn("uid", ValueType::kInt64)
+        .AddColumn("rejected", ValueType::kBool)
+        .AddColumn("probe", ValueType::kBool)
+        .AddColumn("query", ValueType::kString)
+        .AddColumn("parse_us", ValueType::kDouble)
+        .AddColumn("bind_us", ValueType::kDouble)
+        .AddColumn("plan_us", ValueType::kDouble)
+        .AddColumn("log_gen_us", ValueType::kDouble)
+        .AddColumn("policy_eval_us", ValueType::kDouble)
+        .AddColumn("compaction_us", ValueType::kDouble)
+        .AddColumn("user_exec_us", ValueType::kDouble)
+        .AddColumn("total_us", ValueType::kDouble);
+    std::vector<Row> rows;
+    for (const EnforcementProfile& p : slow_log_.records()) {
+      Row row;
+      row.push_back(Value(p.ts));
+      row.push_back(Value(p.uid));
+      row.push_back(Value(p.rejected));
+      row.push_back(Value(p.probe));
+      row.push_back(Value(p.query_sql));
+      row.push_back(Value(p.parse_us));
+      row.push_back(Value(p.bind_us));
+      row.push_back(Value(p.plan_us));
+      row.push_back(Value(p.log_gen_us));
+      row.push_back(Value(p.policy_eval_us));
+      row.push_back(Value(p.compaction_us));
+      row.push_back(Value(p.user_exec_us));
+      row.push_back(Value(p.total_us()));
+      rows.push_back(std::move(row));
+    }
+    return std::make_unique<OwnedRelation>(std::move(schema),
+                                           std::move(rows));
+  });
+}
+
 void DataLawyer::RecordDecision(const std::string& sql,
                                 const QueryContext& context, const Status& st,
                                 bool probe) {
@@ -1338,6 +1506,82 @@ void DataLawyer::RecordDecision(const std::string& sql,
   bool admitted = st.ok();
   if (!admitted && !st.IsPolicyViolation()) return;
 
+  uint64_t decision_id = 0;
+  if (decisions_.enabled()) {
+    decision_id = decisions_.NextId();
+    DecisionRecord rec;
+    rec.id = decision_id;
+    rec.ts = stats_.ts;
+    rec.uid = context.uid;
+    rec.query_sql = sql;
+    rec.query_hash = Fnv1a64(sql);
+    rec.admitted = admitted;
+    rec.probe = probe;
+    if (!admitted && !last_violations_.empty()) {
+      rec.policy = last_violations_.front().policy_name;
+    }
+    for (const ViolationReport& v : last_violations_) {
+      for (const std::string& m : v.messages) rec.messages.push_back(m);
+    }
+    // Per-policy outcomes for this query, derived by diffing cumulative
+    // attribution against the snapshot taken at the serial head.
+    auto outcome_for = [&](const std::string& name) {
+      PolicyOutcome out;
+      out.policy = name;
+      const auto cur = policy_stats_.find(name);
+      if (cur != policy_stats_.end()) {
+        PolicyStats delta = cur->second;
+        const auto base = decision_stats_base_.find(name);
+        if (base != decision_stats_base_.end()) {
+          delta.evaluations -= base->second.evaluations;
+          delta.prunes -= base->second.prunes;
+          delta.rejections -= base->second.rejections;
+          delta.eval_us -= base->second.eval_us;
+        }
+        out.evaluations = delta.evaluations;
+        out.prunes = delta.prunes;
+        out.eval_us = delta.eval_us;
+        if (delta.rejections > 0) {
+          out.outcome = "violated";
+        } else if (delta.prunes > 0) {
+          out.outcome = "pruned";
+        } else if (delta.evaluations > 0) {
+          out.outcome = "ok";
+        } else {
+          out.outcome = "skipped";
+        }
+      } else {
+        out.outcome = "skipped";
+      }
+      return out;
+    };
+    for (const Policy& policy : active_) {
+      rec.outcomes.push_back(outcome_for(policy.name));
+    }
+    PolicyOutcome u = outcome_for("(union)");
+    if (u.evaluations > 0) rec.outcomes.push_back(std::move(u));
+    rec.witnesses = std::move(last_witnesses_);
+    last_witnesses_.clear();
+    rec.witnesses_truncated = last_witnesses_truncated_;
+    rec.parse_us = stats_.parse_us;
+    rec.bind_us = stats_.bind_us;
+    rec.plan_us = stats_.plan_us;
+    rec.log_gen_us = stats_.log_gen_ms * 1000.0;
+    rec.policy_eval_us = stats_.policy_wall_us;
+    rec.compaction_us = stats_.compaction_ms() * 1000.0;
+    rec.user_exec_us = stats_.query_exec_ms * 1000.0;
+    rec.plan_cache_hits = stats_.plan_cache_hits;
+    rec.plan_cache_misses = stats_.plan_cache_misses;
+    decisions_.Append(std::move(rec));
+    // Cross-link into the trace timeline so a span dump can be joined
+    // against the decision store by id.
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled()) {
+      tracer.Record("decision:" + std::to_string(decision_id), "core",
+                    tracer.NowUs(), 0, Tracer::CurrentThreadId(), 0);
+    }
+  }
+
   if (options_.enable_audit) {
     AuditRecord record;
     record.ts = stats_.ts;
@@ -1345,6 +1589,7 @@ void DataLawyer::RecordDecision(const std::string& sql,
     record.query_sql = sql;
     record.admitted = admitted;
     record.probe = probe;
+    record.decision_id = decision_id;
     for (const ViolationReport& v : last_violations_) {
       record.violated_policies.push_back(v.policy_name);
     }
@@ -1465,6 +1710,17 @@ void DataLawyer::RecordDecision(const std::string& sql,
     h.parse_us->Observe(stats_.parse_us);
     h.bind_us->Observe(stats_.bind_us);
     h.plan_us->Observe(stats_.plan_us);
+
+    // Windowed rollups (1s/10s/60s) share the same per-phase samples the
+    // histograms above observe, so their percentiles agree by
+    // construction (identical log2 bucketing).
+    double phases[RollupRegistry::kNumPhases];
+    phases[RollupRegistry::kTotal] = stats_.total_ms() * 1000.0;
+    phases[RollupRegistry::kLogGen] = stats_.log_gen_ms * 1000.0;
+    phases[RollupRegistry::kPolicyEval] = stats_.policy_wall_us;
+    phases[RollupRegistry::kCompaction] = stats_.compaction_ms() * 1000.0;
+    phases[RollupRegistry::kUserExec] = stats_.query_exec_ms * 1000.0;
+    RollupRegistry::Global().Record(!admitted, phases);
   }
 }
 

@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/audit.h"
+#include "core/decision.h"
 #include "core/options.h"
 #include "core/plan_cache.h"
 #include "core/profile.h"
@@ -24,6 +25,7 @@
 #include "policy/log_compactor.h"
 #include "policy/policy.h"
 #include "policy/witness.h"
+#include "storage/catalog_view.h"
 #include "storage/database.h"
 
 namespace datalawyer {
@@ -148,6 +150,19 @@ class DataLawyer {
   const SlowLog& slow_log() const { return slow_log_; }
   SlowLog* mutable_slow_log() { return &slow_log_; }
 
+  /// Decision-provenance store: one structured DecisionRecord per checked
+  /// query (verdict, per-policy outcome, witness rows behind rejections,
+  /// phase timings). Populated when options().enable_decisions;
+  /// ring-bounded by options().decision_capacity. Also queryable in SQL
+  /// through the dl_decisions virtual relation.
+  const DecisionStore& decision_store() const { return decisions_; }
+  DecisionStore* mutable_decision_store() { return &decisions_; }
+
+  /// The catalog user queries and policies resolve through: the database's
+  /// tables plus the dl_decisions / dl_policy_stats / dl_slow_log virtual
+  /// system relations (real tables shadow the virtual names).
+  const CatalogView* system_catalog() const { return system_catalog_.get(); }
+
   /// Per-policy detail behind the most recent rejection; empty when the
   /// last query was admitted.
   const std::vector<ViolationReport>& last_violations() const {
@@ -226,10 +241,15 @@ class DataLawyer {
   /// work entirely when tracing is off.
   static std::string SpanLabel(const char* prefix, const std::string& name);
 
-  /// One-per-query observability epilogue: audit-trail append and metrics
-  /// recording, driven by `stats_` and the decision `st`.
+  /// One-per-query observability epilogue: decision-record assembly,
+  /// audit-trail append, slow-log retention, and metrics/rollup recording,
+  /// driven by `stats_` and the decision `st`.
   void RecordDecision(const std::string& sql, const QueryContext& context,
                       const Status& st, bool probe);
+
+  /// Registers the dl_decisions / dl_policy_stats / dl_slow_log providers
+  /// on system_catalog_ (constructor only).
+  void RegisterSystemRelations();
 
   /// The shared worker pool, created lazily with
   /// max(policy_threads, min_threads) workers and recreated if options ask
@@ -311,6 +331,25 @@ class DataLawyer {
 
   /// Slow-enforcement log (slow_enforcement_threshold_us > 0).
   SlowLog slow_log_;
+
+  /// Decision-provenance store (enable_decisions).
+  DecisionStore decisions_;
+
+  /// Database tables + dl_* virtual system relations: the base catalog
+  /// every bind/evaluation/execution in the checked pipeline reads
+  /// through. Snapshots are invalidated at the serial head of each checked
+  /// query, giving per-query snapshot semantics.
+  std::unique_ptr<SystemCatalog> system_catalog_;
+
+  /// Rejection-time witness scratch: filled by the reject path (before the
+  /// staged increment is discarded), consumed by RecordDecision.
+  std::vector<DecisionWitness> last_witnesses_;
+  uint64_t last_witnesses_truncated_ = 0;
+
+  /// policy_stats_ snapshot taken at the head of the current query when
+  /// decisions are enabled; RecordDecision diffs against it to derive
+  /// per-policy outcomes for the DecisionRecord.
+  std::map<std::string, PolicyStats> decision_stats_base_;
 
   /// True while WouldAllow probes: suppresses commit/compaction/execution.
   bool probe_mode_ = false;

@@ -1,0 +1,170 @@
+#include "core/decision.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace datalawyer {
+
+namespace {
+
+void AppendNumber(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+void AppendStringArray(std::string* out, const std::vector<std::string>& xs) {
+  *out += "[";
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += "\"";
+    AppendJsonEscaped(out, xs[i]);
+    *out += "\"";
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+std::string DecisionRecord::ToJson() const {
+  std::string out = "{";
+  out += "\"id\":" + std::to_string(id);
+  out += ",\"ts\":" + std::to_string(ts);
+  out += ",\"uid\":" + std::to_string(uid);
+  out += ",\"verdict\":\"";
+  out += verdict();
+  out += "\",\"probe\":";
+  out += probe ? "true" : "false";
+  out += ",\"query\":\"";
+  AppendJsonEscaped(&out, query_sql);
+  out += "\",\"query_hash\":\"";
+  char hash_buf[24];
+  std::snprintf(hash_buf, sizeof(hash_buf), "%016llx",
+                (unsigned long long)query_hash);
+  out += hash_buf;
+  out += "\"";
+  if (!policy.empty()) {
+    out += ",\"policy\":\"";
+    AppendJsonEscaped(&out, policy);
+    out += "\"";
+  }
+  if (!messages.empty()) {
+    out += ",\"messages\":";
+    AppendStringArray(&out, messages);
+  }
+  out += ",\"outcomes\":[";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const PolicyOutcome& o = outcomes[i];
+    if (i > 0) out += ",";
+    out += "{\"policy\":\"";
+    AppendJsonEscaped(&out, o.policy);
+    out += "\",\"outcome\":\"";
+    AppendJsonEscaped(&out, o.outcome);
+    out += "\",\"evaluations\":" + std::to_string(o.evaluations);
+    out += ",\"prunes\":" + std::to_string(o.prunes);
+    out += ",\"eval_us\":";
+    AppendNumber(&out, o.eval_us);
+    out += "}";
+  }
+  out += "],\"witnesses\":[";
+  for (size_t i = 0; i < witnesses.size(); ++i) {
+    const DecisionWitness& w = witnesses[i];
+    if (i > 0) out += ",";
+    out += "{\"relation\":\"";
+    AppendJsonEscaped(&out, w.relation);
+    out += "\",\"row_id\":" + std::to_string(w.row_id);
+    out += ",\"from_increment\":";
+    out += w.from_increment ? "true" : "false";
+    out += ",\"ts\":" + std::to_string(w.ts);
+    out += ",\"values\":";
+    AppendStringArray(&out, w.values);
+    out += "}";
+  }
+  out += "]";
+  if (witnesses_truncated > 0) {
+    out += ",\"witnesses_truncated\":" + std::to_string(witnesses_truncated);
+  }
+  out += ",\"timings_us\":{\"parse\":";
+  AppendNumber(&out, parse_us);
+  out += ",\"bind\":";
+  AppendNumber(&out, bind_us);
+  out += ",\"plan\":";
+  AppendNumber(&out, plan_us);
+  out += ",\"log_gen\":";
+  AppendNumber(&out, log_gen_us);
+  out += ",\"policy_eval\":";
+  AppendNumber(&out, policy_eval_us);
+  out += ",\"compaction\":";
+  AppendNumber(&out, compaction_us);
+  out += ",\"user_exec\":";
+  AppendNumber(&out, user_exec_us);
+  out += ",\"total\":";
+  AppendNumber(&out, total_us());
+  out += "}";
+  out += ",\"plan_cache\":{\"hits\":" + std::to_string(plan_cache_hits) +
+         ",\"misses\":" + std::to_string(plan_cache_misses) + "}";
+  out += "}";
+  return out;
+}
+
+void DecisionStore::Append(DecisionRecord record) {
+  ++total_appended_;
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(std::move(record));
+}
+
+void DecisionStore::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<DecisionRecord> DecisionStore::Tail(size_t n) const {
+  size_t start = records_.size() > n ? records_.size() - n : 0;
+  return std::vector<DecisionRecord>(records_.begin() + start,
+                                     records_.end());
+}
+
+const DecisionRecord* DecisionStore::FindById(uint64_t id) const {
+  if (records_.empty()) return nullptr;
+  uint64_t front_id = records_.front().id;
+  if (id < front_id || id > records_.back().id) return nullptr;
+  // Ids are assigned monotonically and appended in order, so the ring is
+  // dense: offset lookup, verified in case of manual appends in tests.
+  size_t idx = size_t(id - front_id);
+  if (idx < records_.size() && records_[idx].id == id) return &records_[idx];
+  for (const DecisionRecord& r : records_) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+std::string DecisionStore::ToJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const DecisionRecord& r : records_) {
+    if (!first) out += ",";
+    first = false;
+    out += r.ToJson();
+  }
+  out += "]";
+  return out;
+}
+
+void DecisionStore::Clear() {
+  records_.clear();
+  total_appended_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace datalawyer

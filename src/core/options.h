@@ -105,6 +105,26 @@ struct DataLawyerOptions {
   /// Ring-buffer capacity of the audit trail (oldest evicted first).
   size_t audit_capacity = 4096;
 
+  /// Record a structured DecisionRecord (verdict, per-policy outcome,
+  /// witness rows for rejections, phase timings — see core/decision.h) for
+  /// every checked query into a ring-bounded DecisionStore, queryable
+  /// through the dl_decisions virtual relation and the shell's `\why`.
+  /// When off, the accept path pays one relaxed atomic load and allocates
+  /// nothing — the same discipline as tracing.
+  bool enable_decisions = true;
+
+  /// Ring-buffer capacity of the decision store (oldest evicted first).
+  size_t decision_capacity = 1024;
+
+  /// Maximum witness tuples captured per rejecting decision; further
+  /// violating rows are counted but not materialized.
+  size_t decision_witness_limit = 32;
+
+  /// Capture witness tuples with the naive (optimizer-off) re-evaluation
+  /// instead of the planned one. Both identify the same rows — this switch
+  /// exists so the differential test can compare them byte-for-byte.
+  bool decision_witness_naive = false;
+
   /// Retain an EnforcementProfile (per-phase latency breakdown, see
   /// core/profile.h) for every query whose end-to-end latency is at least
   /// this many microseconds. 0 disables the slow-enforcement log entirely.

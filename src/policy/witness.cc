@@ -1,11 +1,16 @@
 #include "policy/witness.h"
 
+#include <map>
+#include <optional>
 #include <set>
+#include <utility>
 
 #include "analysis/join_graph.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "exec/executor.h"
 #include "policy/policy_analyzer.h"
+#include "storage/catalog_view.h"
 
 namespace datalawyer {
 
@@ -361,6 +366,71 @@ Result<WitnessSet> WitnessBuilder::BuildForMember(
   }
 
   return out;
+}
+
+Result<WitnessCaptureResult> CaptureViolationWitnesses(
+    const SelectStmt& stmt, const CatalogView* catalog, const UsageLog& log,
+    size_t limit, bool naive, bool enable_stats_costing) {
+  ScopedSpan span("decision.witness", "policy");
+  ExecOptions options;
+  options.capture_lineage = true;
+  options.enable_optimizer = !naive;
+  options.enable_stats_costing = enable_stats_costing && !naive;
+  Executor executor(catalog, options);
+  DL_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(stmt));
+
+  // Distinct usage-log tuples across every violating output row. std::set
+  // gives the deterministic (relation, row id) order — concatenated ids
+  // sort main-part rows before increment rows within a relation.
+  std::set<std::pair<std::string, int64_t>> ids;
+  for (const LineageSet& lineage : result.lineage) {
+    for (const LineageEntry& entry : lineage) {
+      const std::string& rel = result.base_relations[entry.rel];
+      if (log.IsLogRelation(rel)) ids.insert({rel, entry.row_id});
+    }
+  }
+
+  WitnessCaptureResult capture;
+  if (ids.size() > limit) capture.truncated = ids.size() - limit;
+
+  // Resolve values one relation at a time: RelationData has no id→row
+  // inverse, so build it once per relation instead of once per witness.
+  std::string current_rel;
+  const RelationData* rel_data = nullptr;
+  std::map<int64_t, size_t> index_of;
+  std::optional<size_t> ts_col;
+  for (const auto& [rel, row_id] : ids) {
+    if (capture.rows.size() >= limit) break;
+    if (rel != current_rel || rel_data == nullptr) {
+      current_rel = rel;
+      rel_data = catalog->Find(rel);
+      index_of.clear();
+      ts_col.reset();
+      if (rel_data != nullptr) {
+        ts_col = rel_data->schema().FindColumn("ts");
+        for (size_t i = 0, n = rel_data->NumRows(); i < n; ++i) {
+          index_of[rel_data->RowIdAt(i)] = i;
+        }
+      }
+    }
+    if (rel_data == nullptr) continue;
+    auto it = index_of.find(row_id);
+    if (it == index_of.end()) continue;
+    const Row& row = rel_data->RowAt(it->second);
+    CapturedWitness w;
+    w.relation = rel;
+    w.from_increment = ConcatRelation::IsFromSecond(row_id);
+    w.row_id =
+        w.from_increment ? ConcatRelation::SecondRowId(row_id) : row_id;
+    if (ts_col.has_value() && *ts_col < row.size() &&
+        row[*ts_col].is_int64()) {
+      w.ts = row[*ts_col].AsInt64();
+    }
+    w.values.reserve(row.size());
+    for (const Value& v : row) w.values.push_back(v.ToString());
+    capture.rows.push_back(std::move(w));
+  }
+  return capture;
 }
 
 }  // namespace datalawyer

@@ -31,6 +31,35 @@ struct WitnessSet {
   void MergeFrom(WitnessSet other);
 };
 
+/// One usage-log row a rejecting policy matched — the counterexample shown
+/// when explaining a rejection. Row ids are normalized to the relation's
+/// own id space: increment rows report their staged id with
+/// `from_increment` set, so a witness stays meaningful after the staged
+/// increment is discarded.
+struct CapturedWitness {
+  std::string relation;
+  int64_t row_id = 0;
+  bool from_increment = false;
+  int64_t ts = -1;  ///< the row's log timestamp; -1 if no ts column
+  std::vector<std::string> values;  ///< rendered column values
+};
+
+struct WitnessCaptureResult {
+  std::vector<CapturedWitness> rows;  ///< sorted by (relation, id-space, id)
+  uint64_t truncated = 0;  ///< violating rows beyond the capture limit
+};
+
+/// Re-evaluates a rejecting policy statement over `catalog` with lineage
+/// capture and returns the usage-log rows that contributed to its non-empty
+/// answer — the tuples "on the strength of which" the query was rejected.
+/// Must run before the staged increment is discarded (the reject path calls
+/// it ahead of DiscardStaged). Deterministic: rows are deduplicated and
+/// sorted, so the planned and naive (`naive` = optimizer off) evaluations
+/// return byte-identical captures.
+Result<WitnessCaptureResult> CaptureViolationWitnesses(
+    const SelectStmt& stmt, const CatalogView* catalog, const UsageLog& log,
+    size_t limit, bool naive, bool enable_stats_costing);
+
 /// Synthesizes absolute-witness queries per Lemmas 4.1–4.3:
 ///
 ///  * the witness for log relation occurrence `a` selects `a.*` over `a`,

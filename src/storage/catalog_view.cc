@@ -77,6 +77,41 @@ bool ConcatRelation::RangeLookup(size_t col, const Value* lo,
   return true;
 }
 
+void SystemCatalog::Register(const std::string& name, Provider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = ToLower(name);
+  if (providers_.find(key) == providers_.end()) names_.push_back(key);
+  providers_[key] = std::move(provider);
+  snapshots_.erase(key);
+}
+
+void SystemCatalog::InvalidateSnapshots() {
+  if (!dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshots_.clear();
+  dirty_.store(false, std::memory_order_release);
+}
+
+const RelationData* SystemCatalog::Find(const std::string& name) const {
+  // Real tables shadow system relations, so an application schema that
+  // happens to define a `dl_decisions` table keeps working unchanged.
+  if (base_ != nullptr) {
+    const RelationData* rel = base_->Find(name);
+    if (rel != nullptr) return rel;
+  }
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto snap = snapshots_.find(key);
+  if (snap != snapshots_.end()) return snap->second.get();
+  auto prov = providers_.find(key);
+  if (prov == providers_.end()) return nullptr;
+  auto rel = prov->second();
+  const RelationData* raw = rel.get();
+  snapshots_[key] = std::move(rel);
+  dirty_.store(true, std::memory_order_release);
+  return raw;
+}
+
 void OverlayCatalog::Add(const std::string& name, const RelationData* rel) {
   overrides_[ToLower(name)] = rel;
 }

@@ -1,8 +1,11 @@
 #ifndef DATALAWYER_STORAGE_CATALOG_VIEW_H_
 #define DATALAWYER_STORAGE_CATALOG_VIEW_H_
 
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -143,6 +146,53 @@ class OwnedRelation : public RelationData {
   TableSchema schema_;
   std::vector<Row> rows_;
   TableStats stats_;
+};
+
+/// Base catalog plus lazily materialized virtual system relations
+/// (`dl_decisions`, `dl_policy_stats`, `dl_slow_log`): a provider callback
+/// per name builds an OwnedRelation snapshot on first lookup, and the
+/// snapshot is served unchanged until InvalidateSnapshots(). Two
+/// consequences the enforcement pipeline relies on:
+///
+///  * *Snapshot semantics* — DataLawyer invalidates at the serial head of
+///    each checked query, so one query's bind, log generation, policy
+///    evaluation, and execution all see the identical telemetry state, and
+///    a telemetry query can never observe its own decision record (which
+///    is appended after execution).
+///  * *Thread safety* — materialization is mutex-guarded, so concurrent
+///    policy workers resolving a dl_* name race only on "who builds the
+///    snapshot first"; invalidation happens only in serial sections.
+///
+/// Base-catalog names win: a real table shadows a system relation.
+class SystemCatalog : public CatalogView {
+ public:
+  using Provider = std::function<std::unique_ptr<RelationData>()>;
+
+  /// `base` must outlive this view.
+  explicit SystemCatalog(const CatalogView* base) : base_(base) {}
+
+  /// Registers `provider` under `name` (case-insensitive).
+  void Register(const std::string& name, Provider provider);
+
+  /// Drops every materialized snapshot; the next Find re-materializes.
+  void InvalidateSnapshots();
+
+  /// Registered system-relation names, registration order.
+  std::vector<std::string> Names() const { return names_; }
+
+  const RelationData* Find(const std::string& name) const override;
+
+ private:
+  const CatalogView* base_;
+  std::vector<std::string> names_;
+  mutable std::mutex mu_;
+  std::map<std::string, Provider> providers_;
+  mutable std::map<std::string, std::unique_ptr<RelationData>> snapshots_;
+  /// True while any snapshot is materialized. Lets the per-query
+  /// InvalidateSnapshots() call cost one relaxed atomic load when nobody
+  /// queried a system relation — the accept path must not pay for
+  /// telemetry it is not using.
+  mutable std::atomic<bool> dirty_{false};
 };
 
 /// Base catalog plus name → relation overrides. Overrides win.

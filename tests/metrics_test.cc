@@ -247,6 +247,125 @@ TEST(PlanCacheMetricsTest, CountersRecordedAndGated) {
   EXPECT_EQ(misses->value(), misses_before);
 }
 
+// An empty histogram renders explicit `-` placeholders, not stale or
+// garbage numbers — registering a histogram must not fabricate latencies.
+TEST(MetricsRegistryTest, SummaryTextRendersEmptyHistogramsAsDashes) {
+  MetricsRegistry reg;
+  reg.GetHistogram("dl_never_observed_us", "registered but never fed");
+  Histogram* h = reg.GetHistogram("dl_fed_us");
+  h->Observe(10.0);
+  std::string text = reg.SummaryText();
+  ASSERT_NE(text.find("dl_never_observed_us"), std::string::npos);
+  std::string line = text.substr(text.find("dl_never_observed_us"));
+  line = line.substr(0, line.find('\n'));
+  EXPECT_NE(line.find(" 0 "), std::string::npos) << line;
+  EXPECT_NE(line.find("-"), std::string::npos) << line;
+  // The fed histogram still renders numbers.
+  std::string fed = text.substr(text.find("dl_fed_us"));
+  fed = fed.substr(0, fed.find('\n'));
+  EXPECT_EQ(fed.find(" - "), std::string::npos) << fed;
+}
+
+TEST(MetricsRegistryTest, SummaryTextOmitsHistogramTableWhenNoneExist) {
+  MetricsRegistry reg;
+  reg.GetCounter("only_counters")->Increment();
+  std::string text = reg.SummaryText();
+  EXPECT_EQ(text.find("p50"), std::string::npos);
+}
+
+TEST(RollupRegistryTest, WindowsAggregateAndExpire) {
+  RollupRegistry rollups;
+  int64_t t0 = 1000 * 1000000;  // an arbitrary whole-second instant
+  double phases[RollupRegistry::kNumPhases] = {100, 10, 50, 5, 35};
+  rollups.RecordAt(t0, /*rejected=*/false, phases);
+  rollups.RecordAt(t0, /*rejected=*/true, phases);
+  // Five seconds later: outside the 1s window, inside 10s and 60s.
+  int64_t t1 = t0 + 5 * 1000000;
+  rollups.RecordAt(t1, /*rejected=*/false, phases);
+
+  auto w1 = rollups.SnapshotAt(t1, 1);
+  EXPECT_EQ(w1.queries, 1u);
+  EXPECT_EQ(w1.rejected, 0u);
+
+  auto w10 = rollups.SnapshotAt(t1, 10);
+  EXPECT_EQ(w10.queries, 3u);
+  EXPECT_EQ(w10.rejected, 1u);
+  EXPECT_NEAR(w10.rejection_rate, 1.0 / 3.0, 1e-9);
+
+  // Two minutes later everything has aged out of every window.
+  auto stale = rollups.SnapshotAt(t1 + 120 * 1000000, 60);
+  EXPECT_EQ(stale.queries, 0u);
+  EXPECT_EQ(stale.rejection_rate, 0.0);
+}
+
+// Acceptance: rollup percentiles and Histogram percentiles share the same
+// log2 bucketing and interpolation, so identical samples agree exactly.
+TEST(RollupRegistryTest, PercentilesAgreeWithHistogram) {
+  RollupRegistry rollups;
+  Histogram hist;
+  int64_t t0 = 2000 * 1000000;
+  for (int i = 1; i <= 200; ++i) {
+    double v = double(i) * 7.3;
+    double phases[RollupRegistry::kNumPhases] = {v, 0, v / 2, 0, 0};
+    rollups.RecordAt(t0 + (i % 10) * 1000000, i % 5 == 0, phases);
+    hist.Observe(v);
+  }
+  auto w = rollups.SnapshotAt(t0 + 9 * 1000000, 10);
+  ASSERT_EQ(w.queries, 200u);
+  EXPECT_DOUBLE_EQ(w.p50[RollupRegistry::kTotal], hist.Percentile(0.5));
+  EXPECT_DOUBLE_EQ(w.p95[RollupRegistry::kTotal], hist.Percentile(0.95));
+}
+
+TEST(RollupRegistryTest, ExpositionAndSummaryCoverEveryWindow) {
+  RollupRegistry rollups;
+  double phases[RollupRegistry::kNumPhases] = {100, 10, 50, 5, 35};
+  rollups.Record(false, phases);
+  std::string expo;
+  rollups.AppendExposition(&expo);
+  for (int w : {1, 10, 60}) {
+    std::string label = "window=\"" + std::to_string(w) + "s\"";
+    EXPECT_NE(expo.find("dl_rollup_queries{" + label + "} 1"),
+              std::string::npos)
+        << expo;
+  }
+  EXPECT_NE(expo.find("quantile=\"0.95\""), std::string::npos);
+  std::string summary = rollups.SummaryText();
+  EXPECT_NE(summary.find("60s"), std::string::npos);
+}
+
+// End to end: the per-query rollup feed agrees with the dl_total_us
+// histogram the same queries populate (identical sample stream).
+TEST(RollupMetricsIntegrationTest, RollupMatchesHistogramWithinBucket) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram* total = reg.GetHistogram("dl_total_us");
+  uint64_t count_before = total->count();
+  RollupRegistry::Global().Reset();
+
+  Database db;
+  Engine engine(&db);
+  ASSERT_TRUE(engine
+                  .ExecuteScript("CREATE TABLE t (a INT);"
+                                 "INSERT INTO t VALUES (1), (2);")
+                  .ok());
+  DataLawyerOptions options;
+  options.enable_metrics = true;
+  DataLawyer dl(&db, nullptr, std::make_unique<ManualClock>(), options);
+  QueryContext ctx;
+  ctx.uid = 1;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(dl.Execute("SELECT * FROM t", ctx).ok());
+  }
+
+  EXPECT_EQ(total->count(), count_before + 20);
+  auto w = RollupRegistry::Global().Snapshot(60);
+  ASSERT_EQ(w.queries, 20u);
+  EXPECT_EQ(w.rejected, 0u);
+  // Same bucketing ⇒ the rollup p50 can differ from the full-histogram p50
+  // only through the histogram's extra history; both land in [min, max].
+  EXPECT_GE(w.p95[RollupRegistry::kTotal], w.p50[RollupRegistry::kTotal]);
+  EXPECT_GT(w.p50[RollupRegistry::kTotal], 0.0);
+}
+
 TEST(MetricsRegistryTest, NamesAreSorted) {
   MetricsRegistry reg;
   reg.GetCounter("b");

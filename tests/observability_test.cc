@@ -78,6 +78,71 @@ TEST(AuditLogTest, SaveLoadRoundTripsEscapedFields) {
   std::remove(path.c_str());
 }
 
+// Regression: fields containing a carriage return, a literal backslash
+// followed by 't' (which must NOT round-trip to a tab), or a trailing
+// backslash used to corrupt the TSV framing. The shared escaping helpers
+// in common/strings must keep every such record intact.
+TEST(AuditLogTest, SaveLoadHandlesHostileEscapeSequences) {
+  AuditLog log(10);
+  const std::vector<std::string> hostile = {
+      "line1\r\nline2",      // carriage return + newline
+      "literal \\t not tab",  // backslash-t as two characters
+      "ends with backslash \\",
+      "\t\n\r\\",  // every special, adjacent
+  };
+  for (size_t i = 0; i < hostile.size(); ++i) {
+    AuditRecord r = MakeRecord(int64_t(i), hostile[i], i % 2 == 0);
+    r.violated_policies = {hostile[i]};
+    log.Append(std::move(r));
+  }
+  std::string path = ::testing::TempDir() + "/audit_hostile.tsv";
+  ASSERT_TRUE(log.SaveTo(path).ok());
+  AuditLog restored(10);
+  ASSERT_TRUE(restored.LoadFrom(path).ok());
+  ASSERT_EQ(restored.size(), hostile.size());
+  for (size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_EQ(restored.records()[i].query_sql, hostile[i]) << i;
+    ASSERT_EQ(restored.records()[i].violated_policies.size(), 1u);
+    EXPECT_EQ(restored.records()[i].violated_policies[0], hostile[i]) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AuditLogTest, DecisionIdRoundTripsInV2Format) {
+  AuditLog log(10);
+  AuditRecord r = MakeRecord(1, "SELECT 1", true);
+  r.decision_id = 42;
+  log.Append(std::move(r));
+  std::string path = ::testing::TempDir() + "/audit_v2.tsv";
+  ASSERT_TRUE(log.SaveTo(path).ok());
+  AuditLog restored(10);
+  ASSERT_TRUE(restored.LoadFrom(path).ok());
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored.records()[0].decision_id, 42u);
+  std::remove(path.c_str());
+}
+
+// A v1 trail (no decision_id column) still loads; the link reads as 0.
+TEST(AuditLogTest, LoadsV1FilesWithoutDecisionIds) {
+  std::string path = ::testing::TempDir() + "/audit_v1.tsv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("dl-audit-v1\n", f);
+  std::fputs("10\t3\t1\t0\t12.500\t1.000\t2.000\t3.000\t0.000\t\tSELECT 1\n",
+             f);
+  std::fclose(f);
+  AuditLog restored(10);
+  ASSERT_TRUE(restored.LoadFrom(path).ok());
+  ASSERT_EQ(restored.size(), 1u);
+  const AuditRecord& r = restored.records()[0];
+  EXPECT_EQ(r.ts, 10);
+  EXPECT_EQ(r.uid, 3);
+  EXPECT_TRUE(r.admitted);
+  EXPECT_EQ(r.decision_id, 0u);
+  EXPECT_EQ(r.query_sql, "SELECT 1");
+  std::remove(path.c_str());
+}
+
 TEST(AuditLogTest, LoadRejectsGarbage) {
   std::string path = ::testing::TempDir() + "/audit_garbage.tsv";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -236,6 +301,31 @@ TEST_F(ObservabilityIntegrationTest, MetricsRecordedWhenEnabled) {
   EXPECT_EQ(queries->value(), queries_before + 2);
   EXPECT_EQ(rejected->value(), rejected_before + 1);
   EXPECT_EQ(total->count(), observed_before + 2);
+}
+
+// The slow-enforcement log is queryable as the dl_slow_log relation and
+// agrees row-for-row with the in-memory ring.
+TEST_F(ObservabilityIntegrationTest, SlowLogQueryableAsSystemRelation) {
+  DataLawyerOptions options;
+  options.slow_enforcement_threshold_us = 0.001;  // everything is "slow"
+  auto dl = Make(options);
+  QueryContext ctx;
+  ctx.uid = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(dl->Execute(join_sql_, ctx).ok());
+  }
+  auto rows = dl->QueryUsageLog(
+      "SELECT uid, rejected, query, total_us FROM dl_slow_log");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  const SlowLog& slow = dl->slow_log();
+  ASSERT_EQ(rows->rows.size(), slow.size());
+  for (size_t i = 0; i < slow.size(); ++i) {
+    const EnforcementProfile& p = slow.records()[i];
+    EXPECT_EQ(rows->rows[i][0].AsInt64(), p.uid);
+    EXPECT_EQ(rows->rows[i][1].AsBool(), p.rejected);
+    EXPECT_EQ(rows->rows[i][2].AsString(), p.query_sql);
+    EXPECT_NEAR(rows->rows[i][3].AsDouble(), p.total_us(), 1e-6);
+  }
 }
 
 TEST_F(ObservabilityIntegrationTest, MetricsSilentWhenDisabled) {

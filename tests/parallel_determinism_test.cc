@@ -44,7 +44,32 @@ std::vector<Step> Scenario(uint64_t seed) {
 struct Trace {
   std::vector<std::string> decisions;  // one entry per step
   std::string log_dump;                // all persisted log rows after Flush
+  std::string decision_dump;           // decision store, timing-free fields
 };
+
+/// Deterministic projection of the decision store: everything except wall
+/// times, which legitimately vary run to run. Witness rows are part of the
+/// projection — their order and content must not depend on thread count.
+std::string DumpDecisions(const DecisionStore& store) {
+  std::string out;
+  for (const DecisionRecord& d : store.records()) {
+    out += std::to_string(d.id) + "|" + std::to_string(d.ts) + "|" +
+           std::to_string(d.uid) + "|" + d.verdict() + "|" +
+           (d.probe ? "p" : "-") + "|" + d.policy;
+    for (const std::string& m : d.messages) out += ";" + m;
+    for (const PolicyOutcome& o : d.outcomes) {
+      out += "/" + o.policy + "=" + o.outcome + ":" +
+             std::to_string(o.evaluations) + ":" + std::to_string(o.prunes);
+    }
+    for (const DecisionWitness& w : d.witnesses) {
+      out += "/w:" + w.relation + ":" + std::to_string(w.row_id) + ":" +
+             (w.from_increment ? "i" : "m") + ":" + std::to_string(w.ts);
+      for (const std::string& v : w.values) out += "," + v;
+    }
+    out += "/trunc=" + std::to_string(d.witnesses_truncated) + "\n";
+  }
+  return out;
+}
 
 Trace RunScenario(DataLawyerOptions options, const std::vector<Step>& steps) {
   // Each run gets its own copy of the data so log state cannot leak.
@@ -76,6 +101,8 @@ Trace RunScenario(DataLawyerOptions options, const std::vector<Step>& steps) {
     }
     trace.decisions.push_back(std::move(decision));
   }
+
+  trace.decision_dump = DumpDecisions(dl.decision_store());
 
   EXPECT_TRUE(dl.Flush().ok());
   for (const std::string& name : dl.usage_log()->RelationNamesInOrder()) {
@@ -119,6 +146,10 @@ TEST(ParallelDeterminismTest, ThreadCountIsInvisible) {
       }
       EXPECT_EQ(parallel.log_dump, serial.log_dump)
           << "strategy " << int(strategy) << " threads " << threads;
+      // Decision records (witness rows included) are assembled in serial
+      // sections, so they too must be invisible to the thread count.
+      EXPECT_EQ(parallel.decision_dump, serial.decision_dump)
+          << "strategy " << int(strategy) << " threads " << threads;
     }
   }
 }
@@ -137,6 +168,7 @@ TEST(ParallelDeterminismTest, ParallelAndAsyncCompactionAgree) {
 
   EXPECT_EQ(parallel.decisions, serial.decisions);
   EXPECT_EQ(parallel.log_dump, serial.log_dump);
+  EXPECT_EQ(parallel.decision_dump, serial.decision_dump);
 }
 
 TEST(ParallelDeterminismTest, WallCpuSplitIsReported) {
