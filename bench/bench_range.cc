@@ -58,6 +58,9 @@ void RangeVsSeq() {
       // about reading a long log, not about compaction pruning it.
       options.enable_log_compaction = false;
       options.enable_preemptive_compaction = false;
+      // Incremental evaluation would answer P5 from maintained state and
+      // bypass the access path under measurement; pin it off.
+      options.enable_incremental_eval = false;
 
       Database db;
       Engine engine(&db);

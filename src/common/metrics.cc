@@ -244,6 +244,16 @@ std::string MetricsRegistry::SummaryText() const {
     }
     out += buf;
   }
+  if (!counters_.empty()) {
+    if (!out.empty()) out += "\n";
+    std::snprintf(buf, sizeof(buf), "%-40s %12s\n", "counter", "value");
+    out += buf;
+    for (const auto& [name, entry] : counters_) {
+      std::snprintf(buf, sizeof(buf), "%-40s %12llu\n", name.c_str(),
+                    (unsigned long long)entry.first->value());
+      out += buf;
+    }
+  }
   return out;
 }
 

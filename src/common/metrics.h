@@ -92,9 +92,10 @@ class MetricsRegistry {
   /// {count,mean,min,max,p50,p95,p99}. Used by the bench harness.
   std::string ToJson() const;
 
-  /// Human-readable latency summary: one row per histogram with count,
-  /// mean, p50, p95, p99 (the shell's `\metrics` header — the Table 4
-  /// phase percentiles at a glance). Empty histograms render explicitly
+  /// Human-readable summary: one row per histogram with count, mean, p50,
+  /// p95, p99 (the shell's `\metrics` header — the Table 4 phase
+  /// percentiles at a glance), followed by a counter table (cache and
+  /// incremental-evaluation totals). Empty histograms render explicitly
   /// with count 0 and `-` in every percentile column, so a missing phase
   /// is visibly "no samples" rather than silently absent.
   std::string SummaryText() const;

@@ -9,6 +9,7 @@
 #include "common/strings.h"
 #include "exec/executor.h"
 #include "exec/plan_executor.h"
+#include "policy/incremental.h"
 #include "policy/partial_policy.h"
 #include "policy/policy_analyzer.h"
 #include "policy/unification.h"
@@ -106,6 +107,9 @@ DataLawyer::DataLawyer(Database* db, std::unique_ptr<UsageLog> log,
   // process cannot silence an active trace.
   if (options_.enable_tracing) Tracer::Global().set_enabled(true);
   decisions_.set_enabled(options_.enable_decisions);
+  incremental_enabled_ = options_.enable_incremental_eval &&
+                         options_.enable_plan_cache &&
+                         !IncrementalDisabledByEnv();
   system_catalog_ = std::make_unique<SystemCatalog>(engine_.db_catalog());
   RegisterSystemRelations();
 }
@@ -117,6 +121,9 @@ DataLawyer::~DataLawyer() {
 void DataLawyer::set_options(DataLawyerOptions options) {
   options_ = options;
   prepared_valid_ = false;
+  incremental_enabled_ = options_.enable_incremental_eval &&
+                         options_.enable_plan_cache &&
+                         !IncrementalDisabledByEnv();
   if (options_.enable_tracing) Tracer::Global().set_enabled(true);
   slow_log_.set_capacity(options_.slow_log_capacity);
   decisions_.set_enabled(options_.enable_decisions);
@@ -414,6 +421,7 @@ void DataLawyer::WarmPlanCache() {
   plan_cache_.Clear();
   plan_cache_.set_stamp(stamp);
   plan_cache_warmed_ = true;
+  incremental_class_.clear();
   if (!options_.enable_plan_cache) return;
   DL_TRACE_SPAN("plan.warm", "plan");
   // The warming catalog dies with this scope; cached plans never
@@ -431,6 +439,20 @@ void DataLawyer::WarmPlanCache() {
   for (size_t i = 0; i < active_.size(); ++i) {
     const Policy& policy = active_[i];
     plan_cache_.Warm(policy.effective(), catalog.view(), planner);
+    // Classify the full policy statement and attach maintenance state to
+    // incrementalizable entries. Clear() above already destroyed any prior
+    // state, which is exactly the invalidation contract: DDL, index-flag,
+    // and stats-drift stamp changes force a rebuild from scratch.
+    if (incremental_enabled_) {
+      PlanCache::Entry* entry = plan_cache_.MutableLookup(policy.effective());
+      if (entry != nullptr && entry->bound != nullptr) {
+        entry->incremental = IncrementalState::Build(
+            policy.effective(), *entry->bound, *log_, policy_base_catalog());
+      }
+      incremental_class_[policy.name] =
+          entry != nullptr && entry->incremental != nullptr ? "incremental"
+                                                            : "full-only";
+    }
     if (policy.guard != nullptr) {
       plan_cache_.Warm(*policy.guard, catalog.view(), planner);
     }
@@ -443,6 +465,14 @@ void DataLawyer::WarmPlanCache() {
   if (union_combined_ != nullptr) {
     plan_cache_.Warm(*union_combined_, catalog.view(), planner);
   }
+}
+
+void DataLawyer::AdvanceIncrementalStates(int64_t ts) {
+  size_t rebuilds = 0;
+  plan_cache_.ForEachEntry([&](PlanCache::Entry& entry) {
+    if (entry.incremental != nullptr) entry.incremental->Advance(ts, &rebuilds);
+  });
+  stats_.incremental_rebuilds += rebuilds;
 }
 
 Result<QueryResult> DataLawyer::Execute(const std::string& sql,
@@ -614,6 +644,25 @@ Result<DataLawyer::PolicyEvalOutput> DataLawyer::EvalPolicyStatement(
       options_.enable_plan_cache && plan_cache_.stamp() == CacheStamp()
           ? plan_cache_.Lookup(stmt)
           : nullptr;
+  // Incremental fast path: answer from maintained state + the staged
+  // increment, skipping the plan execution entirely. Only full policy
+  // statements carry state (guards/partials/union never do), and a decline
+  // falls through to the identical-verdict full evaluation below.
+  if (incremental_enabled_ && cached != nullptr &&
+      cached->incremental != nullptr && !check_increment_dependence) {
+    IncrementalState::Verdict verdict =
+        cached->incremental->Evaluate(stats_.ts);
+    if (verdict.supported) {
+      if (verdict.violated) {
+        out.messages.push_back(cached->incremental->message());
+      }
+      out.plan_cache_hit = true;
+      out.incremental_hit = true;
+      out.eval_us = UsSince(t0);
+      return out;
+    }
+    out.incremental_fallback = true;
+  }
   if (cached != nullptr) {
     PlanExecutor plan_exec(catalog, exec_options);
     DL_ASSIGN_OR_RETURN(result, plan_exec.Run(cached->plan));
@@ -682,6 +731,13 @@ void DataLawyer::RecordEvalCounters(const PolicyEvalOutput& out,
       AttributionFor(attribute_to != nullptr ? attribute_to->name : "(union)");
   ++slot.evaluations;
   slot.eval_us += out.eval_us;
+  if (out.incremental_hit) {
+    ++stats_.incremental_hits;
+    ++slot.incremental_hits;
+  } else if (out.incremental_fallback) {
+    ++stats_.incremental_fallbacks;
+    ++slot.incremental_fallbacks;
+  }
 }
 
 Result<std::vector<std::string>> DataLawyer::EvaluatePolicyStmt(
@@ -806,6 +862,17 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
     auto plan_start = Now();
     WarmPlanCache();
     stats_.plan_us = UsSince(plan_start);
+  }
+
+  // Incremental maintenance, still in the serial head: fold the committed
+  // log growth into every policy's materialized state and roll the window
+  // edges to `ts`, before the evaluation fan-out reads the states
+  // concurrently. Timed into plan_us (it is plan-shaped warm work), so the
+  // phase identity total_ms == sum-of-profile-phases is preserved.
+  if (incremental_enabled_) {
+    auto advance_start = Now();
+    AdvanceIncrementalStates(ts);
+    stats_.plan_us += UsSince(advance_start);
   }
 
   // Bind the user query against the database plus the dl_* system
@@ -1375,6 +1442,11 @@ std::vector<PolicyStats> DataLawyer::PolicyReport() const {
       zero.name = policy.name;
       report.push_back(zero);
     }
+    auto cls = incremental_class_.find(policy.name);
+    report.back().incremental_class =
+        cls != incremental_class_.end()
+            ? cls->second
+            : (incremental_enabled_ ? std::string() : std::string("off"));
     emitted.insert(policy.name);
   }
   // Then whatever else accumulated: "(union)", removed/renamed policies.
@@ -1445,7 +1517,10 @@ void DataLawyer::RegisterSystemRelations() {
         .AddColumn("evaluations", ValueType::kInt64)
         .AddColumn("prunes", ValueType::kInt64)
         .AddColumn("rejections", ValueType::kInt64)
-        .AddColumn("eval_us", ValueType::kDouble);
+        .AddColumn("eval_us", ValueType::kDouble)
+        .AddColumn("incremental", ValueType::kString)
+        .AddColumn("incremental_hits", ValueType::kInt64)
+        .AddColumn("incremental_fallbacks", ValueType::kInt64);
     std::vector<Row> rows;
     for (const PolicyStats& s : PolicyReport()) {
       Row row;
@@ -1454,6 +1529,10 @@ void DataLawyer::RegisterSystemRelations() {
       row.push_back(Value(int64_t(s.prunes)));
       row.push_back(Value(int64_t(s.rejections)));
       row.push_back(Value(s.eval_us));
+      row.push_back(s.incremental_class.empty() ? Value()
+                                                : Value(s.incremental_class));
+      row.push_back(Value(int64_t(s.incremental_hits)));
+      row.push_back(Value(int64_t(s.incremental_fallbacks)));
       rows.push_back(std::move(row));
     }
     return std::make_unique<OwnedRelation>(std::move(schema),
@@ -1537,10 +1616,17 @@ void DataLawyer::RecordDecision(const std::string& sql,
           delta.prunes -= base->second.prunes;
           delta.rejections -= base->second.rejections;
           delta.eval_us -= base->second.eval_us;
+          delta.incremental_hits -= base->second.incremental_hits;
+          delta.incremental_fallbacks -= base->second.incremental_fallbacks;
         }
         out.evaluations = delta.evaluations;
         out.prunes = delta.prunes;
         out.eval_us = delta.eval_us;
+        if (delta.incremental_hits > 0) {
+          out.incremental = "hit";
+        } else if (delta.incremental_fallbacks > 0) {
+          out.incremental = "fallback";
+        }
         if (delta.rejections > 0) {
           out.outcome = "violated";
         } else if (delta.prunes > 0) {
@@ -1626,6 +1712,9 @@ void DataLawyer::RecordDecision(const std::string& sql,
       Counter* range_hits;
       Counter* plan_hits;
       Counter* plan_misses;
+      Counter* incr_hits;
+      Counter* incr_fallbacks;
+      Counter* incr_rebuilds;
       Histogram* total_us;
       Histogram* query_us;
       Histogram* log_gen_us;
@@ -1668,6 +1757,15 @@ void DataLawyer::RecordDecision(const std::string& sql,
       handles.plan_misses = r.GetCounter(
           "dl_plan_cache_misses_total",
           "policy statements that needed a one-shot bind and plan");
+      handles.incr_hits = r.GetCounter(
+          "dl_incremental_hits_total",
+          "policy verdicts served from incremental state");
+      handles.incr_fallbacks = r.GetCounter(
+          "dl_incremental_fallbacks_total",
+          "incremental states that declined and fell back to full eval");
+      handles.incr_rebuilds = r.GetCounter(
+          "dl_incremental_rebuilds_total",
+          "incremental state rebuilds forced by dependency invalidation");
       handles.total_us = r.GetHistogram("dl_total_us",
                                         "end-to-end per-query latency (us)");
       handles.query_us = r.GetHistogram("dl_query_exec_us",
@@ -1702,6 +1800,9 @@ void DataLawyer::RecordDecision(const std::string& sql,
     h.range_hits->Increment(stats_.range_hits);
     h.plan_hits->Increment(stats_.plan_cache_hits);
     h.plan_misses->Increment(stats_.plan_cache_misses);
+    h.incr_hits->Increment(stats_.incremental_hits);
+    h.incr_fallbacks->Increment(stats_.incremental_fallbacks);
+    h.incr_rebuilds->Increment(stats_.incremental_rebuilds);
     h.total_us->Observe(stats_.total_ms() * 1000.0);
     h.query_us->Observe(stats_.query_exec_ms * 1000.0);
     h.log_gen_us->Observe(stats_.log_gen_ms * 1000.0);

@@ -199,6 +199,8 @@ class DataLawyer {
     std::vector<std::string> messages;  ///< violation messages (empty = ok)
     bool depends_on_increment = false;
     bool plan_cache_hit = false;  ///< ran from a cached physical plan
+    bool incremental_hit = false;  ///< verdict served from incremental state
+    bool incremental_fallback = false;  ///< state declined; full eval ran
     size_t index_probes = 0;
     size_t index_hits = 0;
     size_t range_probes = 0;
@@ -273,8 +275,15 @@ class DataLawyer {
   /// and the unified UNION statement — against a fresh policy catalog, and
   /// stamps the cache. Serial sections only (Prepare, or the head of
   /// ExecuteChecked when the stamp went stale); Lookup during the parallel
-  /// evaluation fan-out is read-only.
+  /// evaluation fan-out is read-only. When incremental evaluation is on,
+  /// also classifies each full policy statement and attaches maintenance
+  /// state to incrementalizable entries.
   void WarmPlanCache();
+
+  /// Serial head of ExecuteChecked: folds committed log growth into every
+  /// attached IncrementalState and rolls window edges to `ts`, before the
+  /// evaluation fan-out reads the states concurrently.
+  void AdvanceIncrementalStates(int64_t ts);
 
   Database* db_;
   std::unique_ptr<UsageLog> log_;
@@ -305,6 +314,13 @@ class DataLawyer {
   /// False until the first WarmPlanCache — the initial population does not
   /// count as an invalidation on dl_plan_cache_misses_total.
   bool plan_cache_warmed_ = false;
+  /// enable_incremental_eval && enable_plan_cache && !DL_DISABLE_INCREMENTAL
+  /// — resolved once per options change so the disabled path costs one
+  /// plain bool read per query (no getenv, no allocation).
+  bool incremental_enabled_ = false;
+  /// Per-active-policy classification from the last WarmPlanCache:
+  /// "incremental" or "full-only". Empty when the feature is off.
+  std::map<std::string, std::string> incremental_class_;
   /// Per-log-relation main-table row counts at the last WarmPlanCache.
   /// Costed plans embed cardinality-derived choices, so a large drift
   /// (table grown or shrunk 2x past a floor of 256 rows) forces a rewarm

@@ -65,6 +65,11 @@ std::string DecisionRecord::ToJson() const {
     out += ",\"prunes\":" + std::to_string(o.prunes);
     out += ",\"eval_us\":";
     AppendNumber(&out, o.eval_us);
+    if (!o.incremental.empty()) {
+      out += ",\"incremental\":\"";
+      AppendJsonEscaped(&out, o.incremental);
+      out += "\"";
+    }
     out += "}";
   }
   out += "],\"witnesses\":[";

@@ -31,6 +31,10 @@ struct PolicyOutcome {
   uint64_t evaluations = 0;  ///< statements run for this policy this query
   uint64_t prunes = 0;
   double eval_us = 0;
+  /// "hit" when the verdict came from incremental state, "fallback" when
+  /// the state declined and the full evaluation ran, empty when the
+  /// incremental path was never consulted (full-only plan or feature off).
+  std::string incremental;
 };
 
 /// The full, structured explanation of one enforcement verdict: what was

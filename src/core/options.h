@@ -80,6 +80,17 @@ struct DataLawyerOptions {
   /// append, invalidated by compaction deletes, rebuilt by RefreshIndexes.
   bool enable_ordered_log_indexes = true;
 
+  /// Maintain incremental per-policy evaluation state (see
+  /// policy/incremental.h): classifiable policy plans keep materialized
+  /// contribution/aggregate state folded from the committed log and answer
+  /// each query from state + the staged increment in O(delta), instead of
+  /// re-running the full statement over the whole log. Verdicts, messages,
+  /// and witnesses are byte-identical: any shape or value the maintenance
+  /// cannot mirror exactly falls back to the full evaluation.
+  /// DL_DISABLE_INCREMENTAL=1 forces the path off process-wide. Requires
+  /// enable_plan_cache (the state lives in cache entries).
+  bool enable_incremental_eval = true;
+
   /// Keep per-table/per-column statistics (row counts, NDVs, min/max) on
   /// the usage-log main relations and let the planner cost access paths
   /// (seq scan vs hash probe vs range scan) and join orders from estimated
@@ -161,6 +172,7 @@ struct DataLawyerOptions {
     options.enable_log_indexes = false;
     options.enable_ordered_log_indexes = false;
     options.enable_stats_costing = false;
+    options.enable_incremental_eval = false;
     options.strategy = EvalStrategy::kUnion;
     return options;
   }

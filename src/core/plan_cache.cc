@@ -1,8 +1,12 @@
 #include "core/plan_cache.h"
 
 #include "analysis/binder.h"
+#include "policy/incremental.h"
 
 namespace datalawyer {
+
+PlanCache::Entry::Entry() = default;
+PlanCache::Entry::~Entry() = default;
 
 void PlanCache::Warm(const SelectStmt& stmt, const CatalogView* catalog,
                      const Planner& planner) {

@@ -13,6 +13,8 @@
 
 namespace datalawyer {
 
+class IncrementalState;
+
 /// Per-policy physical-plan cache: every registered policy statement
 /// (full, guard, partial, and the unified UNION statement) is bound and
 /// planned once at Prepare time, then re-executed directly per user query,
@@ -35,8 +37,19 @@ namespace datalawyer {
 class PlanCache {
  public:
   struct Entry {
+    Entry();   // out-of-line: IncrementalState is incomplete here
+    ~Entry();
+    Entry(Entry&&) = default;
+    Entry& operator=(Entry&&) = default;
+
     std::unique_ptr<BoundQuery> bound;
     PhysicalPlan plan;
+    /// Incremental-evaluation state for this plan, or nullptr when the
+    /// statement classified full-only (or the feature is off). Owned here
+    /// so the existing Clear()-on-stamp-mismatch machinery is also the
+    /// incremental invalidation path: DDL, index-flag, and stats-drift
+    /// version bumps destroy the state with the plan it belongs to.
+    std::unique_ptr<IncrementalState> incremental;
   };
 
   /// Binds and plans `stmt` against `catalog`, storing the entry under
@@ -51,6 +64,21 @@ class PlanCache {
   const Entry* Lookup(const SelectStmt& stmt) const {
     auto it = entries_.find(&stmt);
     return it == entries_.end() ? nullptr : it->second.get();
+  }
+
+  /// Mutable entry access for the serial sections (warm-time classification
+  /// attaches IncrementalState to a just-warmed entry). Never call from the
+  /// evaluation fan-out.
+  Entry* MutableLookup(const SelectStmt& stmt) {
+    auto it = entries_.find(&stmt);
+    return it == entries_.end() ? nullptr : it->second.get();
+  }
+
+  /// Visits every cached entry. Serial sections only (the callback
+  /// typically advances incremental state).
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) {
+    for (auto& [stmt, entry] : entries_) fn(*entry);
   }
 
   void Clear() { entries_.clear(); }

@@ -57,6 +57,14 @@ struct ExecutionStats {
   /// fallback. In steady state, misses stay at 0.
   size_t plan_cache_hits = 0;
   size_t plan_cache_misses = 0;
+
+  /// Incremental-evaluation effectiveness: full policy statements answered
+  /// from maintained state + increment (hits), statements whose state
+  /// declined and fell back to the full evaluation (fallbacks), and full
+  /// state rebuilds forced by dependency invalidation (rebuilds).
+  size_t incremental_hits = 0;
+  size_t incremental_fallbacks = 0;
+  size_t incremental_rebuilds = 0;
   size_t logs_generated = 0;      ///< log relations whose f_i actually ran
   size_t logs_skipped_preemptively = 0;
   size_t log_rows_staged = 0;
@@ -91,6 +99,11 @@ struct PolicyStats {
   uint64_t rejections = 0;   ///< queries this policy rejected
   double eval_us = 0;        ///< cumulative per-statement evaluation time
                              ///< (sums across policies to policy_cpu_us)
+  uint64_t incremental_hits = 0;       ///< verdicts served from state
+  uint64_t incremental_fallbacks = 0;  ///< state declined, full eval ran
+  /// Plan classification at the last warm: "incremental", "full-only", or
+  /// "off" when the feature is disabled. Filled by PolicyReport.
+  std::string incremental_class;
 };
 
 }  // namespace datalawyer

@@ -1,0 +1,1090 @@
+#include "policy/incremental.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "analysis/eval.h"
+
+namespace datalawyer {
+namespace {
+
+/// Work caps: folding past this poisons the state (it can no longer stay
+/// current), overlay evaluation past this merely falls back for the query.
+constexpr size_t kFoldStepCap = 4'000'000;
+constexpr size_t kEvalStepCap = 1'000'000;
+
+constexpr int64_t kNoEnter = std::numeric_limits<int64_t>::min();
+constexpr int64_t kNoExpire = std::numeric_limits<int64_t>::max();
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = char(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Mirrors a comparison so the column lands on the left-hand side.
+const char* FlipComparison(const std::string& op) {
+  if (op == "<") return ">";
+  if (op == "<=") return ">=";
+  if (op == ">") return "<";
+  if (op == ">=") return "<=";
+  return "=";
+}
+
+bool IsComparisonOp(const std::string& op) {
+  return op == "=" || op == "<" || op == "<=" || op == ">" || op == ">=";
+}
+
+/// What a (sub)expression references, resolved through the binding.
+struct RefScan {
+  bool unknown = false;   ///< a column ref the binder did not slot
+  bool clock = false;     ///< references the synthesized clock
+  bool nonclock = false;  ///< references a foldable relation
+  int max_level = -1;     ///< deepest referenced fold level
+};
+
+RefScan ScanRefs(const Expr& expr, const BoundQuery& bq,
+                 const std::vector<bool>& is_clock_slot,
+                 const std::vector<int>& slot_level) {
+  RefScan out;
+  expr.Visit([&](const Expr& node) {
+    if (node.kind() != ExprKind::kColumnRef) return;
+    auto it = bq.column_slots.find(&node);
+    if (it == bq.column_slots.end()) {
+      out.unknown = true;
+      return;
+    }
+    size_t slot = it->second;
+    if (slot < is_clock_slot.size() && is_clock_slot[slot]) {
+      out.clock = true;
+      return;
+    }
+    int level = slot < slot_level.size() ? slot_level[slot] : -1;
+    if (level < 0) {
+      out.unknown = true;
+      return;
+    }
+    out.nonclock = true;
+    out.max_level = std::max(out.max_level, level);
+  });
+  return out;
+}
+
+}  // namespace
+
+bool IncrementalDisabledByEnv() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("DL_DISABLE_INCREMENTAL");
+    return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+  }();
+  return disabled;
+}
+
+std::unique_ptr<IncrementalState> IncrementalState::Build(
+    const SelectStmt& stmt, const BoundQuery& bq, const UsageLog& log,
+    const CatalogView* statics) {
+  // Shape gates: one SELECT, literal select items (verdict = emptiness,
+  // message = the first literal), nothing that reorders or truncates.
+  if (stmt.union_next != nullptr) return nullptr;
+  if (!stmt.distinct_on.empty() || !stmt.order_by.empty()) return nullptr;
+  if (stmt.limit.has_value()) return nullptr;
+  if (stmt.items.empty() || bq.stmt != &stmt) return nullptr;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr == nullptr || item.expr->kind() != ExprKind::kLiteral) {
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<IncrementalState> st(new IncrementalState());
+  st->bq_ = &bq;
+  st->total_slots_ = bq.total_slots;
+  const Value& lit =
+      static_cast<const LiteralExpr&>(*stmt.items[0].expr).value;
+  // Render exactly as the full path renders a violating row's first column.
+  st->message_ = lit.is_string() ? lit.AsString() : lit.ToString();
+
+  // Relations: log relations fold from main + overlay from delta, statics
+  // fold only, the clock becomes prefilled slots. Anything else (virtual
+  // dl_* snapshots, subqueries) is full-only.
+  const std::string clock_name = Lower(UsageLog::ClockRelationName());
+  size_t log_count = 0;
+  for (size_t i = 0; i < bq.relations.size(); ++i) {
+    const BoundRelation& rel = bq.relations[i];
+    if (rel.subquery != nullptr) return nullptr;
+    std::string name = Lower(rel.table_name);
+    if (name.empty()) return nullptr;
+    size_t offset = bq.slot_offsets[i];
+    size_t arity = rel.schema.NumColumns();
+    if (name == clock_name) {
+      for (size_t s = 0; s < arity; ++s) st->clock_slots_.push_back(offset + s);
+      continue;
+    }
+    RelationState r;
+    r.name = name;
+    r.slot_offset = offset;
+    r.arity = arity;
+    if (log.IsLogRelation(name)) {
+      r.is_log = true;
+      r.main = log.main_table(name);
+      r.delta = log.delta_table(name);
+      if (r.main == nullptr || r.delta == nullptr) return nullptr;
+      ++log_count;
+    } else {
+      const RelationData* found =
+          statics != nullptr ? statics->Find(name) : nullptr;
+      r.main = dynamic_cast<const Table*>(found);
+      if (r.main == nullptr) return nullptr;
+    }
+    st->rels_.push_back(std::move(r));
+  }
+  if (log_count == 0) return nullptr;
+  st->level_conjuncts_.resize(st->rels_.size());
+  st->overlay_conjuncts_.resize(st->rels_.size());
+  st->eq_probes_.resize(st->rels_.size());
+  st->window_bounds_.resize(st->rels_.size());
+
+  std::vector<int> slot_level(bq.total_slots, -1);
+  for (size_t j = 0; j < st->rels_.size(); ++j) {
+    for (size_t s = 0; s < st->rels_[j].arity; ++s) {
+      slot_level[st->rels_[j].slot_offset + s] = int(j);
+    }
+  }
+  std::vector<bool> is_clock_slot(bq.total_slots, false);
+  for (size_t s : st->clock_slots_) is_clock_slot[s] = true;
+
+  // WHERE conjuncts: clock-free ones are evaluated during the fold (at
+  // their deepest referenced level); clock-referencing ones must be
+  // slope-one window bounds `col OP f(clock)`.
+  std::vector<const Expr*> conjuncts;
+  if (stmt.where != nullptr) conjuncts = ConjunctPtrs(*stmt.where);
+  for (const Expr* c : conjuncts) {
+    RefScan refs = ScanRefs(*c, bq, is_clock_slot, slot_level);
+    if (refs.unknown) return nullptr;
+    if (!refs.clock) {
+      if (refs.nonclock) {
+        st->level_conjuncts_[refs.max_level].push_back(c);
+        st->overlay_conjuncts_[refs.max_level].push_back(c);
+        // Hash-probe candidate: `col = other` where `col` lives at this
+        // level and `other` is fully bound by outer levels or constants.
+        if (c->kind() == ExprKind::kBinary) {
+          const auto& eq = static_cast<const BinaryExpr&>(*c);
+          if (eq.op == "=") {
+            for (bool col_on_left : {true, false}) {
+              const Expr* side = col_on_left ? eq.lhs.get() : eq.rhs.get();
+              const Expr* other = col_on_left ? eq.rhs.get() : eq.lhs.get();
+              if (side->kind() != ExprKind::kColumnRef) continue;
+              auto sit = bq.column_slots.find(side);
+              if (sit == bq.column_slots.end()) continue;
+              size_t slot = sit->second;
+              const RelationState& rel = st->rels_[refs.max_level];
+              if (slot < rel.slot_offset ||
+                  slot >= rel.slot_offset + rel.arity) {
+                continue;
+              }
+              RefScan oref = ScanRefs(*other, bq, is_clock_slot, slot_level);
+              if (oref.unknown || oref.clock ||
+                  oref.max_level >= refs.max_level) {
+                continue;
+              }
+              st->eq_probes_[refs.max_level].push_back(
+                  EqProbe{slot - rel.slot_offset, other});
+              break;
+            }
+          }
+        }
+      } else {
+        st->constant_conjuncts_.push_back(c);
+      }
+      continue;
+    }
+    if (c->kind() != ExprKind::kBinary) return nullptr;
+    const auto& bin = static_cast<const BinaryExpr&>(*c);
+    if (!IsComparisonOp(bin.op)) return nullptr;
+    RefScan lhs = ScanRefs(*bin.lhs, bq, is_clock_slot, slot_level);
+    RefScan rhs = ScanRefs(*bin.rhs, bq, is_clock_slot, slot_level);
+    if (lhs.unknown || rhs.unknown) return nullptr;
+    const Expr* col = nullptr;
+    const Expr* clk = nullptr;
+    std::string op = bin.op;
+    if (lhs.nonclock && !lhs.clock && rhs.clock && !rhs.nonclock) {
+      col = bin.lhs.get();
+      clk = bin.rhs.get();
+    } else if (rhs.nonclock && !rhs.clock && lhs.clock && !lhs.nonclock) {
+      col = bin.rhs.get();
+      clk = bin.lhs.get();
+      op = FlipComparison(op);
+    } else {
+      return nullptr;
+    }
+    if (col->kind() != ExprKind::kColumnRef) return nullptr;
+    auto slot_it = bq.column_slots.find(col);
+    if (slot_it == bq.column_slots.end()) return nullptr;
+
+    // The clock side must be affine with slope exactly 1: evaluate it at
+    // clock = 0 and clock = 1 and require integer results one apart.
+    Row scratch(bq.total_slots, Value::Null());
+    EvalContext ctx{&bq, &scratch, nullptr};
+    for (size_t s : st->clock_slots_) scratch[s] = Value(int64_t(0));
+    Result<Value> at0 = Eval(*clk, ctx);
+    for (size_t s : st->clock_slots_) scratch[s] = Value(int64_t(1));
+    Result<Value> at1 = Eval(*clk, ctx);
+    if (!at0.ok() || !at1.ok()) return nullptr;
+    if (!(*at0).is_int64() || !(*at1).is_int64()) return nullptr;
+    if ((*at1).AsInt64() - (*at0).AsInt64() != 1) return nullptr;
+
+    WindowConjunct w;
+    w.expr = c;
+    w.slot = slot_it->second;
+    w.base = (*at0).AsInt64();
+    if (op == ">") {
+      w.has_expire = true;  // ts > now + b  <=>  now < ts - b
+    } else if (op == ">=") {
+      w.has_expire = true;
+      w.expire_adj = 1;
+    } else if (op == "<") {
+      w.has_enter = true;
+      w.enter_adj = 1;
+    } else if (op == "<=") {
+      w.has_enter = true;
+    } else {  // "="
+      w.has_enter = true;
+      w.has_expire = true;
+      w.expire_adj = 1;
+    }
+    st->windows_.push_back(w);
+    int level = slot_level[w.slot];
+    if (level < 0) return nullptr;
+    st->overlay_conjuncts_[level].push_back(c);
+    WindowBound wb;
+    wb.col = w.slot - st->rels_[level].slot_offset;
+    wb.base = w.base;
+    wb.op = op == ">"    ? WindowOp::kGt
+            : op == ">=" ? WindowOp::kGe
+            : op == "<"  ? WindowOp::kLt
+            : op == "<=" ? WindowOp::kLe
+                         : WindowOp::kEq;
+    st->window_bounds_[level].push_back(wb);
+  }
+
+  // GROUP BY: plain column references on non-clock slots.
+  for (const ExprPtr& g : stmt.group_by) {
+    if (g->kind() != ExprKind::kColumnRef) return nullptr;
+    auto it = bq.column_slots.find(g.get());
+    if (it == bq.column_slots.end()) return nullptr;
+    if (is_clock_slot[it->second]) return nullptr;
+    st->group_slots_.push_back(it->second);
+  }
+
+  // HAVING: every non-aggregate column reference must land on a grouped
+  // slot (the synthesized representative row carries only those); the
+  // aggregate call sites themselves are validated below.
+  st->exists_only_ = stmt.having == nullptr;
+  if (st->exists_only_) {
+    if (!bq.aggregates.empty()) return nullptr;
+  } else {
+    if (!bq.is_grouped) return nullptr;
+    std::function<bool(const Expr&)> grouped_refs_only =
+        [&](const Expr& e) -> bool {
+      switch (e.kind()) {
+        case ExprKind::kLiteral:
+          return true;
+        case ExprKind::kColumnRef: {
+          auto it = bq.column_slots.find(&e);
+          if (it == bq.column_slots.end()) return false;
+          return std::find(st->group_slots_.begin(), st->group_slots_.end(),
+                           it->second) != st->group_slots_.end();
+        }
+        case ExprKind::kFuncCall: {
+          const auto& f = static_cast<const FuncCallExpr&>(e);
+          if (f.IsAggregate()) return true;  // args checked per AggSpec
+          for (const ExprPtr& a : f.args) {
+            if (!grouped_refs_only(*a)) return false;
+          }
+          return true;
+        }
+        case ExprKind::kBinary: {
+          const auto& b = static_cast<const BinaryExpr&>(e);
+          return grouped_refs_only(*b.lhs) && grouped_refs_only(*b.rhs);
+        }
+        case ExprKind::kUnary:
+          return grouped_refs_only(
+              *static_cast<const UnaryExpr&>(e).operand);
+        case ExprKind::kIsNull:
+          return grouped_refs_only(
+              *static_cast<const IsNullExpr&>(e).operand);
+        case ExprKind::kLike:
+          return grouped_refs_only(
+              *static_cast<const LikeExpr&>(e).operand);
+        case ExprKind::kInList: {
+          const auto& in = static_cast<const InListExpr&>(e);
+          if (!grouped_refs_only(*in.operand)) return false;
+          for (const ExprPtr& item : in.items) {
+            if (!grouped_refs_only(*item)) return false;
+          }
+          return true;
+        }
+        case ExprKind::kStar:
+          return false;
+      }
+      return false;
+    };
+    if (!grouped_refs_only(*stmt.having)) return nullptr;
+  }
+
+  // Aggregates: COUNT(*)/COUNT/SUM/MIN/MAX (DISTINCT included); AVG has no
+  // removable accumulator that reproduces the executor's double math.
+  for (const FuncCallExpr* f : bq.aggregates) {
+    AggSpec spec;
+    spec.site = f;
+    spec.distinct = f->distinct;
+    if (f->name == "count") {
+      if (f->star) {
+        if (f->distinct) return nullptr;
+        spec.kind = AggKind::kCountStar;
+      } else {
+        spec.kind = AggKind::kCount;
+      }
+    } else if (f->name == "sum") {
+      spec.kind = AggKind::kSum;
+    } else if (f->name == "min") {
+      spec.kind = AggKind::kMin;
+    } else if (f->name == "max") {
+      spec.kind = AggKind::kMax;
+    } else {
+      return nullptr;
+    }
+    if (spec.kind != AggKind::kCountStar) {
+      if (f->args.size() != 1 || f->args[0] == nullptr) return nullptr;
+      spec.arg = f->args[0].get();
+      RefScan refs = ScanRefs(*spec.arg, bq, is_clock_slot, slot_level);
+      if (refs.unknown || refs.clock) return nullptr;
+    }
+    st->aggs_.push_back(spec);
+  }
+
+  // Relation-free conjuncts never change value: evaluate them once. An
+  // error means the shape is not safely classifiable; FALSE/NULL means the
+  // statement can never produce input rows.
+  {
+    Row scratch(bq.total_slots, Value::Null());
+    EvalContext ctx{&bq, &scratch, nullptr};
+    for (const Expr* c : st->constant_conjuncts_) {
+      Result<bool> r = EvalPredicate(*c, ctx);
+      if (!r.ok()) return nullptr;
+      if (!*r) {
+        st->constant_false_ = true;
+        break;
+      }
+    }
+  }
+
+  for (RelationState& r : st->rels_) {
+    r.folded_rows = 0;
+    r.folded_epoch = r.main->mutation_epoch();
+  }
+  return st;
+}
+
+void IncrementalState::ClearState() {
+  groups_.clear();
+  pending_.clear();
+  active_.clear();
+  total_active_ = 0;
+  for (RelationState& r : rels_) {
+    r.folded_rows = 0;
+    r.folded_epoch = r.main->mutation_epoch();
+  }
+  built_ = false;
+  ready_ = false;
+}
+
+void IncrementalState::Advance(int64_t now, size_t* rebuilds) {
+  ++advance_count_;
+  if (poisoned()) {
+    ready_ = false;
+    return;
+  }
+  bool invalid = ready_ && now < current_now_;
+  for (const RelationState& r : rels_) {
+    if (r.main->mutation_epoch() != r.folded_epoch ||
+        r.main->NumRows() < r.folded_rows) {
+      invalid = true;
+      break;
+    }
+  }
+  if (invalid) {
+    ClearState();
+    // Exponential-backoff cooldown: dependencies invalidated in quick
+    // succession (steady-state compaction deleting rows every query) would
+    // otherwise trigger a full rebuild per query — strictly worse than the
+    // plain full evaluation the fallback already provides.
+    if (advance_count_ - last_invalid_at_ <= 4) {
+      backoff_ = std::min(backoff_ + 1, 6);
+    } else {
+      backoff_ = 0;
+    }
+    last_invalid_at_ = advance_count_;
+    cooldown_until_ = advance_count_ + ((uint64_t(1) << backoff_) - 1);
+  }
+  if (!built_ && advance_count_ < cooldown_until_) {
+    ready_ = false;
+    return;
+  }
+  bool full_build = !built_;
+  bool growth = false;
+  for (const RelationState& r : rels_) {
+    if (r.folded_rows < r.main->NumRows()) growth = true;
+  }
+  if (growth) {
+    fold_steps_ = 0;
+    if (!FoldGrowth(now)) {
+      Poison();
+      ready_ = false;
+      return;
+    }
+    if (poisoned()) {  // an Apply hit a non-mirrorable value
+      ready_ = false;
+      return;
+    }
+  }
+  for (RelationState& r : rels_) {
+    r.folded_rows = r.main->NumRows();
+    r.folded_epoch = r.main->mutation_epoch();
+  }
+  if (full_build && ever_built_ && rebuilds != nullptr) ++*rebuilds;
+  built_ = true;
+  ever_built_ = true;
+  ActivatePending(now);
+  ExpireActive(now);
+  if (poisoned()) {
+    ready_ = false;
+    return;
+  }
+  current_now_ = now;
+  ready_ = true;
+}
+
+bool IncrementalState::FoldGrowth(int64_t now) {
+  if (constant_false_) return true;
+  Row scratch(total_slots_, Value::Null());
+  for (size_t t = 0; t < rels_.size(); ++t) {
+    if (rels_[t].folded_rows >= rels_[t].main->NumRows()) continue;
+    if (!FoldTerm(0, t, now, &scratch)) return false;
+  }
+  return true;
+}
+
+bool IncrementalState::ProbePositions(size_t level, bool fold_mode,
+                                      int64_t now, Row* scratch,
+                                      std::vector<size_t>* out) const {
+  const RelationState& r = rels_[level];
+  const Table* table = r.main;
+  EvalContext ctx{bq_, scratch, nullptr};
+  bool answered = false;
+  // Hash probes first (typically the most selective). An evaluation error
+  // just skips the probe: the plain scan re-raises it through the conjunct.
+  for (const EqProbe& p : eq_probes_[level]) {
+    Result<Value> v = Eval(*p.other, ctx);
+    if (!v.ok()) continue;
+    if ((*v).is_null()) {
+      // `col = NULL` never holds; the conjunct rejects every row.
+      out->clear();
+      return true;
+    }
+    // The hash index equates structurally, SQL `=` coerces numerics: probe
+    // every structural representation a numerically-equal stored value can
+    // take, so narrowing never drops a row the conjunct would keep.
+    std::vector<Value> variants;
+    variants.push_back(*v);
+    if ((*v).is_int64()) {
+      variants.push_back(Value(double((*v).AsInt64())));
+    } else if ((*v).is_double()) {
+      double d = (*v).AsDouble();
+      if (std::isfinite(d) && d == std::nearbyint(d) &&
+          d >= -9223372036854774784.0 && d <= 9223372036854774784.0) {
+        variants.push_back(Value(int64_t(d)));
+      }
+    }
+    for (size_t k = variants.size(); k-- > 0;) {
+      // Signed-zero doubles are SQL-equal but structurally distinct.
+      if (variants[k].is_double() && variants[k].AsDouble() == 0.0) {
+        variants.push_back(Value(-variants[k].AsDouble()));
+      }
+    }
+    std::vector<size_t> hits;
+    bool usable = true;
+    for (const Value& variant : variants) {
+      if (!table->IndexLookup(p.col, variant, &hits)) {
+        usable = false;
+        break;
+      }
+    }
+    if (!usable) continue;
+    if (!answered || hits.size() < out->size()) *out = std::move(hits);
+    answered = true;
+  }
+  if (answered) {
+    std::sort(out->begin(), out->end());
+    return true;
+  }
+  // Window-derived range probes: at clock `now` the bound compares the
+  // column against base + now. Expire-type lower bounds also hold during
+  // folds — the window only moves forward, so a row below the bound can
+  // never satisfy its conjunct at this or any later clock. Enter-type
+  // upper bounds would drop future (pending_) rows, so eval-mode only.
+  int64_t bound_val = 0;
+  for (const WindowBound& w : window_bounds_[level]) {
+    if (__builtin_add_overflow(now, w.base, &bound_val)) continue;
+    Value bound(bound_val);
+    const Value* lo = nullptr;
+    bool lo_inc = false;
+    const Value* hi = nullptr;
+    bool hi_inc = false;
+    switch (w.op) {
+      case WindowOp::kGt:
+        lo = &bound;
+        break;
+      case WindowOp::kGe:
+        lo = &bound;
+        lo_inc = true;
+        break;
+      case WindowOp::kLt:
+        if (fold_mode) continue;
+        hi = &bound;
+        break;
+      case WindowOp::kLe:
+        if (fold_mode) continue;
+        hi = &bound;
+        hi_inc = true;
+        break;
+      case WindowOp::kEq:
+        lo = &bound;
+        lo_inc = true;
+        if (!fold_mode) {
+          hi = &bound;
+          hi_inc = true;
+        }
+        break;
+    }
+    std::vector<size_t> hits;
+    if (!table->RangeLookup(w.col, lo, lo_inc, hi, hi_inc, &hits)) continue;
+    if (!answered || hits.size() < out->size()) *out = std::move(hits);
+    answered = true;
+  }
+  return answered;
+}
+
+bool IncrementalState::FoldTerm(size_t level, size_t term, int64_t now,
+                                Row* scratch) {
+  if (level == rels_.size()) return EmitContribution(*scratch, now);
+  const RelationState& r = rels_[level];
+  // Delta-join decomposition: term t pairs relation t's new suffix with
+  // old rows before it and full tables after it, so the union over terms
+  // enumerates exactly the new tuples of the join, each once.
+  size_t begin = 0;
+  size_t end = r.main->NumRows();
+  if (level < term) {
+    end = r.folded_rows;
+  } else if (level == term) {
+    begin = r.folded_rows;
+  }
+  EvalContext ctx{bq_, scratch, nullptr};
+  auto visit = [&](size_t i) -> bool {
+    if (++fold_steps_ > kFoldStepCap) return false;
+    const Row& row = r.main->RowAt(i);
+    size_t arity = std::min(r.arity, row.size());
+    for (size_t c = 0; c < arity; ++c) {
+      (*scratch)[r.slot_offset + c] = row[c];
+    }
+    bool pass = true;
+    for (const Expr* e : level_conjuncts_[level]) {
+      Result<bool> pr = EvalPredicate(*e, ctx);
+      if (!pr.ok()) return false;
+      if (!*pr) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) return true;
+    return FoldTerm(level + 1, term, now, scratch);
+  };
+  std::vector<size_t> positions;
+  if (ProbePositions(level, /*fold_mode=*/true, now, scratch, &positions)) {
+    for (size_t i : positions) {
+      if (i < begin || i >= end) continue;
+      if (!visit(i)) return false;
+    }
+    return true;
+  }
+  for (size_t i = begin; i < end; ++i) {
+    if (!visit(i)) return false;
+  }
+  return true;
+}
+
+bool IncrementalState::EmitContribution(const Row& scratch, int64_t now) {
+  int64_t enter_at = kNoEnter;
+  int64_t expire_at = kNoExpire;
+  for (const WindowConjunct& w : windows_) {
+    const Value& v = scratch[w.slot];
+    if (v.is_null()) return true;  // NULL comparisons never hold
+    if (!v.is_int64()) return false;  // non-integer timestamp: poison
+    int64_t ts = v.AsInt64();
+    if (w.has_enter) {
+      enter_at = std::max(enter_at, ts - w.base + w.enter_adj);
+    }
+    if (w.has_expire) {
+      expire_at = std::min(expire_at, ts - w.base + w.expire_adj);
+    }
+  }
+  if (enter_at >= expire_at) return true;  // empty window
+  // Evaluation only ever happens at observed query clocks, and the clock
+  // is monotonic: a window that already closed can never become active.
+  if (expire_at <= now) return true;
+
+  Contribution c;
+  c.enter_at = enter_at;
+  c.expire_at = expire_at;
+  if (!exists_only_) {
+    c.key.reserve(group_slots_.size());
+    for (size_t s : group_slots_) c.key.push_back(scratch[s]);
+    c.args.reserve(aggs_.size());
+    EvalContext ctx{bq_, &scratch, nullptr};
+    for (const AggSpec& a : aggs_) {
+      if (a.kind == AggKind::kCountStar) {
+        c.args.push_back(Value::Null());
+        continue;
+      }
+      Result<Value> v = Eval(*a.arg, ctx);
+      if (!v.ok()) return false;
+      // SUM mixes int and double accumulation in the executor; mirror only
+      // the pure-integer case and fall back on anything else.
+      if (a.kind == AggKind::kSum && !(*v).is_null() && !(*v).is_int64()) {
+        return false;
+      }
+      c.args.push_back(std::move(*v));
+    }
+  }
+  if (enter_at > now) {
+    pending_.emplace(enter_at, std::move(c));
+    return true;
+  }
+  ApplyContribution(c);
+  if (expire_at < kNoExpire) active_.emplace(expire_at, std::move(c));
+  return true;
+}
+
+void IncrementalState::ApplyContribution(const Contribution& c) {
+  ++total_active_;
+  if (exists_only_) return;
+  GroupState& g = groups_[c.key];
+  if (g.aggs.size() != aggs_.size()) g.aggs.resize(aggs_.size());
+  ++g.active;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (!ApplyAgg(aggs_[i], c.args[i], &g.aggs[i])) {
+      Poison();
+      return;
+    }
+  }
+}
+
+bool IncrementalState::ApplyAgg(const AggSpec& spec, const Value& v,
+                                AggState* s) {
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+      ++s->count;
+      return true;
+    case AggKind::kCount:
+      if (v.is_null()) return true;
+      if (spec.distinct) {
+        ++s->distinct[v];
+      } else {
+        ++s->count;
+      }
+      return true;
+    case AggKind::kSum:
+      if (v.is_null()) return true;
+      if (spec.distinct) {
+        if (++s->distinct[v] == 1) s->sum_int += v.AsInt64();
+      } else {
+        ++s->count;
+        s->sum_int += v.AsInt64();
+      }
+      return true;
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      if (v.is_null()) return true;
+      if (v.is_double() && !std::isfinite(v.AsDouble())) return false;
+      // The executor keeps the first-seen value among order-equal ones;
+      // with deletions that choice is order-dependent, so a tie between
+      // structurally different values (1 vs 1.0) is not mirrorable.
+      auto range = s->ordered.equal_range(v);
+      if (range.first != range.second && *range.first != v) return false;
+      s->ordered.insert(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+void IncrementalState::UnapplyContribution(const Contribution& c) {
+  --total_active_;
+  if (exists_only_) return;
+  auto it = groups_.find(c.key);
+  if (it == groups_.end()) {
+    Poison();
+    return;
+  }
+  GroupState& g = it->second;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& spec = aggs_[i];
+    const Value& v = c.args[i];
+    AggState& s = g.aggs[i];
+    switch (spec.kind) {
+      case AggKind::kCountStar:
+        --s.count;
+        break;
+      case AggKind::kCount:
+      case AggKind::kSum: {
+        if (v.is_null()) break;
+        if (spec.distinct) {
+          auto dit = s.distinct.find(v);
+          if (dit == s.distinct.end()) {
+            Poison();
+            return;
+          }
+          if (--dit->second == 0) {
+            if (spec.kind == AggKind::kSum) s.sum_int -= v.AsInt64();
+            s.distinct.erase(dit);
+          }
+        } else {
+          --s.count;
+          if (spec.kind == AggKind::kSum) s.sum_int -= v.AsInt64();
+        }
+        break;
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        if (v.is_null()) break;
+        auto oit = s.ordered.find(v);
+        if (oit == s.ordered.end()) {
+          Poison();
+          return;
+        }
+        s.ordered.erase(oit);
+        break;
+      }
+    }
+  }
+  if (--g.active == 0) groups_.erase(it);
+}
+
+void IncrementalState::ActivatePending(int64_t now) {
+  while (!pending_.empty() && pending_.begin()->first <= now) {
+    Contribution c = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    if (c.expire_at <= now) continue;  // window passed between queries
+    ApplyContribution(c);
+    if (poisoned()) return;
+    if (c.expire_at < kNoExpire) active_.emplace(c.expire_at, std::move(c));
+  }
+}
+
+void IncrementalState::ExpireActive(int64_t now) {
+  while (!active_.empty() && active_.begin()->first <= now) {
+    UnapplyContribution(active_.begin()->second);
+    if (poisoned()) return;
+    active_.erase(active_.begin());
+  }
+}
+
+IncrementalState::Verdict IncrementalState::Evaluate(int64_t now) const {
+  Verdict out;
+  if (poisoned() || !ready_ || now != current_now_) return out;
+
+  bool any_delta = false;
+  for (const RelationState& r : rels_) {
+    if (r.delta != nullptr && r.delta->NumRows() > 0) any_delta = true;
+  }
+
+  bool any_tuple = false;
+  std::unordered_map<Row, OverlayGroup, RowHash> overlay;
+  if (any_delta && !constant_false_) {
+    Row scratch(total_slots_, Value::Null());
+    for (size_t s : clock_slots_) scratch[s] = Value(now);
+    size_t steps = 0;
+    for (size_t t = 0; t < rels_.size(); ++t) {
+      if (rels_[t].delta == nullptr || rels_[t].delta->NumRows() == 0) {
+        continue;
+      }
+      if (!OverlayTerm(0, t, now, &scratch,
+                       exists_only_ ? nullptr : &overlay, &any_tuple,
+                       &steps)) {
+        return out;  // cap exceeded (fallback) or error (poisoned)
+      }
+    }
+  }
+
+  if (exists_only_) {
+    out.supported = true;
+    out.violated = total_active_ > 0 || any_tuple;
+    return out;
+  }
+
+  bool violated = false;
+  for (const auto& [key, og] : overlay) {
+    auto it = groups_.find(key);
+    const GroupState* sg = it == groups_.end() ? nullptr : &it->second;
+    if (!CheckGroup(key, sg, &og, &violated)) return out;
+  }
+  for (const auto& [key, sg] : groups_) {
+    if (overlay.count(key) > 0) continue;
+    if (!CheckGroup(key, &sg, nullptr, &violated)) return out;
+  }
+  if (groups_.empty() && overlay.empty() && bq_->stmt->group_by.empty()) {
+    // ProjectGrouped synthesizes one empty global group: COUNT -> 0, the
+    // other aggregates -> NULL, evaluated against an all-NULL row.
+    if (!CheckGroup(Row(), nullptr, nullptr, &violated)) return out;
+  }
+  out.supported = true;
+  out.violated = violated;
+  return out;
+}
+
+bool IncrementalState::OverlayTerm(
+    size_t level, size_t term, int64_t now, Row* scratch,
+    std::unordered_map<Row, OverlayGroup, RowHash>* groups, bool* any_tuple,
+    size_t* steps) const {
+  if (level == rels_.size()) {
+    if (!AccumulateOverlay(*scratch, groups, any_tuple)) {
+      Poison();
+      return false;
+    }
+    return true;
+  }
+  const RelationState& r = rels_[level];
+  EvalContext ctx{bq_, scratch, nullptr};
+  auto visit = [&](const Table* table, size_t i) -> bool {
+    if (++*steps > kEvalStepCap) return false;
+    const Row& row = table->RowAt(i);
+    size_t arity = std::min(r.arity, row.size());
+    for (size_t c = 0; c < arity; ++c) {
+      (*scratch)[r.slot_offset + c] = row[c];
+    }
+    bool pass = true;
+    for (const Expr* e : overlay_conjuncts_[level]) {
+      Result<bool> pr = EvalPredicate(*e, ctx);
+      if (!pr.ok()) {
+        Poison();
+        return false;
+      }
+      if (!*pr) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) return true;
+    return OverlayTerm(level + 1, term, now, scratch, groups, any_tuple,
+                       steps);
+  };
+  // The main side can answer through an index probe (all conjuncts still
+  // re-apply); the delta side is the small staged increment — plain scan.
+  auto scan_main = [&]() -> bool {
+    std::vector<size_t> positions;
+    if (ProbePositions(level, /*fold_mode=*/false, now, scratch,
+                       &positions)) {
+      for (size_t i : positions) {
+        if (!visit(r.main, i)) return false;
+      }
+      return true;
+    }
+    size_t n = r.main->NumRows();
+    for (size_t i = 0; i < n; ++i) {
+      if (!visit(r.main, i)) return false;
+    }
+    return true;
+  };
+  auto scan_delta = [&]() -> bool {
+    if (r.delta == nullptr) return true;
+    size_t n = r.delta->NumRows();
+    for (size_t i = 0; i < n; ++i) {
+      if (!visit(r.delta, i)) return false;
+    }
+    return true;
+  };
+  // Same decomposition as the fold, with "old" = the committed main and
+  // "new" = the staged delta: term t pairs relation t's delta with mains
+  // before it and main + delta after it.
+  if (level < term) return scan_main();
+  if (level == term) return scan_delta();
+  if (!scan_main()) return false;
+  return scan_delta();
+}
+
+bool IncrementalState::AccumulateOverlay(
+    const Row& scratch, std::unordered_map<Row, OverlayGroup, RowHash>* groups,
+    bool* any_tuple) const {
+  *any_tuple = true;
+  if (groups == nullptr) return true;  // exists-only: existence suffices
+  Row key;
+  key.reserve(group_slots_.size());
+  for (size_t s : group_slots_) key.push_back(scratch[s]);
+  OverlayGroup& og = (*groups)[std::move(key)];
+  if (og.aggs.size() != aggs_.size()) og.aggs.resize(aggs_.size());
+  ++og.hits;
+  EvalContext ctx{bq_, &scratch, nullptr};
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& a = aggs_[i];
+    OverlayAgg& s = og.aggs[i];
+    if (a.kind == AggKind::kCountStar) {
+      ++s.count;
+      continue;
+    }
+    Result<Value> vr = Eval(*a.arg, ctx);
+    if (!vr.ok()) return false;
+    Value v = std::move(*vr);
+    if (v.is_null()) continue;
+    switch (a.kind) {
+      case AggKind::kCount:
+        if (a.distinct) {
+          ++s.distinct[v];
+        } else {
+          ++s.count;
+        }
+        break;
+      case AggKind::kSum:
+        if (!v.is_int64()) return false;
+        if (a.distinct) {
+          if (++s.distinct[v] == 1) s.sum_int += v.AsInt64();
+        } else {
+          ++s.count;
+          s.sum_int += v.AsInt64();
+        }
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        if (v.is_double() && !std::isfinite(v.AsDouble())) return false;
+        bool want_min = a.kind == AggKind::kMin;
+        bool& has = want_min ? s.has_min : s.has_max;
+        Value& cur = want_min ? s.min : s.max;
+        if (!has) {
+          cur = std::move(v);
+          has = true;
+          break;
+        }
+        bool better = want_min ? (v < cur) : (cur < v);
+        bool worse = want_min ? (cur < v) : (v < cur);
+        if (!better && !worse && cur != v) return false;  // structural tie
+        if (better) cur = std::move(v);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+bool IncrementalState::MergedAggValue(size_t i, const AggState* s,
+                                      const OverlayAgg* o, Value* out) const {
+  const AggSpec& spec = aggs_[i];
+  int64_t count = (s != nullptr ? s->count : 0) + (o != nullptr ? o->count : 0);
+  int64_t distinct_total = s != nullptr ? int64_t(s->distinct.size()) : 0;
+  if (o != nullptr) {
+    for (const auto& [k, n] : o->distinct) {
+      if (s == nullptr || s->distinct.count(k) == 0) ++distinct_total;
+    }
+  }
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+      *out = Value(count);
+      return true;
+    case AggKind::kCount:
+      *out = Value(spec.distinct ? distinct_total : count);
+      return true;
+    case AggKind::kSum: {
+      bool saw_any = spec.distinct ? distinct_total > 0 : count > 0;
+      if (!saw_any) {
+        *out = Value::Null();
+        return true;
+      }
+      int64_t sum = s != nullptr ? s->sum_int : 0;
+      if (spec.distinct) {
+        if (o != nullptr) {
+          for (const auto& [k, n] : o->distinct) {
+            if (s == nullptr || s->distinct.count(k) == 0) sum += k.AsInt64();
+          }
+        }
+      } else if (o != nullptr) {
+        sum += o->sum_int;
+      }
+      *out = Value(sum);
+      return true;
+    }
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      bool want_min = spec.kind == AggKind::kMin;
+      bool have = false;
+      Value best;
+      if (s != nullptr && !s->ordered.empty()) {
+        best = want_min ? *s->ordered.begin() : *s->ordered.rbegin();
+        have = true;
+      }
+      const Value* ov = nullptr;
+      if (o != nullptr) {
+        if (want_min && o->has_min) ov = &o->min;
+        if (!want_min && o->has_max) ov = &o->max;
+      }
+      if (ov != nullptr) {
+        if (!have) {
+          best = *ov;
+          have = true;
+        } else {
+          bool better = want_min ? (*ov < best) : (best < *ov);
+          bool worse = want_min ? (best < *ov) : (*ov < best);
+          if (!better && !worse && best != *ov) return false;
+          if (better) best = *ov;
+        }
+      }
+      *out = have ? best : Value::Null();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IncrementalState::CheckGroup(const Row& key, const GroupState* s,
+                                  const OverlayGroup* o,
+                                  bool* violated) const {
+  std::unordered_map<const Expr*, Value> agg_values;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggState* as =
+        s != nullptr && !s->aggs.empty() ? &s->aggs[i] : nullptr;
+    const OverlayAgg* oa = o != nullptr ? &o->aggs[i] : nullptr;
+    Value v;
+    if (!MergedAggValue(i, as, oa, &v)) {
+      Poison();
+      return false;
+    }
+    agg_values[aggs_[i].site] = std::move(v);
+  }
+  Row representative(total_slots_, Value::Null());
+  for (size_t i = 0; i < group_slots_.size() && i < key.size(); ++i) {
+    representative[group_slots_[i]] = key[i];
+  }
+  EvalContext ctx{bq_, &representative, &agg_values};
+  Result<bool> pr = EvalPredicate(*bq_->stmt->having, ctx);
+  if (!pr.ok()) {
+    Poison();
+    return false;
+  }
+  if (*pr) *violated = true;
+  return true;
+}
+
+}  // namespace datalawyer

@@ -171,6 +171,12 @@ class Table : public RelationData {
                                                                  : nullptr;
   }
 
+  /// Monotonic counter bumped by every deletion (RetainOnly / RemoveIds /
+  /// Clear); appends leave it unchanged. Lets incremental-evaluation state
+  /// detect in-place shrinkage that a (NumRows, suffix-fold) protocol would
+  /// otherwise miss.
+  uint64_t mutation_epoch() const { return version_; }
+
  private:
   struct OrderedIndex;
 

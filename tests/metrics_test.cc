@@ -273,6 +273,22 @@ TEST(MetricsRegistryTest, SummaryTextOmitsHistogramTableWhenNoneExist) {
   EXPECT_EQ(text.find("p50"), std::string::npos);
 }
 
+// Counters get their own table in the summary — the incremental-evaluation
+// totals (`dl_incremental_*`) are plain counters, and `\metrics` is where
+// operators look for them.
+TEST(MetricsRegistryTest, SummaryTextListsCountersWithValues) {
+  MetricsRegistry reg;
+  reg.GetCounter("dl_incremental_hits_total")->Increment(7);
+  reg.GetHistogram("dl_fed_us")->Observe(10.0);
+  std::string text = reg.SummaryText();
+  ASSERT_NE(text.find("counter"), std::string::npos);
+  std::string line = text.substr(text.find("dl_incremental_hits_total"));
+  line = line.substr(0, line.find('\n'));
+  EXPECT_NE(line.find("7"), std::string::npos) << line;
+  // Counters follow the histogram table, not the other way around.
+  EXPECT_LT(text.find("dl_fed_us"), text.find("dl_incremental_hits_total"));
+}
+
 TEST(RollupRegistryTest, WindowsAggregateAndExpire) {
   RollupRegistry rollups;
   int64_t t0 = 1000 * 1000000;  // an arbitrary whole-second instant

@@ -26,9 +26,15 @@ class PlannerChoiceTest : public ::testing::Test {
                     .ok());
     ASSERT_TRUE(db_.GetTable("t").value()->Append(Row{Value(int64_t(1))})
                     .ok());
+    // Incremental evaluation would answer the window policies from
+    // maintained state and never exercise the access paths this suite
+    // asserts on; pin it off so the planner's choices stay observable.
+    DataLawyerOptions options;
+    options.enable_incremental_eval = false;
     dl_ = std::make_unique<DataLawyer>(&db_,
                                        UsageLog::WithStandardGenerators(),
-                                       std::make_unique<ManualClock>(0, 10));
+                                       std::make_unique<ManualClock>(0, 10),
+                                       options);
     // P1 shape (window over users), P5/P6 verbatim from the paper, all
     // with thresholds high enough that nothing ever rejects.
     ASSERT_TRUE(dl_->AddPolicy("p1",

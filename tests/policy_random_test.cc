@@ -138,6 +138,85 @@ TEST_P(RandomPolicyScenarioTest, OptimizedAgreesWithNoOptEverywhere) {
   (void)rejections;  // some seeds reject, some don't — both fine
 }
 
+// Differential property for incremental evaluation: the same random
+// workload, run with incremental evaluation on and off, must agree on
+// every verdict, violation message, and captured witness — the incremental
+// path either reproduces the full evaluation byte-for-byte or falls back
+// to it. Compaction and unification are pinned off on both sides so the
+// states survive long enough to actually serve verdicts (compaction's
+// steady-state deletions would otherwise keep invalidating them).
+TEST_P(RandomPolicyScenarioTest, IncrementalAgreesWithFullEverywhere) {
+  std::mt19937_64 rng(GetParam().seed);
+  Database db;
+  ASSERT_TRUE(LoadMimicData(&db, MimicConfig::Tiny()).ok());
+
+  auto policies = DrawPolicies(&rng);
+  DataLawyerOptions with = DataLawyerOptions::AllOptimizations();
+  with.enable_unification = false;
+  with.enable_log_compaction = false;
+  with.enable_preemptive_compaction = false;
+  DataLawyerOptions without = with;
+  without.enable_incremental_eval = false;
+
+  DataLawyer incremental(&db, UsageLog::WithStandardGenerators(),
+                         std::make_unique<ManualClock>(0, 10), with);
+  DataLawyer full(&db, UsageLog::WithStandardGenerators(),
+                  std::make_unique<ManualClock>(0, 10), without);
+  for (const auto& [name, sql] : policies) {
+    ASSERT_TRUE(incremental.AddPolicy(name, sql).ok()) << sql;
+    ASSERT_TRUE(full.AddPolicy(name, sql).ok()) << sql;
+  }
+
+  uint64_t hits = 0;
+  for (int step = 0; step < 50; ++step) {
+    QueryContext ctx;
+    ctx.uid = int64_t(rng() % 3);
+    std::string sql = DrawQuery(&rng);
+    auto a = incremental.Execute(sql, ctx);
+    auto b = full.Execute(sql, ctx);
+    ASSERT_EQ(a.status().ToString(), b.status().ToString())
+        << "seed " << GetParam().seed << " step " << step << " uid "
+        << ctx.uid << "\n  query: " << sql;
+    if (a.ok()) {
+      ASSERT_EQ(a->NumRows(), b->NumRows());
+    }
+    ASSERT_EQ(incremental.last_stats().violations,
+              full.last_stats().violations)
+        << "seed " << GetParam().seed << " step " << step;
+    hits += incremental.last_stats().incremental_hits;
+    ASSERT_EQ(full.last_stats().incremental_hits, 0u);
+
+    // Witness capture rides the unchanged full re-evaluation at rejection
+    // time, so the decision records' witness sets must match row-for-row.
+    const auto& ra = incremental.decision_store().records();
+    const auto& rb = full.decision_store().records();
+    ASSERT_EQ(ra.empty(), rb.empty());
+    if (!ra.empty()) {
+      const DecisionRecord& da = ra.back();
+      const DecisionRecord& db_rec = rb.back();
+      ASSERT_EQ(std::string(da.verdict()), std::string(db_rec.verdict()));
+      ASSERT_EQ(da.messages, db_rec.messages);
+      ASSERT_EQ(da.witnesses.size(), db_rec.witnesses.size());
+      for (size_t w = 0; w < da.witnesses.size(); ++w) {
+        EXPECT_EQ(da.witnesses[w].relation, db_rec.witnesses[w].relation);
+        EXPECT_EQ(da.witnesses[w].row_id, db_rec.witnesses[w].row_id);
+        EXPECT_EQ(da.witnesses[w].ts, db_rec.witnesses[w].ts);
+        EXPECT_EQ(da.witnesses[w].values, db_rec.witnesses[w].values);
+      }
+    }
+  }
+
+  // If any policy classified as incrementalizable, the fast path must have
+  // actually served verdicts (otherwise this differential proves nothing).
+  bool any_incremental = false;
+  for (const PolicyStats& s : incremental.PolicyReport()) {
+    if (s.incremental_class == "incremental") any_incremental = true;
+  }
+  if (any_incremental) {
+    EXPECT_GT(hits, 0u) << "seed " << GetParam().seed;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Seeds, RandomPolicyScenarioTest,
     ::testing::Values(RandomScenario{101}, RandomScenario{202},
