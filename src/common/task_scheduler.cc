@@ -1,0 +1,153 @@
+#include "common/task_scheduler.h"
+
+#include <algorithm>
+
+namespace datalawyer {
+
+namespace {
+/// Identifies the scheduler worker running on this thread (if any) so
+/// tasks spawned from inside a task land on the spawner's own deque front
+/// — the LIFO half of the stealing discipline.
+struct WorkerIdentity {
+  TaskScheduler* scheduler = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerIdentity tls_worker;
+}  // namespace
+
+TaskScheduler::TaskScheduler(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i]() { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    shutdown_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskScheduler::Enqueue(std::function<void()> task) {
+  size_t target;
+  bool own = tls_worker.scheduler == this;
+  if (own) {
+    target = tls_worker.index;
+  } else {
+    target = inject_cursor_.fetch_add(1, std::memory_order_relaxed) %
+             workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    if (own) {
+      workers_[target]->deque.push_front(std::move(task));
+    } else {
+      workers_[target]->deque.push_back(std::move(task));
+    }
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // Locking orders this notify against the sleep predicate: a worker
+    // either already waits (and is woken) or has not yet re-checked
+    // pending_ (and will see the increment).
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  sleep_cv_.notify_one();
+}
+
+std::function<void()> TaskScheduler::NextTask(size_t self) {
+  // Own deque first, from the front (most recently pushed — LIFO).
+  {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.deque.empty()) {
+      std::function<void()> task = std::move(w.deque.front());
+      w.deque.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  // Steal from the back of the first non-empty victim (oldest task — the
+  // one the owner would reach last).
+  for (size_t k = 1; k < workers_.size(); ++k) {
+    Worker& v = *workers_[(self + k) % workers_.size()];
+    std::lock_guard<std::mutex> lock(v.mu);
+    if (!v.deque.empty()) {
+      std::function<void()> task = std::move(v.deque.back());
+      v.deque.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return {};
+}
+
+void TaskScheduler::WorkerLoop(size_t index) {
+  tls_worker = WorkerIdentity{this, index};
+  for (;;) {
+    std::function<void()> task = NextTask(index);
+    if (task) {
+      task();
+      workers_[index]->executed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleep_cv_.wait(lock, [this]() {
+      return shutdown_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutdown_ && pending_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+void TaskScheduler::ParallelFor(size_t n,
+                                const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // One shared claim counter; each participant grabs the next unclaimed
+  // index. The caller is a participant, so completion never depends on a
+  // free worker — which is what makes nested ParallelFor (a task calling
+  // ParallelFor) safe: the inner caller drains its own iterations.
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<SharedState>();
+
+  auto run = [state, n, &fn]() {
+    for (;;) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t i = 0; i < helpers; ++i) Enqueue(run);
+
+  run();  // the caller works too
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&]() {
+    return state->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+}  // namespace datalawyer

@@ -1,0 +1,114 @@
+#ifndef DATALAWYER_COMMON_TASK_SCHEDULER_H_
+#define DATALAWYER_COMMON_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace datalawyer {
+
+/// Work-stealing task runtime shared by policy fan-out, intra-query morsel
+/// execution, and background log compaction (§5.1's "multi-threaded
+/// systems" direction, extended to morsel-driven parallelism).
+///
+/// Scheduling model: each worker owns a deque. The owner pushes and pops
+/// at the front (LIFO — hot caches, bounded depth under nesting); idle
+/// workers steal from the *back* of a victim's deque (FIFO — the oldest,
+/// typically largest, task migrates). External submissions are injected
+/// round-robin across worker deques so no single queue becomes the
+/// bottleneck.
+///
+/// Design constraints, in order:
+///  * Deterministic callers: the scheduler never reorders *results* —
+///    callers collect per-task outputs into caller-indexed slots and merge
+///    serially, so scheduling (and stealing) order is invisible.
+///  * No blocking dependencies between tasks: a task must never wait on
+///    another task's future; ParallelFor lets the calling thread
+///    participate, so it is safe to call even from inside a task and on a
+///    scheduler constructed with zero threads, including nested
+///    ParallelFor-within-ParallelFor.
+///  * Observable: cumulative steal and per-worker execution counters feed
+///    the dl_steals_total metric and per-worker trace lanes.
+class TaskScheduler {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed: Submit still works, tasks
+  /// run inline on the submitting thread; ParallelFor runs on the caller).
+  explicit TaskScheduler(size_t num_threads);
+
+  /// Drains every deque, then joins. Pending futures complete first.
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions
+  /// propagate through the future.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();  // inline fallback: a zero-thread scheduler runs serially
+      return future;
+    }
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(i) for every i in [0, n), spread over the workers; the calling
+  /// thread participates, so this blocks only until all n calls return and
+  /// never deadlocks on an exhausted scheduler. `fn` must be safe to call
+  /// concurrently from different threads for different i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Cumulative count of tasks a worker executed from another worker's
+  /// deque (its own was empty). Monotonic across the scheduler's lifetime.
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  /// Tasks executed by worker `w` (own deque plus steals), for per-worker
+  /// load inspection. `w` must be < num_threads().
+  uint64_t tasks_executed(size_t w) const {
+    return workers_[w]->executed.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> deque;
+    std::atomic<uint64_t> executed{0};
+  };
+
+  void WorkerLoop(size_t index);
+  void Enqueue(std::function<void()> task);
+  /// Pops from worker `self`'s own front, else steals from the back of the
+  /// first non-empty victim. Returns an empty function when every deque is
+  /// empty.
+  std::function<void()> NextTask(size_t self);
+
+  // unique_ptr keeps Worker addresses stable; Worker itself is immovable
+  // (mutex/atomic members).
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<size_t> inject_cursor_{0};
+  std::atomic<size_t> pending_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  bool shutdown_ = false;  // guarded by sleep_mu_
+};
+
+}  // namespace datalawyer
+
+#endif  // DATALAWYER_COMMON_TASK_SCHEDULER_H_

@@ -1,78 +1,18 @@
 #ifndef DATALAWYER_COMMON_THREAD_POOL_H_
 #define DATALAWYER_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
-#include <deque>
-#include <functional>
-#include <future>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <type_traits>
-#include <utility>
-#include <vector>
+#include "common/task_scheduler.h"
 
 namespace datalawyer {
 
-/// Fixed-size worker pool shared by policy evaluation and background log
-/// compaction (§5.1's "multi-threaded systems" direction).
-///
-/// Design constraints, in order:
-///  * Deterministic callers: the pool never reorders *results* — callers
-///    collect per-task outputs into caller-indexed slots and merge serially,
-///    so scheduling order is invisible.
-///  * No task-to-task dependencies: a submitted task must never block on
-///    another submitted task (the pool has no work stealing); ParallelFor
-///    lets the calling thread participate, so it is safe to call even from
-///    inside a pool task and on a pool constructed with zero threads.
-class ThreadPool {
- public:
-  /// Spawns `num_threads` workers (0 is allowed: Submit still works, tasks
-  /// run inline on the submitting thread; ParallelFor runs on the caller).
-  explicit ThreadPool(size_t num_threads);
-
-  /// Drains the queue, then joins. Pending futures complete first.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  size_t num_threads() const { return threads_.size(); }
-
-  /// Enqueues `fn` and returns a future for its result. Exceptions
-  /// propagate through the future.
-  template <typename F>
-  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
-    using R = std::invoke_result_t<std::decay_t<F>>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> future = task->get_future();
-    if (threads_.empty()) {
-      (*task)();  // inline fallback: a zero-thread pool is a serial executor
-      return future;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace_back([task]() { (*task)(); });
-    }
-    cv_.notify_one();
-    return future;
-  }
-
-  /// Runs fn(i) for every i in [0, n), spread over the workers; the calling
-  /// thread participates, so this blocks only until all n calls return and
-  /// never deadlocks on an exhausted pool. `fn` must be safe to call
-  /// concurrently from different threads for different i.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
-
- private:
-  void WorkerLoop();
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  bool shutdown_ = false;
-};
+/// Compatibility alias: the fixed-queue ThreadPool grew into the
+/// work-stealing TaskScheduler (per-worker deques, steal-from-back,
+/// steal/executed counters) when morsel-driven intra-query parallelism
+/// landed. The Submit/ParallelFor surface is unchanged — callers that
+/// collected results into caller-indexed slots and merged serially keep
+/// their determinism guarantee, because stealing reorders only *execution*,
+/// never results. See task_scheduler.h for the scheduling discipline.
+using ThreadPool = TaskScheduler;
 
 }  // namespace datalawyer
 

@@ -107,9 +107,16 @@ DataLawyer::DataLawyer(Database* db, std::unique_ptr<UsageLog> log,
   // process cannot silence an active trace.
   if (options_.enable_tracing) Tracer::Global().set_enabled(true);
   decisions_.set_enabled(options_.enable_decisions);
+  // Out-of-range thread counts are clamped rather than rejected — the
+  // constructor cannot return a status, and a clamped instance is strictly
+  // better than a crashed one. Callers who want the warning call
+  // DataLawyerOptions::ClampThreadCounts() themselves before constructing.
+  (void)options_.ClampThreadCounts();
   incremental_enabled_ = options_.enable_incremental_eval &&
                          options_.enable_plan_cache &&
                          !IncrementalDisabledByEnv();
+  morsel_enabled_ =
+      options_.exec_threads > 0 && !MorselExecutionDisabledByEnv();
   system_catalog_ = std::make_unique<SystemCatalog>(engine_.db_catalog());
   RegisterSystemRelations();
 }
@@ -121,9 +128,12 @@ DataLawyer::~DataLawyer() {
 void DataLawyer::set_options(DataLawyerOptions options) {
   options_ = options;
   prepared_valid_ = false;
+  (void)options_.ClampThreadCounts();
   incremental_enabled_ = options_.enable_incremental_eval &&
                          options_.enable_plan_cache &&
                          !IncrementalDisabledByEnv();
+  morsel_enabled_ =
+      options_.exec_threads > 0 && !MorselExecutionDisabledByEnv();
   if (options_.enable_tracing) Tracer::Global().set_enabled(true);
   slow_log_.set_capacity(options_.slow_log_capacity);
   decisions_.set_enabled(options_.enable_decisions);
@@ -493,7 +503,16 @@ Result<QueryResult> DataLawyer::Execute(const std::string& sql,
   stats_ = ExecutionStats{};
   stats_.ts = ts;
   stats_.parse_us = parse_us;
+  // Steal accounting brackets the whole checked pipeline. The counter is
+  // cumulative per scheduler instance; a rebuild inside ExecuteChecked
+  // restarts it at zero, so clamp instead of underflowing.
+  uint64_t steals_before = scheduler_ != nullptr ? scheduler_->steals() : 0;
   Result<QueryResult> result = ExecuteChecked(*stmt.select, context, ts);
+  if (scheduler_ != nullptr) {
+    uint64_t steals_now = scheduler_->steals();
+    stats_.steals =
+        steals_now >= steals_before ? steals_now - steals_before : steals_now;
+  }
   RecordDecision(sql, context, result.status(), /*probe=*/false);
   return result;
 }
@@ -528,7 +547,13 @@ Status DataLawyer::WouldAllow(const std::string& sql,
   // Reuse the checked path with compaction, commit and execution
   // suppressed; all staged increments are discarded afterwards.
   probe_mode_ = true;
+  uint64_t steals_before = scheduler_ != nullptr ? scheduler_->steals() : 0;
   Result<QueryResult> result = ExecuteChecked(*stmt.select, context, ts);
+  if (scheduler_ != nullptr) {
+    uint64_t steals_now = scheduler_->steals();
+    stats_.steals =
+        steals_now >= steals_before ? steals_now - steals_before : steals_now;
+  }
   probe_mode_ = false;
   log_->DiscardStaged();
   RecordDecision(sql, context, result.status(), /*probe=*/true);
@@ -593,7 +618,14 @@ Result<std::string> DataLawyer::ExplainAnalyzePolicy(const std::string& name) {
             ? plan_cache_.Lookup(policy.effective())
             : nullptr;
     if (cached != nullptr) {
-      PlanExecutor exec(catalog.view());
+      ExecOptions exec_options;
+      if (morsel_enabled_) {
+        // Same scheduler a real evaluation would use, so the profiled
+        // morsel/partition counts match production execution.
+        exec_options.scheduler = EnsureScheduler(1);
+        exec_options.morsel_size = options_.morsel_size;
+      }
+      PlanExecutor exec(catalog.view(), exec_options);
       exec.EnableProfiling();
       auto start = Now();
       DL_ASSIGN_OR_RETURN(QueryResult result, exec.Run(cached->plan));
@@ -635,6 +667,13 @@ Result<DataLawyer::PolicyEvalOutput> DataLawyer::EvalPolicyStatement(
   ExecOptions exec_options;
   exec_options.capture_lineage = check_increment_dependence;
   exec_options.enable_stats_costing = options_.enable_stats_costing;
+  if (morsel_enabled_ && scheduler_ != nullptr) {
+    // The scheduler was ensured in ExecuteChecked's serial head; workers
+    // already running policy tasks push their morsels onto their own
+    // deques, so plan-level parallelism composes with the fan-out.
+    exec_options.scheduler = scheduler_.get();
+    exec_options.morsel_size = options_.morsel_size;
+  }
   PolicyEvalOutput out;
   QueryResult result;
   // A registered statement runs from its cached physical plan — zero
@@ -671,6 +710,7 @@ Result<DataLawyer::PolicyEvalOutput> DataLawyer::EvalPolicyStatement(
     out.index_hits = plan_exec.scan_stats().index_hits;
     out.range_probes = plan_exec.scan_stats().range_probes;
     out.range_hits = plan_exec.scan_stats().range_hits;
+    out.morsels = plan_exec.scan_stats().morsels;
   } else {
     Executor executor(catalog, exec_options);
     DL_ASSIGN_OR_RETURN(result, executor.Execute(stmt));
@@ -678,6 +718,7 @@ Result<DataLawyer::PolicyEvalOutput> DataLawyer::EvalPolicyStatement(
     out.index_hits = executor.scan_stats().index_hits;
     out.range_probes = executor.scan_stats().range_probes;
     out.range_hits = executor.scan_stats().range_hits;
+    out.morsels = executor.scan_stats().morsels;
   }
 
   if (check_increment_dependence) {
@@ -727,6 +768,7 @@ void DataLawyer::RecordEvalCounters(const PolicyEvalOutput& out,
   stats_.index_hits += out.index_hits;
   stats_.range_probes += out.range_probes;
   stats_.range_hits += out.range_hits;
+  stats_.morsels += out.morsels;
   PolicyStats& slot =
       AttributionFor(attribute_to != nullptr ? attribute_to->name : "(union)");
   ++slot.evaluations;
@@ -759,16 +801,22 @@ Result<std::vector<std::string>> DataLawyer::EvaluatePolicyStmt(
   return std::move(out.messages);
 }
 
-ThreadPool* DataLawyer::EnsurePool(size_t min_threads) {
+TaskScheduler* DataLawyer::EnsureScheduler(size_t min_threads) {
+  // One scheduler serves policy fan-out and morsel execution; size it to
+  // the larger of the two knobs, never their sum — nested morsel tasks
+  // share the same workers instead of oversubscribing the machine.
   size_t want = std::max(
       min_threads, size_t(std::max(0, options_.policy_threads)));
-  if (pool_ == nullptr || pool_->num_threads() < want) {
-    // Replacing a pool drains it first (its destructor completes every
-    // queued task), so an outstanding compaction future stays valid.
-    pool_.reset();
-    pool_ = std::make_unique<ThreadPool>(want);
+  if (morsel_enabled_) {
+    want = std::max(want, size_t(std::max(0, options_.exec_threads)));
   }
-  return pool_.get();
+  if (scheduler_ == nullptr || scheduler_->num_threads() < want) {
+    // Replacing a scheduler drains it first (its destructor completes
+    // every queued task), so an outstanding compaction future stays valid.
+    scheduler_.reset();
+    scheduler_ = std::make_unique<TaskScheduler>(want);
+  }
+  return scheduler_.get();
 }
 
 Status DataLawyer::GenerateLog(const std::string& relation, int64_t ts,
@@ -819,6 +867,11 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
                                                int64_t ts) {
   // A pending background compaction owns the log tables; wait it out.
   DL_RETURN_NOT_OK(Flush());
+
+  // Morsel execution hands the scheduler to every plan executor below;
+  // create it here in the serial head — EvalPolicyStatement is const and
+  // runs concurrently, so it can only read scheduler_, never grow it.
+  if (morsel_enabled_) EnsureScheduler(1);
 
   // Serial head: drop telemetry snapshots materialized by earlier queries,
   // so every phase of *this* query (bind, log generation, evaluation,
@@ -970,7 +1023,7 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
     // Phase B (parallel): guarded policies run their guard; the rest run
     // the full policy statement.
     std::vector<BatchOutcome> first(batch.size());
-    ThreadPool* pool = EnsurePool(1);
+    TaskScheduler* pool = EnsureScheduler(1);
     auto t0 = Now();
     pool->ParallelFor(batch.size(), [&](size_t i) {
       const Policy& policy = active_[batch[i]->policy_index];
@@ -1083,7 +1136,7 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
           PolicyEvalOutput out;
         };
         std::vector<RoundOutcome> outcomes(remaining.size());
-        ThreadPool* pool = EnsurePool(1);
+        TaskScheduler* pool = EnsureScheduler(1);
         auto t0 = Now();
         pool->ParallelFor(remaining.size(), [&](size_t i) {
           const PreparedPolicy* prep = remaining[i];
@@ -1381,7 +1434,7 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       // §5.1: return the result before compaction finishes. The worker owns
       // the log tables until the next Execute/Flush waits on it.
       queries_since_compaction_ = 0;
-      pending_compaction_ = EnsurePool(1)->Submit(
+      pending_compaction_ = EnsureScheduler(1)->Submit(
           [this, ts]() -> Result<CompactionStats> {
             DL_TRACE_SPAN("compact.async", "policy");
             std::vector<const WitnessSet*> witnesses;
@@ -1423,9 +1476,17 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
   // like any other read (real tables shadow the virtual names).
   DL_TRACE_SPAN("exec.user_query", "exec");
   auto t0 = Now();
-  Result<QueryResult> result =
-      engine_.ExecuteSelect(stmt, system_catalog_.get());
+  ExecOptions user_options;
+  if (morsel_enabled_ && scheduler_ != nullptr) {
+    user_options.scheduler = scheduler_.get();
+    user_options.morsel_size = options_.morsel_size;
+  }
+  Executor user_exec(system_catalog_.get(), user_options);
+  Result<QueryResult> result = user_exec.Execute(stmt);
   stats_.query_exec_ms = MsSince(t0);
+  // The user plan's morsels count toward dl_morsels_total; its index
+  // counters do not (those are defined over policy statements only).
+  stats_.morsels += user_exec.scan_stats().morsels;
   return result;
 }
 
@@ -1710,6 +1771,8 @@ void DataLawyer::RecordDecision(const std::string& sql,
       Counter* index_hits;
       Counter* range_probes;
       Counter* range_hits;
+      Counter* morsels;
+      Counter* steals;
       Counter* plan_hits;
       Counter* plan_misses;
       Counter* incr_hits;
@@ -1751,6 +1814,12 @@ void DataLawyer::RecordDecision(const std::string& sql,
       handles.range_hits = r.GetCounter(
           "dl_range_scan_hits_total",
           "scans served by an ordered-index range probe");
+      handles.morsels = r.GetCounter(
+          "dl_morsels_total",
+          "plan morsels dispatched to the work-stealing scheduler");
+      handles.steals = r.GetCounter(
+          "dl_steals_total",
+          "scheduler work-steals observed during checked queries");
       handles.plan_hits = r.GetCounter(
           "dl_plan_cache_hits_total",
           "policy statements evaluated from a cached physical plan");
@@ -1798,6 +1867,8 @@ void DataLawyer::RecordDecision(const std::string& sql,
     h.index_hits->Increment(stats_.index_hits);
     h.range_probes->Increment(stats_.range_probes);
     h.range_hits->Increment(stats_.range_hits);
+    h.morsels->Increment(stats_.morsels);
+    h.steals->Increment(stats_.steals);
     h.plan_hits->Increment(stats_.plan_cache_hits);
     h.plan_misses->Increment(stats_.plan_cache_misses);
     h.incr_hits->Increment(stats_.incremental_hits);

@@ -12,7 +12,7 @@
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "common/result.h"
-#include "common/thread_pool.h"
+#include "common/task_scheduler.h"
 #include "common/trace.h"
 #include "core/audit.h"
 #include "core/decision.h"
@@ -205,6 +205,7 @@ class DataLawyer {
     size_t index_hits = 0;
     size_t range_probes = 0;
     size_t range_hits = 0;
+    size_t morsels = 0;  ///< morsels this statement's plan dispatched
     double eval_us = 0;  ///< this statement's own elapsed time
   };
 
@@ -253,10 +254,14 @@ class DataLawyer {
   /// on system_catalog_ (constructor only).
   void RegisterSystemRelations();
 
-  /// The shared worker pool, created lazily with
-  /// max(policy_threads, min_threads) workers and recreated if options ask
-  /// for more. Used by parallel policy evaluation and async compaction.
-  ThreadPool* EnsurePool(size_t min_threads);
+  /// The shared work-stealing scheduler, created lazily with
+  /// max(policy_threads, exec_threads, min_threads) workers and recreated
+  /// if options ask for more. One scheduler serves the per-policy fan-out,
+  /// morsel-driven plan execution, and async compaction — sizing to the
+  /// larger of the two thread knobs (not their sum) is what keeps nested
+  /// parallelism from oversubscribing the machine: a policy task that
+  /// splits its plan into morsels enqueues them onto the same workers.
+  TaskScheduler* EnsureScheduler(size_t min_threads);
   Status GenerateLog(const std::string& relation, int64_t ts,
                      const GenerationInput& input);
   /// §4.3 preemptive compaction: true if relation `name`'s increment can be
@@ -318,6 +323,9 @@ class DataLawyer {
   /// — resolved once per options change so the disabled path costs one
   /// plain bool read per query (no getenv, no allocation).
   bool incremental_enabled_ = false;
+  /// exec_threads > 0 && !DL_DISABLE_MORSEL — same resolve-once idiom;
+  /// gates handing the scheduler to plan executors.
+  bool morsel_enabled_ = false;
   /// Per-active-policy classification from the last WarmPlanCache:
   /// "incremental" or "full-only". Empty when the feature is off.
   std::map<std::string, std::string> incremental_class_;
@@ -371,13 +379,14 @@ class DataLawyer {
   bool probe_mode_ = false;
 
   /// Outstanding background compaction (async_compaction mode), routed
-  /// through `pool_`.
+  /// through `scheduler_`.
   std::future<Result<CompactionStats>> pending_compaction_;
   CompactionStats last_compaction_stats_;
 
-  /// Shared worker pool (policy evaluation + async compaction). Lazily
-  /// created; absent entirely when both features are off.
-  std::unique_ptr<ThreadPool> pool_;
+  /// Shared work-stealing scheduler (policy evaluation fan-out, morsel
+  /// execution, async compaction). Lazily created; absent entirely when
+  /// all three features are off.
+  std::unique_ptr<TaskScheduler> scheduler_;
 };
 
 }  // namespace datalawyer

@@ -1,7 +1,12 @@
 #ifndef DATALAWYER_CORE_OPTIONS_H_
 #define DATALAWYER_CORE_OPTIONS_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
 
 namespace datalawyer {
 
@@ -55,6 +60,55 @@ struct DataLawyerOptions {
   /// DESIGN.md "Concurrency model" for what is shared and what is frozen
   /// during checking.
   int policy_threads = 0;
+
+  /// Number of worker threads available to a *single* plan execution
+  /// (0 = serial interpretation, unchanged). Any value >= 1 splits table
+  /// scans, hash-join build/probe, and aggregation into morsels dispatched
+  /// to the shared work-stealing scheduler; partial results are merged in
+  /// deterministic morsel order, so rows, lineage, witness order, and scan
+  /// stats are byte-identical to serial execution at every thread count.
+  /// Policy fan-out (policy_threads) and morsel execution share one
+  /// scheduler sized to the larger of the two, so the process is never
+  /// oversubscribed. DL_DISABLE_MORSEL=1 forces the path off process-wide.
+  int exec_threads = 0;
+
+  /// Rows per morsel when exec_threads > 0. A plan fragment shorter than
+  /// two morsels runs serially (no dispatch is cheaper than one). Clamped
+  /// to >= 1 by ClampThreadCounts().
+  size_t morsel_size = 1024;
+
+  /// Clamps policy_threads and exec_threads into [0, hardware_concurrency]
+  /// and morsel_size to >= 1, in place. An `int` thread count that is
+  /// negative (a likely sign error) or absurdly large (a likely unit error
+  /// — it would silently convert to a huge size_t) is a misconfiguration
+  /// worth reporting: returns InvalidArgument naming every adjusted field,
+  /// with the values already repaired so the caller can proceed. Returns
+  /// OK when nothing needed clamping.
+  Status ClampThreadCounts() {
+    unsigned hw = std::thread::hardware_concurrency();
+    int max_threads = int(hw == 0 ? 1 : hw);  // hw==0: unknown, assume 1
+    std::string adjusted;
+    auto clamp = [&](int* field, const char* name) {
+      int clamped = std::min(std::max(*field, 0), max_threads);
+      if (clamped != *field) {
+        if (!adjusted.empty()) adjusted += ", ";
+        adjusted += std::string(name) + " " + std::to_string(*field) + " -> " +
+                    std::to_string(clamped);
+        *field = clamped;
+      }
+    };
+    clamp(&policy_threads, "policy_threads");
+    clamp(&exec_threads, "exec_threads");
+    if (morsel_size == 0) {
+      if (!adjusted.empty()) adjusted += ", ";
+      adjusted += "morsel_size 0 -> 1";
+      morsel_size = 1;
+    }
+    if (adjusted.empty()) return Status::OK();
+    return Status::InvalidArgument(
+        "thread counts clamped to [0, " + std::to_string(max_threads) +
+        "]: " + adjusted);
+  }
 
   /// Bind and plan every registered policy statement once at Prepare time
   /// and re-execute the cached physical plan per user query, instead of

@@ -49,6 +49,14 @@ struct ExecutionStats {
   size_t range_probes = 0;  ///< range conjuncts probed against an ordered index
   size_t range_hits = 0;    ///< scans served by an ordered-index range probe
 
+  /// Morsel-execution counters: morsels dispatched by plan fragments this
+  /// query (0 when exec_threads == 0 or every fragment was below the
+  /// two-morsel threshold), and scheduler steals observed during the query
+  /// (tasks a worker took from another worker's deque — a process-wide
+  /// delta, so concurrent external load can inflate it).
+  size_t morsels = 0;
+  size_t steals = 0;
+
   size_t policies_evaluated = 0;  ///< policy/partial-policy statements run
   size_t policies_pruned_early = 0;
 

@@ -22,6 +22,9 @@ Status AggregateAccumulator::Add(const Value& v) {
     } else {
       sum_int_ += v.AsInt64();
       sum_double_ += double(v.AsInt64());
+      if (sum_int_ > (int64_t(1) << 52) || sum_int_ < -(int64_t(1) << 52)) {
+        int_sum_risky_ = true;
+      }
     }
   } else if (name == "min" || name == "max") {
     if (!saw_any_) {
@@ -34,6 +37,64 @@ Status AggregateAccumulator::Add(const Value& v) {
   }
   saw_any_ = true;
   return Status::OK();
+}
+
+bool AggregateAccumulator::MergeFrom(const AggregateAccumulator& other) {
+  const std::string& name = spec_->name;
+  if (name == "count") {
+    if (!spec_->distinct) {
+      // COUNT(*) / COUNT(x): pure addition.
+      count_ += other.count_;
+      saw_any_ = saw_any_ || other.saw_any_;
+      return true;
+    }
+    // COUNT(DISTINCT x): set union — order-independent by construction.
+    for (const Value& v : other.distinct_) {
+      if (distinct_.insert(v).second) ++count_;
+    }
+    saw_any_ = saw_any_ || other.saw_any_;
+    return true;
+  }
+  if (name == "min" || name == "max") {
+    if (other.saw_any_) {
+      if (!saw_any_) {
+        min_ = other.min_;
+        max_ = other.max_;
+      } else {
+        // Strict < keeps this side on ties: the earlier span's value wins,
+        // exactly as serial first-seen would (1 vs 1.0 compare equal but
+        // are distinct bytes, so the tie direction is observable).
+        if (other.min_ < min_) min_ = other.min_;
+        if (max_ < other.max_) max_ = other.max_;
+      }
+    }
+    if (spec_->distinct) {
+      for (const Value& v : other.distinct_) distinct_.insert(v);
+      count_ = int64_t(distinct_.size());
+    } else {
+      count_ += other.count_;
+    }
+    saw_any_ = saw_any_ || other.saw_any_;
+    return true;
+  }
+  if (name == "sum" || name == "avg") {
+    if (spec_->distinct) return false;
+    if (saw_double_ || other.saw_double_) return false;
+    if (int_sum_risky_ || other.int_sum_risky_) return false;
+    count_ += other.count_;
+    sum_int_ += other.sum_int_;
+    if (sum_int_ > (int64_t(1) << 52) || sum_int_ < -(int64_t(1) << 52)) {
+      // The serial running sum through this span boundary would have
+      // crossed the exactness threshold too.
+      return false;
+    }
+    // Both spans' shadow sums are exact integers under 2^52, so their
+    // float sum equals the serial left fold exactly.
+    sum_double_ += other.sum_double_;
+    saw_any_ = saw_any_ || other.saw_any_;
+    return true;
+  }
+  return false;  // unknown aggregate: let the serial path report it
 }
 
 Result<Value> AggregateAccumulator::Finish() const {

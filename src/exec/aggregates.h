@@ -25,6 +25,21 @@ class AggregateAccumulator {
   /// Adds one row for COUNT(*).
   void AddStarRow() { ++count_; }
 
+  /// Folds `other` — the partial state of a *later* contiguous input span
+  /// for the same call site — into this accumulator. Returns true only
+  /// when the merged state is provably byte-identical to a serial Add over
+  /// the concatenated spans; returns false (leaving this accumulator
+  /// unusable) when exactness cannot be guaranteed, and the caller must
+  /// redo the aggregation serially. Declines: SUM/AVG that saw a double
+  /// (float addition is not associative, so a partial-sum tree can differ
+  /// from the serial left fold in the last bit), SUM/AVG DISTINCT (the
+  /// dedup-adjusted serial addition order is unrecoverable from partial
+  /// states), and integer SUM/AVG whose running sums may have exceeded
+  /// 2^52 (the serial double shadow sum could have rounded). Exact merges:
+  /// COUNT, COUNT(DISTINCT), MIN/MAX (ties keep this side — the earlier
+  /// span, matching serial first-seen), and guarded integer SUM/AVG.
+  bool MergeFrom(const AggregateAccumulator& other);
+
   /// Final value of the aggregate.
   Result<Value> Finish() const;
 
@@ -35,6 +50,10 @@ class AggregateAccumulator {
   int64_t sum_int_ = 0;
   bool saw_double_ = false;
   bool saw_any_ = false;
+  /// Sticky: some running |sum_int_| exceeded 2^52, so the double shadow
+  /// sum may have rounded — integer-sum merges are no longer provably
+  /// exact. Checked per Add, re-checked per merge.
+  bool int_sum_risky_ = false;
   Value min_;
   Value max_;
   std::unordered_set<Value, ValueHash> distinct_;

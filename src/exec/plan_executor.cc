@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <unordered_map>
 
 #include "analysis/eval.h"
@@ -21,6 +23,64 @@ void MergeLineage(LineageSet* dst, const LineageSet& src) {
 }
 
 }  // namespace
+
+bool MorselExecutionDisabledByEnv() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("DL_DISABLE_MORSEL");
+    return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+  }();
+  return disabled;
+}
+
+bool PlanExecutor::MorselsEnabled() const {
+  return options_.scheduler != nullptr &&
+         options_.scheduler->num_threads() > 0 &&
+         !MorselExecutionDisabledByEnv();
+}
+
+size_t PlanExecutor::MorselCount(size_t n) const {
+  if (!MorselsEnabled() || options_.morsel_size == 0) return 1;
+  size_t morsels = (n + options_.morsel_size - 1) / options_.morsel_size;
+  return morsels >= 2 ? morsels : 1;
+}
+
+Status PlanExecutor::RunMorsels(
+    size_t morsels, size_t n,
+    const std::function<Status(size_t lo, size_t hi, size_t m)>& span,
+    double* cpu_us) {
+  std::vector<Status> statuses(morsels);
+  std::vector<double> morsel_us(profiling_ ? morsels : 0);
+  size_t step = options_.morsel_size;
+  options_.scheduler->ParallelFor(morsels, [&](size_t m) {
+    double t0 = profiling_ ? ProfNowUs() : 0;
+    size_t lo = m * step;
+    size_t hi = std::min(n, lo + step);
+    statuses[m] = span(lo, hi, m);
+    if (profiling_) morsel_us[m] = ProfNowUs() - t0;
+  });
+  scan_stats_.morsels += morsels;
+  if (cpu_us != nullptr) {
+    for (double us : morsel_us) *cpu_us += us;
+  }
+  // Morsels are contiguous spans processed in row order and a span stops at
+  // its first failing row, so the first failing morsel's error is the
+  // error serial execution would have hit first (all earlier morsels ran
+  // clean; Eval is side-effect-free, so the extra rows later morsels
+  // evaluated are unobservable).
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+void PlanExecutor::AppendFragment(Intermediate* dst,
+                                  Intermediate&& src) const {
+  for (Row& row : src.rows) dst->rows.push_back(std::move(row));
+  for (LineageSet& l : src.lineage) dst->lineage.push_back(std::move(l));
+  for (std::vector<uint32_t>& o : src.order) {
+    dst->order.push_back(std::move(o));
+  }
+}
 
 double PlanExecutor::ProfNowUs() {
   return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -67,6 +127,18 @@ std::string RenderOperatorProfile(const std::vector<OperatorProfile>& ops,
       std::snprintf(buf, sizeof(buf), ", probes %zu hits %zu",
                     op.index_probes, op.index_hits);
       out += buf;
+    }
+    if (op.morsels > 0) {
+      std::snprintf(buf, sizeof(buf), ", morsels %zu", op.morsels);
+      out += buf;
+      if (op.partitions > 0) {
+        std::snprintf(buf, sizeof(buf), ", partitions %zu", op.partitions);
+        out += buf;
+      }
+      if (op.par_cpu_us > 0) {
+        std::snprintf(buf, sizeof(buf), ", cpu %.1f us", op.par_cpu_us);
+        out += buf;
+      }
     }
     out += ")\n";
     if (op.depth == 0) depth0_sum += op.wall_us;
@@ -216,17 +288,22 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
   size_t offset = bq.slot_offsets[ps.rel_idx];
   size_t width = rel.schema.NumColumns();
   double prof_start = profiling_ ? ProfNowUs() : 0;
+  double scan_cpu_us = 0;
   Intermediate out;
 
-  auto emit = [&](Row&& full_row, LineageSet&& lineage) -> Status {
+  // Fragment-local emission: morsel tasks each fill their own fragment and
+  // the fragments concatenate in morsel order (order positions renumbered
+  // afterwards), so the serial path is just "one fragment, `out` itself".
+  auto emit = [&](Row&& full_row, LineageSet&& lineage,
+                  Intermediate* frag) -> Status {
     EvalContext ctx{&bq, &full_row, nullptr};
     for (const Expr* p : ps.filters) {
       DL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*p, ctx));
       if (!keep) return Status::OK();
     }
-    if (track_order) out.order.push_back({uint32_t(out.rows.size())});
-    out.rows.push_back(std::move(full_row));
-    if (options_.capture_lineage) out.lineage.push_back(std::move(lineage));
+    if (track_order) frag->order.push_back({uint32_t(frag->rows.size())});
+    frag->rows.push_back(std::move(full_row));
+    if (options_.capture_lineage) frag->lineage.push_back(std::move(lineage));
     return Status::OK();
   };
 
@@ -407,7 +484,7 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
     if (have_probe) ++scan_stats_.index_hits;
     if (have_range) ++scan_stats_.range_hits;
 
-    auto emit_position = [&](size_t i) -> Status {
+    auto emit_position = [&](size_t i, Intermediate* frag) -> Status {
       Row full_row(bq.total_slots, Value::Null());
       const Row& src = data->RowAt(i);
       for (size_t c = 0; c < width; ++c) full_row[offset + c] = src[c];
@@ -415,17 +492,36 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
       if (options_.capture_lineage) {
         lineage.push_back(LineageEntry{rel_id, data->RowIdAt(i)});
       }
-      return emit(std::move(full_row), std::move(lineage));
+      return emit(std::move(full_row), std::move(lineage), frag);
     };
 
-    if (have_probe || have_range) {
+    bool narrowed = have_probe || have_range;
+    size_t total = narrowed ? positions.size() : data->NumRows();
+    size_t morsels = MorselCount(total);
+    if (morsels > 1) {
+      std::vector<Intermediate> frags(morsels);
+      DL_RETURN_NOT_OK(RunMorsels(
+          morsels, total,
+          [&](size_t lo, size_t hi, size_t m) -> Status {
+            for (size_t k = lo; k < hi; ++k) {
+              DL_RETURN_NOT_OK(
+                  emit_position(narrowed ? positions[k] : k, &frags[m]));
+            }
+            return Status::OK();
+          },
+          &scan_cpu_us));
+      for (Intermediate& frag : frags) AppendFragment(&out, std::move(frag));
+      // Fragment-local scan positions become global emission order.
+      for (size_t i = 0; i < out.order.size(); ++i) {
+        out.order[i] = {uint32_t(i)};
+      }
+    } else if (narrowed) {
       for (size_t i : positions) {
-        DL_RETURN_NOT_OK(emit_position(i));
+        DL_RETURN_NOT_OK(emit_position(i, &out));
       }
     } else {
-      size_t n = data->NumRows();
-      for (size_t i = 0; i < n; ++i) {
-        DL_RETURN_NOT_OK(emit_position(i));
+      for (size_t i = 0; i < total; ++i) {
+        DL_RETURN_NOT_OK(emit_position(i, &out));
       }
     }
     if (profiling_) {
@@ -446,6 +542,8 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
       op.index_probes = probes_issued + range_probes_issued;
       op.index_hits = have_probe || have_range ? 1 : 0;
       op.est_rows = ps.est_rows;
+      op.morsels = morsels > 1 ? morsels : 0;
+      op.par_cpu_us = scan_cpu_us;
     }
     return out;
   }
@@ -463,7 +561,7 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
     }
     LineageSet lineage;
     if (options_.capture_lineage) lineage = std::move(sub.lineage[i]);
-    DL_RETURN_NOT_OK(emit(std::move(full_row), std::move(lineage)));
+    DL_RETURN_NOT_OK(emit(std::move(full_row), std::move(lineage), &out));
   }
   if (profiling_) {
     RecordOp("scan subquery " + rel.binding_name + " as " + rel.binding_name,
@@ -479,6 +577,7 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
   size_t offset = bq.slot_offsets[rel_idx];
   size_t width = bq.relations[rel_idx].schema.NumColumns();
   double prof_start = profiling_ ? ProfNowUs() : 0;
+  double join_cpu_us = 0;
   Intermediate out;
 
   auto join_label = [&]() {
@@ -503,89 +602,168 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
     return row;
   };
 
-  auto emit = [&](size_t li, size_t ri) -> Status {
+  auto emit = [&](size_t li, size_t ri, Intermediate* frag) -> Status {
     Row row = combine(li, ri);
     EvalContext ctx{&bq, &row, nullptr};
     for (const Expr* p : pj.residual) {
       DL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*p, ctx));
       if (!keep) return Status::OK();
     }
-    out.rows.push_back(std::move(row));
+    frag->rows.push_back(std::move(row));
     if (options_.capture_lineage) {
       LineageSet lineage = left.lineage[li];
       MergeLineage(&lineage, right.lineage[ri]);
-      out.lineage.push_back(std::move(lineage));
+      frag->lineage.push_back(std::move(lineage));
     }
     if (track_order) {
       std::vector<uint32_t> order = left.order[li];
       order.insert(order.end(), right.order[ri].begin(),
                    right.order[ri].end());
-      out.order.push_back(std::move(order));
+      frag->order.push_back(std::move(order));
     }
     return Status::OK();
   };
 
   if (pj.algo == JoinAlgo::kHashJoin) {
     // Hash join: build on the incoming relation, probe with the left side.
-    std::unordered_map<Row, std::vector<size_t>, RowHash> build;
-    build.reserve(right.rows.size());
-    for (size_t ri = 0; ri < right.rows.size(); ++ri) {
-      EvalContext ctx{&bq, &right.rows[ri], nullptr};
-      Row key;
-      key.reserve(pj.right_keys.size());
-      bool null_key = false;
-      for (const Expr* e : pj.right_keys) {
-        DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
-        if (v.is_null()) {
-          null_key = true;
-          break;
+    // Both phases morselize. Keys are precomputed (with their hashes, so
+    // partitioned build tasks can move them without re-reading); partition
+    // p then owns the keys hashing to it and walks ri ascending, so every
+    // bucket lists ri in ascending order — exactly the serial build. The
+    // partition count changes only task granularity, never contents.
+    size_t rn = right.rows.size();
+    std::vector<std::optional<Row>> keys(rn);  // nullopt = NULL key
+    std::vector<size_t> key_hashes(rn, 0);
+    auto key_span = [&](size_t lo, size_t hi, size_t) -> Status {
+      for (size_t ri = lo; ri < hi; ++ri) {
+        EvalContext ctx{&bq, &right.rows[ri], nullptr};
+        Row key;
+        key.reserve(pj.right_keys.size());
+        bool null_key = false;
+        for (const Expr* e : pj.right_keys) {
+          DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
+          if (v.is_null()) {
+            null_key = true;
+            break;
+          }
+          key.push_back(std::move(v));
         }
-        key.push_back(std::move(v));
+        if (null_key) continue;  // SQL: NULL keys never join
+        key_hashes[ri] = RowHash()(key);
+        keys[ri] = std::move(key);
       }
-      if (null_key) continue;  // SQL: NULL keys never join
-      build[std::move(key)].push_back(ri);
+      return Status::OK();
+    };
+    size_t build_morsels = MorselCount(rn);
+    if (build_morsels > 1) {
+      DL_RETURN_NOT_OK(RunMorsels(build_morsels, rn, key_span, &join_cpu_us));
+    } else {
+      DL_RETURN_NOT_OK(key_span(0, rn, 0));
     }
-    for (size_t li = 0; li < left.rows.size(); ++li) {
-      EvalContext ctx{&bq, &left.rows[li], nullptr};
-      Row key;
-      key.reserve(pj.left_keys.size());
-      bool null_key = false;
-      for (const Expr* e : pj.left_keys) {
-        DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
-        if (v.is_null()) {
-          null_key = true;
-          break;
+
+    size_t parts =
+        build_morsels > 1
+            ? std::min<size_t>(options_.scheduler->num_threads() + 1, 16)
+            : 1;
+    std::vector<std::unordered_map<Row, std::vector<size_t>, RowHash>> build(
+        parts);
+    auto build_part = [&](size_t p) {
+      for (size_t ri = 0; ri < rn; ++ri) {
+        if (!keys[ri].has_value()) continue;
+        if (key_hashes[ri] % parts != p) continue;
+        build[p][std::move(*keys[ri])].push_back(ri);
+      }
+    };
+    if (parts > 1) {
+      options_.scheduler->ParallelFor(parts, build_part);
+    } else {
+      build_part(0);
+    }
+    size_t build_entries = 0;
+    for (const auto& part : build) build_entries += part.size();
+
+    auto probe_span = [&](size_t lo, size_t hi, Intermediate* frag) -> Status {
+      for (size_t li = lo; li < hi; ++li) {
+        EvalContext ctx{&bq, &left.rows[li], nullptr};
+        Row key;
+        key.reserve(pj.left_keys.size());
+        bool null_key = false;
+        for (const Expr* e : pj.left_keys) {
+          DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
+          if (v.is_null()) {
+            null_key = true;
+            break;
+          }
+          key.push_back(std::move(v));
         }
-        key.push_back(std::move(v));
+        if (null_key) continue;
+        const auto& part = build[parts == 1 ? 0 : RowHash()(key) % parts];
+        auto it = part.find(key);
+        if (it == part.end()) continue;
+        for (size_t ri : it->second) {
+          DL_RETURN_NOT_OK(emit(li, ri, frag));
+        }
       }
-      if (null_key) continue;
-      auto it = build.find(key);
-      if (it == build.end()) continue;
-      for (size_t ri : it->second) {
-        DL_RETURN_NOT_OK(emit(li, ri));
-      }
+      return Status::OK();
+    };
+    size_t probe_morsels = MorselCount(left.rows.size());
+    if (probe_morsels > 1) {
+      std::vector<Intermediate> frags(probe_morsels);
+      DL_RETURN_NOT_OK(RunMorsels(
+          probe_morsels, left.rows.size(),
+          [&](size_t lo, size_t hi, size_t m) {
+            return probe_span(lo, hi, &frags[m]);
+          },
+          &join_cpu_us));
+      for (Intermediate& frag : frags) AppendFragment(&out, std::move(frag));
+    } else {
+      DL_RETURN_NOT_OK(probe_span(0, left.rows.size(), &out));
     }
     if (profiling_) {
       OperatorProfile& op =
           RecordOp(join_label(), prof_start,
                    left.rows.size() + right.rows.size(), out.rows.size());
-      op.peak_hash_entries = build.size();
+      op.peak_hash_entries = build_entries;
       op.est_rows = pj.est_rows;
+      op.morsels = (build_morsels > 1 ? build_morsels : 0) +
+                   (probe_morsels > 1 ? probe_morsels : 0);
+      if (parts > 1) op.partitions = parts;
+      op.par_cpu_us = join_cpu_us;
     }
     return out;
   }
 
-  // Nested loop (cross product with residual filters).
-  for (size_t li = 0; li < left.rows.size(); ++li) {
-    for (size_t ri = 0; ri < right.rows.size(); ++ri) {
-      DL_RETURN_NOT_OK(emit(li, ri));
+  // Nested loop (cross product with residual filters), morselized over the
+  // left side: each morsel is a contiguous li range, so concatenating
+  // fragments in morsel order reproduces the serial (li, ri) emission order.
+  auto nl_span = [&](size_t lo, size_t hi, Intermediate* frag) -> Status {
+    for (size_t li = lo; li < hi; ++li) {
+      for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+        DL_RETURN_NOT_OK(emit(li, ri, frag));
+      }
     }
+    return Status::OK();
+  };
+  size_t nl_morsels = MorselCount(left.rows.size());
+  if (nl_morsels > 1) {
+    std::vector<Intermediate> frags(nl_morsels);
+    DL_RETURN_NOT_OK(RunMorsels(
+        nl_morsels, left.rows.size(),
+        [&](size_t lo, size_t hi, size_t m) {
+          return nl_span(lo, hi, &frags[m]);
+        },
+        &join_cpu_us));
+    for (Intermediate& frag : frags) AppendFragment(&out, std::move(frag));
+  } else {
+    DL_RETURN_NOT_OK(nl_span(0, left.rows.size(), &out));
   }
   if (profiling_) {
     OperatorProfile& op =
         RecordOp(join_label(), prof_start,
                  left.rows.size() + right.rows.size(), out.rows.size());
     op.est_rows = pj.est_rows;
+    op.morsels = nl_morsels > 1 ? nl_morsels : 0;
+    op.par_cpu_us = join_cpu_us;
   }
   return out;
 }
@@ -633,31 +811,63 @@ void PlanExecutor::RestoreInputOrder(const PhysicalMember& pm,
 Result<QueryResult> PlanExecutor::ProjectUngrouped(const BoundQuery& bq,
                                                    Intermediate input) {
   double prof_start = profiling_ ? ProfNowUs() : 0;
+  double cpu_us = 0;
   QueryResult result;
   result.schema = bq.output_schema;
-  result.rows.reserve(input.rows.size());
-  for (size_t i = 0; i < input.rows.size(); ++i) {
-    EvalContext ctx{&bq, &input.rows[i], nullptr};
-    Row out;
-    out.reserve(bq.output_columns.size());
-    for (const OutputColumn& col : bq.output_columns) {
-      if (col.expr != nullptr) {
-        DL_ASSIGN_OR_RETURN(Value v, Eval(*col.expr, ctx));
-        out.push_back(std::move(v));
-      } else {
-        out.push_back(input.rows[i][col.slot]);
+
+  // Row-wise and side-effect-free, so morsels fill disjoint fragments (a
+  // morsel normalizes and moves only its own rows' lineage) and
+  // concatenate in morsel order.
+  auto project_span = [&](size_t lo, size_t hi, std::vector<Row>* rows,
+                          std::vector<LineageSet>* lineage) -> Status {
+    for (size_t i = lo; i < hi; ++i) {
+      EvalContext ctx{&bq, &input.rows[i], nullptr};
+      Row out;
+      out.reserve(bq.output_columns.size());
+      for (const OutputColumn& col : bq.output_columns) {
+        if (col.expr != nullptr) {
+          DL_ASSIGN_OR_RETURN(Value v, Eval(*col.expr, ctx));
+          out.push_back(std::move(v));
+        } else {
+          out.push_back(input.rows[i][col.slot]);
+        }
+      }
+      rows->push_back(std::move(out));
+      if (options_.capture_lineage) {
+        NormalizeLineage(&input.lineage[i]);
+        lineage->push_back(std::move(input.lineage[i]));
       }
     }
-    result.rows.push_back(std::move(out));
-    if (options_.capture_lineage) {
-      NormalizeLineage(&input.lineage[i]);
-      result.lineage.push_back(std::move(input.lineage[i]));
+    return Status::OK();
+  };
+
+  size_t morsels = MorselCount(input.rows.size());
+  if (morsels > 1) {
+    std::vector<std::vector<Row>> row_frags(morsels);
+    std::vector<std::vector<LineageSet>> lineage_frags(morsels);
+    DL_RETURN_NOT_OK(RunMorsels(
+        morsels, input.rows.size(),
+        [&](size_t lo, size_t hi, size_t m) {
+          return project_span(lo, hi, &row_frags[m], &lineage_frags[m]);
+        },
+        &cpu_us));
+    for (size_t m = 0; m < morsels; ++m) {
+      for (Row& r : row_frags[m]) result.rows.push_back(std::move(r));
+      for (LineageSet& l : lineage_frags[m]) {
+        result.lineage.push_back(std::move(l));
+      }
     }
+  } else {
+    result.rows.reserve(input.rows.size());
+    DL_RETURN_NOT_OK(project_span(0, input.rows.size(), &result.rows,
+                                  &result.lineage));
   }
   if (profiling_) {
-    RecordOp("project " + std::to_string(bq.output_columns.size()) +
-                 " columns",
-             prof_start, input.rows.size(), result.rows.size());
+    OperatorProfile& op = RecordOp(
+        "project " + std::to_string(bq.output_columns.size()) + " columns",
+        prof_start, input.rows.size(), result.rows.size());
+    op.morsels = morsels > 1 ? morsels : 0;
+    op.par_cpu_us = cpu_us;
   }
   return result;
 }
@@ -665,6 +875,7 @@ Result<QueryResult> PlanExecutor::ProjectUngrouped(const BoundQuery& bq,
 Result<QueryResult> PlanExecutor::ProjectGrouped(const BoundQuery& bq,
                                                  Intermediate input) {
   double prof_start = profiling_ ? ProfNowUs() : 0;
+  double cpu_us = 0;
   const SelectStmt& stmt = *bq.stmt;
 
   struct GroupState {
@@ -673,8 +884,13 @@ Result<QueryResult> PlanExecutor::ProjectGrouped(const BoundQuery& bq,
     LineageSet lineage;
   };
 
-  std::unordered_map<Row, GroupState, RowHash> groups;
-  std::vector<const Row*> group_order;  // deterministic output order
+  /// Hash table + first-appearance order — one per morsel when parallel,
+  /// merged in morsel order so representatives, group order, and lineage
+  /// sequences all match the serial single-pass build.
+  struct GroupAcc {
+    std::unordered_map<Row, GroupState, RowHash> groups;
+    std::vector<const Row*> group_order;  // deterministic output order
+  };
 
   auto new_group_state = [&](const Row& representative) {
     GroupState state;
@@ -686,46 +902,99 @@ Result<QueryResult> PlanExecutor::ProjectGrouped(const BoundQuery& bq,
     return state;
   };
 
-  for (size_t i = 0; i < input.rows.size(); ++i) {
-    EvalContext ctx{&bq, &input.rows[i], nullptr};
-    Row key;
-    key.reserve(stmt.group_by.size());
-    for (const ExprPtr& e : stmt.group_by) {
-      DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
-      key.push_back(std::move(v));
-    }
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    if (inserted) {
-      it->second = new_group_state(input.rows[i]);
-      group_order.push_back(&it->first);
-    }
-    GroupState& state = it->second;
-    for (size_t a = 0; a < bq.aggregates.size(); ++a) {
-      const FuncCallExpr* spec = bq.aggregates[a];
-      if (spec->star) {
-        state.accumulators[a].AddStarRow();
-      } else {
-        DL_ASSIGN_OR_RETURN(Value v, Eval(*spec->args[0], ctx));
-        DL_RETURN_NOT_OK(state.accumulators[a].Add(v));
+  auto accumulate_span = [&](size_t lo, size_t hi, GroupAcc* acc) -> Status {
+    for (size_t i = lo; i < hi; ++i) {
+      EvalContext ctx{&bq, &input.rows[i], nullptr};
+      Row key;
+      key.reserve(stmt.group_by.size());
+      for (const ExprPtr& e : stmt.group_by) {
+        DL_ASSIGN_OR_RETURN(Value v, Eval(*e, ctx));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] = acc->groups.try_emplace(std::move(key));
+      if (inserted) {
+        it->second = new_group_state(input.rows[i]);
+        acc->group_order.push_back(&it->first);
+      }
+      GroupState& state = it->second;
+      for (size_t a = 0; a < bq.aggregates.size(); ++a) {
+        const FuncCallExpr* spec = bq.aggregates[a];
+        if (spec->star) {
+          state.accumulators[a].AddStarRow();
+        } else {
+          DL_ASSIGN_OR_RETURN(Value v, Eval(*spec->args[0], ctx));
+          DL_RETURN_NOT_OK(state.accumulators[a].Add(v));
+        }
+      }
+      if (options_.capture_lineage) {
+        MergeLineage(&state.lineage, input.lineage[i]);
       }
     }
-    if (options_.capture_lineage) {
-      MergeLineage(&state.lineage, input.lineage[i]);
+    return Status::OK();
+  };
+
+  GroupAcc acc;
+  size_t morsels = MorselCount(input.rows.size());
+  size_t partials_merged = 0;
+  if (morsels > 1) {
+    std::vector<GroupAcc> partials(morsels);
+    DL_RETURN_NOT_OK(RunMorsels(
+        morsels, input.rows.size(),
+        [&](size_t lo, size_t hi, size_t m) {
+          return accumulate_span(lo, hi, &partials[m]);
+        },
+        &cpu_us));
+    // Merge in morsel order: a group's representative, position in
+    // group_order, and lineage sequence all come from its earliest morsel
+    // — the same row serial processing would have picked. A merge an
+    // accumulator cannot prove exact (float partial sums) abandons the
+    // partials and redoes the whole aggregation serially; `input` was only
+    // read, so the redo sees exactly what the serial path would have.
+    bool merged = true;
+    for (GroupAcc& partial : partials) {
+      if (!merged) break;
+      for (const Row* key : partial.group_order) {
+        GroupState& src = partial.groups.find(*key)->second;
+        auto [it, inserted] = acc.groups.try_emplace(*key);
+        if (inserted) {
+          it->second = std::move(src);
+          acc.group_order.push_back(&it->first);
+          continue;
+        }
+        GroupState& dst = it->second;
+        for (size_t a = 0; a < dst.accumulators.size() && merged; ++a) {
+          if (!dst.accumulators[a].MergeFrom(src.accumulators[a])) {
+            merged = false;
+          }
+        }
+        if (!merged) break;
+        if (options_.capture_lineage) {
+          MergeLineage(&dst.lineage, src.lineage);
+        }
+      }
     }
+    if (merged) {
+      partials_merged = morsels;
+    } else {
+      acc = GroupAcc{};
+      DL_RETURN_NOT_OK(accumulate_span(0, input.rows.size(), &acc));
+    }
+  } else {
+    DL_RETURN_NOT_OK(accumulate_span(0, input.rows.size(), &acc));
   }
 
   // A global aggregate (no GROUP BY) over empty input still forms one group.
-  if (groups.empty() && stmt.group_by.empty()) {
+  if (acc.groups.empty() && stmt.group_by.empty()) {
     Row key;
-    auto [it, inserted] = groups.try_emplace(std::move(key));
+    auto [it, inserted] = acc.groups.try_emplace(std::move(key));
     it->second = new_group_state(Row(bq.total_slots, Value::Null()));
-    group_order.push_back(&it->first);
+    acc.group_order.push_back(&it->first);
   }
 
   QueryResult result;
   result.schema = bq.output_schema;
-  for (const Row* key : group_order) {
-    GroupState& state = groups.find(*key)->second;
+  for (const Row* key : acc.group_order) {
+    GroupState& state = acc.groups.find(*key)->second;
     std::unordered_map<const Expr*, Value> agg_values;
     for (size_t a = 0; a < bq.aggregates.size(); ++a) {
       DL_ASSIGN_OR_RETURN(Value v, state.accumulators[a].Finish());
@@ -758,7 +1027,9 @@ Result<QueryResult> PlanExecutor::ProjectGrouped(const BoundQuery& bq,
             " group keys, " + std::to_string(bq.aggregates.size()) +
             " aggregates]",
         prof_start, input.rows.size(), result.rows.size());
-    op.peak_hash_entries = groups.size();
+    op.peak_hash_entries = acc.groups.size();
+    op.morsels = partials_merged;
+    op.par_cpu_us = cpu_us;
   }
   return result;
 }

@@ -7,11 +7,18 @@
 
 #include "analysis/bound_query.h"
 #include "common/result.h"
+#include "common/task_scheduler.h"
 #include "exec/query_result.h"
 #include "plan/physical.h"
 #include "storage/catalog_view.h"
 
 namespace datalawyer {
+
+/// True when DL_DISABLE_MORSEL=1 (or any non-empty, non-"0" value) is set:
+/// morsel-driven execution is forced off process-wide and every plan runs
+/// serially regardless of ExecOptions. Mirrors DL_DISABLE_OPTIMIZER /
+/// DL_DISABLE_INCREMENTAL; read once and cached.
+bool MorselExecutionDisabledByEnv();
 
 /// Execution knobs.
 struct ExecOptions {
@@ -30,6 +37,19 @@ struct ExecOptions {
   /// affects which plan the facade Executor builds; results are identical.
   /// DL_DISABLE_STATS_COSTING=1 forces false process-wide.
   bool enable_stats_costing = true;
+
+  /// Work-stealing scheduler for morsel-driven intra-plan parallelism;
+  /// nullptr (or a zero-thread scheduler, or DL_DISABLE_MORSEL=1) keeps
+  /// every operator serial. The scheduler is shared with the policy
+  /// fan-out and must outlive the executor. Results are byte-identical to
+  /// serial execution: fragments are merged in deterministic morsel order,
+  /// and any merge that cannot be proven exact (float partial sums) redoes
+  /// the operator serially.
+  TaskScheduler* scheduler = nullptr;
+
+  /// Rows per morsel. A fragment shorter than two morsels is not worth a
+  /// dispatch and runs serially.
+  size_t morsel_size = 1024;
 };
 
 /// Access-path counters of one Run/Execute call (aggregated per query into
@@ -39,6 +59,7 @@ struct ScanStats {
   size_t index_hits = 0;    ///< scans answered by an index instead of a walk
   size_t range_probes = 0;  ///< range conjuncts probed against an ordered index
   size_t range_hits = 0;    ///< scans answered by an ordered-index range probe
+  size_t morsels = 0;       ///< morsels dispatched by parallel operators
 };
 
 /// Runtime counters for one physical operator, collected in execution order
@@ -60,6 +81,14 @@ struct OperatorProfile {
   /// renders "est N" next to the actual rows); < 0 when the plan carried
   /// no estimate.
   double est_rows = -1;
+  /// Morsels this operator dispatched to the scheduler (0 = it ran
+  /// serially), hash-build partitions (parallel hash join only), and the
+  /// summed per-morsel execution time. wall_us < par_cpu_us means the
+  /// morsels overlapped; the ratio is the operator's effective
+  /// parallelism.
+  size_t morsels = 0;
+  size_t partitions = 0;
+  double par_cpu_us = 0;
 };
 
 /// Renders profiled operators one per line, annotated with their counters,
@@ -133,6 +162,26 @@ class PlanExecutor {
 
   /// Index into base_relations_ for `name`, interning it if new.
   uint32_t InternRelation(const std::string& name);
+
+  /// True when a scheduler with workers is attached and morsel execution
+  /// is not disabled by DL_DISABLE_MORSEL.
+  bool MorselsEnabled() const;
+  /// Number of morsels an n-row fragment splits into: 1 (serial — morsels
+  /// disabled or the fragment fits in one morsel) or >= 2.
+  size_t MorselCount(size_t n) const;
+  /// Dispatches `span` over `morsels` fixed-size morsels of [0, n), waits,
+  /// and returns the first failing morsel's status (== the serial first
+  /// error: earlier morsels are clean and spans stop at their first bad
+  /// row). Adds the morsel count to scan_stats_ and, when profiling,
+  /// accumulates per-morsel time into *cpu_us.
+  Status RunMorsels(size_t morsels, size_t n,
+                    const std::function<Status(size_t lo, size_t hi,
+                                               size_t m)>& span,
+                    double* cpu_us);
+  /// Moves a morsel fragment onto the end of `dst` (rows, lineage, order —
+  /// fragments concatenate in morsel order, which is what keeps parallel
+  /// output byte-identical to serial).
+  void AppendFragment(Intermediate* dst, Intermediate&& src) const;
 
   /// Steady-clock microseconds for operator timing; only called when
   /// profiling is on.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <thread>
 
 #include "core/datalawyer.h"
 #include "workload/mimic.h"
@@ -250,6 +251,62 @@ TEST(DataLawyerOptionsTest, Section6DevicePolicy) {
   EXPECT_FALSE(dl.Execute(broad, mobile).ok());
   EXPECT_TRUE(dl.Execute(broad, desktop).ok());
   EXPECT_TRUE(dl.Execute(PaperQueries::W1(), mobile).ok());
+}
+
+// Regression: negative or absurd thread counts are misconfigurations, not
+// crashes. ClampThreadCounts repairs the fields in place and reports every
+// adjustment; DataLawyer applies the same clamp on construction and
+// set_options, so a pool can never be sized from a negative int converted
+// to size_t.
+TEST(DataLawyerOptionsTest, ThreadCountsAreClamped) {
+  unsigned hw = std::thread::hardware_concurrency();
+  int max_threads = int(hw == 0 ? 1 : hw);
+
+  // Direct call: every out-of-range field is named in the warning.
+  DataLawyerOptions bad;
+  bad.policy_threads = -3;
+  bad.exec_threads = 1 << 20;  // a likely unit error, far past any machine
+  bad.morsel_size = 0;
+  Status warn = bad.ClampThreadCounts();
+  EXPECT_FALSE(warn.ok());
+  EXPECT_NE(warn.ToString().find("policy_threads"), std::string::npos);
+  EXPECT_NE(warn.ToString().find("exec_threads"), std::string::npos);
+  EXPECT_NE(warn.ToString().find("morsel_size"), std::string::npos);
+  EXPECT_EQ(bad.policy_threads, 0);
+  EXPECT_EQ(bad.exec_threads, max_threads);
+  EXPECT_EQ(bad.morsel_size, size_t(1));
+
+  // In-range values pass through untouched with an OK status.
+  DataLawyerOptions good;
+  good.policy_threads = max_threads;
+  good.exec_threads = 0;
+  EXPECT_TRUE(good.ClampThreadCounts().ok());
+  EXPECT_EQ(good.policy_threads, max_threads);
+  EXPECT_EQ(good.exec_threads, 0);
+
+  // Construction clamps silently and the instance still enforces.
+  Database db;
+  ASSERT_TRUE(LoadMimicData(&db, MimicConfig::Tiny()).ok());
+  DataLawyerOptions absurd;
+  absurd.policy_threads = -7;
+  absurd.exec_threads = 1 << 20;
+  absurd.morsel_size = 0;
+  DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                std::make_unique<ManualClock>(0, 10), absurd);
+  EXPECT_EQ(dl.options().policy_threads, 0);
+  EXPECT_EQ(dl.options().exec_threads, max_threads);
+  EXPECT_EQ(dl.options().morsel_size, size_t(1));
+  ASSERT_TRUE(dl.AddPolicy("p2", PaperPolicies::P2()).ok());
+  QueryContext ctx;
+  ctx.uid = 1;
+  EXPECT_TRUE(dl.Execute(PaperQueries::W1(), ctx).ok());
+
+  // set_options re-applies the clamp.
+  absurd.policy_threads = 1 << 20;
+  absurd.exec_threads = -1;
+  dl.set_options(absurd);
+  EXPECT_EQ(dl.options().policy_threads, max_threads);
+  EXPECT_EQ(dl.options().exec_threads, 0);
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "common/task_scheduler.h"
 #include "core/datalawyer.h"
+#include "exec/plan_executor.h"
 #include "policy/incremental.h"
 #include "workload/mimic.h"
 #include "workload/paper_policies.h"
@@ -47,6 +49,7 @@ struct Trace {
   std::string log_dump;                // all persisted log rows after Flush
   std::string decision_dump;           // decision store, timing-free fields
   uint64_t incremental_hits = 0;       // verdicts served from state
+  uint64_t morsels = 0;                // plan morsels dispatched
 };
 
 /// Deterministic projection of the decision store: everything except wall
@@ -103,6 +106,7 @@ Trace RunScenario(DataLawyerOptions options, const std::vector<Step>& steps) {
     }
     trace.decisions.push_back(std::move(decision));
     trace.incremental_hits += dl.last_stats().incremental_hits;
+    trace.morsels += dl.last_stats().morsels;
   }
 
   trace.decision_dump = DumpDecisions(dl.decision_store());
@@ -201,6 +205,97 @@ TEST(ParallelDeterminismTest, IncrementalStateIsThreadInvisible) {
   EXPECT_EQ(full.decisions, serial.decisions);
   EXPECT_EQ(full.log_dump, serial.log_dump);
   EXPECT_EQ(full.decision_dump, serial.decision_dump);
+}
+
+// Morsel-driven plan execution must be invisible too: for every
+// exec_threads x morsel_size combination, decisions, messages, persisted
+// log bytes, and the decision-store projection (witness rows included)
+// must match the serial run. Incremental evaluation is pinned off so
+// every policy verdict actually runs its plan (otherwise most statements
+// would be answered from state and the property would be near-vacuous).
+TEST(ParallelDeterminismTest, MorselExecutionIsInvisible) {
+  std::vector<Step> steps = Scenario(29);
+
+  DataLawyerOptions base = DataLawyerOptions::AllOptimizations();
+  base.strategy = EvalStrategy::kSerial;
+  base.enable_unification = false;
+  base.enable_incremental_eval = false;
+  base.policy_threads = 0;
+  base.exec_threads = 0;
+  Trace serial = RunScenario(base, steps);
+  EXPECT_EQ(serial.morsels, 0u);  // no scheduler, no dispatch
+
+  for (int threads : {1, 4, 8}) {
+    for (size_t morsel_size : {size_t(1), size_t(64), size_t(1024)}) {
+      DataLawyerOptions options = base;
+      options.exec_threads = threads;
+      options.morsel_size = morsel_size;
+      Trace morsel = RunScenario(options, steps);
+      EXPECT_EQ(morsel.decisions, serial.decisions)
+          << "exec_threads " << threads << " morsel_size " << morsel_size;
+      EXPECT_EQ(morsel.log_dump, serial.log_dump)
+          << "exec_threads " << threads << " morsel_size " << morsel_size;
+      EXPECT_EQ(morsel.decision_dump, serial.decision_dump)
+          << "exec_threads " << threads << " morsel_size " << morsel_size;
+      // Single-row morsels force even the tiny workload tables to split,
+      // so the path demonstrably ran (unless the kill switch is set, in
+      // which case the equalities above checked serial against serial).
+      if (morsel_size == 1 && !MorselExecutionDisabledByEnv()) {
+        EXPECT_GT(morsel.morsels, 0u) << "exec_threads " << threads;
+      }
+    }
+  }
+
+  // Policy fan-out and morsel execution composed: policy tasks split
+  // their own plans into morsels on the same scheduler.
+  DataLawyerOptions both = base;
+  both.policy_threads = 4;
+  both.exec_threads = 4;
+  both.morsel_size = 1;
+  Trace composed = RunScenario(both, steps);
+  EXPECT_EQ(composed.decisions, serial.decisions);
+  EXPECT_EQ(composed.log_dump, serial.log_dump);
+  EXPECT_EQ(composed.decision_dump, serial.decision_dump);
+}
+
+// A task already running on a worker can itself call ParallelFor — the
+// nested loop's helpers go onto the worker's own deque (stolen by idle
+// peers) and the claim-counter design means whoever calls ParallelFor
+// participates, so the nesting can never deadlock even with one worker.
+TEST(ParallelDeterminismTest, NestedParallelForInsideTask) {
+  TaskScheduler scheduler(2);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 64;
+  std::vector<std::vector<int>> cells(kOuter, std::vector<int>(kInner, 0));
+  std::vector<std::future<void>> tasks;
+  for (size_t o = 0; o < kOuter; ++o) {
+    tasks.push_back(scheduler.Submit([&scheduler, &cells, o] {
+      scheduler.ParallelFor(
+          kInner, [&cells, o](size_t i) { cells[o][i] = int(o * kInner + i); });
+    }));
+  }
+  for (std::future<void>& t : tasks) t.get();
+  for (size_t o = 0; o < kOuter; ++o) {
+    for (size_t i = 0; i < kInner; ++i) {
+      ASSERT_EQ(cells[o][i], int(o * kInner + i));
+    }
+  }
+  EXPECT_GE(scheduler.tasks_executed(0) + scheduler.tasks_executed(1),
+            kOuter);  // the outer tasks all ran on workers
+}
+
+// A zero-thread scheduler is a valid serial executor: Submit runs inline,
+// ParallelFor degrades to a plain loop, and an executor handed such a
+// scheduler keeps every operator serial (MorselsEnabled is false).
+TEST(ParallelDeterminismTest, ZeroThreadSchedulerRunsInline) {
+  TaskScheduler scheduler(0);
+  EXPECT_EQ(scheduler.num_threads(), 0u);
+  std::future<int> f = scheduler.Submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+  std::vector<int> marks(100, 0);
+  scheduler.ParallelFor(marks.size(), [&](size_t i) { marks[i] = 1; });
+  for (int m : marks) EXPECT_EQ(m, 1);
+  EXPECT_EQ(scheduler.steals(), 0u);
 }
 
 TEST(ParallelDeterminismTest, ParallelAndAsyncCompactionAgree) {
