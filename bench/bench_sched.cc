@@ -1,0 +1,170 @@
+// Scheduler telemetry bench: fixed vs adaptive morsel sizing on one
+// expensive plan.
+//
+// Runs the paper's W4 (a 650-patient range join+aggregate over
+// chartevents) repeatedly at exec_threads=4 under two configurations:
+//
+//   fixed    — adaptive_morsel_size off; every fragment splits at the
+//              static morsel_size (1024 rows).
+//   adaptive — adaptive_morsel_size on; per-operator-class morsel timing
+//              feedback retunes the split toward ~500µs per morsel
+//              between queries.
+//
+// Both cells must produce rows byte-identical to a serial run — adaptive
+// sizing changes *when* workers see rows, never *what* comes out — and
+// that check is a hard failure regardless of core count. The
+// adaptive-no-worse timing assertion only runs on machines with >= 4
+// hardware threads: thread counts clamp to hardware_concurrency, so on a
+// single-core runner both cells degenerate to one worker measuring
+// dispatch overhead. That fallback is printed, not silent.
+//
+// Alongside the per-query phase timings, each cell prints the scheduler's
+// telemetry rollup (morsels, steals, queue-wait) so a BENCH log shows what
+// the feedback loop actually did to dispatch granularity.
+//
+// Emits BENCH_sched.json (via EmitJson) for bench/compare_baseline.py.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace datalawyer {
+namespace bench {
+namespace {
+
+int Repeats() { return SmokeMode() ? 8 : 16; }
+
+DataLawyerOptions CellOptions(bool adaptive) {
+  DataLawyerOptions options = DataLawyerOptions::AllOptimizations();
+  options.policy_threads = 0;  // no policies: query_exec_ms isolates the plan
+  options.exec_threads = 4;
+  options.adaptive_morsel_size = adaptive;
+  options.enable_log_compaction = false;
+  options.enable_preemptive_compaction = false;
+  return options;
+}
+
+struct CellResult {
+  std::vector<ExecutionStats> stats;  // one per repeat
+  double query_ms = 0;                // summed user-query execution time
+  size_t morsels = 0;
+  size_t steals = 0;
+  uint64_t queue_wait_us = 0;
+  std::string result_dump;  // rendered rows, order included
+};
+
+/// One cell: W4 repeated with the given options; the first repeat's rows
+/// are rendered for the byte-identity cross-check.
+CellResult RunCell(Database* db, const DataLawyerOptions& options) {
+  auto dl = MakeSystem(db, options);
+  CellResult out;
+  int n = Repeats();
+  for (int q = 0; q < n; ++q) {
+    QueryContext ctx;
+    ctx.uid = 0;
+    auto result = dl->Execute(PaperQueries::W4(), ctx);
+    if (!result.ok()) std::abort();
+    if (q == 0) {
+      for (const Row& row : result->rows) {
+        for (const Value& v : row) out.result_dump += v.ToString() + ",";
+        out.result_dump += "\n";
+      }
+    }
+    const ExecutionStats& stats = dl->last_stats();
+    out.query_ms += stats.query_exec_ms;
+    out.morsels += stats.morsels;
+    out.steals += stats.steals;
+    out.queue_wait_us += stats.queue_wait_us;
+    out.stats.push_back(stats);
+  }
+  if (options.adaptive_morsel_size && dl->adaptive_morsel_enabled()) {
+    std::printf("  feedback: %s\n", dl->morsel_feedback().Summary().c_str());
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace datalawyer
+
+int main() {
+  using namespace datalawyer;
+  using namespace datalawyer::bench;
+
+  unsigned hw = std::thread::hardware_concurrency();
+  int max_threads = int(hw == 0 ? 1 : hw);
+  bool multicore = max_threads >= 4;
+  std::printf(
+      "Scheduler telemetry: W4 x %d repeats at exec_threads=4 (%d hardware "
+      "threads; counts clamp there), fixed vs adaptive morsel sizing.\n\n",
+      Repeats(), max_threads);
+
+  Database db;
+  if (!LoadMimicData(&db, BenchConfig()).ok()) std::abort();
+
+  // Serial reference for the byte-identity check.
+  DataLawyerOptions serial = CellOptions(false);
+  serial.exec_threads = 0;
+  std::printf("serial reference:\n");
+  CellResult base = RunCell(&db, serial);
+  std::printf("%-10s %12s %10s %10s %14s\n", "cell", "query_ms", "morsels",
+              "steals", "queue_wait_us");
+  std::printf("%-10s %12.1f %10zu %10zu %14llu\n", "serial", base.query_ms,
+              base.morsels, base.steals,
+              (unsigned long long)base.queue_wait_us);
+  EmitJson("sched", "w4.serial", base.stats);
+
+  bool deterministic = true;
+  double fixed_ms = 0, adaptive_ms = 0;
+  for (bool adaptive : {false, true}) {
+    const char* label = adaptive ? "adaptive" : "fixed";
+    CellResult r = RunCell(&db, CellOptions(adaptive));
+    if (r.result_dump != base.result_dump) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE: %s cell produced different rows "
+                   "than serial\n",
+                   label);
+    }
+    (adaptive ? adaptive_ms : fixed_ms) = r.query_ms;
+    std::printf("%-10s %12.1f %10zu %10zu %14llu\n", label, r.query_ms,
+                r.morsels, r.steals, (unsigned long long)r.queue_wait_us);
+    EmitJson("sched", std::string("w4.") + label, r.stats);
+    std::fflush(stdout);
+  }
+
+  if (!deterministic) {
+    std::printf("\nFAIL: adaptive sizing changed query results\n");
+    return 1;
+  }
+
+  double ratio = fixed_ms > 0 ? adaptive_ms / fixed_ms : 0;
+  std::printf("\nadaptive/fixed wall-time ratio: %.2f\n", ratio);
+
+  if (!multicore) {
+    // Both cells clamped to one worker, so the comparison measured
+    // dispatch overhead, not the feedback loop steering real parallelism.
+    std::printf(
+        "PASS: rows byte-identical across cells (single-core fallback: %d "
+        "hardware threads, timing assertion skipped)\n",
+        max_threads);
+    return 0;
+  }
+  // Smoke-size runs are noisy; "no worse" means within 25% of fixed.
+  if (ratio > 1.25) {
+    std::printf(
+        "FAIL: adaptive sizing %.2fx slower than fixed at 4 workers on a "
+        "%d-thread machine (tolerance 1.25x)\n",
+        ratio, max_threads);
+    return 1;
+  }
+  std::printf(
+      "PASS: rows byte-identical across cells, adaptive within tolerance "
+      "(%.2fx of fixed)\n",
+      ratio);
+  return 0;
+}

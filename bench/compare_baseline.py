@@ -41,9 +41,15 @@ def load_records(path):
     for rec in data:
         key = (rec["bench"], rec["label"])
         if key in records:
-            raise ValueError(f"{path}: duplicate record {key}")
+            raise ValueError(
+                f"{path}: duplicate cell {rec['bench']}/{rec['label']}")
         records[key] = rec
     return records
+
+
+def cell_name(key):
+    """Human-readable cell name for a (bench, label) record key."""
+    return f"{key[0]}/{key[1]}"
 
 
 def compare_file(name, baseline_path, current_path, tolerance, floor_us):
@@ -60,26 +66,30 @@ def compare_file(name, baseline_path, current_path, tolerance, floor_us):
     missing = sorted(set(baseline) - set(current))
     extra = sorted(set(current) - set(baseline))
     for key in missing:
-        errors.append(f"{name}: record {key} missing from current run")
+        errors.append(
+            f"{name}: cell {cell_name(key)} missing from current run")
     for key in extra:
-        errors.append(f"{name}: unexpected record {key} (refresh baseline?)")
+        errors.append(
+            f"{name}: unexpected cell {cell_name(key)} (refresh baseline?)")
 
     for key in sorted(set(baseline) & set(current)):
         base_rec, cur_rec = baseline[key], current[key]
         base_phases = base_rec.get("phases_us", {})
         cur_phases = cur_rec.get("phases_us", {})
         if cur_rec.get("queries", 0) <= 0:
-            errors.append(f"{name}: record {key} ran zero queries")
+            errors.append(f"{name}: cell {cell_name(key)} ran zero queries")
             continue
         for phase, base_h in base_phases.items():
             if not isinstance(base_h, dict):
                 continue  # counters, if any ever appear
             cur_h = cur_phases.get(phase)
             if not isinstance(cur_h, dict):
-                errors.append(f"{name}: {key} lost phase '{phase}'")
+                errors.append(
+                    f"{name}: {cell_name(key)} lost phase '{phase}'")
                 continue
             if cur_h.get("count", 0) <= 0:
-                errors.append(f"{name}: {key} phase '{phase}' has no samples")
+                errors.append(f"{name}: {cell_name(key)} phase "
+                              f"'{phase}' has no samples")
                 continue
             base_p50, cur_p50 = base_h.get("p50", 0), cur_h.get("p50", 0)
             if base_p50 < floor_us:
@@ -87,7 +97,7 @@ def compare_file(name, baseline_path, current_path, tolerance, floor_us):
             ratio = cur_p50 / base_p50
             if ratio > tolerance or ratio < 1.0 / tolerance:
                 warnings.append(
-                    f"{name}: {key} phase '{phase}' p50 drifted "
+                    f"{name}: {cell_name(key)} phase '{phase}' p50 drifted "
                     f"{ratio:.2f}x (baseline {base_p50:.0f}us, "
                     f"current {cur_p50:.0f}us)")
     return errors, warnings

@@ -48,6 +48,9 @@ void PrintHelp() {
   \trace <file>           write the collected trace as Chrome JSON to <file>
   \metrics                phase-latency summary + Prometheus text exposition
   \top                    1s/10s/60s windowed rollups: QPS, reject rate, p50/p95
+  \workers                per-worker scheduler stats: tasks, steals, queue
+                          latency, busy/idle split, queue depth + watermark
+  \sched                  scheduler watchdog verdict + adaptive morsel sizing
   \why [n]                witness tuples + per-policy outcomes of the last
                           n (default 1) rejected queries
   \why <decision-id>      the same, for one decision by id (see \decisions)
@@ -89,6 +92,10 @@ int main(int argc, char** argv) {
 
   DataLawyerOptions options;
   options.enable_metrics = true;  // \metrics; one histogram update per query
+  // Morsel-parallel execution (results stay byte-identical to serial) so
+  // \workers and \sched have a live scheduler to report on.
+  options.exec_threads = 4;
+  (void)options.ClampThreadCounts();
   DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
                 std::make_unique<ManualClock>(0, 10), options);
   QueryContext ctx;
@@ -236,9 +243,70 @@ int main(int argc, char** argv) {
         std::printf("%s", MetricsRegistry::Global().SummaryText().c_str());
         std::string expo = MetricsRegistry::Global().ExposeText();
         RollupRegistry::Global().AppendExposition(&expo);
+        if (dl.scheduler() != nullptr) {
+          dl.scheduler()->AppendExposition(&expo);
+        }
         std::printf("%s", expo.c_str());
       } else if (cmd == "top") {
         std::printf("%s", RollupRegistry::Global().SummaryText().c_str());
+      } else if (cmd == "workers") {
+        const TaskScheduler* sched = dl.scheduler();
+        if (sched == nullptr) {
+          std::printf("scheduler not started (exec_threads=%zu; runs after "
+                      "the first checked query)\n",
+                      dl.options().exec_threads);
+          continue;
+        }
+        SchedulerSnapshot snap = sched->Snapshot();
+        std::printf("%zu workers, telemetry %s\n", snap.workers.size(),
+                    sched->telemetry_enabled() ? "on" : "off");
+        std::printf("%-8s %10s %8s %8s %12s %12s %12s %6s %6s\n", "worker",
+                    "executed", "stolen", "given", "qwait-us", "busy-us",
+                    "idle-us", "depth", "hwm");
+        for (const WorkerSnapshot& w : snap.workers) {
+          std::printf("%-8zu %10llu %8llu %8llu %12llu %12llu %12llu %6llu "
+                      "%6llu\n",
+                      w.index, (unsigned long long)w.executed,
+                      (unsigned long long)w.steals_taken,
+                      (unsigned long long)w.steals_given,
+                      (unsigned long long)w.queue_wait_us,
+                      (unsigned long long)w.busy_us,
+                      (unsigned long long)w.idle_us,
+                      (unsigned long long)w.queue_depth,
+                      (unsigned long long)w.queue_depth_hwm);
+        }
+        std::printf("%-8s %10llu %8llu %8s %12llu %12llu %12llu %6llu\n",
+                    "total", (unsigned long long)snap.executed,
+                    (unsigned long long)snap.steals, "",
+                    (unsigned long long)snap.queue_wait_us,
+                    (unsigned long long)snap.busy_us,
+                    (unsigned long long)snap.idle_us,
+                    (unsigned long long)snap.queued);
+      } else if (cmd == "sched") {
+        const TaskScheduler* sched = dl.scheduler();
+        if (sched == nullptr) {
+          std::printf("scheduler not started (exec_threads=%zu; runs after "
+                      "the first checked query)\n",
+                      dl.options().exec_threads);
+        } else {
+          SchedulerSnapshot snap = sched->Snapshot();
+          std::printf("executed %llu | steals %llu | queued %llu (oldest "
+                      "%lluus) | imbalance %.2f\n",
+                      (unsigned long long)snap.executed,
+                      (unsigned long long)snap.steals,
+                      (unsigned long long)snap.queued,
+                      (unsigned long long)snap.oldest_queued_age_us,
+                      snap.imbalance);
+          std::printf("watchdog: %llu starvation, %llu imbalance warnings\n",
+                      (unsigned long long)snap.starvation_warnings,
+                      (unsigned long long)snap.imbalance_warnings);
+          for (const std::string& w : snap.warnings) {
+            std::printf("  WARNING %s\n", w.c_str());
+          }
+        }
+        std::printf("adaptive morsel sizing: %s\n",
+                    dl.adaptive_morsel_enabled() ? "on" : "off");
+        std::printf("%s", dl.morsel_feedback().Summary().c_str());
       } else if (cmd == "why") {
         const DecisionStore& decisions = dl.decision_store();
         if (!decisions.enabled()) {

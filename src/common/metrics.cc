@@ -9,9 +9,7 @@
 
 namespace datalawyer {
 
-namespace {
-
-int BucketFor(double value) {
+int LogBucketFor(double value) {
   if (!(value >= 1)) return 0;  // also catches NaN and negatives
   int b = int(std::floor(std::log2(value))) + 1;
   if (b < 0) b = 0;
@@ -19,22 +17,8 @@ int BucketFor(double value) {
   return b;
 }
 
-std::string FormatNumber(double v) {
-  char buf[48];
-  if (v == std::floor(v) && std::fabs(v) < 1e15) {
-    std::snprintf(buf, sizeof(buf), "%.0f", v);
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-  }
-  return buf;
-}
-
-/// Quantile estimate over a log2 bucket array: nearest-rank to pick the
-/// bucket, midpoint convention inside it, clamped to [mn, mx]. The single
-/// implementation behind both Histogram::Percentile and the windowed
-/// rollups, so the two agree by construction.
-double PercentileFromBuckets(const uint64_t* buckets, int num_buckets,
-                             uint64_t n, double mn, double mx, double q) {
+double LogBucketPercentile(const uint64_t* buckets, int num_buckets,
+                           uint64_t n, double mn, double mx, double q) {
   if (n == 0) return 0;
   q = std::min(1.0, std::max(0.0, q));
   if (q <= 0.0) return mn;
@@ -64,12 +48,24 @@ double PercentileFromBuckets(const uint64_t* buckets, int num_buckets,
   return mx;
 }
 
+namespace {
+
+std::string FormatNumber(double v) {
+  char buf[48];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
 }  // namespace
 
 void Histogram::Observe(double value) {
   if (std::isnan(value)) return;
   if (value < 0) value = 0;
-  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  buckets_[LogBucketFor(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   if (!seen_any_) {
@@ -119,7 +115,7 @@ double Histogram::Percentile(double q) const {
     mn = min_;
     mx = max_;
   }
-  return PercentileFromBuckets(snapshot, kNumBuckets, n, mn, mx, q);
+  return LogBucketPercentile(snapshot, kNumBuckets, n, mn, mx, q);
 }
 
 void Histogram::Reset() {
@@ -314,6 +310,10 @@ void RollupRegistry::Slot::Clear(int64_t new_epoch) {
     min_v[p] = max_v[p] = 0;
     seen[p] = false;
   }
+  sched_morsels = 0;
+  sched_steals = 0;
+  sched_queue_wait_us = 0;
+  sched_busy_us = 0;
 }
 
 void RollupRegistry::Record(bool was_rejected,
@@ -334,7 +334,7 @@ void RollupRegistry::RecordAt(int64_t now_us, bool was_rejected,
     double v = phase_us[p];
     if (std::isnan(v)) v = 0;
     if (v < 0) v = 0;
-    slot.buckets[p][BucketFor(v)]++;
+    slot.buckets[p][LogBucketFor(v)]++;
     if (!slot.seen[p]) {
       slot.seen[p] = true;
       slot.min_v[p] = slot.max_v[p] = v;
@@ -343,6 +343,25 @@ void RollupRegistry::RecordAt(int64_t now_us, bool was_rejected,
       if (v > slot.max_v[p]) slot.max_v[p] = v;
     }
   }
+}
+
+void RollupRegistry::RecordSched(uint64_t morsels, uint64_t steals,
+                                 uint64_t queue_wait_us, uint64_t busy_us) {
+  RecordSchedAt(NowUs(), morsels, steals, queue_wait_us, busy_us);
+}
+
+void RollupRegistry::RecordSchedAt(int64_t now_us, uint64_t morsels,
+                                   uint64_t steals, uint64_t queue_wait_us,
+                                   uint64_t busy_us) {
+  int64_t epoch = now_us / 1000000;
+  if (epoch < 0) epoch = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[epoch % kNumSlots];
+  if (slot.epoch != epoch) slot.Clear(epoch);
+  slot.sched_morsels += morsels;
+  slot.sched_steals += steals;
+  slot.sched_queue_wait_us += queue_wait_us;
+  slot.sched_busy_us += busy_us;
 }
 
 RollupRegistry::WindowSnapshot RollupRegistry::Snapshot(int window_s) const {
@@ -364,6 +383,10 @@ RollupRegistry::WindowSnapshot RollupRegistry::SnapshotAt(
     if (slot.epoch < lo_epoch || slot.epoch > now_epoch) continue;
     snap.queries += slot.queries;
     snap.rejected += slot.rejected;
+    snap.sched_morsels += slot.sched_morsels;
+    snap.sched_steals += slot.sched_steals;
+    snap.sched_queue_wait_us += slot.sched_queue_wait_us;
+    snap.sched_busy_us += slot.sched_busy_us;
     for (int p = 0; p < kNumPhases; ++p) {
       if (!slot.seen[p]) continue;
       for (int b = 0; b < Histogram::kNumBuckets; ++b) {
@@ -384,9 +407,9 @@ RollupRegistry::WindowSnapshot RollupRegistry::SnapshotAt(
   }
   for (int p = 0; p < kNumPhases; ++p) {
     if (!seen[p]) continue;
-    snap.p50[p] = PercentileFromBuckets(merged[p], Histogram::kNumBuckets,
+    snap.p50[p] = LogBucketPercentile(merged[p], Histogram::kNumBuckets,
                                         snap.queries, mn[p], mx[p], 0.50);
-    snap.p95[p] = PercentileFromBuckets(merged[p], Histogram::kNumBuckets,
+    snap.p95[p] = LogBucketPercentile(merged[p], Histogram::kNumBuckets,
                                         snap.queries, mn[p], mx[p], 0.95);
   }
   return snap;
@@ -398,6 +421,10 @@ void RollupRegistry::AppendExposition(std::string* out) const {
   *out += "# TYPE dl_rollup_rejected gauge\n";
   *out += "# TYPE dl_rollup_rejection_rate gauge\n";
   *out += "# TYPE dl_rollup_phase_us gauge\n";
+  *out += "# TYPE dl_rollup_sched_morsels gauge\n";
+  *out += "# TYPE dl_rollup_sched_steals gauge\n";
+  *out += "# TYPE dl_rollup_sched_queue_wait_us gauge\n";
+  *out += "# TYPE dl_rollup_sched_busy_us gauge\n";
   for (int w : kWindowSeconds) {
     WindowSnapshot snap = SnapshotAt(now_us, w);
     std::string window = "{window=\"" + std::to_string(w) + "s\"";
@@ -407,6 +434,14 @@ void RollupRegistry::AppendExposition(std::string* out) const {
             FormatNumber(double(snap.rejected)) + "\n";
     *out += "dl_rollup_rejection_rate" + window + "} " +
             FormatNumber(snap.rejection_rate) + "\n";
+    *out += "dl_rollup_sched_morsels" + window + "} " +
+            FormatNumber(double(snap.sched_morsels)) + "\n";
+    *out += "dl_rollup_sched_steals" + window + "} " +
+            FormatNumber(double(snap.sched_steals)) + "\n";
+    *out += "dl_rollup_sched_queue_wait_us" + window + "} " +
+            FormatNumber(double(snap.sched_queue_wait_us)) + "\n";
+    *out += "dl_rollup_sched_busy_us" + window + "} " +
+            FormatNumber(double(snap.sched_busy_us)) + "\n";
     for (int p = 0; p < kNumPhases; ++p) {
       std::string labels =
           window + ",phase=\"" + PhaseName(p) + "\",quantile=\"";

@@ -11,6 +11,20 @@
 
 namespace datalawyer {
 
+/// Log2 bucket index for `value` in the shared 40-bucket layout used by
+/// Histogram, the rollup slots, and the morsel timing profiles: bucket b
+/// counts observations in [2^(b-1), 2^b); bucket 0 counts values < 1
+/// (including NaN and negatives).
+int LogBucketFor(double value);
+
+/// Quantile estimate over a log2 bucket array (nearest-rank bucket pick,
+/// midpoint convention inside it, clamped to the observed [mn, mx]). The
+/// single implementation behind Histogram::Percentile, the windowed
+/// rollups, and the per-operator morsel histograms, so they all agree by
+/// construction.
+double LogBucketPercentile(const uint64_t* buckets, int num_buckets,
+                           uint64_t n, double mn, double mx, double q);
+
 /// Monotonically increasing counter. Increment is one relaxed atomic add;
 /// safe from any thread, including ThreadPool workers.
 class Counter {
@@ -153,6 +167,11 @@ class RollupRegistry {
     double rejection_rate = 0;  ///< rejected / queries; 0 when idle
     double p50[kNumPhases] = {};
     double p95[kNumPhases] = {};
+    /// Scheduler-utilization aggregates over the window (see RecordSched).
+    uint64_t sched_morsels = 0;
+    uint64_t sched_steals = 0;
+    uint64_t sched_queue_wait_us = 0;
+    uint64_t sched_busy_us = 0;
   };
 
   RollupRegistry() = default;
@@ -164,6 +183,16 @@ class RollupRegistry {
   /// Deterministic-clock variant for tests.
   void RecordAt(int64_t now_us, bool rejected,
                 const double phase_us[kNumPhases]);
+
+  /// Records one query's scheduler utilization — morsel tasks run, steals
+  /// observed, summed submit-to-start latency, and parallel CPU time — into
+  /// the current one-second slot, so the trailing windows can answer "how
+  /// hard was the pool working over the last N seconds". Same locking
+  /// discipline as Record(): one mutex, once per checked query.
+  void RecordSched(uint64_t morsels, uint64_t steals, uint64_t queue_wait_us,
+                   uint64_t busy_us);
+  void RecordSchedAt(int64_t now_us, uint64_t morsels, uint64_t steals,
+                     uint64_t queue_wait_us, uint64_t busy_us);
 
   /// Merges the slots covering the trailing `window_s` seconds.
   WindowSnapshot Snapshot(int window_s) const;
@@ -197,6 +226,10 @@ class RollupRegistry {
     double min_v[kNumPhases] = {};
     double max_v[kNumPhases] = {};
     bool seen[kNumPhases] = {};
+    uint64_t sched_morsels = 0;
+    uint64_t sched_steals = 0;
+    uint64_t sched_queue_wait_us = 0;
+    uint64_t sched_busy_us = 0;
     void Clear(int64_t new_epoch);
   };
 

@@ -1,6 +1,10 @@
 #include "common/task_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/trace.h"
 
 namespace datalawyer {
 
@@ -13,7 +17,28 @@ struct WorkerIdentity {
   size_t index = 0;
 };
 thread_local WorkerIdentity tls_worker;
+
+/// Attribution group for tasks enqueued by this thread. Installed by
+/// ScopedTaskGroup on external threads and set/restored by WorkerLoop
+/// around each task, so nested submissions inherit the spawner's group.
+thread_local TaskGroupStats* tls_group = nullptr;
+
+/// Executed-task floor below which the imbalance watchdog stays quiet: a
+/// handful of tasks on a wide pool always looks imbalanced.
+constexpr uint64_t kImbalanceFloor = 64;
 }  // namespace
+
+uint64_t TaskScheduler::TelemetryNowUs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+TaskGroupStats* TaskScheduler::ExchangeCurrentGroup(TaskGroupStats* group) {
+  TaskGroupStats* prev = tls_group;
+  tls_group = group;
+  return prev;
+}
 
 TaskScheduler::TaskScheduler(size_t num_threads) {
   workers_.reserve(num_threads);
@@ -36,6 +61,15 @@ TaskScheduler::~TaskScheduler() {
 }
 
 void TaskScheduler::Enqueue(std::function<void()> task) {
+  Task entry;
+  entry.fn = std::move(task);
+  entry.group = tls_group;
+  if (telemetry_.load(std::memory_order_relaxed)) {
+    entry.enqueue_us = TelemetryNowUs();
+  }
+  if (entry.group != nullptr) {
+    entry.group->tasks.fetch_add(1, std::memory_order_relaxed);
+  }
   size_t target;
   bool own = tls_worker.scheduler == this;
   if (own) {
@@ -45,11 +79,18 @@ void TaskScheduler::Enqueue(std::function<void()> task) {
              workers_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    Worker& w = *workers_[target];
+    std::lock_guard<std::mutex> lock(w.mu);
     if (own) {
-      workers_[target]->deque.push_front(std::move(task));
+      w.deque.push_front(std::move(entry));
     } else {
-      workers_[target]->deque.push_back(std::move(task));
+      w.deque.push_back(std::move(entry));
+    }
+    uint64_t depth = w.deque.size();
+    w.stats.depth.store(depth, std::memory_order_relaxed);
+    if (depth > w.stats.depth_hwm.load(std::memory_order_relaxed)) {
+      // Monotone under w.mu: every writer to this slot holds the lock.
+      w.stats.depth_hwm.store(depth, std::memory_order_relaxed);
     }
   }
   pending_.fetch_add(1, std::memory_order_release);
@@ -62,14 +103,15 @@ void TaskScheduler::Enqueue(std::function<void()> task) {
   sleep_cv_.notify_one();
 }
 
-std::function<void()> TaskScheduler::NextTask(size_t self) {
+TaskScheduler::Task TaskScheduler::NextTask(size_t self) {
   // Own deque first, from the front (most recently pushed — LIFO).
   {
     Worker& w = *workers_[self];
     std::lock_guard<std::mutex> lock(w.mu);
     if (!w.deque.empty()) {
-      std::function<void()> task = std::move(w.deque.front());
+      Task task = std::move(w.deque.front());
       w.deque.pop_front();
+      w.stats.depth.store(w.deque.size(), std::memory_order_relaxed);
       pending_.fetch_sub(1, std::memory_order_relaxed);
       return task;
     }
@@ -77,13 +119,25 @@ std::function<void()> TaskScheduler::NextTask(size_t self) {
   // Steal from the back of the first non-empty victim (oldest task — the
   // one the owner would reach last).
   for (size_t k = 1; k < workers_.size(); ++k) {
-    Worker& v = *workers_[(self + k) % workers_.size()];
+    size_t victim = (self + k) % workers_.size();
+    Worker& v = *workers_[victim];
     std::lock_guard<std::mutex> lock(v.mu);
     if (!v.deque.empty()) {
-      std::function<void()> task = std::move(v.deque.back());
+      Task task = std::move(v.deque.back());
       v.deque.pop_back();
+      v.stats.depth.store(v.deque.size(), std::memory_order_relaxed);
       pending_.fetch_sub(1, std::memory_order_relaxed);
-      steals_.fetch_add(1, std::memory_order_relaxed);
+      workers_[self]->stats.steals_taken.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      v.stats.steals_given.fetch_add(1, std::memory_order_relaxed);
+      if (task.group != nullptr) {
+        task.group->steals.fetch_add(1, std::memory_order_relaxed);
+      }
+      Tracer& tracer = Tracer::Global();
+      if (tracer.enabled()) {
+        tracer.RecordInstant("steal:w" + std::to_string(victim), "sched",
+                             tracer.NowUs());
+      }
       return task;
     }
   }
@@ -92,19 +146,193 @@ std::function<void()> TaskScheduler::NextTask(size_t self) {
 
 void TaskScheduler::WorkerLoop(size_t index) {
   tls_worker = WorkerIdentity{this, index};
+  Tracer::Global().SetCurrentThreadName("worker-" + std::to_string(index));
+  WorkerStats& stats = workers_[index]->stats;
   for (;;) {
-    std::function<void()> task = NextTask(index);
+    Task task = NextTask(index);
     if (task) {
-      task();
-      workers_[index]->executed.fetch_add(1, std::memory_order_relaxed);
+      uint64_t start_us =
+          telemetry_.load(std::memory_order_relaxed) ? TelemetryNowUs() : 0;
+      if (start_us != 0 && task.enqueue_us != 0 &&
+          start_us > task.enqueue_us) {
+        uint64_t wait = start_us - task.enqueue_us;
+        stats.queue_waits.fetch_add(1, std::memory_order_relaxed);
+        stats.queue_wait_us.fetch_add(wait, std::memory_order_relaxed);
+        if (task.group != nullptr) {
+          task.group->queue_wait_us.fetch_add(wait,
+                                              std::memory_order_relaxed);
+        }
+      }
+      TaskGroupStats* prev_group = tls_group;
+      tls_group = task.group;
+      task.fn();
+      tls_group = prev_group;
+      stats.executed.fetch_add(1, std::memory_order_relaxed);
+      if (start_us != 0) {
+        stats.busy_us.fetch_add(TelemetryNowUs() - start_us,
+                                std::memory_order_relaxed);
+      }
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mu_);
-    sleep_cv_.wait(lock, [this]() {
-      return shutdown_ || pending_.load(std::memory_order_acquire) > 0;
-    });
-    if (shutdown_ && pending_.load(std::memory_order_acquire) == 0) return;
+    uint64_t idle_start =
+        telemetry_.load(std::memory_order_relaxed) ? TelemetryNowUs() : 0;
+    {
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      sleep_cv_.wait(lock, [this]() {
+        return shutdown_ || pending_.load(std::memory_order_acquire) > 0;
+      });
+      if (shutdown_ && pending_.load(std::memory_order_acquire) == 0) return;
+    }
+    if (idle_start != 0) {
+      uint64_t idle_end = TelemetryNowUs();
+      stats.idle_us.fetch_add(idle_end - idle_start,
+                              std::memory_order_relaxed);
+      Tracer& tracer = Tracer::Global();
+      if (tracer.enabled()) {
+        double end_ts = tracer.NowUs();
+        double dur = double(idle_end - idle_start);
+        tracer.Record("idle", "sched", end_ts - dur, dur,
+                      Tracer::CurrentThreadId(), 0);
+      }
+    }
   }
+}
+
+uint64_t TaskScheduler::steals() const {
+  uint64_t total = 0;
+  for (const auto& w : workers_) {
+    total += w->stats.steals_taken.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+SchedulerSnapshot TaskScheduler::Snapshot() const {
+  SchedulerSnapshot snap;
+  snap.workers.reserve(workers_.size());
+  bool telemetry = telemetry_.load(std::memory_order_relaxed);
+  uint64_t now_us = telemetry ? TelemetryNowUs() : 0;
+  uint64_t oldest_enqueue_us = 0;
+  uint64_t max_executed = 0;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = *workers_[i];
+    WorkerSnapshot ws;
+    ws.index = i;
+    ws.executed = w.stats.executed.load(std::memory_order_relaxed);
+    ws.steals_taken = w.stats.steals_taken.load(std::memory_order_relaxed);
+    ws.steals_given = w.stats.steals_given.load(std::memory_order_relaxed);
+    ws.queue_waits = w.stats.queue_waits.load(std::memory_order_relaxed);
+    ws.queue_wait_us = w.stats.queue_wait_us.load(std::memory_order_relaxed);
+    ws.busy_us = w.stats.busy_us.load(std::memory_order_relaxed);
+    ws.idle_us = w.stats.idle_us.load(std::memory_order_relaxed);
+    ws.queue_depth = w.stats.depth.load(std::memory_order_relaxed);
+    ws.queue_depth_hwm = w.stats.depth_hwm.load(std::memory_order_relaxed);
+    if (telemetry && ws.queue_depth > 0) {
+      // Age the oldest stamped task still queued. Deques stay shallow
+      // (morsel fan-outs drain fast), and snapshotting is a pull-based
+      // diagnostic, so a short scan under the worker's mutex is fine.
+      std::lock_guard<std::mutex> lock(w.mu);
+      for (const Task& t : w.deque) {
+        if (t.enqueue_us == 0) continue;
+        if (oldest_enqueue_us == 0 || t.enqueue_us < oldest_enqueue_us) {
+          oldest_enqueue_us = t.enqueue_us;
+        }
+      }
+    }
+    snap.executed += ws.executed;
+    snap.steals += ws.steals_taken;
+    snap.queue_waits += ws.queue_waits;
+    snap.queue_wait_us += ws.queue_wait_us;
+    snap.busy_us += ws.busy_us;
+    snap.idle_us += ws.idle_us;
+    snap.queued += ws.queue_depth;
+    max_executed = std::max(max_executed, ws.executed);
+    snap.workers.push_back(ws);
+  }
+  if (oldest_enqueue_us != 0 && now_us > oldest_enqueue_us) {
+    snap.oldest_queued_age_us = now_us - oldest_enqueue_us;
+  }
+  if (snap.executed > 0 && !workers_.empty()) {
+    double mean = double(snap.executed) / double(workers_.size());
+    snap.imbalance = double(max_executed) / mean;
+  }
+
+  // Watchdog: pull-based, evaluated on the state this snapshot observed.
+  uint64_t starvation_us =
+      watchdog_starvation_us_.load(std::memory_order_relaxed);
+  if (starvation_us > 0 && snap.oldest_queued_age_us > starvation_us) {
+    starvation_warnings_.fetch_add(1, std::memory_order_relaxed);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "starvation: oldest queued task waiting %llu us "
+                  "(threshold %llu us)",
+                  (unsigned long long)snap.oldest_queued_age_us,
+                  (unsigned long long)starvation_us);
+    snap.warnings.push_back(buf);
+  }
+  double imbalance_ratio = watchdog_imbalance_.load(std::memory_order_relaxed);
+  if (imbalance_ratio > 0 && snap.executed >= kImbalanceFloor &&
+      snap.imbalance > imbalance_ratio) {
+    imbalance_warnings_.fetch_add(1, std::memory_order_relaxed);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "imbalance: max/mean executed %.2f (threshold %.2f)",
+                  snap.imbalance, imbalance_ratio);
+    snap.warnings.push_back(buf);
+  }
+  snap.starvation_warnings =
+      starvation_warnings_.load(std::memory_order_relaxed);
+  snap.imbalance_warnings = imbalance_warnings_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void TaskScheduler::AppendExposition(std::string* out) const {
+  SchedulerSnapshot snap = Snapshot();
+  auto line = [out](const std::string& name, size_t worker, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "{worker=\"%zu\"} %.0f\n", worker, value);
+    *out += name + buf;
+  };
+  *out += "# TYPE dl_worker_tasks_total counter\n";
+  *out += "# TYPE dl_worker_steals_taken_total counter\n";
+  *out += "# TYPE dl_worker_steals_given_total counter\n";
+  *out += "# TYPE dl_worker_queue_wait_us_total counter\n";
+  *out += "# TYPE dl_worker_busy_us_total counter\n";
+  *out += "# TYPE dl_worker_idle_us_total counter\n";
+  *out += "# TYPE dl_worker_queue_depth gauge\n";
+  *out += "# TYPE dl_worker_queue_depth_hwm gauge\n";
+  for (const WorkerSnapshot& w : snap.workers) {
+    line("dl_worker_tasks_total", w.index, double(w.executed));
+    line("dl_worker_steals_taken_total", w.index, double(w.steals_taken));
+    line("dl_worker_steals_given_total", w.index, double(w.steals_given));
+    line("dl_worker_queue_wait_us_total", w.index, double(w.queue_wait_us));
+    line("dl_worker_busy_us_total", w.index, double(w.busy_us));
+    line("dl_worker_idle_us_total", w.index, double(w.idle_us));
+    line("dl_worker_queue_depth", w.index, double(w.queue_depth));
+    line("dl_worker_queue_depth_hwm", w.index, double(w.queue_depth_hwm));
+  }
+  char buf[96];
+  auto total = [&](const char* name, const char* type, double value) {
+    *out += "# TYPE " + std::string(name) + " " + type + "\n";
+    std::snprintf(buf, sizeof(buf), "%s %.0f\n", name, value);
+    *out += buf;
+  };
+  total("dl_sched_tasks_total", "counter", double(snap.executed));
+  total("dl_sched_steals_total", "counter", double(snap.steals));
+  total("dl_sched_queue_wait_us_total", "counter",
+        double(snap.queue_wait_us));
+  total("dl_sched_busy_us_total", "counter", double(snap.busy_us));
+  total("dl_sched_idle_us_total", "counter", double(snap.idle_us));
+  total("dl_sched_queued", "gauge", double(snap.queued));
+  total("dl_sched_oldest_queued_age_us", "gauge",
+        double(snap.oldest_queued_age_us));
+  *out += "# TYPE dl_sched_imbalance_ratio gauge\n";
+  std::snprintf(buf, sizeof(buf), "dl_sched_imbalance_ratio %.4f\n",
+                snap.imbalance);
+  *out += buf;
+  total("dl_sched_starvation_warnings_total", "counter",
+        double(snap.starvation_warnings));
+  total("dl_sched_imbalance_warnings_total", "counter",
+        double(snap.imbalance_warnings));
 }
 
 void TaskScheduler::ParallelFor(size_t n,

@@ -9,12 +9,76 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 namespace datalawyer {
+
+/// Per-task-group attribution slot: tasks enqueued while a group is
+/// installed (see ScopedTaskGroup) carry a pointer to one of these, and the
+/// runtime charges their scheduling events — task count, steals, queue
+/// latency — to it. DataLawyer installs one group per checked query, which
+/// is what makes ExecutionStats::steals an exact per-query count instead of
+/// a process-wide delta: a concurrent background compaction's steals land
+/// in its own (or no) group, never in the query's.
+///
+/// All fields are relaxed atomics: workers update them concurrently, the
+/// owner reads them after the work it submitted has been joined.
+struct TaskGroupStats {
+  std::atomic<uint64_t> tasks{0};   ///< tasks enqueued under this group
+  std::atomic<uint64_t> steals{0};  ///< group tasks executed via a steal
+  /// Summed submit-to-start latency of group tasks, µs. Stays 0 unless the
+  /// scheduler's telemetry clock is enabled (set_telemetry_enabled).
+  std::atomic<uint64_t> queue_wait_us{0};
+
+  void Reset() {
+    tasks.store(0, std::memory_order_relaxed);
+    steals.store(0, std::memory_order_relaxed);
+    queue_wait_us.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Point-in-time copy of one worker's stat slot.
+struct WorkerSnapshot {
+  size_t index = 0;
+  uint64_t executed = 0;      ///< tasks run (own deque plus steals)
+  uint64_t steals_taken = 0;  ///< tasks this worker took from a victim
+  uint64_t steals_given = 0;  ///< tasks other workers took from this deque
+  uint64_t queue_waits = 0;   ///< tasks with a measured submit-to-start wait
+  uint64_t queue_wait_us = 0;  ///< summed submit-to-start latency, µs
+  uint64_t busy_us = 0;        ///< wall time inside task bodies, µs
+  uint64_t idle_us = 0;        ///< wall time parked on the sleep cv, µs
+  uint64_t queue_depth = 0;    ///< tasks queued on this deque right now
+  uint64_t queue_depth_hwm = 0;  ///< deepest this deque has ever been
+};
+
+/// Whole-scheduler snapshot: per-worker slots, their totals, and the
+/// starvation/overload watchdog's verdict at snapshot time.
+struct SchedulerSnapshot {
+  std::vector<WorkerSnapshot> workers;
+  uint64_t executed = 0;
+  uint64_t steals = 0;
+  uint64_t queue_waits = 0;
+  uint64_t queue_wait_us = 0;
+  uint64_t busy_us = 0;
+  uint64_t idle_us = 0;
+  uint64_t queued = 0;  ///< tasks sitting in deques right now
+
+  /// Age of the oldest task still queued, µs; 0 when every deque is empty
+  /// or the telemetry clock is off (no enqueue timestamps to age).
+  uint64_t oldest_queued_age_us = 0;
+  /// max(executed) / mean(executed) over the workers; 1.0 is perfectly
+  /// balanced, 0 until any task has run.
+  double imbalance = 0;
+  /// Cumulative count of snapshots that observed each watchdog condition.
+  uint64_t starvation_warnings = 0;
+  uint64_t imbalance_warnings = 0;
+  /// Human-readable descriptions of the conditions firing *right now*.
+  std::vector<std::string> warnings;
+};
 
 /// Work-stealing task runtime shared by policy fan-out, intra-query morsel
 /// execution, and background log compaction (§5.1's "multi-threaded
@@ -36,8 +100,14 @@ namespace datalawyer {
 ///    participate, so it is safe to call even from inside a task and on a
 ///    scheduler constructed with zero threads, including nested
 ///    ParallelFor-within-ParallelFor.
-///  * Observable: cumulative steal and per-worker execution counters feed
-///    the dl_steals_total metric and per-worker trace lanes.
+///  * Observable: every worker keeps a cache-line-padded slot of relaxed
+///    atomic counters (tasks, steals taken/given, queue depth + watermark)
+///    that is always on; wall-clock telemetry (queue latency, busy/idle
+///    split) costs clock reads and is gated behind set_telemetry_enabled,
+///    so the off cost stays one relaxed load per task. Snapshot() folds the
+///    slots into a SchedulerSnapshot and runs the starvation/overload
+///    watchdog; AppendExposition renders dl_worker_* / dl_sched_*
+///    Prometheus lines from it.
 class TaskScheduler {
  public:
   /// Spawns `num_threads` workers (0 is allowed: Submit still works, tasks
@@ -74,28 +144,96 @@ class TaskScheduler {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Cumulative count of tasks a worker executed from another worker's
-  /// deque (its own was empty). Monotonic across the scheduler's lifetime.
-  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  /// deque (its own was empty): the sum of the per-worker steals_taken
+  /// slots. Monotonic across the scheduler's lifetime.
+  uint64_t steals() const;
 
   /// Tasks executed by worker `w` (own deque plus steals), for per-worker
   /// load inspection. `w` must be < num_threads().
   uint64_t tasks_executed(size_t w) const {
-    return workers_[w]->executed.load(std::memory_order_relaxed);
+    return workers_[w]->stats.executed.load(std::memory_order_relaxed);
   }
 
+  /// Turns the wall-clock half of the telemetry on: enqueue timestamps
+  /// (queue latency, oldest-queued-task age) and the busy/idle split. The
+  /// counter half is always on. Off by default; DataLawyer enables it with
+  /// enable_metrics.
+  void set_telemetry_enabled(bool on) {
+    telemetry_.store(on, std::memory_order_relaxed);
+  }
+  bool telemetry_enabled() const {
+    return telemetry_.load(std::memory_order_relaxed);
+  }
+
+  /// Watchdog thresholds: a snapshot warns when the oldest queued task has
+  /// waited longer than `starvation_us` (starvation — workers are not
+  /// draining the queues) or when max/mean executed exceeds
+  /// `imbalance_ratio` (overload imbalance — stealing is not spreading the
+  /// load; only evaluated past a floor of 64 total tasks, below which the
+  /// ratio is noise).
+  void set_watchdog_thresholds(uint64_t starvation_us,
+                               double imbalance_ratio) {
+    watchdog_starvation_us_.store(starvation_us, std::memory_order_relaxed);
+    watchdog_imbalance_.store(imbalance_ratio, std::memory_order_relaxed);
+  }
+
+  /// Folds every worker slot into a SchedulerSnapshot and evaluates the
+  /// watchdog (pull-based: no background thread, deterministic under test).
+  /// A firing condition appends a warning string and bumps the matching
+  /// cumulative counter.
+  SchedulerSnapshot Snapshot() const;
+
+  /// Appends Prometheus text exposition derived from Snapshot():
+  /// dl_worker_* series labeled {worker="i"} plus dl_sched_* totals and
+  /// watchdog gauges. Mirrors RollupRegistry::AppendExposition so callers
+  /// concatenate it onto MetricsRegistry::ExposeText().
+  void AppendExposition(std::string* out) const;
+
+  /// Installs `group` as the attribution target for tasks enqueued by the
+  /// calling thread (nullptr detaches). Returns the previous group so
+  /// callers can restore it; workers set/restore it automatically around
+  /// each task, so nested submissions inherit the spawning task's group.
+  static TaskGroupStats* ExchangeCurrentGroup(TaskGroupStats* group);
+
  private:
+  /// One queued task: the closure plus the telemetry it was stamped with
+  /// at Enqueue time.
+  struct Task {
+    std::function<void()> fn;
+    TaskGroupStats* group = nullptr;
+    uint64_t enqueue_us = 0;  ///< 0 when the telemetry clock is off
+
+    explicit operator bool() const { return static_cast<bool>(fn); }
+  };
+
+  /// Per-worker stat slot, padded to its own cache line so relaxed updates
+  /// from one worker never false-share with its neighbors.
+  struct alignas(64) WorkerStats {
+    std::atomic<uint64_t> executed{0};
+    std::atomic<uint64_t> steals_taken{0};
+    std::atomic<uint64_t> steals_given{0};
+    std::atomic<uint64_t> queue_waits{0};
+    std::atomic<uint64_t> queue_wait_us{0};
+    std::atomic<uint64_t> busy_us{0};
+    std::atomic<uint64_t> idle_us{0};
+    std::atomic<uint64_t> depth{0};
+    std::atomic<uint64_t> depth_hwm{0};
+  };
+
   struct Worker {
     std::mutex mu;
-    std::deque<std::function<void()>> deque;
-    std::atomic<uint64_t> executed{0};
+    std::deque<Task> deque;
+    WorkerStats stats;
   };
 
   void WorkerLoop(size_t index);
   void Enqueue(std::function<void()> task);
   /// Pops from worker `self`'s own front, else steals from the back of the
-  /// first non-empty victim. Returns an empty function when every deque is
+  /// first non-empty victim. Returns an empty task when every deque is
   /// empty.
-  std::function<void()> NextTask(size_t self);
+  Task NextTask(size_t self);
+  /// Steady-clock µs, read only when telemetry_ is on.
+  static uint64_t TelemetryNowUs();
 
   // unique_ptr keeps Worker addresses stable; Worker itself is immovable
   // (mutex/atomic members).
@@ -103,10 +241,32 @@ class TaskScheduler {
   std::vector<std::thread> threads_;
   std::atomic<size_t> inject_cursor_{0};
   std::atomic<size_t> pending_{0};
-  std::atomic<uint64_t> steals_{0};
+  std::atomic<bool> telemetry_{false};
+  std::atomic<uint64_t> watchdog_starvation_us_{100000};  ///< 100 ms
+  std::atomic<double> watchdog_imbalance_{4.0};
+  /// Cumulative watchdog trips, bumped by Snapshot() when a condition is
+  /// observed (mutable: snapshotting is logically const).
+  mutable std::atomic<uint64_t> starvation_warnings_{0};
+  mutable std::atomic<uint64_t> imbalance_warnings_{0};
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
   bool shutdown_ = false;  // guarded by sleep_mu_
+};
+
+/// RAII group installation for the calling thread: everything submitted to
+/// any TaskScheduler between construction and destruction is charged to
+/// `group` (including nested submissions from worker tasks it spawns).
+class ScopedTaskGroup {
+ public:
+  explicit ScopedTaskGroup(TaskGroupStats* group)
+      : prev_(TaskScheduler::ExchangeCurrentGroup(group)) {}
+  ~ScopedTaskGroup() { TaskScheduler::ExchangeCurrentGroup(prev_); }
+
+  ScopedTaskGroup(const ScopedTaskGroup&) = delete;
+  ScopedTaskGroup& operator=(const ScopedTaskGroup&) = delete;
+
+ private:
+  TaskGroupStats* prev_;
 };
 
 }  // namespace datalawyer

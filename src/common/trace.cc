@@ -53,6 +53,25 @@ void Tracer::Record(std::string name, const char* category, double ts_us,
       TraceEvent{std::move(name), category, ts_us, dur_us, tid, depth});
 }
 
+void Tracer::RecordInstant(std::string name, const char* category,
+                           double ts_us) {
+  TraceEvent e{std::move(name), category, ts_us, 0, CurrentThreadId(), 0};
+  e.instant = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::SetCurrentThreadName(std::string name) {
+  int tid = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[tid] = std::move(name);
+}
+
+std::map<int, std::string> Tracer::thread_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_names_;
+}
+
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_;
@@ -65,19 +84,39 @@ size_t Tracer::size() const {
 
 std::string Tracer::ToChromeJson() const {
   std::vector<TraceEvent> events = Snapshot();
+  std::map<int, std::string> names = thread_names();
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   char buf[160];
-  for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    if (i > 0) out += ",";
+  bool first = true;
+  // Thread-name metadata first: lanes registered via SetCurrentThreadName
+  // (scheduler workers as "worker-0..N-1") show named in about:tracing /
+  // Perfetto instead of raw dense tids.
+  for (const auto& [tid, name] : names) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"";
+    AppendJsonEscaped(&out, name);
+    out += "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
     out += "\n{\"name\":\"";
     AppendJsonEscaped(&out, e.name);
     out += "\",\"cat\":\"";
     out += e.category;
-    std::snprintf(buf, sizeof(buf),
-                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
-                  "\"tid\":%d,\"args\":{\"depth\":%d}}",
-                  e.ts_us, e.dur_us, e.tid, e.depth);
+    if (e.instant) {
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,"
+                    "\"s\":\"t\"}",
+                    e.ts_us, e.tid);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                    "\"tid\":%d,\"args\":{\"depth\":%d}}",
+                    e.ts_us, e.dur_us, e.tid, e.depth);
+    }
     out += buf;
   }
   out += "\n]}\n";

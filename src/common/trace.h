@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -21,6 +22,10 @@ struct TraceEvent {
   double dur_us = 0;     ///< wall duration, µs
   int tid = 0;           ///< small dense thread id (0 = first seen)
   int depth = 0;         ///< nesting depth on its thread (0 = root)
+  /// True for zero-duration marker events (steals, decisions): exported as
+  /// Chrome "instant" records ("ph":"i") so they render as ticks, not
+  /// invisible zero-width slices.
+  bool instant = false;
 };
 
 /// Process-wide span collector behind the DL_TRACE_* macros.
@@ -51,6 +56,18 @@ class Tracer {
   void Record(std::string name, const char* category, double ts_us,
               double dur_us, int tid, int depth);
 
+  /// Appends a zero-duration marker on the calling thread's lane (a Chrome
+  /// "instant" event) — scheduler steals, decision ids, watchdog trips.
+  void RecordInstant(std::string name, const char* category, double ts_us);
+
+  /// Names the calling thread's lane in the Chrome export (a "thread_name"
+  /// metadata record): scheduler workers register as "worker-0..N-1" so
+  /// traces show named lanes instead of raw dense tids. Survives Clear()
+  /// — the thread is still the same thread.
+  void SetCurrentThreadName(std::string name);
+  /// tid -> lane name, for tests and exporters.
+  std::map<int, std::string> thread_names() const;
+
   /// Snapshot of all events recorded so far, in completion order.
   std::vector<TraceEvent> Snapshot() const;
   size_t size() const;
@@ -75,6 +92,7 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::map<int, std::string> thread_names_;  ///< guarded by mu_
   std::atomic<int64_t> origin_ns_{0};  ///< steady_clock origin of the timeline
 };
 

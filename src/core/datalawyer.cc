@@ -117,6 +117,8 @@ DataLawyer::DataLawyer(Database* db, std::unique_ptr<UsageLog> log,
                          !IncrementalDisabledByEnv();
   morsel_enabled_ =
       options_.exec_threads > 0 && !MorselExecutionDisabledByEnv();
+  adaptive_enabled_ = morsel_enabled_ && options_.adaptive_morsel_size &&
+                      !AdaptiveMorselSizingDisabledByEnv();
   system_catalog_ = std::make_unique<SystemCatalog>(engine_.db_catalog());
   RegisterSystemRelations();
 }
@@ -134,6 +136,8 @@ void DataLawyer::set_options(DataLawyerOptions options) {
                          !IncrementalDisabledByEnv();
   morsel_enabled_ =
       options_.exec_threads > 0 && !MorselExecutionDisabledByEnv();
+  adaptive_enabled_ = morsel_enabled_ && options_.adaptive_morsel_size &&
+                      !AdaptiveMorselSizingDisabledByEnv();
   if (options_.enable_tracing) Tracer::Global().set_enabled(true);
   slow_log_.set_capacity(options_.slow_log_capacity);
   decisions_.set_enabled(options_.enable_decisions);
@@ -496,23 +500,36 @@ Result<QueryResult> DataLawyer::Execute(const std::string& sql,
   double parse_us = UsSince(parse_start);
   if (stmt.kind != StatementKind::kSelect) {
     // DDL/DML bypasses policy checking (policies govern reads, §3);
-    // EXPLAIN is a diagnostic and bypasses it the same way.
-    return engine_.ExecuteStatement(stmt);
+    // EXPLAIN is a diagnostic and bypasses it the same way — but it runs
+    // with the same morsel execution options a checked query would use,
+    // so EXPLAIN ANALYZE profiles production splits (and morsel timing).
+    ExecOptions diag_options;
+    if (morsel_enabled_ && stmt.kind == StatementKind::kExplain) {
+      diag_options.scheduler = EnsureScheduler(1);
+      diag_options.morsel_size = options_.morsel_size;
+      if (adaptive_enabled_) {
+        diag_options.morsel_feedback = &morsel_feedback_;
+      }
+    }
+    return engine_.ExecuteStatement(stmt, diag_options);
   }
   int64_t ts = clock_->Tick();
   stats_ = ExecutionStats{};
   stats_.ts = ts;
   stats_.parse_us = parse_us;
-  // Steal accounting brackets the whole checked pipeline. The counter is
-  // cumulative per scheduler instance; a rebuild inside ExecuteChecked
-  // restarts it at zero, so clamp instead of underflowing.
-  uint64_t steals_before = scheduler_ != nullptr ? scheduler_->steals() : 0;
-  Result<QueryResult> result = ExecuteChecked(*stmt.select, context, ts);
-  if (scheduler_ != nullptr) {
-    uint64_t steals_now = scheduler_->steals();
-    stats_.steals =
-        steals_now >= steals_before ? steals_now - steals_before : steals_now;
-  }
+  // Scheduler attribution brackets the whole checked pipeline: every task
+  // this thread (and, transitively, its worker tasks) submits is charged
+  // to query_group_, so the counts are exact per-query — a concurrent
+  // background compaction runs detached and never leaks in.
+  query_group_.Reset();
+  Result<QueryResult> result = [&] {
+    ScopedTaskGroup group(&query_group_);
+    return ExecuteChecked(*stmt.select, context, ts);
+  }();
+  stats_.sched_tasks = query_group_.tasks.load(std::memory_order_relaxed);
+  stats_.steals = query_group_.steals.load(std::memory_order_relaxed);
+  stats_.queue_wait_us =
+      query_group_.queue_wait_us.load(std::memory_order_relaxed);
   RecordDecision(sql, context, result.status(), /*probe=*/false);
   return result;
 }
@@ -547,13 +564,15 @@ Status DataLawyer::WouldAllow(const std::string& sql,
   // Reuse the checked path with compaction, commit and execution
   // suppressed; all staged increments are discarded afterwards.
   probe_mode_ = true;
-  uint64_t steals_before = scheduler_ != nullptr ? scheduler_->steals() : 0;
-  Result<QueryResult> result = ExecuteChecked(*stmt.select, context, ts);
-  if (scheduler_ != nullptr) {
-    uint64_t steals_now = scheduler_->steals();
-    stats_.steals =
-        steals_now >= steals_before ? steals_now - steals_before : steals_now;
-  }
+  query_group_.Reset();
+  Result<QueryResult> result = [&] {
+    ScopedTaskGroup group(&query_group_);
+    return ExecuteChecked(*stmt.select, context, ts);
+  }();
+  stats_.sched_tasks = query_group_.tasks.load(std::memory_order_relaxed);
+  stats_.steals = query_group_.steals.load(std::memory_order_relaxed);
+  stats_.queue_wait_us =
+      query_group_.queue_wait_us.load(std::memory_order_relaxed);
   probe_mode_ = false;
   log_->DiscardStaged();
   RecordDecision(sql, context, result.status(), /*probe=*/true);
@@ -624,6 +643,9 @@ Result<std::string> DataLawyer::ExplainAnalyzePolicy(const std::string& name) {
         // morsel/partition counts match production execution.
         exec_options.scheduler = EnsureScheduler(1);
         exec_options.morsel_size = options_.morsel_size;
+        if (adaptive_enabled_) {
+          exec_options.morsel_feedback = &morsel_feedback_;
+        }
       }
       PlanExecutor exec(catalog.view(), exec_options);
       exec.EnableProfiling();
@@ -673,6 +695,10 @@ Result<DataLawyer::PolicyEvalOutput> DataLawyer::EvalPolicyStatement(
     // deques, so plan-level parallelism composes with the fan-out.
     exec_options.scheduler = scheduler_.get();
     exec_options.morsel_size = options_.morsel_size;
+    // morsel_feedback_ is mutable and lock-free; suggestions are frozen
+    // for the duration of the query (Roll() runs only at the serial head),
+    // so concurrent statements all see the same sizes.
+    if (adaptive_enabled_) exec_options.morsel_feedback = &morsel_feedback_;
   }
   PolicyEvalOutput out;
   QueryResult result;
@@ -815,6 +841,9 @@ TaskScheduler* DataLawyer::EnsureScheduler(size_t min_threads) {
     // every queued task), so an outstanding compaction future stays valid.
     scheduler_.reset();
     scheduler_ = std::make_unique<TaskScheduler>(want);
+    // Wall-clock telemetry (queue latency, busy/idle split) follows the
+    // metrics switch; the counter slots are always on.
+    scheduler_->set_telemetry_enabled(options_.enable_metrics);
   }
   return scheduler_.get();
 }
@@ -872,6 +901,12 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
   // create it here in the serial head — EvalPolicyStatement is const and
   // runs concurrently, so it can only read scheduler_, never grow it.
   if (morsel_enabled_) EnsureScheduler(1);
+
+  // Fold last query's morsel observations into the adaptive sizer and
+  // publish new suggestions. Serial head, no query in flight: every
+  // executor this query sees the same sizes, so morsel boundaries are
+  // stable for the whole query.
+  if (adaptive_enabled_) morsel_feedback_.Roll();
 
   // Serial head: drop telemetry snapshots materialized by earlier queries,
   // so every phase of *this* query (bind, log generation, evaluation,
@@ -1434,6 +1469,10 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
       // §5.1: return the result before compaction finishes. The worker owns
       // the log tables until the next Execute/Flush waits on it.
       queries_since_compaction_ = 0;
+      // Detached from the query's attribution group: compaction outlives
+      // the query, and its tasks must not inflate the query's scheduler
+      // footprint.
+      ScopedTaskGroup detach(nullptr);
       pending_compaction_ = EnsureScheduler(1)->Submit(
           [this, ts]() -> Result<CompactionStats> {
             DL_TRACE_SPAN("compact.async", "policy");
@@ -1480,6 +1519,7 @@ Result<QueryResult> DataLawyer::ExecuteChecked(const SelectStmt& stmt,
   if (morsel_enabled_ && scheduler_ != nullptr) {
     user_options.scheduler = scheduler_.get();
     user_options.morsel_size = options_.morsel_size;
+    if (adaptive_enabled_) user_options.morsel_feedback = &morsel_feedback_;
   }
   Executor user_exec(system_catalog_.get(), user_options);
   Result<QueryResult> result = user_exec.Execute(stmt);
@@ -1543,7 +1583,10 @@ void DataLawyer::RegisterSystemRelations() {
         .AddColumn("policy_eval_us", ValueType::kDouble)
         .AddColumn("compaction_us", ValueType::kDouble)
         .AddColumn("user_exec_us", ValueType::kDouble)
-        .AddColumn("total_us", ValueType::kDouble);
+        .AddColumn("total_us", ValueType::kDouble)
+        .AddColumn("morsels", ValueType::kInt64)
+        .AddColumn("steals", ValueType::kInt64)
+        .AddColumn("queue_wait_us", ValueType::kInt64);
     std::vector<Row> rows;
     for (const DecisionRecord& d : decisions_.records()) {
       Row row;
@@ -1566,6 +1609,9 @@ void DataLawyer::RegisterSystemRelations() {
       row.push_back(Value(d.compaction_us));
       row.push_back(Value(d.user_exec_us));
       row.push_back(Value(d.total_us()));
+      row.push_back(Value(int64_t(d.morsels)));
+      row.push_back(Value(int64_t(d.steals)));
+      row.push_back(Value(int64_t(d.queue_wait_us)));
       rows.push_back(std::move(row));
     }
     return std::make_unique<OwnedRelation>(std::move(schema),
@@ -1719,13 +1765,16 @@ void DataLawyer::RecordDecision(const std::string& sql,
     rec.user_exec_us = stats_.query_exec_ms * 1000.0;
     rec.plan_cache_hits = stats_.plan_cache_hits;
     rec.plan_cache_misses = stats_.plan_cache_misses;
+    rec.morsels = stats_.morsels;
+    rec.steals = stats_.steals;
+    rec.queue_wait_us = stats_.queue_wait_us;
     decisions_.Append(std::move(rec));
     // Cross-link into the trace timeline so a span dump can be joined
     // against the decision store by id.
     Tracer& tracer = Tracer::Global();
     if (tracer.enabled()) {
-      tracer.Record("decision:" + std::to_string(decision_id), "core",
-                    tracer.NowUs(), 0, Tracer::CurrentThreadId(), 0);
+      tracer.RecordInstant("decision:" + std::to_string(decision_id), "core",
+                           tracer.NowUs());
     }
   }
 
@@ -1773,6 +1822,7 @@ void DataLawyer::RecordDecision(const std::string& sql,
       Counter* range_hits;
       Counter* morsels;
       Counter* steals;
+      Counter* sched_tasks;
       Counter* plan_hits;
       Counter* plan_misses;
       Counter* incr_hits;
@@ -1786,6 +1836,7 @@ void DataLawyer::RecordDecision(const std::string& sql,
       Histogram* parse_us;
       Histogram* bind_us;
       Histogram* plan_us;
+      Histogram* queue_wait_us;
     };
     static Handles h = [] {
       MetricsRegistry& r = MetricsRegistry::Global();
@@ -1820,6 +1871,9 @@ void DataLawyer::RecordDecision(const std::string& sql,
       handles.steals = r.GetCounter(
           "dl_steals_total",
           "scheduler work-steals observed during checked queries");
+      handles.sched_tasks = r.GetCounter(
+          "dl_query_sched_tasks_total",
+          "scheduler tasks attributed to checked queries");
       handles.plan_hits = r.GetCounter(
           "dl_plan_cache_hits_total",
           "policy statements evaluated from a cached physical plan");
@@ -1851,6 +1905,9 @@ void DataLawyer::RecordDecision(const std::string& sql,
           r.GetHistogram("dl_bind_us", "user-query bind latency (us)");
       handles.plan_us =
           r.GetHistogram("dl_plan_us", "plan-cache rewarm latency (us)");
+      handles.queue_wait_us = r.GetHistogram(
+          "dl_query_queue_wait_us",
+          "per-query summed scheduler submit-to-start latency (us)");
       return handles;
     }();
     if (probe) {
@@ -1869,6 +1926,7 @@ void DataLawyer::RecordDecision(const std::string& sql,
     h.range_hits->Increment(stats_.range_hits);
     h.morsels->Increment(stats_.morsels);
     h.steals->Increment(stats_.steals);
+    h.sched_tasks->Increment(stats_.sched_tasks);
     h.plan_hits->Increment(stats_.plan_cache_hits);
     h.plan_misses->Increment(stats_.plan_cache_misses);
     h.incr_hits->Increment(stats_.incremental_hits);
@@ -1882,6 +1940,9 @@ void DataLawyer::RecordDecision(const std::string& sql,
     h.parse_us->Observe(stats_.parse_us);
     h.bind_us->Observe(stats_.bind_us);
     h.plan_us->Observe(stats_.plan_us);
+    if (stats_.sched_tasks > 0) {
+      h.queue_wait_us->Observe(double(stats_.queue_wait_us));
+    }
 
     // Windowed rollups (1s/10s/60s) share the same per-phase samples the
     // histograms above observe, so their percentiles agree by
@@ -1893,6 +1954,12 @@ void DataLawyer::RecordDecision(const std::string& sql,
     phases[RollupRegistry::kCompaction] = stats_.compaction_ms() * 1000.0;
     phases[RollupRegistry::kUserExec] = stats_.query_exec_ms * 1000.0;
     RollupRegistry::Global().Record(!admitted, phases);
+    // Scheduler-utilization windows: the same trailing 1s/10s/60s views,
+    // answering "how hard was the pool working just now". policy_cpu_us is
+    // the query's parallel CPU spend (per-worker evaluation time summed).
+    RollupRegistry::Global().RecordSched(stats_.morsels, stats_.steals,
+                                         stats_.queue_wait_us,
+                                         uint64_t(stats_.policy_cpu_us));
   }
 }
 

@@ -21,6 +21,7 @@
 #include "core/profile.h"
 #include "core/stats.h"
 #include "exec/engine.h"
+#include "exec/plan_executor.h"
 #include "log/usage_log.h"
 #include "policy/log_compactor.h"
 #include "policy/policy.h"
@@ -188,6 +189,19 @@ class DataLawyer {
   const DataLawyerOptions& options() const { return options_; }
   void set_options(DataLawyerOptions options);
 
+  /// The shared work-stealing scheduler, for telemetry inspection
+  /// (Snapshot / AppendExposition — the shell's \workers view). nullptr
+  /// until lazily created by the first query that needs it.
+  const TaskScheduler* scheduler() const { return scheduler_.get(); }
+
+  /// Adaptive morsel-sizing feedback state (the shell's \sched view).
+  /// Live regardless of whether adaptive sizing is active; suggestions
+  /// only steer execution when adaptive_morsel_enabled().
+  const MorselFeedback& morsel_feedback() const { return morsel_feedback_; }
+  /// adaptive_morsel_size && exec_threads > 0 && no env kill switch —
+  /// resolved once per options change.
+  bool adaptive_morsel_enabled() const { return adaptive_enabled_; }
+
  private:
   struct PreparedPolicy;
 
@@ -326,6 +340,20 @@ class DataLawyer {
   /// exec_threads > 0 && !DL_DISABLE_MORSEL — same resolve-once idiom;
   /// gates handing the scheduler to plan executors.
   bool morsel_enabled_ = false;
+  /// morsel_enabled_ && adaptive_morsel_size && !DL_DISABLE_ADAPTIVE_MORSEL
+  /// — gates handing the feedback accumulator to plan executors.
+  bool adaptive_enabled_ = false;
+  /// Adaptive morsel-sizing feedback: executors Record() into it from any
+  /// thread; Roll() publishes new suggestions at the serial head of each
+  /// checked query (mutable: EvalPolicyStatement is const but recording
+  /// observations does not mutate logical state).
+  mutable MorselFeedback morsel_feedback_;
+  /// Scheduler attribution slot for the query currently in the serial
+  /// Execute/WouldAllow section: everything the checked pipeline submits —
+  /// policy fan-out, morsel tasks, nested submissions — is charged here,
+  /// while async compaction runs detached, which is what makes
+  /// ExecutionStats::steals exact instead of a process-wide delta.
+  TaskGroupStats query_group_;
   /// Per-active-policy classification from the last WarmPlanCache:
   /// "incremental" or "full-only". Empty when the feature is off.
   std::map<std::string, std::string> incremental_class_;

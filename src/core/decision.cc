@@ -109,6 +109,9 @@ std::string DecisionRecord::ToJson() const {
   out += "}";
   out += ",\"plan_cache\":{\"hits\":" + std::to_string(plan_cache_hits) +
          ",\"misses\":" + std::to_string(plan_cache_misses) + "}";
+  out += ",\"sched\":{\"morsels\":" + std::to_string(morsels) +
+         ",\"steals\":" + std::to_string(steals) +
+         ",\"queue_wait_us\":" + std::to_string(queue_wait_us) + "}";
   out += "}";
   return out;
 }

@@ -68,6 +68,14 @@ struct DecisionRecord {
   size_t plan_cache_hits = 0;
   size_t plan_cache_misses = 0;
 
+  /// Scheduler footprint of this query (from its task-group slot): morsels
+  /// dispatched, its own tasks executed via a steal, and summed
+  /// submit-to-start queue latency — so the decision log can answer "which
+  /// query starved the pool".
+  size_t morsels = 0;
+  size_t steals = 0;
+  uint64_t queue_wait_us = 0;
+
   double total_us() const {
     return parse_us + bind_us + plan_us + log_gen_us + policy_eval_us +
            compaction_us + user_exec_us;

@@ -77,6 +77,16 @@ struct DataLawyerOptions {
   /// to >= 1 by ClampThreadCounts().
   size_t morsel_size = 1024;
 
+  /// Adaptive morsel sizing: feed observed per-morsel wall times back into
+  /// per-operator-class suggested morsel sizes (targeting ~500 µs of work
+  /// per morsel, clamped to [256, 65536] rows, EWMA-smoothed) and use them
+  /// in place of morsel_size on subsequent queries. Suggestions change only
+  /// between queries, and morsel boundaries never affect results (fragments
+  /// merge in deterministic morsel order), so output stays byte-identical
+  /// at every setting. No effect unless exec_threads > 0.
+  /// DL_DISABLE_ADAPTIVE_MORSEL=1 forces the loop off process-wide.
+  bool adaptive_morsel_size = true;
+
   /// Clamps policy_threads and exec_threads into [0, hardware_concurrency]
   /// and morsel_size to >= 1, in place. An `int` thread count that is
   /// negative (a likely sign error) or absurdly large (a likely unit error

@@ -51,11 +51,16 @@ struct ExecutionStats {
 
   /// Morsel-execution counters: morsels dispatched by plan fragments this
   /// query (0 when exec_threads == 0 or every fragment was below the
-  /// two-morsel threshold), and scheduler steals observed during the query
-  /// (tasks a worker took from another worker's deque — a process-wide
-  /// delta, so concurrent external load can inflate it).
+  /// two-morsel threshold), and this query's scheduler footprint from its
+  /// task-group attribution slot — tasks it enqueued, tasks of its own
+  /// that ran via a steal, and their summed submit-to-start queue latency
+  /// (µs; 0 unless scheduler telemetry is on). Exact per-query counts:
+  /// concurrent background compaction runs under its own group and never
+  /// leaks in.
   size_t morsels = 0;
   size_t steals = 0;
+  size_t sched_tasks = 0;
+  uint64_t queue_wait_us = 0;
 
   size_t policies_evaluated = 0;  ///< policy/partial-policy statements run
   size_t policies_pruned_early = 0;

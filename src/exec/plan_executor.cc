@@ -32,35 +32,151 @@ bool MorselExecutionDisabledByEnv() {
   return disabled;
 }
 
+bool AdaptiveMorselSizingDisabledByEnv() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("DL_DISABLE_ADAPTIVE_MORSEL");
+    return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+  }();
+  return disabled;
+}
+
+const char* MorselClassName(MorselClass cls) {
+  switch (cls) {
+    case MorselClass::kScan:
+      return "scan";
+    case MorselClass::kJoinBuild:
+      return "join_build";
+    case MorselClass::kJoinProbe:
+      return "join_probe";
+    case MorselClass::kNestedLoop:
+      return "nested_loop";
+    case MorselClass::kProject:
+      return "project";
+    case MorselClass::kAggregate:
+      return "aggregate";
+  }
+  return "?";
+}
+
+void MorselFeedback::Record(MorselClass cls, double total_us, uint64_t rows) {
+  if (rows == 0 || !(total_us > 0)) return;
+  Pending& p = pending_[int(cls)];
+  p.ns.fetch_add(uint64_t(total_us * 1000.0), std::memory_order_relaxed);
+  p.rows.fetch_add(rows, std::memory_order_relaxed);
+}
+
+void MorselFeedback::Roll() {
+  for (int c = 0; c < kNumMorselClasses; ++c) {
+    uint64_t ns = pending_[c].ns.exchange(0, std::memory_order_relaxed);
+    uint64_t rows = pending_[c].rows.exchange(0, std::memory_order_relaxed);
+    if (ns == 0 || rows == 0) continue;
+    double us_per_row = double(ns) / 1000.0 / double(rows);
+    double& ewma = ewma_us_per_row_[c];
+    ewma = ewma == 0 ? us_per_row : kAlpha * us_per_row + (1 - kAlpha) * ewma;
+    double raw = kTargetUsPerMorsel / ewma;
+    size_t suggested = raw >= double(kMaxSize)   ? kMaxSize
+                       : raw <= double(kMinSize) ? kMinSize
+                                                 : size_t(raw);
+    suggested_[c].store(suggested, std::memory_order_relaxed);
+  }
+}
+
+size_t MorselFeedback::SuggestedSize(MorselClass cls) const {
+  return suggested_[int(cls)].load(std::memory_order_relaxed);
+}
+
+std::string MorselFeedback::Summary() const {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%-12s %14s %10s\n", "class", "us/row ewma",
+                "suggested");
+  out += buf;
+  for (int c = 0; c < kNumMorselClasses; ++c) {
+    size_t suggested = suggested_[c].load(std::memory_order_relaxed);
+    if (suggested == 0) {
+      std::snprintf(buf, sizeof(buf), "%-12s %14s %10s\n",
+                    MorselClassName(MorselClass(c)), "-", "-");
+    } else {
+      std::snprintf(buf, sizeof(buf), "%-12s %14.4f %10zu\n",
+                    MorselClassName(MorselClass(c)), ewma_us_per_row_[c],
+                    suggested);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+void MorselFeedback::Reset() {
+  for (int c = 0; c < kNumMorselClasses; ++c) {
+    pending_[c].ns.store(0, std::memory_order_relaxed);
+    pending_[c].rows.store(0, std::memory_order_relaxed);
+    ewma_us_per_row_[c] = 0;
+    suggested_[c].store(0, std::memory_order_relaxed);
+  }
+}
+
+void MorselTiming::Observe(double us) {
+  if (count == 0) {
+    min_us = max_us = us;
+  } else {
+    if (us < min_us) min_us = us;
+    if (us > max_us) max_us = us;
+  }
+  buckets[LogBucketFor(us)]++;
+  count++;
+}
+
+double MorselTiming::Percentile(double q) const {
+  return LogBucketPercentile(buckets, Histogram::kNumBuckets, count, min_us,
+                             max_us, q);
+}
+
 bool PlanExecutor::MorselsEnabled() const {
   return options_.scheduler != nullptr &&
          options_.scheduler->num_threads() > 0 &&
          !MorselExecutionDisabledByEnv();
 }
 
-size_t PlanExecutor::MorselCount(size_t n) const {
-  if (!MorselsEnabled() || options_.morsel_size == 0) return 1;
-  size_t morsels = (n + options_.morsel_size - 1) / options_.morsel_size;
-  return morsels >= 2 ? morsels : 1;
+PlanExecutor::MorselSplit PlanExecutor::PlanMorselSplit(
+    size_t n, MorselClass cls) const {
+  MorselSplit split;
+  split.cls = cls;
+  split.step = options_.morsel_size;
+  if (!MorselsEnabled() || split.step == 0) return split;
+  if (options_.morsel_feedback != nullptr) {
+    size_t suggested = options_.morsel_feedback->SuggestedSize(cls);
+    if (suggested != 0) split.step = suggested;
+  }
+  size_t morsels = (n + split.step - 1) / split.step;
+  if (morsels >= 2) split.morsels = morsels;
+  return split;
 }
 
 Status PlanExecutor::RunMorsels(
-    size_t morsels, size_t n,
+    const MorselSplit& split, size_t n,
     const std::function<Status(size_t lo, size_t hi, size_t m)>& span,
-    double* cpu_us) {
+    double* cpu_us, MorselTiming* timing) {
+  size_t morsels = split.morsels;
+  bool timed = profiling_ || options_.morsel_feedback != nullptr;
   std::vector<Status> statuses(morsels);
-  std::vector<double> morsel_us(profiling_ ? morsels : 0);
-  size_t step = options_.morsel_size;
+  std::vector<double> morsel_us(timed ? morsels : 0);
+  size_t step = split.step;
   options_.scheduler->ParallelFor(morsels, [&](size_t m) {
-    double t0 = profiling_ ? ProfNowUs() : 0;
+    double t0 = timed ? ProfNowUs() : 0;
     size_t lo = m * step;
     size_t hi = std::min(n, lo + step);
     statuses[m] = span(lo, hi, m);
-    if (profiling_) morsel_us[m] = ProfNowUs() - t0;
+    if (timed) morsel_us[m] = ProfNowUs() - t0;
   });
   scan_stats_.morsels += morsels;
-  if (cpu_us != nullptr) {
-    for (double us : morsel_us) *cpu_us += us;
+  double total_us = 0;
+  for (double us : morsel_us) total_us += us;
+  if (cpu_us != nullptr) *cpu_us += total_us;
+  if (options_.morsel_feedback != nullptr) {
+    options_.morsel_feedback->Record(split.cls, total_us, n);
+  }
+  if (timing != nullptr) {
+    for (double us : morsel_us) timing->Observe(us);
   }
   // Morsels are contiguous spans processed in row order and a span stops at
   // its first failing row, so the first failing morsel's error is the
@@ -137,6 +253,14 @@ std::string RenderOperatorProfile(const std::vector<OperatorProfile>& ops,
       }
       if (op.par_cpu_us > 0) {
         std::snprintf(buf, sizeof(buf), ", cpu %.1f us", op.par_cpu_us);
+        out += buf;
+      }
+      if (op.morsel_timing.count > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      ", morsel min %.1f p50 %.1f p95 %.1f max %.1f us",
+                      op.morsel_timing.min_us, op.morsel_timing.Percentile(0.5),
+                      op.morsel_timing.Percentile(0.95),
+                      op.morsel_timing.max_us);
         out += buf;
       }
     }
@@ -497,11 +621,13 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
 
     bool narrowed = have_probe || have_range;
     size_t total = narrowed ? positions.size() : data->NumRows();
-    size_t morsels = MorselCount(total);
+    MorselSplit split = PlanMorselSplit(total, MorselClass::kScan);
+    size_t morsels = split.morsels;
+    MorselTiming scan_timing;
     if (morsels > 1) {
       std::vector<Intermediate> frags(morsels);
       DL_RETURN_NOT_OK(RunMorsels(
-          morsels, total,
+          split, total,
           [&](size_t lo, size_t hi, size_t m) -> Status {
             for (size_t k = lo; k < hi; ++k) {
               DL_RETURN_NOT_OK(
@@ -509,7 +635,7 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
             }
             return Status::OK();
           },
-          &scan_cpu_us));
+          &scan_cpu_us, profiling_ ? &scan_timing : nullptr));
       for (Intermediate& frag : frags) AppendFragment(&out, std::move(frag));
       // Fragment-local scan positions become global emission order.
       for (size_t i = 0; i < out.order.size(); ++i) {
@@ -544,6 +670,7 @@ Result<PlanExecutor::Intermediate> PlanExecutor::ScanRelation(
       op.est_rows = ps.est_rows;
       op.morsels = morsels > 1 ? morsels : 0;
       op.par_cpu_us = scan_cpu_us;
+      op.morsel_timing = scan_timing;
     }
     return out;
   }
@@ -578,6 +705,8 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
   size_t width = bq.relations[rel_idx].schema.NumColumns();
   double prof_start = profiling_ ? ProfNowUs() : 0;
   double join_cpu_us = 0;
+  MorselTiming join_timing;
+  MorselTiming* join_timing_ptr = profiling_ ? &join_timing : nullptr;
   Intermediate out;
 
   auto join_label = [&]() {
@@ -654,9 +783,12 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
       }
       return Status::OK();
     };
-    size_t build_morsels = MorselCount(rn);
+    MorselSplit build_split = PlanMorselSplit(rn, MorselClass::kJoinBuild);
+    size_t build_morsels = build_split.morsels;
     if (build_morsels > 1) {
-      DL_RETURN_NOT_OK(RunMorsels(build_morsels, rn, key_span, &join_cpu_us));
+      DL_RETURN_NOT_OK(
+          RunMorsels(build_split, rn, key_span, &join_cpu_us,
+                     join_timing_ptr));
     } else {
       DL_RETURN_NOT_OK(key_span(0, rn, 0));
     }
@@ -706,15 +838,17 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
       }
       return Status::OK();
     };
-    size_t probe_morsels = MorselCount(left.rows.size());
+    MorselSplit probe_split =
+        PlanMorselSplit(left.rows.size(), MorselClass::kJoinProbe);
+    size_t probe_morsels = probe_split.morsels;
     if (probe_morsels > 1) {
       std::vector<Intermediate> frags(probe_morsels);
       DL_RETURN_NOT_OK(RunMorsels(
-          probe_morsels, left.rows.size(),
+          probe_split, left.rows.size(),
           [&](size_t lo, size_t hi, size_t m) {
             return probe_span(lo, hi, &frags[m]);
           },
-          &join_cpu_us));
+          &join_cpu_us, join_timing_ptr));
       for (Intermediate& frag : frags) AppendFragment(&out, std::move(frag));
     } else {
       DL_RETURN_NOT_OK(probe_span(0, left.rows.size(), &out));
@@ -729,6 +863,7 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
                    (probe_morsels > 1 ? probe_morsels : 0);
       if (parts > 1) op.partitions = parts;
       op.par_cpu_us = join_cpu_us;
+      op.morsel_timing = join_timing;
     }
     return out;
   }
@@ -744,15 +879,17 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
     }
     return Status::OK();
   };
-  size_t nl_morsels = MorselCount(left.rows.size());
+  MorselSplit nl_split =
+      PlanMorselSplit(left.rows.size(), MorselClass::kNestedLoop);
+  size_t nl_morsels = nl_split.morsels;
   if (nl_morsels > 1) {
     std::vector<Intermediate> frags(nl_morsels);
     DL_RETURN_NOT_OK(RunMorsels(
-        nl_morsels, left.rows.size(),
+        nl_split, left.rows.size(),
         [&](size_t lo, size_t hi, size_t m) {
           return nl_span(lo, hi, &frags[m]);
         },
-        &join_cpu_us));
+        &join_cpu_us, join_timing_ptr));
     for (Intermediate& frag : frags) AppendFragment(&out, std::move(frag));
   } else {
     DL_RETURN_NOT_OK(nl_span(0, left.rows.size(), &out));
@@ -764,6 +901,7 @@ Result<PlanExecutor::Intermediate> PlanExecutor::JoinStep(
     op.est_rows = pj.est_rows;
     op.morsels = nl_morsels > 1 ? nl_morsels : 0;
     op.par_cpu_us = join_cpu_us;
+    op.morsel_timing = join_timing;
   }
   return out;
 }
@@ -841,16 +979,18 @@ Result<QueryResult> PlanExecutor::ProjectUngrouped(const BoundQuery& bq,
     return Status::OK();
   };
 
-  size_t morsels = MorselCount(input.rows.size());
+  MorselSplit split = PlanMorselSplit(input.rows.size(), MorselClass::kProject);
+  size_t morsels = split.morsels;
+  MorselTiming proj_timing;
   if (morsels > 1) {
     std::vector<std::vector<Row>> row_frags(morsels);
     std::vector<std::vector<LineageSet>> lineage_frags(morsels);
     DL_RETURN_NOT_OK(RunMorsels(
-        morsels, input.rows.size(),
+        split, input.rows.size(),
         [&](size_t lo, size_t hi, size_t m) {
           return project_span(lo, hi, &row_frags[m], &lineage_frags[m]);
         },
-        &cpu_us));
+        &cpu_us, profiling_ ? &proj_timing : nullptr));
     for (size_t m = 0; m < morsels; ++m) {
       for (Row& r : row_frags[m]) result.rows.push_back(std::move(r));
       for (LineageSet& l : lineage_frags[m]) {
@@ -868,6 +1008,7 @@ Result<QueryResult> PlanExecutor::ProjectUngrouped(const BoundQuery& bq,
         prof_start, input.rows.size(), result.rows.size());
     op.morsels = morsels > 1 ? morsels : 0;
     op.par_cpu_us = cpu_us;
+    op.morsel_timing = proj_timing;
   }
   return result;
 }
@@ -934,16 +1075,19 @@ Result<QueryResult> PlanExecutor::ProjectGrouped(const BoundQuery& bq,
   };
 
   GroupAcc acc;
-  size_t morsels = MorselCount(input.rows.size());
+  MorselSplit split =
+      PlanMorselSplit(input.rows.size(), MorselClass::kAggregate);
+  size_t morsels = split.morsels;
+  MorselTiming agg_timing;
   size_t partials_merged = 0;
   if (morsels > 1) {
     std::vector<GroupAcc> partials(morsels);
     DL_RETURN_NOT_OK(RunMorsels(
-        morsels, input.rows.size(),
+        split, input.rows.size(),
         [&](size_t lo, size_t hi, size_t m) {
           return accumulate_span(lo, hi, &partials[m]);
         },
-        &cpu_us));
+        &cpu_us, profiling_ ? &agg_timing : nullptr));
     // Merge in morsel order: a group's representative, position in
     // group_order, and lineage sequence all come from its earliest morsel
     // — the same row serial processing would have picked. A merge an
@@ -1030,6 +1174,7 @@ Result<QueryResult> PlanExecutor::ProjectGrouped(const BoundQuery& bq,
     op.peak_hash_entries = acc.groups.size();
     op.morsels = partials_merged;
     op.par_cpu_us = cpu_us;
+    op.morsel_timing = agg_timing;
   }
   return result;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/bound_query.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/task_scheduler.h"
 #include "exec/query_result.h"
@@ -19,6 +20,91 @@ namespace datalawyer {
 /// serially regardless of ExecOptions. Mirrors DL_DISABLE_OPTIMIZER /
 /// DL_DISABLE_INCREMENTAL; read once and cached.
 bool MorselExecutionDisabledByEnv();
+
+/// True when DL_DISABLE_ADAPTIVE_MORSEL=1 (same convention): adaptive
+/// morsel sizing is forced off process-wide and every morselized operator
+/// uses the fixed ExecOptions::morsel_size. Kill switch for the feedback
+/// loop only — morsel execution itself stays on.
+bool AdaptiveMorselSizingDisabledByEnv();
+
+/// Operator classes the adaptive sizer distinguishes. Per-row cost differs
+/// by an order of magnitude between, say, a full scan's copy-out and a
+/// nested loop's full right-side sweep, so one suggested size per class is
+/// the coarsest split that still converges on sensible morsels.
+enum class MorselClass {
+  kScan = 0,
+  kJoinBuild,
+  kJoinProbe,
+  kNestedLoop,
+  kProject,
+  kAggregate,
+};
+constexpr int kNumMorselClasses = 6;
+const char* MorselClassName(MorselClass cls);
+
+/// Feedback loop turning observed per-morsel wall times into per-class
+/// suggested morsel sizes (rows) targeting ~kTargetUsPerMorsel of work per
+/// morsel — big enough to amortize dispatch, small enough to steal.
+///
+/// Two halves with distinct thread disciplines:
+///  * Record() — called by executors after each morselized operator, from
+///    any thread (policy statements evaluate concurrently); accumulates
+///    into per-class relaxed-atomic pending slots.
+///  * Roll() — called at the serial head between queries (no query in
+///    flight); folds the pending slots into an EWMA of µs/row and publishes
+///    clamped suggestions. Because suggestions change *only* here, every
+///    read within one query sees the same value, so a query's morsel
+///    boundaries are stable — and morsel boundaries only affect task
+///    granularity, never results (fragments merge in morsel order), which
+///    is the determinism argument the differential tests pin.
+class MorselFeedback {
+ public:
+  static constexpr double kTargetUsPerMorsel = 500.0;
+  static constexpr size_t kMinSize = 256;
+  static constexpr size_t kMaxSize = 65536;
+  static constexpr double kAlpha = 0.3;  ///< EWMA weight of the newest obs
+
+  /// Charges `total_us` of observed morsel wall time covering `rows` input
+  /// rows to `cls`. Thread-safe, lock-free.
+  void Record(MorselClass cls, double total_us, uint64_t rows);
+
+  /// Folds pending observations into the EWMA and republishes suggestions.
+  /// Serial-head only (concurrent with nothing).
+  void Roll();
+
+  /// Current suggested rows-per-morsel for `cls`; 0 until the class has
+  /// been observed at least once. One relaxed load.
+  size_t SuggestedSize(MorselClass cls) const;
+
+  /// One line per observed class: EWMA µs/row and the suggested size.
+  /// Serial-head only (reads the EWMA the same way Roll() writes it).
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Pending {
+    std::atomic<uint64_t> ns{0};  ///< wall time, nanoseconds
+    std::atomic<uint64_t> rows{0};
+  };
+  Pending pending_[kNumMorselClasses];
+  double ewma_us_per_row_[kNumMorselClasses] = {};  ///< serial-head only
+  std::atomic<size_t> suggested_[kNumMorselClasses] = {};
+};
+
+/// Log2-bucketed distribution of one operator's per-morsel wall times
+/// (same bucket layout as Histogram, shared via LogBucketFor /
+/// LogBucketPercentile). Single-threaded: filled by RunMorsels after the
+/// fan-out joins, read when rendering EXPLAIN ANALYZE.
+struct MorselTiming {
+  uint64_t count = 0;
+  double min_us = 0;
+  double max_us = 0;
+  uint64_t buckets[Histogram::kNumBuckets] = {};
+
+  void Observe(double us);
+  double Percentile(double q) const;
+};
 
 /// Execution knobs.
 struct ExecOptions {
@@ -50,6 +136,13 @@ struct ExecOptions {
   /// Rows per morsel. A fragment shorter than two morsels is not worth a
   /// dispatch and runs serially.
   size_t morsel_size = 1024;
+
+  /// Adaptive morsel sizing: when non-null, observed per-morsel times feed
+  /// this accumulator and its per-class suggestions (published between
+  /// queries by Roll()) override morsel_size. nullptr — or
+  /// DL_DISABLE_ADAPTIVE_MORSEL=1 upstream — keeps the fixed size. Must
+  /// outlive the executor.
+  MorselFeedback* morsel_feedback = nullptr;
 };
 
 /// Access-path counters of one Run/Execute call (aggregated per query into
@@ -89,6 +182,10 @@ struct OperatorProfile {
   size_t morsels = 0;
   size_t partitions = 0;
   double par_cpu_us = 0;
+  /// Per-morsel wall-time distribution (min/p50/p95/max) when the operator
+  /// morselized; count == 0 when it ran serially. A hash join folds build
+  /// and probe morsels into the one distribution its profile row shows.
+  MorselTiming morsel_timing;
 };
 
 /// Renders profiled operators one per line, annotated with their counters,
@@ -166,18 +263,29 @@ class PlanExecutor {
   /// True when a scheduler with workers is attached and morsel execution
   /// is not disabled by DL_DISABLE_MORSEL.
   bool MorselsEnabled() const;
-  /// Number of morsels an n-row fragment splits into: 1 (serial — morsels
-  /// disabled or the fragment fits in one morsel) or >= 2.
-  size_t MorselCount(size_t n) const;
-  /// Dispatches `span` over `morsels` fixed-size morsels of [0, n), waits,
-  /// and returns the first failing morsel's status (== the serial first
-  /// error: earlier morsels are clean and spans stop at their first bad
-  /// row). Adds the morsel count to scan_stats_ and, when profiling,
-  /// accumulates per-morsel time into *cpu_us.
-  Status RunMorsels(size_t morsels, size_t n,
+  /// One operator's morselization decision: how many morsels an n-row
+  /// fragment splits into (1 = serial — morsels disabled or the fragment
+  /// fits in one morsel) and the rows-per-morsel step that produced the
+  /// count, so dispatch uses exactly the size the split was planned with
+  /// even if an adaptive suggestion lands mid-query.
+  struct MorselSplit {
+    size_t morsels = 1;
+    size_t step = 0;
+    MorselClass cls = MorselClass::kScan;
+  };
+  /// Splits n rows for `cls`: the adaptive suggestion when a feedback
+  /// accumulator is attached and has one, the fixed morsel_size otherwise.
+  MorselSplit PlanMorselSplit(size_t n, MorselClass cls) const;
+  /// Dispatches `span` over the split's fixed-size morsels of [0, n),
+  /// waits, and returns the first failing morsel's status (== the serial
+  /// first error: earlier morsels are clean and spans stop at their first
+  /// bad row). Adds the morsel count to scan_stats_; when profiling or
+  /// feeding adaptive feedback it times each morsel, accumulating into
+  /// *cpu_us, the feedback accumulator, and (when non-null) *timing.
+  Status RunMorsels(const MorselSplit& split, size_t n,
                     const std::function<Status(size_t lo, size_t hi,
                                                size_t m)>& span,
-                    double* cpu_us);
+                    double* cpu_us, MorselTiming* timing);
   /// Moves a morsel fragment onto the end of `dst` (rows, lineage, order —
   /// fragments concatenate in morsel order, which is what keeps parallel
   /// output byte-identical to serial).

@@ -3,8 +3,13 @@
 #include <cmath>
 #include <string>
 
+#include <atomic>
+#include <future>
+#include <vector>
+
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/task_scheduler.h"
 #include "common/thread_pool.h"
 #include "core/datalawyer.h"
 #include "exec/engine.h"
@@ -347,6 +352,69 @@ TEST(RollupRegistryTest, ExpositionAndSummaryCoverEveryWindow) {
   EXPECT_NE(expo.find("quantile=\"0.95\""), std::string::npos);
   std::string summary = rollups.SummaryText();
   EXPECT_NE(summary.find("60s"), std::string::npos);
+}
+
+TEST(RollupRegistryTest, SchedCountersAggregateAndExpire) {
+  RollupRegistry rollups;
+  int64_t t0 = 3000LL * 1000000;
+  rollups.RecordSchedAt(t0, /*morsels=*/8, /*steals=*/2,
+                        /*queue_wait_us=*/40, /*busy_us=*/500);
+  rollups.RecordSchedAt(t0 + 5 * 1000000, 4, 1, 10, 250);
+
+  auto w1 = rollups.SnapshotAt(t0 + 5 * 1000000, 1);
+  EXPECT_EQ(w1.sched_morsels, 4u);
+  EXPECT_EQ(w1.sched_steals, 1u);
+
+  auto w10 = rollups.SnapshotAt(t0 + 5 * 1000000, 10);
+  EXPECT_EQ(w10.sched_morsels, 12u);
+  EXPECT_EQ(w10.sched_steals, 3u);
+  EXPECT_EQ(w10.sched_queue_wait_us, 50u);
+  EXPECT_EQ(w10.sched_busy_us, 750u);
+
+  auto stale = rollups.SnapshotAt(t0 + 200 * 1000000, 60);
+  EXPECT_EQ(stale.sched_morsels, 0u);
+
+  std::string expo;
+  rollups.AppendExposition(&expo);
+  for (int w : {1, 10, 60}) {
+    std::string label = "window=\"" + std::to_string(w) + "s\"";
+    EXPECT_NE(expo.find("dl_rollup_sched_morsels{" + label + "}"),
+              std::string::npos)
+        << expo;
+  }
+}
+
+// The rollup feed is serial on DataLawyer's API, but nothing stops an
+// embedder (or the scheduler exposition path) from recording from worker
+// threads — the registry takes one mutex per record, so concurrent feeds
+// from scheduler workers must neither tear nor drop: every window count
+// sums to the global task counter. Runs under TSan via the tsan CI leg.
+TEST(RollupRegistryTest, ConcurrentFeedFromSchedulerWorkers) {
+  RollupRegistry rollups;
+  TaskScheduler scheduler(4);
+  constexpr int kTasks = 256;
+  std::atomic<uint64_t> fed{0};
+  double phases[RollupRegistry::kNumPhases] = {10, 1, 5, 1, 3};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(scheduler.Submit([&rollups, &phases, &fed] {
+      rollups.Record(/*rejected=*/false, phases);
+      rollups.RecordSched(/*morsels=*/1, /*steals=*/0, /*queue_wait_us=*/2,
+                          /*busy_us=*/10);
+      fed.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  ASSERT_EQ(fed.load(), uint64_t(kTasks));
+  // All records landed within the last few wall-clock seconds, so the 60s
+  // window must hold every one of them.
+  auto w = rollups.Snapshot(60);
+  EXPECT_EQ(w.queries, uint64_t(kTasks));
+  EXPECT_EQ(w.sched_morsels, uint64_t(kTasks));
+  EXPECT_EQ(w.sched_queue_wait_us, uint64_t(2 * kTasks));
+  EXPECT_EQ(w.sched_busy_us, uint64_t(10 * kTasks));
 }
 
 // End to end: the per-query rollup feed agrees with the dl_total_us

@@ -258,6 +258,79 @@ TEST(ParallelDeterminismTest, MorselExecutionIsInvisible) {
   EXPECT_EQ(composed.decision_dump, serial.decision_dump);
 }
 
+// Adaptive morsel sizing changes how fragments are split, never what they
+// compute: suggestions update only at the serial head (between queries)
+// and every fragment merges in deterministic morsel order, so the full
+// observable trace must be byte-identical with the feedback loop on, off,
+// and against the serial run — even as the suggested sizes drift across
+// the workload.
+TEST(ParallelDeterminismTest, AdaptiveMorselSizingIsInvisible) {
+  std::vector<Step> steps = Scenario(37);
+
+  DataLawyerOptions base = DataLawyerOptions::AllOptimizations();
+  base.strategy = EvalStrategy::kSerial;
+  base.enable_unification = false;
+  base.enable_incremental_eval = false;
+  base.policy_threads = 0;
+  base.exec_threads = 0;
+  Trace serial = RunScenario(base, steps);
+
+  for (int threads : {1, 4}) {
+    for (size_t morsel_size : {size_t(1), size_t(1024)}) {
+      for (bool adaptive : {false, true}) {
+        DataLawyerOptions options = base;
+        options.exec_threads = threads;
+        options.morsel_size = morsel_size;
+        options.adaptive_morsel_size = adaptive;
+        Trace run = RunScenario(options, steps);
+        EXPECT_EQ(run.decisions, serial.decisions)
+            << "threads " << threads << " morsel_size " << morsel_size
+            << " adaptive " << adaptive;
+        EXPECT_EQ(run.log_dump, serial.log_dump)
+            << "threads " << threads << " morsel_size " << morsel_size
+            << " adaptive " << adaptive;
+        EXPECT_EQ(run.decision_dump, serial.decision_dump)
+            << "threads " << threads << " morsel_size " << morsel_size
+            << " adaptive " << adaptive;
+      }
+    }
+  }
+}
+
+// Non-vacuity for the test above: with adaptive sizing on, the feedback
+// loop demonstrably engages — single-row morsels force even the tiny
+// workload tables to split and feed timings, and the serial-head Roll()
+// publishes a clamped suggestion for the scan class.
+TEST(ParallelDeterminismTest, AdaptiveFeedbackPublishesSuggestions) {
+  Database db;
+  ASSERT_TRUE(LoadMimicData(&db, MimicConfig::Tiny()).ok());
+  DataLawyerOptions options = DataLawyerOptions::AllOptimizations();
+  options.exec_threads = 1;
+  options.morsel_size = 1;  // split everything: feedback on every fragment
+  options.adaptive_morsel_size = true;
+  DataLawyer dl(&db, UsageLog::WithStandardGenerators(),
+                std::make_unique<ManualClock>(0, 10), options);
+  for (const auto& [name, sql] : PaperPolicies::All()) {
+    ASSERT_TRUE(dl.AddPolicy(name, sql).ok());
+  }
+  QueryContext ctx;
+  ctx.uid = 0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(dl.Execute("SELECT * FROM d_patients", ctx).ok());
+  }
+  if (MorselExecutionDisabledByEnv() || AdaptiveMorselSizingDisabledByEnv()) {
+    EXPECT_FALSE(dl.adaptive_morsel_enabled());
+    EXPECT_EQ(dl.morsel_feedback().SuggestedSize(MorselClass::kScan), 0u);
+    return;
+  }
+  EXPECT_TRUE(dl.adaptive_morsel_enabled());
+  size_t suggested = dl.morsel_feedback().SuggestedSize(MorselClass::kScan);
+  EXPECT_GE(suggested, MorselFeedback::kMinSize);
+  EXPECT_LE(suggested, MorselFeedback::kMaxSize);
+  // The summary renders the observed class.
+  EXPECT_NE(dl.morsel_feedback().Summary().find("scan"), std::string::npos);
+}
+
 // A task already running on a worker can itself call ParallelFor — the
 // nested loop's helpers go onto the worker's own deque (stolen by idle
 // peers) and the claim-counter design means whoever calls ParallelFor

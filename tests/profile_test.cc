@@ -149,6 +149,28 @@ TEST_F(ExplainAnalyzeTest, ExplainAnalyzePolicyProfilesCachedPlan) {
             StatusCode::kNotFound);
 }
 
+TEST_F(ExplainAnalyzeTest, MorselTimingPercentilesRendered) {
+  DataLawyerOptions options;
+  options.exec_threads = 1;
+  options.morsel_size = 1;  // split the three-row scans into morsels
+  options.adaptive_morsel_size = false;  // pin the split to morsel_size
+  DataLawyer dl(&db_, nullptr, std::make_unique<ManualClock>(), options);
+  QueryContext ctx;
+  auto result = dl.Execute(
+      "EXPLAIN ANALYZE SELECT a.x, b.y FROM a, b WHERE a.x = b.x", ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string plan = PlanText(*result);
+  if (MorselExecutionDisabledByEnv()) {
+    EXPECT_EQ(plan.find("morsels"), std::string::npos) << plan;
+    return;
+  }
+  // Every split fragment renders its per-morsel wall-time distribution.
+  EXPECT_NE(plan.find("morsels"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("morsel min"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("p50"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("p95"), std::string::npos) << plan;
+}
+
 TEST(RenderOperatorProfileTest, IndentsByDepthAndSumsDepthZeroOnly) {
   std::vector<OperatorProfile> ops(2);
   ops[0].label = "scan t (10 rows) as t";

@@ -1,0 +1,269 @@
+// TaskScheduler runtime telemetry: per-worker stat slots, task-group
+// attribution, the pull-based starvation/overload watchdog, and the
+// dl_worker_*/dl_sched_* Prometheus exposition. Everything here is
+// deterministic by construction (gate tasks + explicit thresholds), not
+// timing-lucky: blocked workers are *held* blocked while assertions run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/task_scheduler.h"
+
+namespace datalawyer {
+namespace {
+
+/// A task's future becomes ready inside the body; the worker folds its
+/// stat slot (executed, busy_us) just after the body returns. Joining
+/// futures therefore races a few final counter updates — spin briefly
+/// until the executed total settles at `n`.
+void WaitForExecuted(const TaskScheduler& scheduler, uint64_t n) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (scheduler.Snapshot().executed < n &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+}
+
+TEST(SchedulerTelemetryTest, GroupAttributionIsExact) {
+  TaskScheduler scheduler(2);
+  TaskGroupStats group;
+  std::vector<std::future<void>> futures;
+  {
+    ScopedTaskGroup scoped(&group);
+    for (int i = 0; i < 10; ++i) {
+      futures.push_back(scheduler.Submit([] {}));
+    }
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(group.tasks.load(), 10u);
+
+  // Work submitted while detached (the background-compaction discipline)
+  // must not leak into the group.
+  futures.clear();
+  {
+    ScopedTaskGroup detached(nullptr);
+    for (int i = 0; i < 5; ++i) {
+      futures.push_back(scheduler.Submit([] {}));
+    }
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(group.tasks.load(), 10u);
+
+  // Steals charged to the group never exceed its own task count, and the
+  // scheduler-wide steal counter equals the per-worker steals_taken sum.
+  EXPECT_LE(group.steals.load(), group.tasks.load());
+  SchedulerSnapshot snap = scheduler.Snapshot();
+  EXPECT_EQ(snap.steals, scheduler.steals());
+}
+
+TEST(SchedulerTelemetryTest, NestedSubmissionsInheritTheGroup) {
+  TaskScheduler scheduler(2);
+  TaskGroupStats group;
+  {
+    ScopedTaskGroup scoped(&group);
+    std::promise<std::future<void>> inner_promise;
+    std::future<void> outer = scheduler.Submit([&scheduler, &inner_promise] {
+      // A task spawning a task: the worker installed this task's group
+      // around the body, so the nested submission is charged to it too.
+      inner_promise.set_value(scheduler.Submit([] {}));
+    });
+    outer.get();
+    inner_promise.get_future().get().get();
+  }
+  EXPECT_EQ(group.tasks.load(), 2u);
+}
+
+TEST(SchedulerTelemetryTest, SnapshotTotalsMatchPerWorkerSlots) {
+  TaskScheduler scheduler(2);
+  scheduler.set_telemetry_enabled(true);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(scheduler.Submit(
+        [] { std::this_thread::sleep_for(std::chrono::microseconds(50)); }));
+  }
+  for (auto& f : futures) f.get();
+  WaitForExecuted(scheduler, 32);
+
+  SchedulerSnapshot snap = scheduler.Snapshot();
+  ASSERT_EQ(snap.workers.size(), 2u);
+  uint64_t executed = 0, steals = 0, busy = 0, wait_us = 0;
+  for (const WorkerSnapshot& w : snap.workers) {
+    executed += w.executed;
+    steals += w.steals_taken;
+    busy += w.busy_us;
+    wait_us += w.queue_wait_us;
+  }
+  EXPECT_EQ(executed, 32u);
+  EXPECT_EQ(snap.executed, executed);
+  EXPECT_EQ(snap.steals, steals);
+  EXPECT_EQ(snap.busy_us, busy);
+  EXPECT_EQ(snap.queue_wait_us, wait_us);
+  EXPECT_EQ(snap.queued, 0u);  // everything joined
+  EXPECT_GT(snap.busy_us, 0u);  // 32 x 50us of timed work
+  EXPECT_GE(snap.imbalance, 1.0);
+}
+
+TEST(SchedulerTelemetryTest, TelemetryClockIsGated) {
+  TaskScheduler scheduler(1);
+  ASSERT_FALSE(scheduler.telemetry_enabled());  // off by default
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(scheduler.Submit(
+        [] { std::this_thread::sleep_for(std::chrono::microseconds(200)); }));
+  }
+  for (auto& f : futures) f.get();
+  WaitForExecuted(scheduler, 8);
+  SchedulerSnapshot snap = scheduler.Snapshot();
+  EXPECT_EQ(snap.executed, 8u);  // counters are always on
+  EXPECT_EQ(snap.busy_us, 0u);   // the wall-clock half is not
+  EXPECT_EQ(snap.queue_wait_us, 0u);
+  EXPECT_EQ(snap.queue_waits, 0u);
+}
+
+TEST(SchedulerTelemetryTest, DepthHighWatermarkAndQueueWait) {
+  TaskScheduler scheduler(1);
+  scheduler.set_telemetry_enabled(true);
+  // Hold the only worker inside a gate task, then pile tasks behind it.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::future<void> blocked = scheduler.Submit([gate] { gate.wait(); });
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(scheduler.Submit([] {}));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  SchedulerSnapshot held = scheduler.Snapshot();
+  EXPECT_GE(held.queued, 1u);  // the gate may or may not have started yet
+  EXPECT_GT(held.oldest_queued_age_us, 0u);
+
+  release.set_value();
+  blocked.get();
+  for (auto& f : queued) f.get();
+  WaitForExecuted(scheduler, 5);
+
+  SchedulerSnapshot snap = scheduler.Snapshot();
+  ASSERT_EQ(snap.workers.size(), 1u);
+  EXPECT_EQ(snap.executed, 5u);
+  EXPECT_EQ(snap.queued, 0u);
+  EXPECT_GE(snap.workers[0].queue_depth_hwm, 4u);
+  // The piled-up tasks waited milliseconds behind the gate.
+  EXPECT_GE(snap.queue_waits, 4u);
+  EXPECT_GT(snap.queue_wait_us, 0u);
+}
+
+TEST(SchedulerTelemetryTest, StarvationWatchdogFires) {
+  TaskScheduler scheduler(1);
+  scheduler.set_telemetry_enabled(true);
+  // Any queued task older than 1us trips starvation; imbalance disabled.
+  scheduler.set_watchdog_thresholds(/*starvation_us=*/1,
+                                    /*imbalance_ratio=*/0.0);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::future<void> blocked = scheduler.Submit([gate] { gate.wait(); });
+  std::future<void> starved = scheduler.Submit([] {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  SchedulerSnapshot snap = scheduler.Snapshot();
+  ASSERT_GE(snap.warnings.size(), 1u);
+  EXPECT_NE(snap.warnings[0].find("starvation"), std::string::npos);
+  EXPECT_GE(snap.starvation_warnings, 1u);
+  EXPECT_EQ(snap.imbalance_warnings, 0u);
+
+  release.set_value();
+  blocked.get();
+  starved.get();
+
+  // Drained: the condition clears but the cumulative counter survives.
+  SchedulerSnapshot after = scheduler.Snapshot();
+  EXPECT_TRUE(after.warnings.empty());
+  EXPECT_GE(after.starvation_warnings, 1u);
+}
+
+TEST(SchedulerTelemetryTest, ImbalanceWatchdogRespectsFloorAndThreshold) {
+  TaskScheduler scheduler(2);
+  // Below the 64-task floor nothing fires no matter the threshold.
+  scheduler.set_watchdog_thresholds(/*starvation_us=*/0,
+                                    /*imbalance_ratio=*/0.5);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(scheduler.Submit([] {}));
+  for (auto& f : futures) f.get();
+  SchedulerSnapshot below = scheduler.Snapshot();
+  EXPECT_TRUE(below.warnings.empty());
+  EXPECT_EQ(below.imbalance_warnings, 0u);
+
+  // Past the floor, max/mean >= 1.0 > 0.5 always holds, so the mechanism
+  // demonstrably fires (real imbalance is scheduler-timing dependent; the
+  // threshold is what we can pin).
+  futures.clear();
+  for (int i = 0; i < 64; ++i) futures.push_back(scheduler.Submit([] {}));
+  for (auto& f : futures) f.get();
+  WaitForExecuted(scheduler, 72);
+  SchedulerSnapshot past = scheduler.Snapshot();
+  ASSERT_GE(past.warnings.size(), 1u);
+  EXPECT_NE(past.warnings[0].find("imbalance"), std::string::npos);
+  EXPECT_GE(past.imbalance_warnings, 1u);
+}
+
+TEST(SchedulerTelemetryTest, ZeroThreadSchedulerSnapshots) {
+  TaskScheduler scheduler(0);
+  TaskGroupStats group;
+  {
+    ScopedTaskGroup scoped(&group);
+    scheduler.Submit([] {}).get();  // inline fallback
+  }
+  SchedulerSnapshot snap = scheduler.Snapshot();
+  EXPECT_TRUE(snap.workers.empty());
+  EXPECT_EQ(snap.executed, 0u);  // inline tasks never enter a deque
+  EXPECT_EQ(group.tasks.load(), 0u);
+  std::string expo;
+  scheduler.AppendExposition(&expo);
+  EXPECT_NE(expo.find("dl_sched_tasks_total 0"), std::string::npos);
+}
+
+TEST(SchedulerTelemetryTest, ExpositionNamesEverySeries) {
+  TaskScheduler scheduler(2);
+  scheduler.set_telemetry_enabled(true);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(scheduler.Submit([] {}));
+  for (auto& f : futures) f.get();
+  WaitForExecuted(scheduler, 6);
+
+  std::string expo;
+  scheduler.AppendExposition(&expo);
+  for (const char* series :
+       {"dl_worker_tasks_total{worker=\"0\"}",
+        "dl_worker_tasks_total{worker=\"1\"}",
+        "dl_worker_steals_taken_total{worker=\"0\"}",
+        "dl_worker_steals_given_total{worker=\"0\"}",
+        "dl_worker_queue_wait_us_total{worker=\"0\"}",
+        "dl_worker_busy_us_total{worker=\"0\"}",
+        "dl_worker_idle_us_total{worker=\"0\"}",
+        "dl_worker_queue_depth{worker=\"0\"}",
+        "dl_worker_queue_depth_hwm{worker=\"0\"}", "dl_sched_tasks_total ",
+        "dl_sched_steals_total ", "dl_sched_queue_wait_us_total ",
+        "dl_sched_busy_us_total ", "dl_sched_idle_us_total ",
+        "dl_sched_queued ", "dl_sched_oldest_queued_age_us ",
+        "dl_sched_imbalance_ratio ", "dl_sched_starvation_warnings_total ",
+        "dl_sched_imbalance_warnings_total "}) {
+    EXPECT_NE(expo.find(series), std::string::npos) << series;
+  }
+
+  // The per-worker executed series sum to the dl_sched total by
+  // construction (same snapshot): spot-check the total line's value.
+  SchedulerSnapshot snap = scheduler.Snapshot();
+  uint64_t sum = 0;
+  for (const WorkerSnapshot& w : snap.workers) sum += w.executed;
+  EXPECT_EQ(snap.executed, sum);
+  EXPECT_NE(expo.find("dl_sched_tasks_total " + std::to_string(sum)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace datalawyer

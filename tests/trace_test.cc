@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <future>
 #include <string>
 #include <vector>
 
+#include "common/task_scheduler.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 
@@ -148,6 +151,69 @@ TEST_F(TraceTest, ChromeJsonShapeAndEscaping) {
   EXPECT_EQ(braces, 0);
   EXPECT_EQ(brackets, 0);
   EXPECT_FALSE(in_string);
+}
+
+TEST_F(TraceTest, InstantEventsRenderAsTicks) {
+  Tracer::Global().RecordInstant("steal:w0", "sched",
+                                 Tracer::Global().NowUs());
+  { DL_TRACE_SPAN("work", "test"); }
+  std::string json = Tracer::Global().ToChromeJson();
+  // The instant comes out as ph:"i" with thread scope; the span as ph:"X".
+  EXPECT_NE(json.find("\"name\":\"steal:w0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ThreadNameMetadataComesFirst) {
+  Tracer::Global().SetCurrentThreadName("main-lane");
+  { DL_TRACE_SPAN("named.lane", "test"); }
+  // Lane names are process-lifetime (keyed by tid, which outlives Clear),
+  // so look this thread's entry up rather than assuming an empty map.
+  int self = Tracer::CurrentThreadId();
+  auto names = Tracer::Global().thread_names();
+  ASSERT_TRUE(names.count(self));
+  EXPECT_EQ(names[self], "main-lane");
+
+  std::string json = Tracer::Global().ToChromeJson();
+  size_t meta = json.find("\"ph\":\"M\"");
+  size_t span = json.find("\"ph\":\"X\"");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(span, std::string::npos);
+  // Metadata records lead the event array so viewers label lanes before
+  // any event lands in them.
+  EXPECT_LT(meta, span);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"main-lane\""), std::string::npos);
+  // The metadata's tid matches the lane the span rendered into.
+  std::string tid = "\"tid\":" + std::to_string(self);
+  EXPECT_NE(json.find(tid), std::string::npos);
+}
+
+TEST_F(TraceTest, SchedulerWorkersNameTheirLanes) {
+  auto before = Tracer::Global().thread_names();
+  {
+    TaskScheduler scheduler(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(scheduler.Submit([] {}));
+    }
+    for (auto& f : futures) f.get();
+  }  // join the workers so every registration has landed
+  // Exactly the two fresh worker threads registered lanes (earlier tests'
+  // pool workers keep theirs — names are process-lifetime).
+  auto names = Tracer::Global().thread_names();
+  std::vector<std::string> fresh;
+  for (const auto& [tid, name] : names) {
+    if (!before.count(tid)) fresh.push_back(name);
+  }
+  std::sort(fresh.begin(), fresh.end());
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[0], "worker-0");
+  EXPECT_EQ(fresh[1], "worker-1");
+  std::string json = Tracer::Global().ToChromeJson();
+  EXPECT_NE(json.find("\"name\":\"worker-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker-1\""), std::string::npos);
 }
 
 TEST_F(TraceTest, WriteChromeJsonRejectsBadPath) {
